@@ -1,0 +1,63 @@
+//! Ablation — fault tolerance via lazy random walks (Section 4.5).
+//!
+//! Quantifies how per-round user dropouts affect the privacy accounting:
+//! the spectral gap shrinks (mixing slows down), so a fixed round budget
+//! yields a worse ε, while running to the dropout-adjusted mixing time
+//! recovers the asymptotic guarantee.
+//!
+//! ```text
+//! cargo run --release -p ns-bench --bin ablation_lazy
+//! ```
+
+use network_shuffle::prelude::*;
+use ns_bench::{fmt, print_table, write_csv, DELTA, SEED};
+use ns_graph::generators::random_regular;
+
+fn main() {
+    let n = 10_000usize;
+    let epsilon_0 = 1.0;
+    let fixed_budget = 30usize;
+    let dropouts = [0.0f64, 0.1, 0.3, 0.5];
+
+    let mut rng = ns_graph::rng::seeded_rng(SEED);
+    let graph = random_regular(n, 8, &mut rng).expect("regular graph");
+    let params = AccountantParams::new(n, epsilon_0, DELTA, DELTA).expect("valid params");
+
+    let headers = vec![
+        "dropout p",
+        "spectral gap",
+        "mixing time",
+        "eps @ 30 rounds",
+        "eps @ mixing time",
+    ];
+    let mut rows = Vec::new();
+    for &p in &dropouts {
+        let model = DropoutModel::new(p).expect("valid dropout");
+        let accountant = model.accountant(&graph).expect("ergodic graph");
+        let at_budget = accountant
+            .central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, fixed_budget)
+            .expect("guarantee");
+        let at_mixing = accountant
+            .central_guarantee_at_mixing_time(ProtocolKind::All, Scenario::Stationary, &params)
+            .expect("guarantee");
+        rows.push(vec![
+            fmt(p),
+            fmt(accountant.mixing_profile().spectral_gap),
+            accountant.mixing_time().to_string(),
+            fmt(at_budget.epsilon),
+            fmt(at_mixing.epsilon),
+        ]);
+    }
+
+    print_table(
+        "Ablation: effect of per-round dropouts (lazy walk) on privacy accounting (A_all, n = 10,000, eps0 = 1)",
+        &headers,
+        &rows,
+    );
+    write_csv("ablation_lazy", &headers, &rows);
+    println!(
+        "\nshape check: dropouts shrink the spectral gap roughly by (1 - p) and lengthen the mixing\n\
+         time accordingly; the epsilon at a fixed 30-round budget degrades while the epsilon at the\n\
+         adjusted mixing time is essentially unchanged."
+    );
+}

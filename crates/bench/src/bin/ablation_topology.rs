@@ -1,0 +1,97 @@
+//! Ablation — how the communication-network topology shapes the
+//! privacy/communication trade-off.
+//!
+//! The paper's analysis applies to any connected, non-bipartite graph; this
+//! experiment compares, at equal population and mean degree, how many rounds
+//! different topologies need before the central ε converges: random regular
+//! (peer-discovery overlays), Watts–Strogatz small world, Barabási–Albert
+//! scale-free, stochastic block model (strong communities) and a torus grid
+//! (geographic meshes).
+//!
+//! ```text
+//! cargo run --release -p ns-bench --bin ablation_topology
+//! ```
+
+use network_shuffle::accountant::planning::rounds_for_target_epsilon;
+use network_shuffle::prelude::*;
+use ns_bench::{fmt, print_table, write_csv, DELTA, SEED};
+use ns_graph::connectivity::largest_connected_component;
+use ns_graph::generators;
+use ns_graph::rng::seeded_rng;
+use ns_graph::Graph;
+
+fn main() {
+    let n = 4_225usize; // 65 x 65 torus; other generators match this size
+    let epsilon_0 = 1.0;
+    let mut rng = seeded_rng(SEED);
+
+    let topologies: Vec<(&str, Graph)> = vec![
+        ("random 4-regular", generators::random_regular(n, 4, &mut rng).expect("graph")),
+        (
+            "Watts-Strogatz (k=4, beta=0.1)",
+            generators::watts_strogatz(n, 4, 0.1, &mut rng).expect("graph"),
+        ),
+        ("Barabasi-Albert (m=2)", generators::barabasi_albert(n, 2, &mut rng).expect("graph")),
+        ("SBM (8 blocks, strong communities)", {
+            let raw = generators::stochastic_block_model(n, 8, 0.009, 0.0002, &mut rng)
+                .expect("graph");
+            largest_connected_component(&raw).0
+        }),
+        ("torus 65x65", generators::torus(65, 65).expect("graph")),
+    ];
+
+    let headers = vec![
+        "topology",
+        "n (LCC)",
+        "Gamma_G",
+        "spectral gap",
+        "mixing time",
+        "rounds to converge",
+        "eps at convergence (A_single)",
+    ];
+    let mut rows = Vec::new();
+    for (name, graph) in &topologies {
+        let accountant = match NetworkShuffleAccountant::new(graph) {
+            Ok(acc) => acc,
+            Err(e) => {
+                // The torus with even dimensions would be bipartite; handled
+                // by construction (65 is odd), but keep the fallback visible.
+                println!("{name}: skipped ({e})");
+                continue;
+            }
+        };
+        let n_lcc = accountant.node_count();
+        let params = AccountantParams::new(n_lcc, epsilon_0, DELTA, DELTA).expect("params");
+        let gamma = ns_graph::degree::DegreeStats::compute(graph).expect("stats").irregularity;
+        let (rounds, eps) = rounds_for_target_epsilon(
+            &accountant,
+            ProtocolKind::Single,
+            &params,
+            0.01,
+            20_000,
+        )
+        .expect("search");
+        rows.push(vec![
+            name.to_string(),
+            n_lcc.to_string(),
+            fmt(gamma),
+            fmt(accountant.mixing_profile().spectral_gap),
+            accountant.mixing_time().to_string(),
+            rounds.to_string(),
+            fmt(eps),
+        ]);
+    }
+
+    print_table(
+        "Ablation: topology vs. rounds needed for the central epsilon to converge (n ~ 4,225, eps0 = 1)",
+        &headers,
+        &rows,
+    );
+    write_csv("ablation_topology", &headers, &rows);
+    println!(
+        "\nshape check: expander-like topologies (random regular, scale-free, moderately assortative\n\
+         SBM) converge within tens of rounds; a barely-rewired ring (Watts-Strogatz at beta = 0.1)\n\
+         needs hundreds and a torus grid thousands of rounds, because the privacy bound is driven\n\
+         entirely by the spectral gap."
+    );
+}

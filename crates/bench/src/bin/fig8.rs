@@ -1,0 +1,56 @@
+//! Figure 8 — parameter dependencies at the stationary limit.
+//!
+//! Graph-free sweep of the closed-form bounds: for `Γ_G ∈ {1, 10}` and
+//! `n ∈ {10⁴, 10⁶}`, the central ε of both protocols is plotted against ε₀,
+//! next to the no-amplification reference `ε = ε₀`.
+//!
+//! ```text
+//! cargo run --release -p ns-bench --bin fig8
+//! ```
+
+use network_shuffle::prelude::{all_protocol_epsilon, single_protocol_epsilon, AccountantParams};
+use ns_bench::{fmt, linspace, print_table, write_csv, DELTA};
+
+fn main() {
+    let epsilon_grid = linspace(0.2, 2.0, 10);
+    let populations = [10_000usize, 1_000_000];
+    let gammas = [1.0f64, 10.0];
+
+    let mut headers: Vec<String> = vec!["eps0".into(), "no amp".into()];
+    for &n in &populations {
+        for &gamma in &gammas {
+            for protocol in ["A_all", "A_single"] {
+                headers.push(format!("n=1e{} G={} {}", (n as f64).log10() as u32, gamma, protocol));
+            }
+        }
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let mut rows = Vec::new();
+    for &eps0 in &epsilon_grid {
+        let mut row = vec![fmt(eps0), fmt(eps0)];
+        for &n in &populations {
+            for &gamma in &gammas {
+                let params = AccountantParams::new(n, eps0, DELTA, DELTA).expect("valid params");
+                let sum_p_sq = gamma / n as f64;
+                let all = all_protocol_epsilon(&params, sum_p_sq, 1.0).expect("valid").epsilon;
+                let single = single_protocol_epsilon(&params, sum_p_sq).expect("valid").epsilon;
+                row.push(fmt(all));
+                row.push(fmt(single));
+            }
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 8: stationary-limit central epsilon vs. eps0 for Gamma in {1, 10}, n in {1e4, 1e6}",
+        &header_refs,
+        &rows,
+    );
+    write_csv("fig8", &header_refs, &rows);
+    println!(
+        "\nshape check: larger n and smaller Gamma give stronger amplification; regular graphs\n\
+         (Gamma = 1) dominate irregular ones (Gamma = 10) for both protocols, and at large eps0\n\
+         the A_single curves drop below the A_all curves, matching Figure 8."
+    );
+}

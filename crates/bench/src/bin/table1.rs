@@ -1,0 +1,63 @@
+//! Table 1 — comparison of privacy-amplification mechanisms.
+//!
+//! For each population size `n` and local parameter `ε₀`, prints the central
+//! ε achieved by: no amplification, uniform subsampling (rate `1/√n`),
+//! uniform shuffling (Erlingsson-style), uniform shuffling with clones
+//! (Feldman et al.), and network shuffling (`A_all` and `A_single` on a
+//! regular graph at stationarity, i.e. `Σ P² = 1/n`).
+//!
+//! ```text
+//! cargo run --release -p ns-bench --bin table1
+//! ```
+
+use network_shuffle::prelude::{all_protocol_epsilon, single_protocol_epsilon, AccountantParams};
+use ns_bench::{fmt, print_table, write_csv, DELTA};
+use ns_dp::amplification::{clones_shuffling_epsilon, erlingsson_shuffling_epsilon, subsampling_epsilon};
+
+fn main() {
+    let populations = [1_000usize, 10_000, 100_000, 1_000_000];
+    let epsilons = [0.25f64, 0.5, 1.0, 2.0];
+
+    let headers = vec![
+        "n", "eps0", "no amp", "subsample", "shuffle[22]", "clones[25]", "network A_all",
+        "network A_single",
+    ];
+    let mut rows = Vec::new();
+
+    for &n in &populations {
+        for &eps0 in &epsilons {
+            let params = AccountantParams::new(n, eps0, DELTA, DELTA).expect("valid params");
+            let sum_p_sq = 1.0 / n as f64; // regular graph at stationarity
+            let q = 1.0 / (n as f64).sqrt();
+            let subsample = subsampling_epsilon(eps0, q).expect("valid");
+            let erlingsson = erlingsson_shuffling_epsilon(eps0, n, DELTA).expect("valid");
+            let clones = clones_shuffling_epsilon(eps0, n, DELTA).expect("valid");
+            let all = all_protocol_epsilon(&params, sum_p_sq, 1.0).expect("valid").epsilon;
+            let single = single_protocol_epsilon(&params, sum_p_sq).expect("valid").epsilon;
+            rows.push(vec![
+                n.to_string(),
+                fmt(eps0),
+                fmt(eps0),
+                fmt(subsample),
+                fmt(erlingsson),
+                fmt(clones),
+                fmt(all),
+                fmt(single),
+            ]);
+        }
+    }
+
+    print_table(
+        "Table 1: central epsilon under different amplification mechanisms (delta = 1e-6)",
+        &headers,
+        &rows,
+    );
+    write_csv("table1", &headers, &rows);
+    println!(
+        "\nshape check: every amplified column scales like 1/sqrt(n).  The centralized baselines\n\
+         (subsampling, clones) are the tightest; network shuffling's A_single amplifies without any\n\
+         trusted entity but grows faster in eps0 (e^(1.5 eps0) vs the clones bound's e^(0.5 eps0)),\n\
+         and the A_all bound needs larger n before it drops below eps0 — matching the exponent\n\
+         ordering of Table 1."
+    );
+}

@@ -1,0 +1,67 @@
+//! Table 3 — complexity comparison (entity space, user traffic).
+//!
+//! Network shuffling's costs are *measured* by running the protocol on
+//! random regular graphs of increasing size for `t = ⌊α⁻¹ log n⌉` rounds;
+//! the Prochlo and mix-net columns are the analytic values from the paper
+//! (a centralized shuffler must buffer all `n` reports; mix-net cover
+//! traffic touches all `n` users).
+//!
+//! ```text
+//! cargo run --release -p ns-bench --bin table3
+//! ```
+
+use network_shuffle::prelude::*;
+use ns_bench::{fmt, print_table, write_csv, SEED};
+use ns_graph::generators::random_regular;
+
+fn main() {
+    let populations = [1_000usize, 4_000, 16_000];
+    let degree = 8;
+
+    let headers = vec![
+        "n",
+        "rounds t",
+        "user msgs (mean)",
+        "user msgs (max)",
+        "user memory (max reports)",
+        "server reports",
+        "Prochlo entity memory",
+        "mix-net user traffic",
+    ];
+    let mut rows = Vec::new();
+
+    for &n in &populations {
+        let mut rng = ns_graph::rng::seeded_rng(SEED ^ n as u64);
+        let graph = random_regular(n, degree, &mut rng).expect("regular graph");
+        let accountant = NetworkShuffleAccountant::new(&graph).expect("ergodic graph");
+        let rounds = accountant.mixing_time();
+
+        let payloads: Vec<u32> = (0..n as u32).collect();
+        let outcome = run_protocol(&graph, payloads, SimulationConfig::all(rounds, SEED), |_| 0)
+            .expect("simulation");
+        let m = &outcome.metrics;
+
+        rows.push(vec![
+            n.to_string(),
+            rounds.to_string(),
+            fmt(m.mean_messages_per_user()),
+            m.max_messages_per_user().to_string(),
+            m.max_peak_reports().to_string(),
+            m.server_reports.to_string(),
+            format!("{n} (O(n))"),
+            format!("{n} (O(n))"),
+        ]);
+    }
+
+    print_table(
+        "Table 3: measured network-shuffling costs vs. analytic centralized baselines",
+        &headers,
+        &rows,
+    );
+    write_csv("table3", &headers, &rows);
+    println!(
+        "\nshape check: per-user traffic grows like the number of rounds t = O(alpha^-1 log n)\n\
+         while per-user memory stays O(1) (a handful of reports at most); the centralized\n\
+         alternatives pay O(n) in shuffler memory (Prochlo) or per-user cover traffic (mix-nets)."
+    );
+}

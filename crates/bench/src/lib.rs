@@ -1,0 +1,155 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding
+//! binary in `src/bin/` (see DESIGN.md's per-experiment index); this library
+//! holds the pieces they share: dataset caching with sensible default
+//! scaling, simple table/CSV emitters, and the common parameter grids.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ns_datasets::{Dataset, GeneratedDataset};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Default δ used throughout the experiments (also the paper's choice of
+/// "δ smaller than 1/n" for the populations considered).
+pub const DELTA: f64 = 1e-6;
+
+/// Seed used by all experiment binaries so results are reproducible.
+pub const SEED: u64 = 20220408; // arXiv submission date of the paper.
+
+/// Returns the scale divisor to apply to a dataset.
+///
+/// Defaults: the four smaller graphs are generated at full scale; the Google
+/// web graph is scaled down 10× (full scale is supported but takes several
+/// minutes of spectral analysis).  Set `NS_BENCH_SCALE` to an integer `k` to
+/// further divide every dataset by `k` (useful for smoke tests), or to `full`
+/// to force full scale everywhere.
+pub fn scale_divisor(dataset: Dataset) -> usize {
+    let base = match dataset {
+        Dataset::Google => 10,
+        _ => 1,
+    };
+    match std::env::var("NS_BENCH_SCALE") {
+        Ok(v) if v.eq_ignore_ascii_case("full") => 1,
+        Ok(v) => base * v.parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => base,
+    }
+}
+
+/// Generates (or regenerates) a dataset stand-in at the default scale.
+///
+/// # Panics
+///
+/// Panics if generation fails — experiment binaries treat that as fatal.
+pub fn dataset_graph(dataset: Dataset) -> GeneratedDataset {
+    let divisor = scale_divisor(dataset);
+    dataset
+        .generate_scaled(divisor, SEED)
+        .unwrap_or_else(|e| panic!("failed to generate {dataset} stand-in (divisor {divisor}): {e}"))
+}
+
+/// Prints a fixed-width table with a header row and a separator.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| rows.iter().map(|r| r.get(i).map_or(0, |c| c.len())).chain([h.len()]).max().unwrap_or(0))
+        .collect();
+    let render = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", render(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+    for row in rows {
+        println!("{}", render(row));
+    }
+}
+
+/// Writes rows as a CSV file under `results/` (created on demand) and
+/// returns the path.  Failures are printed but not fatal — the tables are
+/// always also printed to stdout.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> Option<PathBuf> {
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("warning: could not create {}: {e}", path.display());
+            return None;
+        }
+    };
+    let mut write_line = |cells: &[String]| writeln!(file, "{}", cells.join(","));
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    if write_line(&header_cells).is_err() {
+        return None;
+    }
+    for row in rows {
+        if write_line(row).is_err() {
+            return None;
+        }
+    }
+    println!("wrote results/{name}.csv");
+    Some(path)
+}
+
+/// Formats a float with 4 significant-ish decimals for table cells.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// An inclusive linear grid of `points` values from `lo` to `hi`.
+pub fn linspace(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    if points <= 1 {
+        return vec![lo];
+    }
+    (0..points).map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints() {
+        let g = linspace(0.2, 2.0, 10);
+        assert_eq!(g.len(), 10);
+        assert!((g[0] - 0.2).abs() < 1e-12);
+        assert!((g[9] - 2.0).abs() < 1e-12);
+        assert_eq!(linspace(1.0, 2.0, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn fmt_covers_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(0.1234567).starts_with("0.1235"));
+        assert!(fmt(12345.0).contains('e'));
+        assert!(fmt(1e-7).contains('e'));
+    }
+
+    #[test]
+    fn default_scale_divisors() {
+        // Without the env var set, only Google is scaled down.
+        if std::env::var("NS_BENCH_SCALE").is_err() {
+            assert_eq!(scale_divisor(Dataset::Twitch), 1);
+            assert_eq!(scale_divisor(Dataset::Google), 10);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Graph-aware privacy accounting.
+//!
+//! [`NetworkShuffleAccountant`] derives the `Σ_i P_i(t)²` input of the
+//! closed-form theorems from an actual communication graph:
+//!
+//! * **Stationary scenario** (any connected, non-bipartite graph): the Eq. 7
+//!   spectral bound `Σ_i π_i² + (1 − α)^{2t}` computed from the graph's
+//!   stationary distribution and spectral gap.  This is the worst-case bound
+//!   plotted in Figures 4 and 6.
+//! * **Symmetric scenario** (k-regular graphs / peer-discovery designs): the
+//!   exact position distribution of a report started at a chosen origin is
+//!   evolved round by round, giving the exact `Σ_i P_i(t)²` and support
+//!   ratio `ρ*` used by Theorems 5.4 and 5.6 and plotted in Figure 5.
+
+use crate::accountant::closed_form::{
+    all_protocol_epsilon, single_protocol_epsilon, AccountantParams,
+};
+use crate::error::{Error, Result};
+use crate::protocol::ProtocolKind;
+use ns_dp::types::PrivacyGuarantee;
+use ns_graph::distribution::PositionDistribution;
+use ns_graph::mixing::MixingProfile;
+use ns_graph::spectral::SpectralOptions;
+use ns_graph::transition::TransitionMatrix;
+use ns_graph::{Graph, NodeId};
+
+/// Which analysis scenario of Section 4.2 to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Any ergodic graph, analysed through the worst-case spectral bound on
+    /// `Σ_i P_i(t)²` (Theorems 5.3 / 5.5).
+    Stationary,
+    /// A (near-)regular graph analysed by exactly tracking the position
+    /// distribution of a report originating at `origin`
+    /// (Theorems 5.4 / 5.6).  For vertex-transitive graphs the origin is
+    /// irrelevant.
+    Symmetric {
+        /// The user whose report's position distribution is tracked.
+        origin: NodeId,
+    },
+}
+
+/// Privacy accountant bound to a specific communication graph.
+#[derive(Debug, Clone)]
+pub struct NetworkShuffleAccountant {
+    node_count: usize,
+    mixing: MixingProfile,
+    transition: TransitionMatrix,
+    laziness: f64,
+}
+
+impl NetworkShuffleAccountant {
+    /// Builds an accountant for the simple random walk on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// The graph must support an ergodic walk (connected, non-bipartite, no
+    /// isolated nodes); bipartite graphs are accepted only with laziness via
+    /// [`NetworkShuffleAccountant::with_laziness`].
+    pub fn new(graph: &Graph) -> Result<Self> {
+        Self::with_laziness(graph, 0.0)
+    }
+
+    /// Builds an accountant for a lazy random walk (stay probability
+    /// `laziness`), which models user dropouts (Section 4.5) and restores
+    /// ergodicity on bipartite graphs.
+    ///
+    /// # Errors
+    ///
+    /// Graph/laziness validation errors.
+    pub fn with_laziness(graph: &Graph, laziness: f64) -> Result<Self> {
+        if graph.node_count() < 2 {
+            return Err(Error::InvalidConfiguration(
+                "network shuffling requires at least two users".into(),
+            ));
+        }
+        if let Some(u) = graph.find_isolated_node() {
+            return Err(ns_graph::GraphError::IsolatedNode(u).into());
+        }
+        if !graph.is_connected() {
+            return Err(ns_graph::GraphError::Disconnected.into());
+        }
+        if laziness == 0.0 && graph.is_bipartite() {
+            return Err(ns_graph::GraphError::Bipartite.into());
+        }
+        let mixing = MixingProfile::compute_lazy(graph, laziness, SpectralOptions::default())?;
+        let transition = TransitionMatrix::with_laziness(graph, laziness)?;
+        Ok(NetworkShuffleAccountant {
+            node_count: graph.node_count(),
+            mixing,
+            transition,
+            laziness,
+        })
+    }
+
+    /// Number of users `n`.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The walk's laziness.
+    pub fn laziness(&self) -> f64 {
+        self.laziness
+    }
+
+    /// The graph's mixing profile (spectral gap, `Σ π²`, mixing time).
+    pub fn mixing_profile(&self) -> &MixingProfile {
+        &self.mixing
+    }
+
+    /// The paper's stopping rule `t = ⌊α⁻¹ log n⌉`.
+    pub fn mixing_time(&self) -> usize {
+        self.mixing.mixing_time
+    }
+
+    /// `Σ_i P_i(t)²` (and the support ratio `ρ*`) after `rounds` rounds
+    /// under the given scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Graph`] if the symmetric origin is out of range.
+    pub fn sum_p_squared(&self, scenario: Scenario, rounds: usize) -> Result<(f64, f64)> {
+        match scenario {
+            Scenario::Stationary => Ok((self.mixing.sum_p_squared_bound(rounds).min(1.0), 1.0)),
+            Scenario::Symmetric { origin } => {
+                let mut dist = PositionDistribution::point_mass(self.node_count, origin)?;
+                dist.advance(&self.transition, rounds);
+                let ratio = dist.support_ratio().unwrap_or(1.0);
+                Ok((dist.sum_of_squares(), ratio))
+            }
+        }
+    }
+
+    /// The central `(ε, δ)` guarantee after `rounds` rounds for the given
+    /// protocol and scenario.
+    ///
+    /// # Errors
+    ///
+    /// Parameter or graph validation errors.
+    pub fn central_guarantee(
+        &self,
+        protocol: ProtocolKind,
+        scenario: Scenario,
+        params: &AccountantParams,
+        rounds: usize,
+    ) -> Result<PrivacyGuarantee> {
+        if params.n != self.node_count {
+            return Err(Error::InvalidConfiguration(format!(
+                "accountant graph has {} users but params.n = {}",
+                self.node_count, params.n
+            )));
+        }
+        let (sum_sq, rho) = self.sum_p_squared(scenario, rounds)?;
+        match protocol {
+            ProtocolKind::All => all_protocol_epsilon(params, sum_sq, rho),
+            ProtocolKind::Single => single_protocol_epsilon(params, sum_sq),
+        }
+    }
+
+    /// The central guarantee at the paper's default stopping time
+    /// `t = ⌊α⁻¹ log n⌉`.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetworkShuffleAccountant::central_guarantee`].
+    pub fn central_guarantee_at_mixing_time(
+        &self,
+        protocol: ProtocolKind,
+        scenario: Scenario,
+        params: &AccountantParams,
+    ) -> Result<PrivacyGuarantee> {
+        let t = self.mixing_time();
+        if t == usize::MAX {
+            return Err(Error::InvalidConfiguration(
+                "the walk does not mix (zero spectral gap); add laziness".into(),
+            ));
+        }
+        self.central_guarantee(protocol, scenario, params, t)
+    }
+
+    /// Sweeps the central ε over `1..=max_rounds` rounds — the
+    /// privacy-vs-communication trade-off curves of Figures 4 and 5.
+    ///
+    /// The symmetric scenario is evolved incrementally, so the sweep costs
+    /// `O(max_rounds · m)` rather than `O(max_rounds² · m)`.
+    ///
+    /// # Errors
+    ///
+    /// Parameter or graph validation errors.
+    pub fn epsilon_vs_rounds(
+        &self,
+        protocol: ProtocolKind,
+        scenario: Scenario,
+        params: &AccountantParams,
+        max_rounds: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        if params.n != self.node_count {
+            return Err(Error::InvalidConfiguration(format!(
+                "accountant graph has {} users but params.n = {}",
+                self.node_count, params.n
+            )));
+        }
+        let mut out = Vec::with_capacity(max_rounds);
+        match scenario {
+            Scenario::Stationary => {
+                for t in 1..=max_rounds {
+                    let sum_sq = self.mixing.sum_p_squared_bound(t).min(1.0);
+                    let guarantee = match protocol {
+                        ProtocolKind::All => all_protocol_epsilon(params, sum_sq, 1.0)?,
+                        ProtocolKind::Single => single_protocol_epsilon(params, sum_sq)?,
+                    };
+                    out.push((t, guarantee.epsilon));
+                }
+            }
+            Scenario::Symmetric { origin } => {
+                let mut dist = PositionDistribution::point_mass(self.node_count, origin)?;
+                for t in 1..=max_rounds {
+                    dist.step(&self.transition);
+                    let sum_sq = dist.sum_of_squares();
+                    let rho = dist.support_ratio().unwrap_or(1.0);
+                    let guarantee = match protocol {
+                        ProtocolKind::All => all_protocol_epsilon(params, sum_sq, rho)?,
+                        ProtocolKind::Single => single_protocol_epsilon(params, sum_sq)?,
+                    };
+                    out.push((t, guarantee.epsilon));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_graph::generators;
+    use ns_graph::rng::seeded_rng;
+
+    fn regular_graph(n: usize, k: usize, seed: u64) -> Graph {
+        generators::random_regular(n, k, &mut seeded_rng(seed)).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_ergodic_graphs() {
+        let bipartite = generators::cycle(8).unwrap();
+        assert!(NetworkShuffleAccountant::new(&bipartite).is_err());
+        assert!(NetworkShuffleAccountant::with_laziness(&bipartite, 0.3).is_ok());
+
+        let disconnected = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        assert!(NetworkShuffleAccountant::new(&disconnected).is_err());
+
+        let tiny = Graph::from_edges(1, &[]).unwrap();
+        assert!(NetworkShuffleAccountant::new(&tiny).is_err());
+    }
+
+    #[test]
+    fn stationary_sum_p_squared_decreases_with_rounds() {
+        let g = regular_graph(500, 6, 1);
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let (early, rho_e) = accountant.sum_p_squared(Scenario::Stationary, 1).unwrap();
+        let (late, rho_l) = accountant.sum_p_squared(Scenario::Stationary, 200).unwrap();
+        assert!(late < early);
+        assert_eq!(rho_e, 1.0);
+        assert_eq!(rho_l, 1.0);
+        // In the limit the bound approaches Gamma / n = 1/n for a regular graph.
+        assert!((late - 1.0 / 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetric_scenario_tracks_exact_distribution() {
+        let g = regular_graph(300, 8, 2);
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let (t1, _) = accountant.sum_p_squared(Scenario::Symmetric { origin: 0 }, 1).unwrap();
+        // After one round the report is uniform over the 8 neighbours.
+        assert!((t1 - 1.0 / 8.0).abs() < 1e-12);
+        let (t50, rho) = accountant.sum_p_squared(Scenario::Symmetric { origin: 0 }, 50).unwrap();
+        assert!(t50 < 2.0 / 300.0, "sum P^2 after mixing = {t50}");
+        assert!(rho >= 1.0);
+        // Out-of-range origin is rejected.
+        assert!(accountant.sum_p_squared(Scenario::Symmetric { origin: 300 }, 1).is_err());
+    }
+
+    #[test]
+    fn central_guarantee_amplifies_on_large_graphs() {
+        let g = regular_graph(2_000, 8, 3);
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let params = AccountantParams::with_defaults(2_000, 0.5).unwrap();
+        let guarantee = accountant
+            .central_guarantee_at_mixing_time(ProtocolKind::Single, Scenario::Stationary, &params)
+            .unwrap();
+        assert!(guarantee.epsilon < 0.5, "epsilon = {}", guarantee.epsilon);
+        assert!(guarantee.epsilon > 0.0);
+    }
+
+    #[test]
+    fn epsilon_vs_rounds_is_decreasing_for_stationary_bound() {
+        let g = regular_graph(400, 6, 4);
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let params = AccountantParams::with_defaults(400, 1.0).unwrap();
+        let sweep = accountant
+            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Stationary, &params, 50)
+            .unwrap();
+        assert_eq!(sweep.len(), 50);
+        for window in sweep.windows(2) {
+            assert!(window[1].1 <= window[0].1 + 1e-12, "stationary bound must be monotone");
+        }
+    }
+
+    #[test]
+    fn symmetric_sweep_converges_to_the_stationary_value() {
+        let g = regular_graph(400, 8, 5);
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let params = AccountantParams::with_defaults(400, 1.0).unwrap();
+        let exact = accountant
+            .epsilon_vs_rounds(ProtocolKind::Single, Scenario::Symmetric { origin: 3 }, &params, 80)
+            .unwrap();
+        let bound = accountant
+            .epsilon_vs_rounds(ProtocolKind::Single, Scenario::Stationary, &params, 80)
+            .unwrap();
+        // At the end of the sweep both approaches agree (the walk has mixed).
+        let exact_final = exact.last().unwrap().1;
+        let bound_final = bound.last().unwrap().1;
+        assert!((exact_final - bound_final).abs() / bound_final < 0.05);
+        // And the exact value never exceeds the worst-case bound once both
+        // have settled (allowing slack in the pre-mixing regime).
+        assert!(exact_final <= bound_final * 1.05);
+    }
+
+    #[test]
+    fn faster_mixing_graphs_amplify_sooner() {
+        // Figure 5's qualitative claim: larger k converges faster.
+        let params = AccountantParams::with_defaults(500, 1.0).unwrap();
+        let sparse = regular_graph(500, 4, 6);
+        let dense = regular_graph(500, 20, 7);
+        let sparse_sweep = NetworkShuffleAccountant::new(&sparse)
+            .unwrap()
+            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Symmetric { origin: 0 }, &params, 10)
+            .unwrap();
+        let dense_sweep = NetworkShuffleAccountant::new(&dense)
+            .unwrap()
+            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Symmetric { origin: 0 }, &params, 10)
+            .unwrap();
+        // After 10 rounds the dense graph has the smaller epsilon.
+        assert!(dense_sweep[9].1 < sparse_sweep[9].1);
+    }
+
+    #[test]
+    fn mismatched_population_is_rejected() {
+        let g = regular_graph(100, 4, 8);
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let params = AccountantParams::with_defaults(200, 1.0).unwrap();
+        assert!(accountant
+            .central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, 10)
+            .is_err());
+        assert!(accountant
+            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Stationary, &params, 10)
+            .is_err());
+    }
+
+    #[test]
+    fn mixing_time_guarantee_requires_positive_gap() {
+        let bipartite = generators::cycle(10).unwrap();
+        let accountant = NetworkShuffleAccountant::with_laziness(&bipartite, 0.4).unwrap();
+        let params = AccountantParams::with_defaults(10, 1.0).unwrap();
+        // Lazy walk on a small cycle mixes, so this succeeds.
+        let guarantee = accountant
+            .central_guarantee_at_mixing_time(ProtocolKind::Single, Scenario::Stationary, &params)
+            .unwrap();
+        assert!(guarantee.epsilon > 0.0);
+    }
+}

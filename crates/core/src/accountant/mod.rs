@@ -1,0 +1,33 @@
+//! The privacy accountant: Theorems 5.3–5.6 and 6.1 of the paper.
+//!
+//! The accountant answers the question the whole system exists to answer:
+//! *given that every user applied an ε₀-LDP randomizer and the reports were
+//! exchanged for `t` rounds on graph `G`, what `(ε, δ)` guarantee does the
+//! collection enjoy in the central model?*
+//!
+//! The theorems consume the graph only through `Σ_i P_i^G(t)²` (and, for the
+//! symmetric analysis, the support ratio `ρ*`), so the module is split into:
+//!
+//! * [`closed_form`] — the raw formulas, taking `Σ_i P_i²` as an input;
+//! * [`graph_accountant`] — a convenience layer that derives `Σ_i P_i²`
+//!   from a graph, either through the spectral bound of Eq. 7 (stationary
+//!   scenario) or by exact evolution of the position distribution
+//!   (symmetric scenario), and exposes ε-vs-rounds sweeps for the figures;
+//! * [`empirical`] — Monte-Carlo estimation of `Σ_i P_i²` from simulated
+//!   walks, as an independent cross-check and for black-box transition
+//!   models (dynamic graphs);
+//! * [`planning`] — the inverse questions a deployment asks: how many rounds
+//!   are enough, and how large an ε₀ still meets a central target.
+
+pub mod closed_form;
+pub mod empirical;
+pub mod graph_accountant;
+pub mod planning;
+
+pub use closed_form::{
+    all_protocol_epsilon, all_protocol_epsilon_approx, single_protocol_epsilon,
+    single_protocol_epsilon_approx, AccountantParams,
+};
+pub use empirical::{estimate_mixing, EmpiricalMixing};
+pub use graph_accountant::{NetworkShuffleAccountant, Scenario};
+pub use planning::{epsilon_0_for_central_target, rounds_for_target_epsilon};

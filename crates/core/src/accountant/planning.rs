@@ -1,0 +1,263 @@
+//! Deployment planning: inverting the privacy accountant.
+//!
+//! The theorems answer "given ε₀ and `t` rounds, what central ε do I get?".
+//! A deployment usually asks the converse questions:
+//!
+//! * *How many rounds do I need before the guarantee stops improving?*
+//!   ([`rounds_for_target_epsilon`])
+//! * *How much local noise (ε₀) must users add so that the collection meets a
+//!   central (ε, δ) target?* ([`epsilon_0_for_central_target`])
+//!
+//! Both are answered by searching over the monotone closed forms of
+//! Theorems 5.3–5.6, so the answers inherit their worst-case nature: they are
+//! sufficient, not necessarily minimal.
+
+use crate::accountant::closed_form::{
+    all_protocol_epsilon, single_protocol_epsilon, AccountantParams,
+};
+use crate::accountant::graph_accountant::{NetworkShuffleAccountant, Scenario};
+use crate::error::{Error, Result};
+use crate::protocol::ProtocolKind;
+
+/// Largest ε₀ considered by the calibration search; randomizers weaker than
+/// this provide essentially no local privacy and the search refuses to go
+/// further.
+const EPSILON_0_SEARCH_MAX: f64 = 16.0;
+
+/// The smallest number of rounds `t` at which the accountant's central ε
+/// drops to within `tolerance` (relative) of its asymptotic value, i.e. the
+/// point where extra communication stops buying privacy.
+///
+/// Returns `(rounds, epsilon_at_rounds)`.  The search is capped at
+/// `max_rounds`; if even `max_rounds` rounds do not reach the tolerance the
+/// cap and its ε are returned.
+///
+/// # Errors
+///
+/// Propagates accountant errors (mismatched `n`, non-ergodic graph, …).
+pub fn rounds_for_target_epsilon(
+    accountant: &NetworkShuffleAccountant,
+    protocol: ProtocolKind,
+    params: &AccountantParams,
+    tolerance: f64,
+    max_rounds: usize,
+) -> Result<(usize, f64)> {
+    if !(tolerance.is_finite() && tolerance > 0.0) {
+        return Err(Error::InvalidConfiguration(format!(
+            "tolerance must be positive, got {tolerance}"
+        )));
+    }
+    let max_rounds = max_rounds.max(1);
+    // Asymptotic value: evaluate at a round count far past the mixing time.
+    let horizon = accountant.mixing_time().saturating_mul(4).clamp(max_rounds, usize::MAX);
+    let asymptote = accountant
+        .central_guarantee(protocol, Scenario::Stationary, params, horizon.min(1_000_000))?
+        .epsilon;
+
+    let sweep = accountant.epsilon_vs_rounds(protocol, Scenario::Stationary, params, max_rounds)?;
+    for (t, eps) in &sweep {
+        if (eps - asymptote) / asymptote <= tolerance {
+            return Ok((*t, *eps));
+        }
+    }
+    Ok(sweep.last().map(|&(t, eps)| (t, eps)).unwrap_or((max_rounds, asymptote)))
+}
+
+/// The largest local ε₀ such that the central guarantee after `rounds`
+/// rounds stays at or below `target_epsilon` (with the δs of `template`).
+///
+/// Larger ε₀ means less local noise and better utility, so this is the
+/// calibration a deployment wants: "spend as little local noise as the
+/// central target allows".  Returns `None` if even an extremely small ε₀
+/// (10⁻⁴) cannot meet the target — e.g. a tiny population with an ambitious
+/// target.
+///
+/// # Errors
+///
+/// Propagates closed-form validation errors.
+pub fn epsilon_0_for_central_target(
+    template: &AccountantParams,
+    protocol: ProtocolKind,
+    sum_p_squared: f64,
+    rho_star: f64,
+    target_epsilon: f64,
+) -> Result<Option<f64>> {
+    if !(target_epsilon.is_finite() && target_epsilon > 0.0) {
+        return Err(Error::InvalidConfiguration(format!(
+            "target epsilon must be positive, got {target_epsilon}"
+        )));
+    }
+    let central_at = |eps0: f64| -> Result<f64> {
+        let params = AccountantParams::new(template.n, eps0, template.delta, template.delta_2)?;
+        let guarantee = match protocol {
+            ProtocolKind::All => all_protocol_epsilon(&params, sum_p_squared, rho_star)?,
+            ProtocolKind::Single => single_protocol_epsilon(&params, sum_p_squared)?,
+        };
+        Ok(guarantee.epsilon)
+    };
+
+    let mut lo = 1e-4;
+    if central_at(lo)? > target_epsilon {
+        return Ok(None);
+    }
+    // Exponential search for an upper bracket, then bisection.
+    let mut hi = lo;
+    while hi < EPSILON_0_SEARCH_MAX && central_at(hi)? <= target_epsilon {
+        lo = hi;
+        hi *= 2.0;
+    }
+    if hi >= EPSILON_0_SEARCH_MAX && central_at(EPSILON_0_SEARCH_MAX)? <= target_epsilon {
+        return Ok(Some(EPSILON_0_SEARCH_MAX));
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if central_at(mid)? <= target_epsilon {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+/// Convenience wrapper of [`epsilon_0_for_central_target`] that reads the
+/// mixing quantities from a graph-bound accountant at its mixing time.
+///
+/// # Errors
+///
+/// Propagates accountant errors.
+pub fn epsilon_0_for_central_target_on_graph(
+    accountant: &NetworkShuffleAccountant,
+    template: &AccountantParams,
+    protocol: ProtocolKind,
+    target_epsilon: f64,
+) -> Result<Option<f64>> {
+    let t = accountant.mixing_time();
+    if t == usize::MAX {
+        return Err(Error::InvalidConfiguration(
+            "the walk does not mix (zero spectral gap); add laziness".into(),
+        ));
+    }
+    let (sum_sq, rho) = accountant.sum_p_squared(Scenario::Stationary, t)?;
+    epsilon_0_for_central_target(template, protocol, sum_sq, rho, target_epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_graph::generators::random_regular;
+    use ns_graph::rng::seeded_rng;
+
+    fn accountant(n: usize, k: usize) -> NetworkShuffleAccountant {
+        let graph = random_regular(n, k, &mut seeded_rng(42)).unwrap();
+        NetworkShuffleAccountant::new(&graph).unwrap()
+    }
+
+    #[test]
+    fn rounds_search_finds_the_knee() {
+        let acc = accountant(2_000, 8);
+        let params = AccountantParams::with_defaults(2_000, 1.0).unwrap();
+        let (rounds, eps) =
+            rounds_for_target_epsilon(&acc, ProtocolKind::Single, &params, 0.01, 500).unwrap();
+        // The knee should be in the same ballpark as the mixing time, and
+        // never after it.
+        assert!(rounds <= acc.mixing_time());
+        assert!(rounds >= acc.mixing_time() / 4);
+        // The epsilon at the knee matches the direct accountant evaluation.
+        let direct = acc
+            .central_guarantee(ProtocolKind::Single, Scenario::Stationary, &params, rounds)
+            .unwrap();
+        assert!((eps - direct.epsilon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_search_respects_the_cap_and_validates_tolerance() {
+        let acc = accountant(2_000, 8);
+        let params = AccountantParams::with_defaults(2_000, 1.0).unwrap();
+        let (rounds, _) =
+            rounds_for_target_epsilon(&acc, ProtocolKind::All, &params, 1e-9, 3).unwrap();
+        assert_eq!(rounds, 3);
+        assert!(rounds_for_target_epsilon(&acc, ProtocolKind::All, &params, 0.0, 10).is_err());
+    }
+
+    #[test]
+    fn epsilon_0_calibration_meets_the_target() {
+        let template = AccountantParams::with_defaults(100_000, 1.0).unwrap();
+        let sum_p_sq = 2.0 / 100_000.0;
+        for &target in &[0.1f64, 0.5, 1.0] {
+            let eps0 = epsilon_0_for_central_target(
+                &template,
+                ProtocolKind::Single,
+                sum_p_sq,
+                1.0,
+                target,
+            )
+            .unwrap()
+            .expect("target should be reachable");
+            let params = AccountantParams::new(100_000, eps0, 1e-6, 1e-6).unwrap();
+            let achieved = single_protocol_epsilon(&params, sum_p_sq).unwrap().epsilon;
+            assert!(achieved <= target * (1.0 + 1e-6), "achieved {achieved} vs target {target}");
+            // Maximality: 5% more local budget would overshoot the target.
+            let params_over = AccountantParams::new(100_000, eps0 * 1.05, 1e-6, 1e-6).unwrap();
+            let over = single_protocol_epsilon(&params_over, sum_p_sq).unwrap().epsilon;
+            assert!(over > target, "calibration is not tight: {over} <= {target}");
+        }
+    }
+
+    #[test]
+    fn epsilon_0_calibration_reports_unreachable_targets() {
+        // A tiny population cannot reach an aggressive central target under
+        // A_all: the concentration term alone exceeds it.
+        let template = AccountantParams::with_defaults(200, 1.0).unwrap();
+        let result = epsilon_0_for_central_target(
+            &template,
+            ProtocolKind::All,
+            1.0 / 200.0,
+            1.0,
+            1e-4,
+        )
+        .unwrap();
+        assert!(result.is_none());
+        // Invalid targets are rejected.
+        assert!(epsilon_0_for_central_target(&template, ProtocolKind::All, 0.005, 1.0, 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn calibration_on_graph_matches_manual_route() {
+        let acc = accountant(3_000, 10);
+        let template = AccountantParams::with_defaults(3_000, 1.0).unwrap();
+        let via_graph = epsilon_0_for_central_target_on_graph(
+            &acc,
+            &template,
+            ProtocolKind::Single,
+            0.5,
+        )
+        .unwrap()
+        .expect("reachable");
+        let (sum_sq, rho) = acc
+            .sum_p_squared(Scenario::Stationary, acc.mixing_time())
+            .unwrap();
+        let manual =
+            epsilon_0_for_central_target(&template, ProtocolKind::Single, sum_sq, rho, 0.5)
+                .unwrap()
+                .expect("reachable");
+        assert!((via_graph - manual).abs() < 1e-9);
+        assert!(via_graph > 0.5, "amplification should allow eps0 above the central target");
+    }
+
+    #[test]
+    fn generous_targets_saturate_at_the_search_cap() {
+        let template = AccountantParams::with_defaults(1_000_000, 1.0).unwrap();
+        let eps0 = epsilon_0_for_central_target(
+            &template,
+            ProtocolKind::Single,
+            1.0 / 1_000_000.0,
+            1.0,
+            1e23,
+        )
+        .unwrap()
+        .expect("reachable");
+        assert_eq!(eps0, EPSILON_0_SEARCH_MAX);
+    }
+}

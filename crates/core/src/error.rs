@@ -1,0 +1,96 @@
+//! Error type for the network-shuffle crate.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while configuring or running network shuffling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An error bubbled up from the graph substrate.
+    Graph(ns_graph::GraphError),
+    /// An error bubbled up from the DP substrate.
+    Dp(ns_dp::DpError),
+    /// The protocol or accountant was configured inconsistently.
+    InvalidConfiguration(String),
+    /// A cryptographic envelope was opened with the wrong key — in the
+    /// simulated PKI this indicates a protocol bug, not an attack.
+    WrongKey {
+        /// Key the envelope was sealed for.
+        expected: u64,
+        /// Key that attempted to open it.
+        got: u64,
+    },
+    /// A report or submission referenced an unknown user.
+    UnknownUser(usize),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Graph(e) => write!(f, "graph error: {e}"),
+            Error::Dp(e) => write!(f, "differential-privacy error: {e}"),
+            Error::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::WrongKey { expected, got } => {
+                write!(f, "envelope sealed for key {expected} opened with key {got}")
+            }
+            Error::UnknownUser(u) => write!(f, "unknown user id {u}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Graph(e) => Some(e),
+            Error::Dp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ns_graph::GraphError> for Error {
+    fn from(e: ns_graph::GraphError) -> Self {
+        Error::Graph(e)
+    }
+}
+
+impl From<ns_dp::DpError> for Error {
+    fn from(e: ns_dp::DpError) -> Self {
+        Error::Dp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let graph_err: Error = ns_graph::GraphError::EmptyGraph.into();
+        assert!(matches!(graph_err, Error::Graph(_)));
+        assert!(graph_err.to_string().contains("graph error"));
+
+        let dp_err: Error = ns_dp::DpError::InvalidEpsilon(-1.0).into();
+        assert!(matches!(dp_err, Error::Dp(_)));
+        assert!(dp_err.to_string().contains("privacy"));
+
+        let cfg = Error::InvalidConfiguration("rounds must be positive".into());
+        assert!(cfg.to_string().contains("rounds"));
+
+        let key = Error::WrongKey { expected: 1, got: 2 };
+        assert!(key.to_string().contains('1'));
+        assert!(key.to_string().contains('2'));
+
+        assert!(Error::UnknownUser(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn source_is_preserved_for_wrapped_errors() {
+        use std::error::Error as _;
+        let err: Error = ns_graph::GraphError::Disconnected.into();
+        assert!(err.source().is_some());
+        assert!(Error::UnknownUser(1).source().is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Fault tolerance via lazy random walks (Section 4.5).
+//!
+//! In practice some users are temporarily unavailable (battery, network
+//! outage) and cannot receive a report in a given round.  The paper models
+//! this as a *lazy* random walk: with some probability the report stays at
+//! its current holder for the round.  This module packages that model:
+//! a [`DropoutModel`] maps an availability assumption onto the walk's
+//! laziness, and helpers produce both the degraded privacy accounting and a
+//! faithful simulation under dropouts.
+
+use crate::accountant::{AccountantParams, NetworkShuffleAccountant, Scenario};
+use crate::error::{Error, Result};
+use crate::protocol::ProtocolKind;
+use crate::simulation::{run_protocol, SimulationConfig, SimulationOutcome};
+use ns_dp::types::PrivacyGuarantee;
+use ns_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A simple independent-dropout model: in every round, each user is
+/// unavailable with probability `dropout_probability`, independently of
+/// everything else.  A report whose chosen recipient is unavailable stays
+/// put, which is exactly a lazy walk with laziness equal to the dropout
+/// probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DropoutModel {
+    /// Per-round, per-user unavailability probability.
+    pub dropout_probability: f64,
+}
+
+impl DropoutModel {
+    /// Creates a dropout model.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if the probability is outside `[0, 1)`.
+    pub fn new(dropout_probability: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&dropout_probability) {
+            return Err(Error::InvalidConfiguration(format!(
+                "dropout probability must be in [0, 1), got {dropout_probability}"
+            )));
+        }
+        Ok(DropoutModel { dropout_probability })
+    }
+
+    /// The equivalent lazy-walk stay probability.
+    pub fn as_laziness(&self) -> f64 {
+        self.dropout_probability
+    }
+
+    /// Builds a privacy accountant for the lazy walk induced by this model.
+    ///
+    /// # Errors
+    ///
+    /// Graph validation errors.
+    pub fn accountant(&self, graph: &Graph) -> Result<NetworkShuffleAccountant> {
+        NetworkShuffleAccountant::with_laziness(graph, self.as_laziness())
+    }
+
+    /// Central guarantee under dropouts, at the (dropout-adjusted) mixing
+    /// time.  Dropouts slow mixing, so for a fixed round budget the
+    /// guarantee degrades; running to the adjusted mixing time recovers it.
+    ///
+    /// # Errors
+    ///
+    /// Accountant construction or parameter validation errors.
+    pub fn central_guarantee_at_mixing_time(
+        &self,
+        graph: &Graph,
+        protocol: ProtocolKind,
+        params: &AccountantParams,
+    ) -> Result<PrivacyGuarantee> {
+        self.accountant(graph)?.central_guarantee_at_mixing_time(
+            protocol,
+            Scenario::Stationary,
+            params,
+        )
+    }
+
+    /// Runs the protocol simulation under this dropout model.
+    ///
+    /// # Errors
+    ///
+    /// Simulation errors.
+    pub fn run_protocol<P: Clone>(
+        &self,
+        graph: &Graph,
+        payloads: Vec<P>,
+        rounds: usize,
+        protocol: ProtocolKind,
+        seed: u64,
+        make_dummy: impl FnMut(&mut ns_graph::rng::SimRng) -> P,
+    ) -> Result<SimulationOutcome<P>> {
+        let config =
+            SimulationConfig { rounds, laziness: self.as_laziness(), protocol, seed };
+        run_protocol(graph, payloads, config, make_dummy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_graph::generators;
+    use ns_graph::rng::seeded_rng;
+
+    #[test]
+    fn validation() {
+        assert!(DropoutModel::new(0.0).is_ok());
+        assert!(DropoutModel::new(0.5).is_ok());
+        assert!(DropoutModel::new(1.0).is_err());
+        assert!(DropoutModel::new(-0.1).is_err());
+        assert_eq!(DropoutModel::new(0.3).unwrap().as_laziness(), 0.3);
+    }
+
+    #[test]
+    fn dropouts_slow_mixing_but_not_the_limit() {
+        let g = generators::random_regular(400, 6, &mut seeded_rng(1)).unwrap();
+        let reliable = DropoutModel::new(0.0).unwrap().accountant(&g).unwrap();
+        let flaky = DropoutModel::new(0.4).unwrap().accountant(&g).unwrap();
+        // The lazy walk has a smaller spectral gap, hence a longer mixing time.
+        assert!(flaky.mixing_time() > reliable.mixing_time());
+        // But the stationary distribution (and thus the asymptotic epsilon)
+        // is unchanged.
+        let params = AccountantParams::with_defaults(400, 1.0).unwrap();
+        let e_reliable = reliable
+            .central_guarantee_at_mixing_time(
+                ProtocolKind::Single,
+                Scenario::Stationary,
+                &params,
+            )
+            .unwrap();
+        let e_flaky = flaky
+            .central_guarantee_at_mixing_time(ProtocolKind::Single, Scenario::Stationary, &params)
+            .unwrap();
+        assert!((e_reliable.epsilon - e_flaky.epsilon).abs() / e_reliable.epsilon < 0.05);
+    }
+
+    #[test]
+    fn fixed_round_budget_degrades_under_dropouts() {
+        let g = generators::random_regular(400, 6, &mut seeded_rng(2)).unwrap();
+        let params = AccountantParams::with_defaults(400, 1.0).unwrap();
+        let rounds = 10;
+        let reliable = DropoutModel::new(0.0)
+            .unwrap()
+            .accountant(&g)
+            .unwrap()
+            .central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, rounds)
+            .unwrap();
+        let flaky = DropoutModel::new(0.5)
+            .unwrap()
+            .accountant(&g)
+            .unwrap()
+            .central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, rounds)
+            .unwrap();
+        assert!(flaky.epsilon >= reliable.epsilon);
+    }
+
+    #[test]
+    fn bipartite_graphs_work_with_dropouts() {
+        // The even cycle is bipartite: the plain accountant rejects it, the
+        // dropout (lazy) accountant accepts it.
+        let g = generators::cycle(12).unwrap();
+        assert!(NetworkShuffleAccountant::new(&g).is_err());
+        assert!(DropoutModel::new(0.25).unwrap().accountant(&g).is_ok());
+    }
+
+    #[test]
+    fn simulation_under_dropouts_conserves_reports() {
+        let g = generators::random_regular(50, 4, &mut seeded_rng(3)).unwrap();
+        let model = DropoutModel::new(0.3).unwrap();
+        let outcome = model
+            .run_protocol(&g, (0..50u32).collect(), 12, ProtocolKind::All, 99, |_| 0)
+            .unwrap();
+        assert_eq!(outcome.collected.report_count(), 50);
+        // With laziness, fewer messages are sent than reports * rounds.
+        assert!(outcome.metrics.total_messages() < 50 * 12);
+    }
+}

@@ -1,0 +1,107 @@
+//! # network-shuffle
+//!
+//! A from-scratch Rust implementation of **network shuffling** — the
+//! decentralized privacy-amplification mechanism of *"Network Shuffling:
+//! Privacy Amplification via Random Walks"* (Liew, Takahashi, Takagi, Kato,
+//! Cao, Yoshikawa; SIGMOD 2022).
+//!
+//! In the shuffle model of differential privacy, users locally randomize
+//! their reports and a trusted shuffler breaks the link between a report and
+//! its sender, amplifying the local ε₀ guarantee into a much stronger
+//! central one.  Network shuffling removes the trusted shuffler: users
+//! exchange their (encrypted) reports with random neighbours on a
+//! communication graph for `t` rounds before uploading them, so that after
+//! mixing every user is a plausible origin of every report.
+//!
+//! ## What the crate provides
+//!
+//! * [`protocol`] — the client-side protocols `A_all` and `A_single`
+//!   (Algorithms 1 and 2) plus the analysis device `A_fix` (Algorithm 3);
+//! * [`crypto`] — the simulated two-layer envelope encryption / PKI of the
+//!   paper's communication protocol (Section 4.4);
+//! * [`simulation`] — a deterministic round-based execution of the whole
+//!   population, with traffic/memory metrics (Table 3);
+//! * [`server`] / [`adversary`] — the curator's view and empirical linkage
+//!   measurements (Section 3.3);
+//! * [`accountant`] — the central-DP guarantees of Theorems 5.3–5.6 and 6.1,
+//!   both as raw closed forms and bound to a concrete graph;
+//! * [`faults`] — lazy-walk fault-tolerance modelling (Section 4.5);
+//! * [`estimation`] — the private mean-estimation utility study of
+//!   Section 5.6 (Figure 9).
+//!
+//! Graph machinery (generators, spectral gaps, random walks) lives in the
+//! `ns-graph` crate; local randomizers and DP primitives in `ns-dp`;
+//! synthetic stand-ins for the paper's datasets in `ns-datasets`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use network_shuffle::prelude::*;
+//! use ns_graph::generators::random_regular;
+//!
+//! // A 1000-user communication network where everyone has 8 contacts.
+//! let mut rng = ns_graph::rng::seeded_rng(7);
+//! let graph = random_regular(1_000, 8, &mut rng).unwrap();
+//!
+//! // Each user randomizes a categorical value with epsilon_0 = 1 LDP.
+//! let randomizer = ns_dp::mechanisms::RandomizedResponse::new(4, 1.0).unwrap();
+//! let values: Vec<usize> = (0..1_000).map(|i| i % 4).collect();
+//!
+//! // Run the A_all protocol for the graph's mixing time.
+//! let accountant = NetworkShuffleAccountant::new(&graph).unwrap();
+//! let rounds = accountant.mixing_time();
+//! let outcome = run_protocol_with_randomizer(
+//!     &graph,
+//!     &values,
+//!     &randomizer,
+//!     SimulationConfig::all(rounds, 42),
+//!     &0usize,
+//! )
+//! .unwrap();
+//! assert_eq!(outcome.collected.report_count(), 1_000);
+//!
+//! // Account for the amplified central guarantee.
+//! let params = AccountantParams::with_defaults(1_000, 1.0).unwrap();
+//! let central = accountant
+//!     .central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, rounds)
+//!     .unwrap();
+//! assert!(central.epsilon > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod adversary;
+pub mod crypto;
+pub mod error;
+pub mod estimation;
+pub mod faults;
+pub mod metrics;
+pub mod protocol;
+pub mod report;
+pub mod server;
+pub mod simulation;
+
+pub use error::{Error, Result};
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::accountant::{
+        all_protocol_epsilon, epsilon_0_for_central_target, estimate_mixing,
+        rounds_for_target_epsilon, single_protocol_epsilon, AccountantParams, EmpiricalMixing,
+        NetworkShuffleAccountant, Scenario,
+    };
+    pub use crate::adversary::AdversaryView;
+    pub use crate::error::{Error, Result};
+    pub use crate::estimation::{run_mean_estimation, MeanEstimationConfig, MeanEstimationResult};
+    pub use crate::faults::DropoutModel;
+    pub use crate::metrics::TrafficMetrics;
+    pub use crate::protocol::ProtocolKind;
+    pub use crate::report::{Report, Submission};
+    pub use crate::server::{CollectedReports, Curator};
+    pub use crate::simulation::{
+        expected_empty_holders, run_protocol, run_protocol_with_randomizer, SimulationConfig,
+        SimulationOutcome,
+    };
+}

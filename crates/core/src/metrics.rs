@@ -1,0 +1,100 @@
+//! Traffic and memory metrics backing the complexity comparison of Table 3.
+//!
+//! Table 3 of the paper compares Prochlo, mix-nets and network shuffling on
+//! *entity space complexity* (memory needed by whoever performs the
+//! shuffling) and *user traffic complexity* (reports sent per user).  The
+//! simulation records the corresponding concrete quantities so the
+//! `table3` experiment can show the empirical scaling.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-run traffic and memory measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMetrics {
+    /// Number of users `n`.
+    pub user_count: usize,
+    /// Number of communication rounds executed.
+    pub rounds: usize,
+    /// Relay messages sent by each user over the whole run.
+    pub messages_per_user: Vec<usize>,
+    /// Largest number of reports simultaneously held by each user.
+    pub peak_reports_per_user: Vec<usize>,
+    /// Total number of reports received by the curator.
+    pub server_reports: usize,
+}
+
+impl TrafficMetrics {
+    /// Total relay messages across all users.
+    pub fn total_messages(&self) -> usize {
+        self.messages_per_user.iter().sum()
+    }
+
+    /// Mean relay messages per user.
+    pub fn mean_messages_per_user(&self) -> f64 {
+        if self.user_count == 0 {
+            0.0
+        } else {
+            self.total_messages() as f64 / self.user_count as f64
+        }
+    }
+
+    /// Maximum relay messages sent by any single user.
+    pub fn max_messages_per_user(&self) -> usize {
+        self.messages_per_user.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum number of reports any user had to hold at once — the user-side
+    /// memory requirement (`O(1)` in expectation for network shuffling).
+    pub fn max_peak_reports(&self) -> usize {
+        self.peak_reports_per_user.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean of the per-user peak report counts.
+    pub fn mean_peak_reports(&self) -> f64 {
+        if self.user_count == 0 {
+            0.0
+        } else {
+            self.peak_reports_per_user.iter().sum::<usize>() as f64 / self.user_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> TrafficMetrics {
+        TrafficMetrics {
+            user_count: 4,
+            rounds: 3,
+            messages_per_user: vec![3, 4, 2, 3],
+            peak_reports_per_user: vec![1, 2, 1, 3],
+            server_reports: 4,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = metrics();
+        assert_eq!(m.total_messages(), 12);
+        assert!((m.mean_messages_per_user() - 3.0).abs() < 1e-12);
+        assert_eq!(m.max_messages_per_user(), 4);
+        assert_eq!(m.max_peak_reports(), 3);
+        assert!((m.mean_peak_reports() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_do_not_divide_by_zero() {
+        let m = TrafficMetrics {
+            user_count: 0,
+            rounds: 0,
+            messages_per_user: vec![],
+            peak_reports_per_user: vec![],
+            server_reports: 0,
+        };
+        assert_eq!(m.mean_messages_per_user(), 0.0);
+        assert_eq!(m.mean_peak_reports(), 0.0);
+        assert_eq!(m.max_messages_per_user(), 0);
+        assert_eq!(m.max_peak_reports(), 0);
+    }
+}

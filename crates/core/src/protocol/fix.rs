@@ -1,0 +1,140 @@
+//! `A_fix` — local responses with fixed report sizes (Algorithm 3), and the
+//! swap reduction used in the proof of Theorem 6.1.
+//!
+//! These are *analysis devices*: the privacy proof conditions the output of
+//! `A_all` on the vector of report sizes `L = (L_1, …, L_n)` and observes
+//! that the conditioned distribution equals the output of `A_fix` run on a
+//! permuted dataset.  Exposing them as runnable code lets the test suite
+//! check the reduction numerically (e.g. that report counts are preserved
+//! and that swapping only relocates the first element).
+
+use crate::error::{Error, Result};
+use rand::Rng;
+
+/// Algorithm 3: given a dataset `x_1..x_n`, report sizes `ℓ` with
+/// `Σ ℓ_i = n`, and a local randomizer, produce the per-user report sets
+/// `S_1..S_n` where user `i` receives the randomized reports of the next
+/// `ℓ_i` dataset elements in order.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfiguration`] if `ℓ` has the wrong length or does not
+/// sum to `n`.
+pub fn fixed_size_responses<X, P, R: Rng + ?Sized>(
+    dataset: &[X],
+    report_sizes: &[usize],
+    mut randomizer: impl FnMut(&X, &mut R) -> P,
+    rng: &mut R,
+) -> Result<Vec<Vec<P>>> {
+    let n = dataset.len();
+    if report_sizes.len() != n {
+        return Err(Error::InvalidConfiguration(format!(
+            "report_sizes has length {} but the dataset has {n} elements",
+            report_sizes.len()
+        )));
+    }
+    let total: usize = report_sizes.iter().sum();
+    if total != n {
+        return Err(Error::InvalidConfiguration(format!(
+            "report sizes must sum to n = {n}, got {total}"
+        )));
+    }
+
+    let mut output = Vec::with_capacity(n);
+    let mut next = 0usize;
+    for &size in report_sizes {
+        let mut bucket = Vec::with_capacity(size);
+        for _ in 0..size {
+            bucket.push(randomizer(&dataset[next], rng));
+            next += 1;
+        }
+        output.push(bucket);
+    }
+    Ok(output)
+}
+
+/// The swap operation `σ(D)` of Theorem 6.1: exchange `x_1` with `x_I` for
+/// `I` drawn uniformly from `[n]` (possibly `I = 1`, a no-op).
+///
+/// Returns the swapped dataset together with the chosen index.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfiguration`] for an empty dataset.
+pub fn swap_first_uniform<X: Clone, R: Rng + ?Sized>(
+    dataset: &[X],
+    rng: &mut R,
+) -> Result<(Vec<X>, usize)> {
+    if dataset.is_empty() {
+        return Err(Error::InvalidConfiguration("cannot swap within an empty dataset".into()));
+    }
+    let mut swapped = dataset.to_vec();
+    let index = rng.gen_range(0..dataset.len());
+    swapped.swap(0, index);
+    Ok((swapped, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_graph::rng::seeded_rng;
+
+    #[test]
+    fn buckets_have_requested_sizes_and_consume_dataset_in_order() {
+        let dataset: Vec<u32> = (0..6).collect();
+        let sizes = vec![2, 0, 3, 0, 1, 0];
+        let mut rng = seeded_rng(1);
+        let out = fixed_size_responses(&dataset, &sizes, |x, _| *x * 10, &mut rng).unwrap();
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0], vec![0, 10]);
+        assert!(out[1].is_empty());
+        assert_eq!(out[2], vec![20, 30, 40]);
+        assert_eq!(out[4], vec![50]);
+        let total: usize = out.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn validates_report_sizes() {
+        let dataset: Vec<u32> = (0..4).collect();
+        let mut rng = seeded_rng(2);
+        assert!(fixed_size_responses(&dataset, &[1, 1, 1], |x, _| *x, &mut rng).is_err());
+        assert!(fixed_size_responses(&dataset, &[2, 2, 1, 0], |x, _| *x, &mut rng).is_err());
+        assert!(fixed_size_responses(&dataset, &[4, 0, 0, 0], |x, _| *x, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn swap_relocates_only_the_first_element() {
+        let dataset = vec!["a", "b", "c", "d"];
+        let mut rng = seeded_rng(3);
+        for _ in 0..50 {
+            let (swapped, index) = swap_first_uniform(&dataset, &mut rng).unwrap();
+            assert_eq!(swapped.len(), 4);
+            assert_eq!(swapped[0], dataset[index]);
+            assert_eq!(swapped[index], "a");
+            // All other positions unchanged.
+            for (i, value) in swapped.iter().enumerate() {
+                if i != 0 && i != index {
+                    assert_eq!(*value, dataset[i]);
+                }
+            }
+        }
+        assert!(swap_first_uniform::<u32, _>(&[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn swap_index_is_roughly_uniform() {
+        let dataset: Vec<u32> = (0..5).collect();
+        let mut rng = seeded_rng(4);
+        let mut counts = [0usize; 5];
+        let trials = 20_000;
+        for _ in 0..trials {
+            let (_, index) = swap_first_uniform(&dataset, &mut rng).unwrap();
+            counts[index] += 1;
+        }
+        for &c in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.2).abs() < 0.02, "freq = {freq}");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Client-side protocols of network shuffling.
+//!
+//! * [`client::Client`] — the per-user state machine shared by the `A_all`
+//!   and `A_single` reporting protocols (Algorithms 1 and 2 of the paper):
+//!   randomize the local value, relay held reports to random neighbours for
+//!   `t` rounds, then submit either everything (`A_all`) or a single
+//!   uniformly chosen report / dummy (`A_single`).
+//! * [`fix`] — the fixed-report-size local-response algorithm `A_fix`
+//!   (Algorithm 3) and the swap reduction used by the privacy proof
+//!   (Theorem 6.1); exposed so the proof's reduction can be exercised and
+//!   tested numerically.
+
+pub mod client;
+pub mod fix;
+
+pub use client::{Client, FinalizePolicy};
+
+use serde::{Deserialize, Serialize};
+
+/// Which reporting protocol the clients run at the final round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// `A_all` (Algorithm 1): submit every held report; a null response when
+    /// no report is held.
+    All,
+    /// `A_single` (Algorithm 2): submit exactly one report — uniformly chosen
+    /// among the held ones, or a dummy if none is held.
+    Single,
+}
+
+impl ProtocolKind {
+    /// Human-readable protocol name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::All => "A_all",
+            ProtocolKind::Single => "A_single",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_notation() {
+        assert_eq!(ProtocolKind::All.name(), "A_all");
+        assert_eq!(ProtocolKind::Single.name(), "A_single");
+        assert_eq!(ProtocolKind::Single.to_string(), "A_single");
+    }
+}

@@ -1,0 +1,105 @@
+//! Reports: the unit of data exchanged in network shuffling.
+
+use ns_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A randomized report travelling through the network.
+///
+/// `origin` is the user who produced the report by applying her local
+/// randomizer — the identity the adversary is trying to recover.  It is
+/// carried here for *measurement only* (linkage analysis, utility
+/// accounting); the simulated encryption in [`crate::crypto`] ensures that
+/// relaying users and the curator never act on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report<P> {
+    /// The user who produced (and locally randomized) this report.
+    pub origin: NodeId,
+    /// Whether this is a dummy report injected by the `A_single` protocol
+    /// for a user who ended the exchange phase holding no reports.
+    pub is_dummy: bool,
+    /// The randomized payload.
+    pub payload: P,
+}
+
+impl<P> Report<P> {
+    /// A genuine report produced by `origin`.
+    pub fn genuine(origin: NodeId, payload: P) -> Self {
+        Report { origin, is_dummy: false, payload }
+    }
+
+    /// A dummy report submitted by `origin` (used by `A_single` when the
+    /// user holds no report after the final round).
+    pub fn dummy(origin: NodeId, payload: P) -> Self {
+        Report { origin, is_dummy: true, payload }
+    }
+
+    /// Maps the payload while preserving the metadata.
+    pub fn map<Q>(self, f: impl FnOnce(P) -> Q) -> Report<Q> {
+        Report { origin: self.origin, is_dummy: self.is_dummy, payload: f(self.payload) }
+    }
+}
+
+/// What a single user sends to the curator at the end of the protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Submission<P> {
+    /// The user performing the upload (the "last holder" the adversary can
+    /// link reports to; see Section 3.3).
+    pub submitter: NodeId,
+    /// The reports uploaded.  Empty for a null response under `A_all`;
+    /// exactly one element under `A_single`.
+    pub reports: Vec<Report<P>>,
+}
+
+impl<P> Submission<P> {
+    /// A null response (user held no reports under `A_all`).
+    pub fn null(submitter: NodeId) -> Self {
+        Submission { submitter, reports: Vec::new() }
+    }
+
+    /// Number of reports in this submission.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// `true` if this is a null response.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_metadata() {
+        let r = Report::genuine(3, 42u32);
+        assert_eq!(r.origin, 3);
+        assert!(!r.is_dummy);
+        assert_eq!(r.payload, 42);
+
+        let d = Report::dummy(5, 0u32);
+        assert!(d.is_dummy);
+        assert_eq!(d.origin, 5);
+    }
+
+    #[test]
+    fn map_preserves_metadata() {
+        let r = Report::genuine(2, 10u32).map(|p| p as f64 * 0.5);
+        assert_eq!(r.origin, 2);
+        assert!(!r.is_dummy);
+        assert!((r.payload - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn submissions() {
+        let s: Submission<u32> = Submission::null(4);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.submitter, 4);
+
+        let s = Submission { submitter: 1, reports: vec![Report::genuine(0, 7u32)] };
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! The curator (analysis server).
+//!
+//! The curator is *untrusted* for privacy: the guarantees of the paper hold
+//! against it.  It owns the envelope key pair `<c₂^pk, c₂^sk>` (Section 4.4),
+//! collects the users' final-round submissions, decrypts the reports and
+//! performs the analysis.  What it observes — and all an adversary sitting at
+//! the curator observes — is captured by [`CollectedReports`]: the multiset
+//! of reports together with the identity of the *last holder* who uploaded
+//! each one (but not the origin, which only the measurement harness sees).
+
+use crate::crypto::{KeyPair, PublicKey, SecretKey};
+use crate::error::Result;
+use crate::protocol::client::SealedSubmission;
+use crate::report::Submission;
+use ns_graph::NodeId;
+
+/// The curator: holds the envelope secret key and aggregates submissions.
+#[derive(Debug, Clone)]
+pub struct Curator {
+    keys: KeyPair,
+}
+
+impl Curator {
+    /// Creates a curator with a fresh envelope key pair.
+    pub fn new() -> Self {
+        Curator { keys: KeyPair::generate() }
+    }
+
+    /// The public envelope key users seal their reports with.
+    pub fn public_key(&self) -> PublicKey {
+        self.keys.public
+    }
+
+    /// The secret envelope key (used internally and by tests that model a
+    /// compromised curator).
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.keys.secret
+    }
+
+    /// Decrypts and aggregates the users' submissions.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::Error::WrongKey`] if any report was sealed for a
+    /// different key (a protocol bug).
+    pub fn collect<P>(&self, submissions: Vec<SealedSubmission<P>>) -> Result<CollectedReports<P>> {
+        let mut opened = Vec::with_capacity(submissions.len());
+        for sealed in submissions {
+            opened.push(sealed.open(&self.keys.secret)?);
+        }
+        Ok(CollectedReports { submissions: opened })
+    }
+}
+
+impl Default for Curator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Everything the curator ends up holding after the final round.
+#[derive(Debug, Clone)]
+pub struct CollectedReports<P> {
+    submissions: Vec<Submission<P>>,
+}
+
+impl<P> CollectedReports<P> {
+    /// Builds a collection directly from decrypted submissions (useful in
+    /// tests and in analyses that bypass the crypto layer).
+    pub fn from_submissions(submissions: Vec<Submission<P>>) -> Self {
+        CollectedReports { submissions }
+    }
+
+    /// The per-user submissions, in submitter order of upload.
+    pub fn submissions(&self) -> &[Submission<P>] {
+        &self.submissions
+    }
+
+    /// Total number of reports received (including dummies).
+    pub fn report_count(&self) -> usize {
+        self.submissions.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of dummy reports received (only `A_single` produces them).
+    pub fn dummy_count(&self) -> usize {
+        self.submissions.iter().flat_map(|s| &s.reports).filter(|r| r.is_dummy).count()
+    }
+
+    /// Number of null responses (empty submissions under `A_all`).
+    pub fn null_response_count(&self) -> usize {
+        self.submissions.iter().filter(|s| s.is_empty()).count()
+    }
+
+    /// Iterates over `(submitter, report)` pairs — the curator's view.
+    pub fn reports_with_submitter(&self) -> impl Iterator<Item = (NodeId, &crate::report::Report<P>)> {
+        self.submissions.iter().flat_map(|s| s.reports.iter().map(move |r| (s.submitter, r)))
+    }
+
+    /// Payloads of all genuine (non-dummy) reports.
+    pub fn genuine_payloads(&self) -> Vec<&P> {
+        self.submissions
+            .iter()
+            .flat_map(|s| &s.reports)
+            .filter(|r| !r.is_dummy)
+            .map(|r| &r.payload)
+            .collect()
+    }
+
+    /// Payloads of all reports, dummies included (what the curator actually
+    /// averages over under `A_single`, since it cannot tell dummies apart).
+    pub fn all_payloads(&self) -> Vec<&P> {
+        self.submissions.iter().flat_map(|s| &s.reports).map(|r| &r.payload).collect()
+    }
+
+    /// The load vector `L = (L_1, …, L_n)` of Lemma 5.1: number of reports
+    /// uploaded by each of the `n` users (indexed by submitter id, which
+    /// requires the caller to pass `n`).
+    pub fn load_vector(&self, n: usize) -> Vec<usize> {
+        let mut load = vec![0usize; n];
+        for s in &self.submissions {
+            if s.submitter < n {
+                load[s.submitter] += s.len();
+            }
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::Envelope;
+    use crate::report::Report;
+
+    fn sealed(curator: &Curator, submitter: NodeId, reports: Vec<Report<u32>>) -> SealedSubmission<u32> {
+        SealedSubmission {
+            submitter,
+            reports: reports.into_iter().map(|r| Envelope::seal(curator.public_key(), r)).collect(),
+        }
+    }
+
+    #[test]
+    fn collect_decrypts_submissions() {
+        let curator = Curator::new();
+        let submissions = vec![
+            sealed(&curator, 0, vec![Report::genuine(0, 1), Report::genuine(2, 3)]),
+            sealed(&curator, 1, vec![]),
+            sealed(&curator, 2, vec![Report::dummy(2, 0)]),
+        ];
+        let collected = curator.collect(submissions).unwrap();
+        assert_eq!(collected.report_count(), 3);
+        assert_eq!(collected.dummy_count(), 1);
+        assert_eq!(collected.null_response_count(), 1);
+        assert_eq!(collected.genuine_payloads(), vec![&1, &3]);
+        assert_eq!(collected.all_payloads().len(), 3);
+    }
+
+    #[test]
+    fn collect_rejects_reports_sealed_for_someone_else() {
+        let curator = Curator::new();
+        let other = Curator::new();
+        let bad = SealedSubmission {
+            submitter: 0,
+            reports: vec![Envelope::seal(other.public_key(), Report::genuine(0, 9u32))],
+        };
+        assert!(curator.collect(vec![bad]).is_err());
+    }
+
+    #[test]
+    fn load_vector_counts_reports_per_submitter() {
+        let collected = CollectedReports::from_submissions(vec![
+            Submission { submitter: 0, reports: vec![Report::genuine(1, 1u32), Report::genuine(2, 2)] },
+            Submission { submitter: 2, reports: vec![Report::genuine(0, 3)] },
+            Submission::null(1),
+        ]);
+        assert_eq!(collected.load_vector(3), vec![2, 0, 1]);
+        assert_eq!(collected.load_vector(4), vec![2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn reports_with_submitter_exposes_the_curator_view() {
+        let collected = CollectedReports::from_submissions(vec![Submission {
+            submitter: 5,
+            reports: vec![Report::genuine(3, 7u32)],
+        }]);
+        let view: Vec<_> = collected.reports_with_submitter().collect();
+        assert_eq!(view.len(), 1);
+        assert_eq!(view[0].0, 5);
+        assert_eq!(view[0].1.origin, 3);
+    }
+
+    #[test]
+    fn default_constructs() {
+        let c = Curator::default();
+        assert!(c.public_key().id() > 0);
+    }
+}

@@ -1,0 +1,396 @@
+//! End-to-end, round-based simulation of network shuffling.
+//!
+//! This module ties the pieces together exactly as in Figure 3 of the paper:
+//!
+//! 1. the curator and every user generate key pairs and publish the public
+//!    halves via the simulated PKI;
+//! 2. every user randomizes her value (the caller supplies the already
+//!    randomized payloads, so any [`ns_dp::LocalRandomizer`] can be used),
+//!    seals it for the curator and becomes the initial holder of her own
+//!    report;
+//! 3. for `t` rounds, every held report is relayed to a uniformly random
+//!    neighbour over an end-to-end encrypted channel (synchronous rounds:
+//!    all sends of a round are collected before any delivery, so a report
+//!    moves exactly once per round);
+//! 4. at the final round every user uploads according to the chosen protocol
+//!    (`A_all` or `A_single`), and the curator decrypts and aggregates.
+//!
+//! The simulation also records the traffic/memory metrics of Table 3.
+
+use crate::crypto::{KeyPair, Pki};
+use crate::error::{Error, Result};
+use crate::metrics::TrafficMetrics;
+use crate::protocol::client::Client;
+use crate::protocol::ProtocolKind;
+use crate::server::{CollectedReports, Curator};
+use ns_graph::rng::SimRng;
+use ns_graph::Graph;
+use rand_chacha::rand_core::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Number of communication rounds `t` before reporting to the curator.
+    pub rounds: usize,
+    /// Per-round probability that a report stays at its holder (lazy walk,
+    /// Section 4.5); 0 for the plain protocol.
+    pub laziness: f64,
+    /// Which reporting protocol the users run.
+    pub protocol: ProtocolKind,
+    /// Seed for the simulation RNG (reports' walks and final-round choices).
+    pub seed: u64,
+}
+
+impl SimulationConfig {
+    /// A plain `A_all` run with the given number of rounds.
+    pub fn all(rounds: usize, seed: u64) -> Self {
+        SimulationConfig { rounds, laziness: 0.0, protocol: ProtocolKind::All, seed }
+    }
+
+    /// A plain `A_single` run with the given number of rounds.
+    pub fn single(rounds: usize, seed: u64) -> Self {
+        SimulationConfig { rounds, laziness: 0.0, protocol: ProtocolKind::Single, seed }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if `laziness ∉ [0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..1.0).contains(&self.laziness) {
+            return Err(Error::InvalidConfiguration(format!(
+                "laziness must be in [0, 1), got {}",
+                self.laziness
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Result of one protocol run.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome<P> {
+    /// What the curator collected (decrypted submissions).
+    pub collected: CollectedReports<P>,
+    /// Traffic and memory measurements for the run.
+    pub metrics: TrafficMetrics,
+}
+
+/// Runs one complete network-shuffling protocol execution.
+///
+/// `payloads[i]` is user `i`'s already locally-randomized report payload;
+/// `make_dummy` produces a dummy payload for `A_single` users who end the
+/// exchange phase empty-handed (it is ignored under `A_all`).
+///
+/// # Errors
+///
+/// * graph validation errors (empty graph, isolated node),
+/// * [`Error::InvalidConfiguration`] if `payloads.len() != n` or the config
+///   is invalid.
+pub fn run_protocol<P: Clone>(
+    graph: &Graph,
+    payloads: Vec<P>,
+    config: SimulationConfig,
+    mut make_dummy: impl FnMut(&mut SimRng) -> P,
+) -> Result<SimulationOutcome<P>> {
+    config.validate()?;
+    let n = graph.node_count();
+    if n == 0 {
+        return Err(ns_graph::GraphError::EmptyGraph.into());
+    }
+    if let Some(u) = graph.find_isolated_node() {
+        return Err(ns_graph::GraphError::IsolatedNode(u).into());
+    }
+    if payloads.len() != n {
+        return Err(Error::InvalidConfiguration(format!(
+            "expected {n} payloads (one per user), got {}",
+            payloads.len()
+        )));
+    }
+
+    let mut rng = SimRng::seed_from_u64(config.seed);
+
+    // Key setup (Figure 3): curator + one end-to-end key pair per user.
+    let curator = Curator::new();
+    let mut pki = Pki::new();
+    pki.register_curator(curator.public_key());
+    let user_keys: Vec<KeyPair> = (0..n).map(|_| KeyPair::generate()).collect();
+    for key in &user_keys {
+        pki.register_user(key.public);
+    }
+
+    // Client construction and local randomization.
+    let mut clients: Vec<Client<P>> = Vec::with_capacity(n);
+    for (id, payload) in payloads.into_iter().enumerate() {
+        let mut client =
+            Client::new(id, user_keys[id], curator.public_key(), graph.neighbors(id).to_vec())?;
+        client.submit_own_report(payload);
+        clients.push(client);
+    }
+
+    // Synchronous relay rounds.
+    let peer_key = |id: usize| user_keys[id].public;
+    for _ in 0..config.rounds {
+        let mut in_flight = Vec::with_capacity(n);
+        for client in clients.iter_mut() {
+            in_flight.extend(client.relay_round(peer_key, config.laziness, &mut rng));
+        }
+        for (destination, message) in in_flight {
+            clients
+                .get_mut(destination)
+                .ok_or(Error::UnknownUser(destination))?
+                .receive(message)?;
+        }
+    }
+
+    // Final round: submissions to the curator.
+    let policy = config.protocol.into();
+    let mut submissions = Vec::with_capacity(n);
+    let mut messages_per_user = Vec::with_capacity(n);
+    let mut peak_reports_per_user = Vec::with_capacity(n);
+    for client in clients.iter_mut() {
+        submissions.push(client.finalize(policy, &mut make_dummy, &mut rng));
+        messages_per_user.push(client.messages_sent());
+        peak_reports_per_user.push(client.peak_held());
+    }
+
+    let collected = curator.collect(submissions)?;
+    let metrics = TrafficMetrics {
+        user_count: n,
+        rounds: config.rounds,
+        messages_per_user,
+        peak_reports_per_user,
+        server_reports: collected.report_count(),
+    };
+    Ok(SimulationOutcome { collected, metrics })
+}
+
+/// Convenience wrapper: runs the protocol with payloads produced by applying
+/// a local randomizer to raw per-user values.
+///
+/// The randomizer is applied with an RNG derived from `config.seed`, so the
+/// whole experiment remains reproducible from a single seed.
+///
+/// # Errors
+///
+/// Propagates randomizer and simulation errors.
+pub fn run_protocol_with_randomizer<A, X>(
+    graph: &Graph,
+    values: &[X],
+    randomizer: &A,
+    config: SimulationConfig,
+    dummy_value: &X,
+) -> Result<SimulationOutcome<A::Output>>
+where
+    A: ns_dp::LocalRandomizer<Input = X>,
+    A::Output: Clone,
+{
+    let n = graph.node_count();
+    if values.len() != n {
+        return Err(Error::InvalidConfiguration(format!(
+            "expected {n} values (one per user), got {}",
+            values.len()
+        )));
+    }
+    let mut randomize_rng = SimRng::seed_from_u64(config.seed ^ 0x5eed_0f0a_1100_u64);
+    let mut payloads = Vec::with_capacity(n);
+    for value in values {
+        payloads.push(randomizer.randomize(value, &mut randomize_rng)?);
+    }
+    // Dummy payloads are fresh randomizations of the dummy value, as in
+    // Algorithm 2 line 10 (`A_ldp(0)`).
+    let dummy_seed = config.seed ^ 0xd0_0d1e5_u64;
+    let mut dummy_rng = SimRng::seed_from_u64(dummy_seed);
+    run_protocol(graph, payloads, config, move |_rng| {
+        randomizer
+            .randomize(dummy_value, &mut dummy_rng)
+            .expect("dummy value must be in the randomizer's domain")
+    })
+}
+
+/// Estimates, by Monte-Carlo simulation, the expected number of users that
+/// hold no report after `rounds` rounds — the number of dummy reports
+/// `A_single` will inject (the paper reports 7,080 for the Twitch graph).
+///
+/// # Errors
+///
+/// Propagates walk-engine construction errors.
+pub fn expected_empty_holders(
+    graph: &Graph,
+    rounds: usize,
+    laziness: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<f64> {
+    let mut total_empty = 0usize;
+    for trial in 0..trials.max(1) {
+        let mut rng = SimRng::seed_from_u64(seed.wrapping_add(trial as u64));
+        let mut engine = ns_graph::walk::WalkEngine::one_walker_per_node(graph)?;
+        engine.run(ns_graph::walk::WalkConfig::lazy(rounds, laziness), &mut rng)?;
+        total_empty += engine.load_vector().iter().filter(|&&l| l == 0).count();
+    }
+    Ok(total_empty as f64 / trials.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::AdversaryView;
+    use ns_dp::mechanisms::RandomizedResponse;
+    use ns_graph::generators;
+
+    #[test]
+    fn all_protocol_conserves_reports() {
+        let g = generators::random_regular(60, 4, &mut ns_graph::rng::seeded_rng(1)).unwrap();
+        let payloads: Vec<u32> = (0..60).collect();
+        let outcome =
+            run_protocol(&g, payloads, SimulationConfig::all(15, 7), |_| 999).unwrap();
+        // Every genuine report reaches the curator exactly once.
+        assert_eq!(outcome.collected.report_count(), 60);
+        assert_eq!(outcome.collected.dummy_count(), 0);
+        let mut origins: Vec<usize> =
+            outcome.collected.reports_with_submitter().map(|(_, r)| r.origin).collect();
+        origins.sort_unstable();
+        assert_eq!(origins, (0..60).collect::<Vec<_>>());
+        // Payload i was produced by user i in this setup.
+        for (_, report) in outcome.collected.reports_with_submitter() {
+            assert_eq!(report.payload as usize, report.origin);
+        }
+    }
+
+    #[test]
+    fn single_protocol_sends_exactly_one_report_per_user() {
+        let g = generators::random_regular(50, 4, &mut ns_graph::rng::seeded_rng(2)).unwrap();
+        let payloads: Vec<u32> = (0..50).collect();
+        let outcome =
+            run_protocol(&g, payloads, SimulationConfig::single(12, 3), |_| 12345).unwrap();
+        assert_eq!(outcome.collected.report_count(), 50);
+        assert_eq!(outcome.collected.submissions().len(), 50);
+        for s in outcome.collected.submissions() {
+            assert_eq!(s.len(), 1);
+        }
+        // There are both dummies (users who held nothing) and dropped
+        // genuine reports (users who held several).
+        let dummies = outcome.collected.dummy_count();
+        assert!(dummies > 0, "expected some dummies after mixing");
+        let genuine = outcome.collected.report_count() - dummies;
+        assert!(genuine < 50);
+        for (_, report) in outcome.collected.reports_with_submitter() {
+            if report.is_dummy {
+                assert_eq!(report.payload, 12345);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_reflect_traffic_and_memory() {
+        let g = generators::random_regular(40, 4, &mut ns_graph::rng::seeded_rng(3)).unwrap();
+        let rounds = 10;
+        let payloads: Vec<u32> = vec![0; 40];
+        let outcome =
+            run_protocol(&g, payloads, SimulationConfig::all(rounds, 5), |_| 0).unwrap();
+        let m = &outcome.metrics;
+        assert_eq!(m.user_count, 40);
+        assert_eq!(m.rounds, rounds);
+        // Report conservation: total messages = 40 reports * rounds moves.
+        assert_eq!(m.total_messages(), 40 * rounds);
+        assert!(m.max_peak_reports() >= 1);
+        assert!(m.mean_peak_reports() >= 1.0);
+        assert_eq!(m.server_reports, 40);
+    }
+
+    #[test]
+    fn zero_rounds_means_no_anonymity() {
+        // Without exchange rounds every user submits her own report, so the
+        // adversary links every report to its origin.
+        let g = generators::complete(10).unwrap();
+        let payloads: Vec<u32> = (0..10).collect();
+        let outcome = run_protocol(&g, payloads, SimulationConfig::all(0, 1), |_| 0).unwrap();
+        let view = AdversaryView::from_submissions(outcome.collected.submissions());
+        let stats = view.linkage_stats(&g);
+        assert_eq!(stats.returned_to_origin, 10);
+        assert!((stats.return_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixing_breaks_most_origin_links() {
+        let g = generators::random_regular(100, 6, &mut ns_graph::rng::seeded_rng(4)).unwrap();
+        let payloads: Vec<u32> = (0..100).collect();
+        let outcome = run_protocol(&g, payloads, SimulationConfig::all(40, 11), |_| 0).unwrap();
+        let view = AdversaryView::from_submissions(outcome.collected.submissions());
+        let stats = view.linkage_stats(&g);
+        // After mixing, the return rate should be near 1/n = 1%, certainly
+        // far below 20%.
+        assert!(stats.return_rate() < 0.2, "return rate = {}", stats.return_rate());
+    }
+
+    #[test]
+    fn configuration_and_input_validation() {
+        let g = generators::complete(5).unwrap();
+        let bad_config = SimulationConfig { laziness: 1.0, ..SimulationConfig::all(3, 0) };
+        assert!(run_protocol(&g, vec![0u32; 5], bad_config, |_| 0).is_err());
+        assert!(run_protocol(&g, vec![0u32; 4], SimulationConfig::all(3, 0), |_| 0).is_err());
+        let isolated = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(run_protocol(&isolated, vec![0u32; 3], SimulationConfig::all(3, 0), |_| 0).is_err());
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        assert!(run_protocol(&empty, Vec::<u32>::new(), SimulationConfig::all(3, 0), |_| 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::random_regular(30, 4, &mut ns_graph::rng::seeded_rng(5)).unwrap();
+        let run = |seed| {
+            let payloads: Vec<u32> = (0..30).collect();
+            let outcome =
+                run_protocol(&g, payloads, SimulationConfig::all(8, seed), |_| 0).unwrap();
+            outcome
+                .collected
+                .reports_with_submitter()
+                .map(|(s, r)| (s, r.origin))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn randomizer_wrapper_applies_ldp_before_shuffling() {
+        let g = generators::random_regular(40, 4, &mut ns_graph::rng::seeded_rng(6)).unwrap();
+        let rr = RandomizedResponse::new(3, 2.0).unwrap();
+        let values: Vec<usize> = (0..40).map(|i| i % 3).collect();
+        let outcome = run_protocol_with_randomizer(
+            &g,
+            &values,
+            &rr,
+            SimulationConfig::single(10, 9),
+            &0usize,
+        )
+        .unwrap();
+        assert_eq!(outcome.collected.report_count(), 40);
+        for payload in outcome.collected.all_payloads() {
+            assert!(*payload < 3);
+        }
+        // Mismatched value count is rejected.
+        assert!(run_protocol_with_randomizer(
+            &g,
+            &values[..10],
+            &rr,
+            SimulationConfig::single(10, 9),
+            &0usize,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn expected_empty_holders_matches_occupancy_heuristic() {
+        // After good mixing on a regular graph, the load is approximately a
+        // balls-into-bins allocation, so the empty fraction is ≈ (1-1/n)^n
+        // ≈ e^{-1} ≈ 0.368.
+        let g = generators::random_regular(200, 6, &mut ns_graph::rng::seeded_rng(7)).unwrap();
+        let empty = expected_empty_holders(&g, 60, 0.0, 5, 123).unwrap();
+        let fraction = empty / 200.0;
+        assert!((fraction - 0.368).abs() < 0.08, "empty fraction = {fraction}");
+    }
+}

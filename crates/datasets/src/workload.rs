@@ -1,0 +1,201 @@
+//! The Gaussian-mixture workload of the paper's mean-estimation study
+//! (Section 5.6, Figure 9).
+//!
+//! `d`-dimensional samples are generated independently but *non-identically*:
+//! the first half of the users draw `z ~ N(1, 1)^{⊗d}`, the second half
+//! `z ~ N(10, 1)^{⊗d}`, and each sample is normalized to the unit sphere
+//! (`x = z / ‖z‖₂`) as PrivUnit requires.  Dummy samples (needed by the
+//! `A_single` protocol) are drawn from `N(5, 1)^{⊗d}` and normalized the
+//! same way.  The paper uses `d = 200`.
+
+use ns_graph::rng::{derived_rng, SimRng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the mean-estimation workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of users (samples) `n`.
+    pub user_count: usize,
+    /// Dimensionality `d` (the paper uses 200).
+    pub dimension: usize,
+    /// Mean of the first half of the population.
+    pub low_mean: f64,
+    /// Mean of the second half of the population.
+    pub high_mean: f64,
+    /// Mean of the dummy distribution.
+    pub dummy_mean: f64,
+    /// Number of dummy vectors to pre-generate for the `A_single` pool.
+    pub dummy_pool_size: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's configuration for a population of `user_count` users:
+    /// `d = 200`, means 1 / 10 / 5.
+    pub fn paper_defaults(user_count: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            user_count,
+            dimension: 200,
+            low_mean: 1.0,
+            high_mean: 10.0,
+            dummy_mean: 5.0,
+            dummy_pool_size: 256,
+            seed,
+        }
+    }
+}
+
+/// A generated mean-estimation workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeanEstimationWorkload {
+    /// One unit vector per user.
+    pub data: Vec<Vec<f64>>,
+    /// Pool of unit-norm dummy vectors for `A_single`.
+    pub dummy_pool: Vec<Vec<f64>>,
+    /// The true population mean (of the normalized data), the quantity the
+    /// curator tries to estimate.
+    pub true_mean: Vec<f64>,
+}
+
+impl MeanEstimationWorkload {
+    /// Generates the workload described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user_count`, `dimension` or `dummy_pool_size` is zero —
+    /// these are programming errors, not runtime conditions.
+    pub fn generate(config: &WorkloadConfig) -> Self {
+        assert!(config.user_count > 0, "workload requires at least one user");
+        assert!(config.dimension > 0, "workload requires a positive dimension");
+        assert!(config.dummy_pool_size > 0, "dummy pool must not be empty");
+
+        let mut rng = derived_rng(config.seed, "mean-estimation-workload");
+        let half = config.user_count / 2;
+        let mut data = Vec::with_capacity(config.user_count);
+        for i in 0..config.user_count {
+            let mean = if i < half { config.low_mean } else { config.high_mean };
+            data.push(normalized_gaussian(config.dimension, mean, &mut rng));
+        }
+        let dummy_pool = (0..config.dummy_pool_size)
+            .map(|_| normalized_gaussian(config.dimension, config.dummy_mean, &mut rng))
+            .collect();
+
+        let mut true_mean = vec![0.0; config.dimension];
+        for x in &data {
+            for (m, v) in true_mean.iter_mut().zip(x.iter()) {
+                *m += v;
+            }
+        }
+        for m in true_mean.iter_mut() {
+            *m /= config.user_count as f64;
+        }
+
+        MeanEstimationWorkload { data, dummy_pool, true_mean }
+    }
+
+    /// Number of users in the workload.
+    pub fn user_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Dimensionality of the vectors.
+    pub fn dimension(&self) -> usize {
+        self.data.first().map_or(0, |v| v.len())
+    }
+}
+
+/// Draws `z ~ N(mean, 1)^{⊗d}` and normalizes it to the unit sphere.
+fn normalized_gaussian(dimension: usize, mean: f64, rng: &mut SimRng) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..dimension).map(|_| mean + standard_normal(rng)).collect();
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    } else {
+        v[0] = 1.0;
+    }
+    v
+}
+
+/// Standard-normal sample via the Box–Muller transform.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5_6() {
+        let config = WorkloadConfig::paper_defaults(9_498, 1);
+        assert_eq!(config.dimension, 200);
+        assert_eq!(config.low_mean, 1.0);
+        assert_eq!(config.high_mean, 10.0);
+        assert_eq!(config.dummy_mean, 5.0);
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let config = WorkloadConfig { user_count: 100, dimension: 16, ..WorkloadConfig::paper_defaults(100, 2) };
+        let workload = MeanEstimationWorkload::generate(&config);
+        assert_eq!(workload.user_count(), 100);
+        assert_eq!(workload.dimension(), 16);
+        for v in workload.data.iter().chain(workload.dummy_pool.iter()) {
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "norm = {norm}");
+        }
+    }
+
+    #[test]
+    fn true_mean_is_the_mean_of_the_data() {
+        let config = WorkloadConfig { user_count: 50, dimension: 8, ..WorkloadConfig::paper_defaults(50, 3) };
+        let workload = MeanEstimationWorkload::generate(&config);
+        let mut expected = [0.0; 8];
+        for v in &workload.data {
+            for (e, x) in expected.iter_mut().zip(v.iter()) {
+                *e += x / 50.0;
+            }
+        }
+        for (a, b) in workload.true_mean.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_population_structure_is_visible_before_normalization_washout() {
+        // Low-mean samples (mean 1, std 1 per coordinate) have much more
+        // direction spread than high-mean samples (mean 10): check via the
+        // dot product with the all-ones direction.
+        let config = WorkloadConfig { user_count: 200, dimension: 32, ..WorkloadConfig::paper_defaults(200, 4) };
+        let workload = MeanEstimationWorkload::generate(&config);
+        let ones: Vec<f64> = vec![1.0 / (32f64).sqrt(); 32];
+        let dot = |v: &Vec<f64>| v.iter().zip(ones.iter()).map(|(a, b)| a * b).sum::<f64>();
+        let low_avg: f64 = workload.data[..100].iter().map(dot).sum::<f64>() / 100.0;
+        let high_avg: f64 = workload.data[100..].iter().map(dot).sum::<f64>() / 100.0;
+        assert!(high_avg > low_avg, "high {high_avg} vs low {low_avg}");
+        assert!(high_avg > 0.99);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = WorkloadConfig { user_count: 20, dimension: 4, ..WorkloadConfig::paper_defaults(20, 5) };
+        let a = MeanEstimationWorkload::generate(&config);
+        let b = MeanEstimationWorkload::generate(&config);
+        assert_eq!(a, b);
+        let other = WorkloadConfig { seed: 6, ..config };
+        assert_ne!(a, MeanEstimationWorkload::generate(&other));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_panics() {
+        let config = WorkloadConfig { user_count: 0, dimension: 4, ..WorkloadConfig::paper_defaults(1, 1) };
+        MeanEstimationWorkload::generate(&config);
+    }
+}

@@ -1,0 +1,147 @@
+//! Composition theorems for differential privacy.
+//!
+//! The proof of the paper's main theorems composes the per-output-slot
+//! guarantees `ε_1, …, ε_n` with the *heterogeneous advanced composition*
+//! theorem of Kairouz–Oh–Viswanath (Eq. 6 of the paper):
+//!
+//! ```text
+//! ε = Σ_i (e^{ε_i} − 1) ε_i / (e^{ε_i} + 1)  +  √(2 log(1/δ) Σ_i ε_i²)
+//! ```
+//!
+//! Basic and (homogeneous) advanced composition are also provided for
+//! comparison and for use by the examples.
+
+use crate::types::{validate_delta, DpError, PrivacyGuarantee, Result};
+
+/// Basic (sequential) composition: ε and δ add up.
+///
+/// # Errors
+///
+/// Propagates [`PrivacyGuarantee::new`] validation (e.g. combined δ ≥ 1).
+pub fn basic_composition(guarantees: &[PrivacyGuarantee]) -> Result<PrivacyGuarantee> {
+    let epsilon = guarantees.iter().map(|g| g.epsilon).sum();
+    let delta = guarantees.iter().map(|g| g.delta).sum();
+    PrivacyGuarantee::new(epsilon, delta)
+}
+
+/// Homogeneous advanced composition for `k` invocations of an `(ε, δ)`-DP
+/// mechanism, with slack `δ'`:
+///
+/// ```text
+/// ε_total = √(2k ln(1/δ')) ε + k ε (e^ε − 1),   δ_total = k δ + δ'
+/// ```
+///
+/// # Errors
+///
+/// [`DpError::InvalidEpsilon`] / [`DpError::InvalidDelta`] on invalid inputs.
+pub fn advanced_composition(
+    epsilon: f64,
+    delta: f64,
+    k: usize,
+    delta_slack: f64,
+) -> Result<PrivacyGuarantee> {
+    if !epsilon.is_finite() || epsilon < 0.0 {
+        return Err(DpError::InvalidEpsilon(epsilon));
+    }
+    if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
+        return Err(DpError::InvalidDelta(delta));
+    }
+    let delta_slack = validate_delta(delta_slack)?;
+    let kf = k as f64;
+    let eps_total =
+        (2.0 * kf * (1.0 / delta_slack).ln()).sqrt() * epsilon + kf * epsilon * (epsilon.exp() - 1.0);
+    PrivacyGuarantee::new(eps_total, kf * delta + delta_slack)
+}
+
+/// Heterogeneous advanced composition (Kairouz–Oh–Viswanath; Eq. 6 of the
+/// paper) of pure-DP mechanisms with parameters `epsilons`, at slack `delta`.
+///
+/// # Errors
+///
+/// [`DpError::InvalidEpsilon`] if any ε is negative or non-finite;
+/// [`DpError::InvalidDelta`] if `delta ∉ (0, 1)`.
+pub fn heterogeneous_advanced_composition(epsilons: &[f64], delta: f64) -> Result<f64> {
+    let delta = validate_delta(delta)?;
+    let mut linear_term = 0.0;
+    let mut sum_sq = 0.0;
+    for &eps in epsilons {
+        if !eps.is_finite() || eps < 0.0 {
+            return Err(DpError::InvalidEpsilon(eps));
+        }
+        let e = eps.exp();
+        linear_term += (e - 1.0) * eps / (e + 1.0);
+        sum_sq += eps * eps;
+    }
+    Ok(linear_term + (2.0 * (1.0 / delta).ln() * sum_sq).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_composition_adds() {
+        let gs = vec![
+            PrivacyGuarantee::new(0.5, 1e-7).unwrap(),
+            PrivacyGuarantee::new(0.25, 2e-7).unwrap(),
+            PrivacyGuarantee::pure(0.25).unwrap(),
+        ];
+        let total = basic_composition(&gs).unwrap();
+        assert!((total.epsilon - 1.0).abs() < 1e-12);
+        assert!((total.delta - 3e-7).abs() < 1e-18);
+        // Empty composition is the trivial guarantee.
+        let empty = basic_composition(&[]).unwrap();
+        assert_eq!(empty.epsilon, 0.0);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_small_epsilons() {
+        let eps = 0.01;
+        let k = 10_000usize;
+        let basic = eps * k as f64;
+        let adv = advanced_composition(eps, 0.0, k, 1e-6).unwrap();
+        assert!(adv.epsilon < basic, "advanced {} should beat basic {}", adv.epsilon, basic);
+        assert!((adv.delta - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn advanced_composition_validates() {
+        assert!(advanced_composition(-0.1, 0.0, 10, 1e-6).is_err());
+        assert!(advanced_composition(0.1, 1.0, 10, 1e-6).is_err());
+        assert!(advanced_composition(0.1, 0.0, 10, 0.0).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_matches_hand_computation() {
+        // Single mechanism: eps = (e^a - 1)a/(e^a + 1) + a sqrt(2 ln(1/delta)).
+        let a = 0.3f64;
+        let delta = 1e-6;
+        let expected =
+            (a.exp() - 1.0) * a / (a.exp() + 1.0) + (2.0 * (1.0f64 / delta).ln() * a * a).sqrt();
+        let got = heterogeneous_advanced_composition(&[a], delta).unwrap();
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_is_monotone_in_inputs() {
+        let delta = 1e-6;
+        let small = heterogeneous_advanced_composition(&[0.1; 100], delta).unwrap();
+        let large = heterogeneous_advanced_composition(&[0.2; 100], delta).unwrap();
+        assert!(large > small);
+        let fewer = heterogeneous_advanced_composition(&[0.1; 50], delta).unwrap();
+        assert!(fewer < small);
+    }
+
+    #[test]
+    fn heterogeneous_of_zero_epsilons_is_zero() {
+        let got = heterogeneous_advanced_composition(&[0.0; 10], 1e-6).unwrap();
+        assert_eq!(got, 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_validates_inputs() {
+        assert!(heterogeneous_advanced_composition(&[0.1, -0.2], 1e-6).is_err());
+        assert!(heterogeneous_advanced_composition(&[0.1], 0.0).is_err());
+        assert!(heterogeneous_advanced_composition(&[f64::NAN], 1e-6).is_err());
+    }
+}

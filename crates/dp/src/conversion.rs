@@ -1,0 +1,123 @@
+//! Approximate-DP → pure-DP reduction (Lemma 5.2 of the paper, due to Balle
+//! et al. / Cheu et al.).
+//!
+//! The amplification theorems are proved for *pure* ε₀-DP local randomizers.
+//! Lemma 5.2 extends them to `(ε₀, δ₀)`-DP randomizers: provided
+//!
+//! ```text
+//! δ₀ ≤ (1 − e^{−ε₀}) δ₁ / (4 e^{ε₀} (2 + ln(2/δ₁) / ln(1/(1 − e^{−5ε₀}))))
+//! ```
+//!
+//! there exists an `8ε₀`-pure local randomizer within total-variation
+//! distance `δ₁` of the original on every input.  The `(ε₀, δ₀)` corollaries
+//! of Theorems 5.3–5.6 are then obtained by running the pure-DP analysis at
+//! `8ε₀` and paying an extra `n (e^{ε'} + 1) δ₁` in the final δ.
+
+use crate::types::{validate_delta, validate_positive_epsilon, DpError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The pure-DP surrogate produced by Lemma 5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PureSurrogate {
+    /// The surrogate's pure-DP parameter (`8 ε₀`).
+    pub epsilon: f64,
+    /// The per-input total-variation distance `δ₁` between the surrogate and
+    /// the original randomizer.
+    pub tv_distance: f64,
+}
+
+/// The largest admissible `δ₀` for Lemma 5.2 given `ε₀` and the chosen `δ₁`.
+///
+/// # Errors
+///
+/// Validation of `ε₀ > 0` and `δ₁ ∈ (0, 1)`.
+pub fn delta0_threshold(epsilon_0: f64, delta_1: f64) -> Result<f64> {
+    let epsilon_0 = validate_positive_epsilon(epsilon_0)?;
+    let delta_1 = validate_delta(delta_1)?;
+    let numerator = (1.0 - (-epsilon_0).exp()) * delta_1;
+    let log_ratio = (2.0 / delta_1).ln() / (1.0 / (1.0 - (-5.0 * epsilon_0).exp())).ln();
+    let denominator = 4.0 * epsilon_0.exp() * (2.0 + log_ratio);
+    Ok(numerator / denominator)
+}
+
+/// Applies Lemma 5.2: checks that `δ₀` is small enough and returns the
+/// `8ε₀`-pure surrogate description.
+///
+/// # Errors
+///
+/// [`DpError::InvalidParameters`] if `δ₀` exceeds the admissible threshold;
+/// the error message includes the threshold so callers can adjust `δ₁`.
+pub fn approximate_to_pure(epsilon_0: f64, delta_0: f64, delta_1: f64) -> Result<PureSurrogate> {
+    let epsilon_0 = validate_positive_epsilon(epsilon_0)?;
+    if !delta_0.is_finite() || delta_0 < 0.0 {
+        return Err(DpError::InvalidDelta(delta_0));
+    }
+    let threshold = delta0_threshold(epsilon_0, delta_1)?;
+    if delta_0 > threshold {
+        return Err(DpError::InvalidParameters(format!(
+            "delta_0 = {delta_0:.3e} exceeds the Lemma 5.2 threshold {threshold:.3e} \
+             for epsilon_0 = {epsilon_0}, delta_1 = {delta_1:.3e}"
+        )));
+    }
+    Ok(PureSurrogate { epsilon: 8.0 * epsilon_0, tv_distance: delta_1 })
+}
+
+/// The additional δ contribution paid when lifting a pure-DP analysis of the
+/// surrogate back to the original `(ε₀, δ₀)` randomizers over `n` users:
+/// `n (e^{ε'} + 1) δ₁` (see the statement of Theorem 5.3).
+pub fn union_bound_delta(n: usize, epsilon_prime: f64, delta_1: f64) -> f64 {
+    n as f64 * (epsilon_prime.exp() + 1.0) * delta_1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_matches_hand_computation() {
+        let eps0 = 1.0f64;
+        let delta1 = 1e-8f64;
+        let numerator = (1.0 - (-1.0f64).exp()) * delta1;
+        let log_ratio = (2.0f64 / delta1).ln() / (1.0 / (1.0 - (-5.0f64).exp())).ln();
+        let expected = numerator / (4.0 * 1.0f64.exp() * (2.0 + log_ratio));
+        let got = delta0_threshold(eps0, delta1).unwrap();
+        assert!((got - expected).abs() < 1e-24);
+        assert!(got > 0.0);
+        assert!(got < delta1);
+    }
+
+    #[test]
+    fn threshold_validates_inputs() {
+        assert!(delta0_threshold(0.0, 1e-8).is_err());
+        assert!(delta0_threshold(1.0, 0.0).is_err());
+        assert!(delta0_threshold(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn conversion_accepts_small_delta0_and_rejects_large() {
+        let eps0 = 0.5;
+        let delta1 = 1e-9;
+        let threshold = delta0_threshold(eps0, delta1).unwrap();
+        let ok = approximate_to_pure(eps0, threshold * 0.5, delta1).unwrap();
+        assert!((ok.epsilon - 4.0).abs() < 1e-12);
+        assert_eq!(ok.tv_distance, delta1);
+        assert!(approximate_to_pure(eps0, threshold * 2.0, delta1).is_err());
+        // A pure randomizer (delta_0 = 0) always qualifies.
+        assert!(approximate_to_pure(eps0, 0.0, delta1).is_ok());
+    }
+
+    #[test]
+    fn conversion_validates_inputs() {
+        assert!(approximate_to_pure(0.0, 1e-12, 1e-9).is_err());
+        assert!(approximate_to_pure(1.0, -1e-12, 1e-9).is_err());
+        assert!(approximate_to_pure(1.0, f64::NAN, 1e-9).is_err());
+    }
+
+    #[test]
+    fn union_bound_delta_scales_linearly_in_n() {
+        let a = union_bound_delta(1_000, 1.0, 1e-12);
+        let b = union_bound_delta(2_000, 1.0, 1e-12);
+        assert!((b / a - 2.0).abs() < 1e-12);
+        assert!((union_bound_delta(1, 0.0, 1e-9) - 2e-9).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,64 @@
+//! Differential-privacy substrate for the network-shuffling reproduction.
+//!
+//! Network shuffling amplifies the *local* differential-privacy guarantee of
+//! each user's randomized report into a much stronger *central* guarantee.
+//! This crate provides everything below that amplification step:
+//!
+//! * core `(ε, δ)` types and validation ([`types`]),
+//! * the local-randomizer abstraction and concrete mechanisms — k-ary
+//!   randomized response, Laplace, Gaussian and PrivUnit ([`randomizer`],
+//!   [`mechanisms`]),
+//! * unbiased aggregate estimators for the randomized reports
+//!   ([`estimators`]),
+//! * composition theorems, including the heterogeneous advanced composition
+//!   of Kairouz–Oh–Viswanath used in the paper's Eq. 6 ([`composition`]),
+//! * the privacy-amplification baselines of Table 1: subsampling, uniform
+//!   shuffling (Erlingsson et al.) and uniform shuffling with clones
+//!   (Feldman et al.) ([`amplification`]),
+//! * the approximate-DP → pure-DP reduction of Lemma 5.2 ([`conversion`]).
+//!
+//! The network-shuffling amplification theorems themselves (Theorems 5.3–5.6)
+//! live in the `network-shuffle` crate, because they additionally depend on
+//! the graph substrate.
+//!
+//! # Example
+//!
+//! ```
+//! use ns_dp::mechanisms::RandomizedResponse;
+//! use ns_dp::randomizer::LocalRandomizer;
+//!
+//! let rr = RandomizedResponse::new(4, 1.0).unwrap();
+//! let mut rng = ns_dp::rng::seeded_rng(1);
+//! let noisy = rr.randomize(&2, &mut rng).unwrap();
+//! assert!(noisy < 4);
+//! assert!((rr.epsilon() - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amplification;
+pub mod composition;
+pub mod conversion;
+pub mod estimators;
+pub mod mechanisms;
+pub mod randomizer;
+pub mod rng;
+pub mod types;
+
+pub use randomizer::LocalRandomizer;
+pub use types::{DpError, PrivacyGuarantee, Result};
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::amplification::{
+        clones_shuffling_epsilon, erlingsson_shuffling_epsilon, subsampling_epsilon,
+    };
+    pub use crate::composition::{
+        advanced_composition, basic_composition, heterogeneous_advanced_composition,
+    };
+    pub use crate::conversion::{approximate_to_pure, delta0_threshold};
+    pub use crate::mechanisms::{Gaussian, Laplace, PrivUnit, RandomizedResponse};
+    pub use crate::randomizer::LocalRandomizer;
+    pub use crate::types::{DpError, PrivacyGuarantee, Result};
+}

@@ -1,0 +1,130 @@
+//! The Gaussian mechanism for bounded scalar values (approximate DP).
+//!
+//! The Gaussian mechanism only satisfies `(ε, δ)`-DP with `δ > 0`, so it is
+//! the natural fixture for exercising the approximate-DP branches of the
+//! paper's theorems (the corollaries of Theorems 5.3–5.6 that route through
+//! Lemma 5.2).  The classical calibration `σ = Δ √(2 ln(1.25/δ)) / ε`
+//! (valid for ε ≤ 1) is used.
+
+use crate::randomizer::LocalRandomizer;
+use crate::types::{validate_delta, validate_positive_epsilon, DpError, PrivacyGuarantee, Result};
+use rand::Rng;
+
+/// Gaussian local randomizer over the interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    lo: f64,
+    hi: f64,
+    epsilon: f64,
+    delta: f64,
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian mechanism clamping inputs to `[lo, hi]` with
+    /// guarantee `(epsilon, delta)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidParameters`] for an empty/unbounded interval or
+    /// `epsilon > 1` (where the classical calibration is not valid);
+    /// [`DpError::InvalidEpsilon`] / [`DpError::InvalidDelta`] for
+    /// out-of-range privacy parameters.
+    pub fn new(lo: f64, hi: f64, epsilon: f64, delta: f64) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return Err(DpError::InvalidParameters(format!(
+                "invalid interval [{lo}, {hi}]: must be finite with hi > lo"
+            )));
+        }
+        let epsilon = validate_positive_epsilon(epsilon)?;
+        if epsilon > 1.0 {
+            return Err(DpError::InvalidParameters(format!(
+                "classical Gaussian calibration requires epsilon <= 1, got {epsilon}"
+            )));
+        }
+        let delta = validate_delta(delta)?;
+        let sensitivity = hi - lo;
+        let sigma = sensitivity * (2.0 * (1.25 / delta).ln()).sqrt() / epsilon;
+        Ok(Gaussian { lo, hi, epsilon, delta, sigma })
+    }
+
+    /// The noise standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one standard-normal sample via the Box–Muller transform.
+    fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl LocalRandomizer for Gaussian {
+    type Input = f64;
+    type Output = f64;
+
+    fn randomize<R: Rng + ?Sized>(&self, input: &f64, rng: &mut R) -> Result<f64> {
+        if !input.is_finite() {
+            return Err(DpError::DomainViolation(format!("input {input} is not finite")));
+        }
+        let clamped = input.clamp(self.lo, self.hi);
+        Ok(clamped + self.sigma * Self::sample_standard_normal(rng))
+    }
+
+    fn guarantee(&self) -> PrivacyGuarantee {
+        PrivacyGuarantee::new(self.epsilon, self.delta).expect("validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Gaussian::new(0.0, 1.0, 0.5, 1e-6).is_ok());
+        assert!(Gaussian::new(0.0, 1.0, 1.5, 1e-6).is_err());
+        assert!(Gaussian::new(0.0, 1.0, 0.5, 0.0).is_err());
+        assert!(Gaussian::new(1.0, 0.0, 0.5, 1e-6).is_err());
+        assert!(Gaussian::new(0.0, 1.0, 0.0, 1e-6).is_err());
+    }
+
+    #[test]
+    fn sigma_matches_classical_calibration() {
+        let g = Gaussian::new(0.0, 1.0, 0.5, 1e-5).unwrap();
+        let expected = (2.0 * (1.25e5f64).ln()).sqrt() / 0.5;
+        assert!((g.sigma() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_unbiased_with_declared_variance() {
+        let g = Gaussian::new(0.0, 1.0, 1.0, 1e-4).unwrap();
+        let mut rng = seeded_rng(5);
+        let trials = 50_000;
+        let samples: Vec<f64> = (0..trials).map(|_| g.randomize(&0.3, &mut rng).unwrap()).collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+        assert!((mean - 0.3).abs() < 0.1, "mean = {mean}");
+        let expected_var = g.sigma() * g.sigma();
+        assert!((var / expected_var - 1.0).abs() < 0.05, "var ratio = {}", var / expected_var);
+    }
+
+    #[test]
+    fn guarantee_is_approximate() {
+        let g = Gaussian::new(-1.0, 1.0, 0.8, 1e-6).unwrap();
+        let guarantee = g.guarantee();
+        assert!(!guarantee.is_pure());
+        assert!((guarantee.epsilon - 0.8).abs() < 1e-12);
+        assert!((guarantee.delta - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rejects_non_finite_input() {
+        let g = Gaussian::new(0.0, 1.0, 0.5, 1e-6).unwrap();
+        let mut rng = seeded_rng(6);
+        assert!(g.randomize(&f64::INFINITY, &mut rng).is_err());
+    }
+}

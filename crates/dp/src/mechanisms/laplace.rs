@@ -1,0 +1,136 @@
+//! The Laplace mechanism for bounded scalar values.
+//!
+//! Values are clamped to a declared interval `[lo, hi]` (so the sensitivity
+//! of a single report is `hi − lo`) and perturbed with Laplace noise of scale
+//! `(hi − lo) / ε`, yielding a pure ε-LDP local randomizer.
+
+use crate::randomizer::LocalRandomizer;
+use crate::types::{validate_positive_epsilon, DpError, PrivacyGuarantee, Result};
+use rand::Rng;
+
+/// Laplace local randomizer over the interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    lo: f64,
+    hi: f64,
+    epsilon: f64,
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace mechanism clamping inputs to `[lo, hi]` with pure
+    /// LDP parameter `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidParameters`] if the interval is empty or unbounded;
+    /// [`DpError::InvalidEpsilon`] if ε ≤ 0.
+    pub fn new(lo: f64, hi: f64, epsilon: f64) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return Err(DpError::InvalidParameters(format!(
+                "invalid interval [{lo}, {hi}]: must be finite with hi > lo"
+            )));
+        }
+        let epsilon = validate_positive_epsilon(epsilon)?;
+        let scale = (hi - lo) / epsilon;
+        Ok(Laplace { lo, hi, epsilon, scale })
+    }
+
+    /// Noise scale `b = (hi − lo) / ε`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The declared input interval.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Variance of the added noise (`2b²`).
+    pub fn noise_variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Draws one Laplace(0, b) sample via inverse-CDF sampling.
+    fn sample_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u uniform in (-1/2, 1/2]; x = -b * sign(u) * ln(1 - 2|u|).
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let magnitude = -(1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
+        self.scale * magnitude * if u >= 0.0 { 1.0 } else { -1.0 }
+    }
+}
+
+impl LocalRandomizer for Laplace {
+    type Input = f64;
+    type Output = f64;
+
+    fn randomize<R: Rng + ?Sized>(&self, input: &f64, rng: &mut R) -> Result<f64> {
+        if !input.is_finite() {
+            return Err(DpError::DomainViolation(format!("input {input} is not finite")));
+        }
+        let clamped = input.clamp(self.lo, self.hi);
+        Ok(clamped + self.sample_noise(rng))
+    }
+
+    fn guarantee(&self) -> PrivacyGuarantee {
+        PrivacyGuarantee::pure(self.epsilon).expect("validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Laplace::new(0.0, 1.0, 1.0).is_ok());
+        assert!(Laplace::new(1.0, 1.0, 1.0).is_err());
+        assert!(Laplace::new(2.0, 1.0, 1.0).is_err());
+        assert!(Laplace::new(f64::NEG_INFINITY, 1.0, 1.0).is_err());
+        assert!(Laplace::new(0.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn scale_and_variance() {
+        let lap = Laplace::new(-1.0, 1.0, 0.5).unwrap();
+        assert!((lap.scale() - 4.0).abs() < 1e-12);
+        assert!((lap.noise_variance() - 32.0).abs() < 1e-12);
+        assert_eq!(lap.bounds(), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn noise_is_unbiased_and_has_expected_spread() {
+        let lap = Laplace::new(0.0, 1.0, 1.0).unwrap();
+        let mut rng = seeded_rng(3);
+        let trials = 60_000;
+        let samples: Vec<f64> =
+            (0..trials).map(|_| lap.randomize(&0.5, &mut rng).unwrap()).collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+        assert!((var - lap.noise_variance()).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn inputs_are_clamped_and_nan_rejected() {
+        let lap = Laplace::new(0.0, 1.0, 2.0).unwrap();
+        let mut rng = seeded_rng(4);
+        // A wildly out-of-range input is clamped to the boundary, so its
+        // expected output is ~1.0 rather than ~100.
+        let trials = 20_000;
+        let mean: f64 = (0..trials)
+            .map(|_| lap.randomize(&100.0, &mut rng).unwrap())
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean = {mean}");
+        assert!(lap.randomize(&f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn guarantee_is_pure() {
+        let lap = Laplace::new(0.0, 10.0, 0.7).unwrap();
+        assert!(lap.guarantee().is_pure());
+        assert!((lap.epsilon() - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,24 @@
+//! Concrete local randomizers.
+//!
+//! * [`RandomizedResponse`] — k-ary randomized response over a categorical
+//!   domain; the workhorse for frequency-estimation workloads.
+//! * [`Laplace`] — the Laplace mechanism for bounded scalar values.
+//! * [`Gaussian`] — the Gaussian mechanism (approximate DP), used to exercise
+//!   the `(ε₀, δ₀)` branches of the amplification theorems.
+//! * [`PrivUnit`] — the PrivUnit mechanism of Bhowmick et al. for unit
+//!   vectors in `R^d`, used by the paper's private mean-estimation study
+//!   (Section 5.6 / Figure 9).
+//! * [`UnaryEncoding`] — Optimized Unary Encoding (OUE) for histogram
+//!   workloads over large categorical domains.
+
+pub mod gaussian;
+pub mod laplace;
+pub mod priv_unit;
+pub mod randomized_response;
+pub mod unary_encoding;
+
+pub use gaussian::Gaussian;
+pub use laplace::Laplace;
+pub use priv_unit::PrivUnit;
+pub use randomized_response::RandomizedResponse;
+pub use unary_encoding::UnaryEncoding;

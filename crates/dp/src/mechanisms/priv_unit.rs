@@ -1,0 +1,415 @@
+//! The PrivUnit mechanism (Bhowmick et al., 2018) for ε-LDP release of unit
+//! vectors in `R^d`.
+//!
+//! PrivUnit is the mechanism the paper applies to each report in its private
+//! mean-estimation study (Section 5.6, Figure 9).  Given a unit vector `u`:
+//!
+//! 1. with probability `p` draw `V` uniformly from the spherical cap
+//!    `{v ∈ S^{d−1} : ⟨v, u⟩ ≥ γ}`, otherwise uniformly from its complement;
+//! 2. output `V / m`, where `m = E[⟨V, u⟩]` so that the output is an
+//!    unbiased estimator of `u`.
+//!
+//! The worst-case likelihood ratio between two inputs is
+//! `p(1 − q) / (q(1 − p))` where `q = Pr[⟨V, u⟩ ≥ γ]` under the uniform
+//! sphere distribution; we therefore set
+//! `p = e^ε q / (1 − q + e^ε q)`, which makes the mechanism exactly ε-LDP,
+//! and choose `γ` by a grid search maximizing the unbiasing constant `m`
+//! (larger `m` ⇒ smaller estimation variance).
+//!
+//! All cap probabilities and conditional means are computed by numerical
+//! integration of the marginal density `f(w) ∝ (1 − w²)^{(d−3)/2}` of the
+//! first coordinate of a uniform point on `S^{d−1}`, carried out in log-space
+//! so that high dimensions (the paper uses `d = 200`) do not underflow.
+
+use crate::randomizer::LocalRandomizer;
+use crate::types::{validate_positive_epsilon, DpError, PrivacyGuarantee, Result};
+use rand::Rng;
+
+/// Number of grid points used for the marginal-density tables.
+const GRID_POINTS: usize = 4_001;
+/// Number of candidate γ values scanned when maximizing the unbiasing
+/// constant.
+const GAMMA_CANDIDATES: usize = 200;
+/// Tolerance accepted when checking that an input vector has unit norm.
+const UNIT_NORM_TOLERANCE: f64 = 1e-6;
+
+/// The PrivUnit ε-LDP mechanism over the unit sphere `S^{d−1}`.
+#[derive(Debug, Clone)]
+pub struct PrivUnit {
+    dimension: usize,
+    epsilon: f64,
+    gamma: f64,
+    cap_probability: f64,
+    cap_weight: f64,
+    scale: f64,
+    /// Grid of `w` values in `[-1, 1]`.
+    grid: Vec<f64>,
+    /// CDF of the marginal density over the grid (normalized to 1).
+    cdf: Vec<f64>,
+}
+
+impl PrivUnit {
+    /// Creates a PrivUnit mechanism for unit vectors in `R^dimension` with
+    /// pure LDP parameter `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidParameters`] if `dimension < 2`;
+    /// [`DpError::InvalidEpsilon`] if ε ≤ 0.
+    pub fn new(dimension: usize, epsilon: f64) -> Result<Self> {
+        if dimension < 2 {
+            return Err(DpError::InvalidParameters(format!(
+                "PrivUnit requires dimension >= 2, got {dimension}"
+            )));
+        }
+        let epsilon = validate_positive_epsilon(epsilon)?;
+
+        let (grid, pdf, cdf) = marginal_tables(dimension);
+
+        // Grid-search gamma in (0, 1) maximizing the unbiasing constant m.
+        let mut best: Option<(f64, f64, f64, f64)> = None; // (gamma, q, p, m)
+        for i in 1..GAMMA_CANDIDATES {
+            let gamma = i as f64 / GAMMA_CANDIDATES as f64;
+            let q = upper_tail(&grid, &cdf, gamma);
+            if q <= 0.0 || q >= 1.0 {
+                continue;
+            }
+            let p = epsilon.exp() * q / (1.0 - q + epsilon.exp() * q);
+            let mean_above = conditional_mean(&grid, &pdf, gamma, true);
+            let mean_below = conditional_mean(&grid, &pdf, gamma, false);
+            let m = p * mean_above + (1.0 - p) * mean_below;
+            if m > 0.0 && best.is_none_or(|(_, _, _, best_m)| m > best_m) {
+                best = Some((gamma, q, p, m));
+            }
+        }
+        let (gamma, cap_probability, cap_weight, scale) = best.ok_or_else(|| {
+            DpError::InvalidParameters(
+                "failed to find a PrivUnit cap threshold with positive unbiasing constant".into(),
+            )
+        })?;
+
+        Ok(PrivUnit { dimension, epsilon, gamma, cap_probability, cap_weight, scale, grid, cdf })
+    }
+
+    /// The ambient dimension `d`.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// The cap threshold `γ` selected at construction.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// `q = Pr[⟨V, u⟩ ≥ γ]` under the uniform sphere distribution.
+    pub fn cap_probability(&self) -> f64 {
+        self.cap_probability
+    }
+
+    /// `p` — the probability of sampling from the cap.
+    pub fn cap_weight(&self) -> f64 {
+        self.cap_weight
+    }
+
+    /// The unbiasing constant `m = E[⟨V, u⟩]`; outputs have norm `1/m`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Expected squared norm of one PrivUnit report (`1/m²`), a proxy for
+    /// the per-report contribution to mean-squared error.
+    pub fn expected_squared_norm(&self) -> f64 {
+        1.0 / (self.scale * self.scale)
+    }
+
+    /// Samples the inner product `w = ⟨V, u⟩` conditioned on the cap
+    /// (`in_cap = true`) or its complement.
+    fn sample_inner_product<R: Rng + ?Sized>(&self, in_cap: bool, rng: &mut R) -> f64 {
+        let f_gamma = cdf_at(&self.grid, &self.cdf, self.gamma);
+        let target = if in_cap {
+            f_gamma + rng.gen::<f64>() * (1.0 - f_gamma)
+        } else {
+            rng.gen::<f64>() * f_gamma
+        };
+        inverse_cdf(&self.grid, &self.cdf, target)
+    }
+}
+
+impl LocalRandomizer for PrivUnit {
+    type Input = [f64];
+    type Output = Vec<f64>;
+
+    fn randomize<R: Rng + ?Sized>(&self, input: &[f64], rng: &mut R) -> Result<Vec<f64>> {
+        if input.len() != self.dimension {
+            return Err(DpError::DomainViolation(format!(
+                "expected a vector of dimension {}, got {}",
+                self.dimension,
+                input.len()
+            )));
+        }
+        let norm = input.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if !norm.is_finite() || (norm - 1.0).abs() > UNIT_NORM_TOLERANCE {
+            return Err(DpError::DomainViolation(format!(
+                "PrivUnit input must be a unit vector, got norm {norm}"
+            )));
+        }
+
+        let in_cap = rng.gen::<f64>() < self.cap_weight;
+        let w = self.sample_inner_product(in_cap, rng);
+
+        // Draw a direction orthogonal to the input: Gaussian vector with the
+        // input component projected out, then normalized.
+        let mut orth: Vec<f64> = (0..self.dimension).map(|_| standard_normal(rng)).collect();
+        let dot: f64 = orth.iter().zip(input.iter()).map(|(a, b)| a * b).sum();
+        for (o, &u) in orth.iter_mut().zip(input.iter()) {
+            *o -= dot * u;
+        }
+        let orth_norm = orth.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if orth_norm <= f64::MIN_POSITIVE {
+            // Degenerate draw (probability ~0); fall back to a deterministic
+            // orthogonal direction.
+            for o in orth.iter_mut() {
+                *o = 0.0;
+            }
+            orth[0] = input[1];
+            orth[1] = -input[0];
+        } else {
+            for o in orth.iter_mut() {
+                *o /= orth_norm;
+            }
+        }
+
+        let tangent = (1.0 - w * w).max(0.0).sqrt();
+        let inv_scale = 1.0 / self.scale;
+        Ok(input
+            .iter()
+            .zip(orth.iter())
+            .map(|(&u, &y)| inv_scale * (w * u + tangent * y))
+            .collect())
+    }
+
+    fn guarantee(&self) -> PrivacyGuarantee {
+        PrivacyGuarantee::pure(self.epsilon).expect("validated at construction")
+    }
+}
+
+/// Builds the grid, pdf and cdf tables of the marginal density
+/// `f(w) ∝ (1 − w²)^{(d−3)/2}` on `[-1, 1]`.
+fn marginal_tables(dimension: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let exponent = (dimension as f64 - 3.0) / 2.0;
+    let grid: Vec<f64> =
+        (0..GRID_POINTS).map(|i| -1.0 + 2.0 * i as f64 / (GRID_POINTS - 1) as f64).collect();
+    // Log-space evaluation avoids underflow for large d.
+    let log_pdf: Vec<f64> = grid
+        .iter()
+        .map(|&w| {
+            let one_minus = (1.0 - w * w).max(0.0);
+            if one_minus == 0.0 && exponent > 0.0 {
+                f64::NEG_INFINITY
+            } else if one_minus == 0.0 {
+                0.0
+            } else {
+                exponent * one_minus.ln()
+            }
+        })
+        .collect();
+    let max_log = log_pdf.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let pdf: Vec<f64> = log_pdf.iter().map(|&l| (l - max_log).exp()).collect();
+
+    // Trapezoidal cumulative integral, normalized to 1.
+    let step = 2.0 / (GRID_POINTS - 1) as f64;
+    let mut cdf = vec![0.0; GRID_POINTS];
+    for i in 1..GRID_POINTS {
+        cdf[i] = cdf[i - 1] + 0.5 * (pdf[i] + pdf[i - 1]) * step;
+    }
+    let total = cdf[GRID_POINTS - 1];
+    for c in cdf.iter_mut() {
+        *c /= total;
+    }
+    (grid, pdf, cdf)
+}
+
+/// `Pr[w ≥ gamma]` from the CDF table.
+fn upper_tail(grid: &[f64], cdf: &[f64], gamma: f64) -> f64 {
+    1.0 - cdf_at(grid, cdf, gamma)
+}
+
+/// CDF value at an arbitrary point by linear interpolation.
+fn cdf_at(grid: &[f64], cdf: &[f64], w: f64) -> f64 {
+    if w <= grid[0] {
+        return 0.0;
+    }
+    if w >= grid[grid.len() - 1] {
+        return 1.0;
+    }
+    let idx = grid.partition_point(|&g| g < w);
+    let (g0, g1) = (grid[idx - 1], grid[idx]);
+    let (c0, c1) = (cdf[idx - 1], cdf[idx]);
+    c0 + (c1 - c0) * (w - g0) / (g1 - g0)
+}
+
+/// Inverse CDF by binary search and linear interpolation.
+fn inverse_cdf(grid: &[f64], cdf: &[f64], target: f64) -> f64 {
+    let target = target.clamp(0.0, 1.0);
+    let idx = cdf.partition_point(|&c| c < target);
+    if idx == 0 {
+        return grid[0];
+    }
+    if idx >= cdf.len() {
+        return grid[grid.len() - 1];
+    }
+    let (c0, c1) = (cdf[idx - 1], cdf[idx]);
+    let (g0, g1) = (grid[idx - 1], grid[idx]);
+    if c1 <= c0 {
+        g1
+    } else {
+        g0 + (g1 - g0) * (target - c0) / (c1 - c0)
+    }
+}
+
+/// Conditional mean `E[w | w ≥ γ]` (or `E[w | w < γ]`) under the marginal
+/// density, by trapezoidal integration over the grid.
+fn conditional_mean(grid: &[f64], pdf: &[f64], gamma: f64, above: bool) -> f64 {
+    let step = grid[1] - grid[0];
+    let mut mass = 0.0;
+    let mut weighted = 0.0;
+    for i in 1..grid.len() {
+        let mid = 0.5 * (grid[i] + grid[i - 1]);
+        let in_region = if above { mid >= gamma } else { mid < gamma };
+        if in_region {
+            let density = 0.5 * (pdf[i] + pdf[i - 1]);
+            mass += density * step;
+            weighted += density * mid * step;
+        }
+    }
+    if mass <= 0.0 {
+        0.0
+    } else {
+        weighted / mass
+    }
+}
+
+/// Standard-normal sample via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn unit_vector(d: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        let mut v: Vec<f64> = (0..d).map(|_| standard_normal(&mut rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+        v
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(PrivUnit::new(8, 1.0).is_ok());
+        assert!(PrivUnit::new(1, 1.0).is_err());
+        assert!(PrivUnit::new(8, 0.0).is_err());
+        assert!(PrivUnit::new(8, -2.0).is_err());
+    }
+
+    #[test]
+    fn privacy_relation_between_p_q_and_epsilon_holds() {
+        for &eps in &[0.5f64, 1.0, 2.0, 4.0] {
+            let mech = PrivUnit::new(32, eps).unwrap();
+            let p = mech.cap_weight();
+            let q = mech.cap_probability();
+            let ratio = (p * (1.0 - q)) / (q * (1.0 - p));
+            assert!(
+                (ratio.ln() - eps).abs() < 1e-6,
+                "eps = {eps}: ln ratio = {}",
+                ratio.ln()
+            );
+            assert!(p > q, "cap must be over-weighted");
+        }
+    }
+
+    #[test]
+    fn scale_is_positive_and_at_most_one() {
+        for &d in &[2usize, 10, 200] {
+            let mech = PrivUnit::new(d, 1.0).unwrap();
+            assert!(mech.scale() > 0.0);
+            assert!(mech.scale() <= 1.0 + 1e-9, "scale = {}", mech.scale());
+            assert!(mech.expected_squared_norm() >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_epsilon_means_lower_error() {
+        let low = PrivUnit::new(64, 0.5).unwrap();
+        let high = PrivUnit::new(64, 4.0).unwrap();
+        assert!(high.scale() > low.scale());
+        assert!(high.expected_squared_norm() < low.expected_squared_norm());
+    }
+
+    #[test]
+    fn outputs_have_norm_one_over_scale() {
+        let mech = PrivUnit::new(16, 2.0).unwrap();
+        let u = unit_vector(16, 7);
+        let mut rng = seeded_rng(8);
+        for _ in 0..20 {
+            let out = mech.randomize(&u, &mut rng).unwrap();
+            let norm = out.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0 / mech.scale()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        let d = 8;
+        let mech = PrivUnit::new(d, 3.0).unwrap();
+        let u = unit_vector(d, 11);
+        let mut rng = seeded_rng(12);
+        let trials = 30_000;
+        let mut mean = vec![0.0; d];
+        for _ in 0..trials {
+            let out = mech.randomize(&u, &mut rng).unwrap();
+            for (m, o) in mean.iter_mut().zip(out.iter()) {
+                *m += o;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= trials as f64;
+        }
+        for (m, target) in mean.iter().zip(u.iter()) {
+            assert!((m - target).abs() < 0.05, "coordinate mean {m} vs target {target}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mech = PrivUnit::new(4, 1.0).unwrap();
+        let mut rng = seeded_rng(13);
+        assert!(mech.randomize(&[1.0, 0.0, 0.0], &mut rng).is_err());
+        assert!(mech.randomize(&[2.0, 0.0, 0.0, 0.0], &mut rng).is_err());
+        assert!(mech.randomize(&[0.0, 0.0, 0.0, 0.0], &mut rng).is_err());
+        assert!(mech.randomize(&[1.0, 0.0, 0.0, 0.0], &mut rng).is_ok());
+    }
+
+    #[test]
+    fn guarantee_is_pure_epsilon() {
+        let mech = PrivUnit::new(12, 1.3).unwrap();
+        assert!(mech.guarantee().is_pure());
+        assert!((mech.epsilon() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_dimension_tables_do_not_underflow() {
+        let mech = PrivUnit::new(200, 1.0).unwrap();
+        assert!(mech.cap_probability() > 0.0);
+        assert!(mech.cap_probability() < 1.0);
+        assert!(mech.scale().is_finite());
+        assert!(mech.scale() > 0.0);
+    }
+}

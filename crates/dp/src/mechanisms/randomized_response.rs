@@ -1,0 +1,140 @@
+//! k-ary randomized response.
+//!
+//! For a categorical domain of size `k`, the true category is reported with
+//! probability `e^ε / (e^ε + k − 1)` and every other category with
+//! probability `1 / (e^ε + k − 1)`.  This is the classic ε-LDP mechanism for
+//! frequency estimation and the default report type in the protocol examples.
+
+use crate::randomizer::LocalRandomizer;
+use crate::types::{validate_positive_epsilon, DpError, PrivacyGuarantee, Result};
+use rand::Rng;
+
+/// k-ary randomized response over the domain `{0, 1, …, k − 1}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomizedResponse {
+    categories: usize,
+    epsilon: f64,
+    /// Probability of reporting the true category.
+    keep_probability: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates a k-ary randomized-response mechanism with `categories ≥ 2`
+    /// categories and pure LDP parameter `epsilon > 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidParameters`] for fewer than two categories,
+    /// [`DpError::InvalidEpsilon`] for a non-positive ε.
+    pub fn new(categories: usize, epsilon: f64) -> Result<Self> {
+        if categories < 2 {
+            return Err(DpError::InvalidParameters(format!(
+                "randomized response requires at least 2 categories, got {categories}"
+            )));
+        }
+        let epsilon = validate_positive_epsilon(epsilon)?;
+        let e = epsilon.exp();
+        let keep_probability = e / (e + categories as f64 - 1.0);
+        Ok(RandomizedResponse { categories, epsilon, keep_probability })
+    }
+
+    /// Number of categories `k`.
+    pub fn categories(&self) -> usize {
+        self.categories
+    }
+
+    /// Probability that the true category is reported.
+    pub fn keep_probability(&self) -> f64 {
+        self.keep_probability
+    }
+
+    /// Probability that any *specific* other category is reported.
+    pub fn flip_probability(&self) -> f64 {
+        (1.0 - self.keep_probability) / (self.categories as f64 - 1.0)
+    }
+}
+
+impl LocalRandomizer for RandomizedResponse {
+    type Input = usize;
+    type Output = usize;
+
+    fn randomize<R: Rng + ?Sized>(&self, input: &usize, rng: &mut R) -> Result<usize> {
+        if *input >= self.categories {
+            return Err(DpError::DomainViolation(format!(
+                "category {input} out of range for {} categories",
+                self.categories
+            )));
+        }
+        if rng.gen::<f64>() < self.keep_probability {
+            Ok(*input)
+        } else {
+            // Uniform over the other k - 1 categories.
+            let mut other = rng.gen_range(0..self.categories - 1);
+            if other >= *input {
+                other += 1;
+            }
+            Ok(other)
+        }
+    }
+
+    fn guarantee(&self) -> PrivacyGuarantee {
+        PrivacyGuarantee::pure(self.epsilon).expect("validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(RandomizedResponse::new(2, 1.0).is_ok());
+        assert!(RandomizedResponse::new(1, 1.0).is_err());
+        assert!(RandomizedResponse::new(4, 0.0).is_err());
+        assert!(RandomizedResponse::new(4, -1.0).is_err());
+        assert!(RandomizedResponse::new(4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn keep_probability_matches_closed_form() {
+        let rr = RandomizedResponse::new(4, 1.0).unwrap();
+        let e = 1.0f64.exp();
+        assert!((rr.keep_probability() - e / (e + 3.0)).abs() < 1e-12);
+        assert!((rr.flip_probability() - 1.0 / (e + 3.0)).abs() < 1e-12);
+        // keep + (k-1)*flip == 1.
+        assert!((rr.keep_probability() + 3.0 * rr.flip_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_stays_in_domain_and_rejects_bad_input() {
+        let rr = RandomizedResponse::new(5, 0.5).unwrap();
+        let mut rng = seeded_rng(1);
+        for _ in 0..200 {
+            let out = rr.randomize(&3, &mut rng).unwrap();
+            assert!(out < 5);
+        }
+        assert!(rr.randomize(&5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empirical_keep_rate_matches_theory() {
+        let rr = RandomizedResponse::new(3, 1.5).unwrap();
+        let mut rng = seeded_rng(2);
+        let trials = 40_000;
+        let kept = (0..trials).filter(|_| rr.randomize(&1, &mut rng).unwrap() == 1).count();
+        let rate = kept as f64 / trials as f64;
+        assert!((rate - rr.keep_probability()).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn likelihood_ratio_respects_epsilon() {
+        // The worst-case ratio of output probabilities across two inputs is
+        // keep / flip = e^epsilon.
+        let rr = RandomizedResponse::new(6, 0.8).unwrap();
+        let ratio = rr.keep_probability() / rr.flip_probability();
+        assert!((ratio - 0.8f64.exp()).abs() < 1e-12);
+        assert!((rr.guarantee().epsilon - 0.8).abs() < 1e-12);
+        assert!(rr.guarantee().is_pure());
+    }
+}

@@ -1,0 +1,216 @@
+//! Optimized Unary Encoding (OUE) for frequency estimation over large
+//! categorical domains.
+//!
+//! k-ary randomized response degrades quickly as the domain grows (the keep
+//! probability decays like `1/k`).  OUE (Wang et al., "Locally Differentially
+//! Private Protocols for Frequency Estimation") one-hot encodes the value and
+//! perturbs each bit independently: the true bit is kept with probability
+//! 1/2, every other bit is set with probability `1/(e^ε + 1)`.  This is the
+//! mechanism of choice for histogram workloads such as RAPPOR-style telemetry
+//! collected through network shuffling.
+
+use crate::randomizer::LocalRandomizer;
+use crate::types::{validate_positive_epsilon, DpError, PrivacyGuarantee, Result};
+use rand::Rng;
+
+/// Optimized Unary Encoding over the domain `{0, …, k − 1}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnaryEncoding {
+    categories: usize,
+    epsilon: f64,
+    /// Probability that the true-category bit stays set (`p = 1/2`).
+    keep_probability: f64,
+    /// Probability that any other bit flips to set (`q = 1/(e^ε + 1)`).
+    flip_probability: f64,
+}
+
+impl UnaryEncoding {
+    /// Creates an OUE mechanism for `categories ≥ 2` categories at pure LDP
+    /// level `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidParameters`] for fewer than two categories,
+    /// [`DpError::InvalidEpsilon`] for a non-positive ε.
+    pub fn new(categories: usize, epsilon: f64) -> Result<Self> {
+        if categories < 2 {
+            return Err(DpError::InvalidParameters(format!(
+                "unary encoding requires at least 2 categories, got {categories}"
+            )));
+        }
+        let epsilon = validate_positive_epsilon(epsilon)?;
+        Ok(UnaryEncoding {
+            categories,
+            epsilon,
+            keep_probability: 0.5,
+            flip_probability: 1.0 / (epsilon.exp() + 1.0),
+        })
+    }
+
+    /// Number of categories `k` (and bits per report).
+    pub fn categories(&self) -> usize {
+        self.categories
+    }
+
+    /// `p = 1/2`, the probability that the true bit remains set.
+    pub fn keep_probability(&self) -> f64 {
+        self.keep_probability
+    }
+
+    /// `q = 1/(e^ε + 1)`, the probability that any other bit is set.
+    pub fn flip_probability(&self) -> f64 {
+        self.flip_probability
+    }
+
+    /// Unbiased frequency estimates from a collection of OUE reports:
+    /// `f_j = (c_j/n − q) / (p − q)` where `c_j` counts set bits in
+    /// position `j`.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidParameters`] if no reports are given;
+    /// [`DpError::DomainViolation`] if a report has the wrong width.
+    pub fn estimate_frequencies(&self, reports: &[Vec<bool>]) -> Result<Vec<f64>> {
+        if reports.is_empty() {
+            return Err(DpError::InvalidParameters("cannot estimate from zero reports".into()));
+        }
+        let mut counts = vec![0usize; self.categories];
+        for report in reports {
+            if report.len() != self.categories {
+                return Err(DpError::DomainViolation(format!(
+                    "report has {} bits, expected {}",
+                    report.len(),
+                    self.categories
+                )));
+            }
+            for (count, &bit) in counts.iter_mut().zip(report.iter()) {
+                if bit {
+                    *count += 1;
+                }
+            }
+        }
+        let n = reports.len() as f64;
+        let denom = self.keep_probability - self.flip_probability;
+        Ok(counts.iter().map(|&c| (c as f64 / n - self.flip_probability) / denom).collect())
+    }
+}
+
+impl LocalRandomizer for UnaryEncoding {
+    type Input = usize;
+    type Output = Vec<bool>;
+
+    fn randomize<R: Rng + ?Sized>(&self, input: &usize, rng: &mut R) -> Result<Vec<bool>> {
+        if *input >= self.categories {
+            return Err(DpError::DomainViolation(format!(
+                "category {input} out of range for {} categories",
+                self.categories
+            )));
+        }
+        Ok((0..self.categories)
+            .map(|j| {
+                let probability =
+                    if j == *input { self.keep_probability } else { self.flip_probability };
+                rng.gen::<f64>() < probability
+            })
+            .collect())
+    }
+
+    fn guarantee(&self) -> PrivacyGuarantee {
+        PrivacyGuarantee::pure(self.epsilon).expect("validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(UnaryEncoding::new(8, 1.0).is_ok());
+        assert!(UnaryEncoding::new(1, 1.0).is_err());
+        assert!(UnaryEncoding::new(8, 0.0).is_err());
+    }
+
+    #[test]
+    fn bit_probabilities_match_oue() {
+        let oue = UnaryEncoding::new(16, 1.0).unwrap();
+        assert_eq!(oue.keep_probability(), 0.5);
+        assert!((oue.flip_probability() - 1.0 / (1.0f64.exp() + 1.0)).abs() < 1e-12);
+        // The per-bit likelihood ratio p(1-q) / (q(1-p)) equals e^epsilon,
+        // which is the standard OUE privacy argument.
+        let p = oue.keep_probability();
+        let q = oue.flip_probability();
+        assert!(((p * (1.0 - q) / (q * (1.0 - p))).ln() - 1.0).abs() < 1e-12);
+        assert!(oue.guarantee().is_pure());
+    }
+
+    #[test]
+    fn reports_have_the_right_width_and_reject_bad_input() {
+        let oue = UnaryEncoding::new(10, 2.0).unwrap();
+        let mut rng = seeded_rng(1);
+        let report = oue.randomize(&3, &mut rng).unwrap();
+        assert_eq!(report.len(), 10);
+        assert!(oue.randomize(&10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn frequency_estimation_recovers_the_distribution() {
+        let oue = UnaryEncoding::new(5, 2.0).unwrap();
+        let mut rng = seeded_rng(2);
+        let n = 30_000;
+        let reports: Vec<Vec<bool>> = (0..n)
+            .map(|i| {
+                let truth = if i % 10 < 5 {
+                    0
+                } else if i % 10 < 8 {
+                    1
+                } else {
+                    4
+                };
+                oue.randomize(&truth, &mut rng).unwrap()
+            })
+            .collect();
+        let est = oue.estimate_frequencies(&reports).unwrap();
+        assert!((est[0] - 0.5).abs() < 0.03, "est[0] = {}", est[0]);
+        assert!((est[1] - 0.3).abs() < 0.03, "est[1] = {}", est[1]);
+        assert!(est[2].abs() < 0.03 && est[3].abs() < 0.03);
+        assert!((est[4] - 0.2).abs() < 0.03, "est[4] = {}", est[4]);
+    }
+
+    #[test]
+    fn estimator_validates_inputs() {
+        let oue = UnaryEncoding::new(4, 1.0).unwrap();
+        assert!(oue.estimate_frequencies(&[]).is_err());
+        assert!(oue.estimate_frequencies(&[vec![true, false]]).is_err());
+    }
+
+    #[test]
+    fn oue_beats_krr_for_large_domains() {
+        // At equal epsilon and sample size, the OUE estimator variance is
+        // lower than k-RR's for large k.  Check empirically on a uniform
+        // distribution over 64 categories.
+        let k = 64usize;
+        let eps = 1.0;
+        let n = 20_000;
+        let mut rng = seeded_rng(3);
+        let oue = UnaryEncoding::new(k, eps).unwrap();
+        let krr = crate::mechanisms::RandomizedResponse::new(k, eps).unwrap();
+
+        let oue_reports: Vec<Vec<bool>> =
+            (0..n).map(|i| oue.randomize(&(i % k), &mut rng).unwrap()).collect();
+        let krr_reports: Vec<usize> =
+            (0..n).map(|i| krr.randomize(&(i % k), &mut rng).unwrap()).collect();
+
+        let oue_est = oue.estimate_frequencies(&oue_reports).unwrap();
+        let krr_est = crate::estimators::estimate_frequencies(&krr, &krr_reports).unwrap();
+        let truth = 1.0 / k as f64;
+        let mse = |est: &[f64]| est.iter().map(|f| (f - truth) * (f - truth)).sum::<f64>() / k as f64;
+        assert!(
+            mse(&oue_est) < mse(&krr_est),
+            "OUE mse {} should beat kRR mse {}",
+            mse(&oue_est),
+            mse(&krr_est)
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! The local-randomizer abstraction (Definition 2.2 of the paper).
+//!
+//! A local randomizer `A : D → R` guarantees that for any two inputs
+//! `x, x'`, the output distributions `A(x)` and `A(x')` are
+//! `(ε₀, δ₀)`-indistinguishable.  Every user applies such a randomizer to her
+//! raw value before participating in network shuffling; this is the
+//! worst-case privacy floor that holds even when every other party colludes
+//! (Section 3.3).
+
+use crate::types::{PrivacyGuarantee, Result};
+use rand::Rng;
+
+/// A locally differentially private randomizer.
+///
+/// Implementations declare their input and output types and the `(ε₀, δ₀)`
+/// guarantee they provide.  Randomization is fallible so that mechanisms can
+/// reject inputs outside their declared domain (e.g. a category index out of
+/// range, or a non-unit vector handed to PrivUnit).
+pub trait LocalRandomizer {
+    /// The raw input type.
+    type Input: ?Sized;
+    /// The randomized-report type.
+    type Output;
+
+    /// Randomizes one input value.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::types::DpError::DomainViolation`] if the input is outside the
+    /// mechanism's domain.
+    fn randomize<R: Rng + ?Sized>(&self, input: &Self::Input, rng: &mut R) -> Result<Self::Output>;
+
+    /// The local guarantee `(ε₀, δ₀)` this randomizer provides.
+    fn guarantee(&self) -> PrivacyGuarantee;
+
+    /// Shorthand for `self.guarantee().epsilon`.
+    fn epsilon(&self) -> f64 {
+        self.guarantee().epsilon
+    }
+
+    /// Shorthand for `self.guarantee().delta`.
+    fn delta(&self) -> f64 {
+        self.guarantee().delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PrivacyGuarantee;
+
+    /// A trivial randomizer used to exercise the trait's default methods.
+    struct Identity;
+
+    impl LocalRandomizer for Identity {
+        type Input = u8;
+        type Output = u8;
+
+        fn randomize<R: Rng + ?Sized>(&self, input: &u8, _rng: &mut R) -> Result<u8> {
+            Ok(*input)
+        }
+
+        fn guarantee(&self) -> PrivacyGuarantee {
+            // The identity offers no privacy; advertise an effectively
+            // unbounded epsilon (large but finite so validation passes).
+            PrivacyGuarantee::new(1e9, 0.0).expect("valid")
+        }
+    }
+
+    #[test]
+    fn default_accessors_delegate_to_guarantee() {
+        let id = Identity;
+        assert_eq!(id.epsilon(), 1e9);
+        assert_eq!(id.delta(), 0.0);
+        let mut rng = crate::rng::seeded_rng(1);
+        assert_eq!(id.randomize(&7, &mut rng).unwrap(), 7);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic RNG helpers (mirrors `ns_graph::rng` so that this crate has
+//! no dependency on the graph substrate).
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG type used throughout the workspace.
+pub type SimRng = ChaCha8Rng;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded_rng(seed: u64) -> SimRng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn reproducible_streams() {
+        let mut a = seeded_rng(99);
+        let mut b = seeded_rng(99);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+}

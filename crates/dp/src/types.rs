@@ -1,0 +1,194 @@
+//! Core differential-privacy types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, DpError>;
+
+/// Errors produced by the DP substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// ε must be non-negative (and usually strictly positive).
+    InvalidEpsilon(f64),
+    /// δ must lie in `[0, 1)`.
+    InvalidDelta(f64),
+    /// A mechanism parameter was out of range.
+    InvalidParameters(String),
+    /// An input fell outside the mechanism's declared domain.
+    DomainViolation(String),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidEpsilon(e) => write!(f, "invalid epsilon {e}: must be non-negative"),
+            DpError::InvalidDelta(d) => write!(f, "invalid delta {d}: must be in [0, 1)"),
+            DpError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            DpError::DomainViolation(msg) => write!(f, "domain violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+/// An `(ε, δ)` differential-privacy guarantee (Definition 2.1 of the paper).
+///
+/// `δ = 0` is pure DP; `δ > 0` is approximate DP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyGuarantee {
+    /// The ε parameter (privacy loss bound).
+    pub epsilon: f64,
+    /// The δ parameter (failure probability mass).
+    pub delta: f64,
+}
+
+impl PrivacyGuarantee {
+    /// Constructs a validated `(ε, δ)` guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidEpsilon`] / [`DpError::InvalidDelta`] for
+    /// out-of-range or non-finite values.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(DpError::InvalidEpsilon(epsilon));
+        }
+        if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
+            return Err(DpError::InvalidDelta(delta));
+        }
+        Ok(PrivacyGuarantee { epsilon, delta })
+    }
+
+    /// A pure-DP guarantee `(ε, 0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidEpsilon`] if ε is negative or non-finite.
+    pub fn pure(epsilon: f64) -> Result<Self> {
+        Self::new(epsilon, 0.0)
+    }
+
+    /// `true` when `δ = 0`.
+    pub fn is_pure(&self) -> bool {
+        self.delta == 0.0
+    }
+
+    /// Whether this guarantee is at least as strong as `other` in both
+    /// parameters (smaller ε and smaller δ).
+    pub fn dominates(&self, other: &PrivacyGuarantee) -> bool {
+        self.epsilon <= other.epsilon && self.delta <= other.delta
+    }
+
+    /// Naive sequential composition with another guarantee (ε and δ add).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors if the sum overflows the valid range
+    /// (e.g. combined δ ≥ 1).
+    pub fn compose(&self, other: &PrivacyGuarantee) -> Result<Self> {
+        Self::new(self.epsilon + other.epsilon, self.delta + other.delta)
+    }
+
+    /// The multiplicative bound `e^ε` relating output probabilities under
+    /// adjacent inputs.
+    pub fn likelihood_ratio_bound(&self) -> f64 {
+        self.epsilon.exp()
+    }
+}
+
+impl fmt::Display for PrivacyGuarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pure() {
+            write!(f, "{:.6}-DP", self.epsilon)
+        } else {
+            write!(f, "({:.6}, {:.3e})-DP", self.epsilon, self.delta)
+        }
+    }
+}
+
+/// Checks that an ε value is valid (finite, strictly positive), returning it.
+///
+/// Local randomizers in this workspace require ε > 0: ε = 0 would mean the
+/// report carries no information at all and the amplification formulas
+/// degenerate.
+pub fn validate_positive_epsilon(epsilon: f64) -> Result<f64> {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(DpError::InvalidEpsilon(epsilon));
+    }
+    Ok(epsilon)
+}
+
+/// Checks that a δ value is valid (finite, in `(0, 1)`), returning it.
+pub fn validate_delta(delta: f64) -> Result<f64> {
+    if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+        return Err(DpError::InvalidDelta(delta));
+    }
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_ranges() {
+        assert!(PrivacyGuarantee::new(1.0, 1e-6).is_ok());
+        assert!(PrivacyGuarantee::new(0.0, 0.0).is_ok());
+        assert!(PrivacyGuarantee::new(-0.1, 0.0).is_err());
+        assert!(PrivacyGuarantee::new(f64::NAN, 0.0).is_err());
+        assert!(PrivacyGuarantee::new(1.0, 1.0).is_err());
+        assert!(PrivacyGuarantee::new(1.0, -1e-9).is_err());
+    }
+
+    #[test]
+    fn purity_and_domination() {
+        let strong = PrivacyGuarantee::new(0.5, 1e-8).unwrap();
+        let weak = PrivacyGuarantee::new(2.0, 1e-6).unwrap();
+        assert!(strong.dominates(&weak));
+        assert!(!weak.dominates(&strong));
+        assert!(PrivacyGuarantee::pure(1.0).unwrap().is_pure());
+        assert!(!strong.is_pure());
+    }
+
+    #[test]
+    fn composition_adds_parameters() {
+        let a = PrivacyGuarantee::new(0.5, 1e-7).unwrap();
+        let b = PrivacyGuarantee::new(0.7, 2e-7).unwrap();
+        let c = a.compose(&b).unwrap();
+        assert!((c.epsilon - 1.2).abs() < 1e-12);
+        assert!((c.delta - 3e-7).abs() < 1e-18);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PrivacyGuarantee::pure(1.0).unwrap().to_string(), "1.000000-DP");
+        let g = PrivacyGuarantee::new(0.25, 1e-6).unwrap();
+        assert!(g.to_string().contains("0.250000"));
+        assert!(g.to_string().contains("1.000e-6"));
+    }
+
+    #[test]
+    fn validators() {
+        assert!(validate_positive_epsilon(0.3).is_ok());
+        assert!(validate_positive_epsilon(0.0).is_err());
+        assert!(validate_positive_epsilon(f64::INFINITY).is_err());
+        assert!(validate_delta(1e-6).is_ok());
+        assert!(validate_delta(0.0).is_err());
+        assert!(validate_delta(1.0).is_err());
+    }
+
+    #[test]
+    fn likelihood_ratio_bound_is_exp_epsilon() {
+        let g = PrivacyGuarantee::pure(std::f64::consts::LN_2).unwrap();
+        assert!((g.likelihood_ratio_bound() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DpError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(DpError::InvalidDelta(2.0).to_string().contains('2'));
+        assert!(DpError::InvalidParameters("oops".into()).to_string().contains("oops"));
+        assert!(DpError::DomainViolation("bad".into()).to_string().contains("bad"));
+    }
+}

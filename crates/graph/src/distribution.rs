@@ -1,0 +1,265 @@
+//! Position probability distributions `P^G(t)` and distances between them.
+//!
+//! `P^G(t)` is the probability distribution over which user holds a given
+//! report after `t` rounds of exchange (Table 2).  The privacy accountant in
+//! the core crate consumes `Σ_i P_i(t)²` (directly for the symmetric /
+//! k-regular analysis, and through the spectral bound of Eq. 7 for general
+//! ergodic graphs) and the graph total-variation distance of Definition 4.4.
+
+use crate::error::{GraphError, Result};
+use crate::graph::{Graph, NodeId};
+use crate::transition::TransitionMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A probability distribution over the nodes of a graph, tracked as it
+/// evolves under the random walk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PositionDistribution {
+    probabilities: Vec<f64>,
+    /// Number of rounds applied so far.
+    time: usize,
+}
+
+impl PositionDistribution {
+    /// A point mass on `origin`: the report is held by its producer at `t=0`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] if `origin >= n`.
+    pub fn point_mass(n: usize, origin: NodeId) -> Result<Self> {
+        if origin >= n {
+            return Err(GraphError::NodeOutOfRange { node: origin, node_count: n });
+        }
+        let mut probabilities = vec![0.0; n];
+        probabilities[origin] = 1.0;
+        Ok(PositionDistribution { probabilities, time: 0 })
+    }
+
+    /// The uniform distribution `1/n`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EmptyGraph`] if `n == 0`.
+    pub fn uniform(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        Ok(PositionDistribution { probabilities: vec![1.0 / n as f64; n], time: 0 })
+    }
+
+    /// Wraps an explicit probability vector.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameters`] if the vector is empty, contains a
+    /// negative entry, or does not sum to 1 within `1e-9`.
+    pub fn from_probabilities(p: Vec<f64>) -> Result<Self> {
+        if p.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        if p.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+            return Err(GraphError::InvalidParameters(
+                "probabilities must be finite and non-negative".into(),
+            ));
+        }
+        let total: f64 = p.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(GraphError::InvalidParameters(format!(
+                "probabilities must sum to 1, got {total}"
+            )));
+        }
+        Ok(PositionDistribution { probabilities: p, time: 0 })
+    }
+
+    /// The underlying probability vector.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// Always `false`: constructors reject empty distributions.
+    pub fn is_empty(&self) -> bool {
+        self.probabilities.is_empty()
+    }
+
+    /// Number of walk rounds applied so far.
+    pub fn time(&self) -> usize {
+        self.time
+    }
+
+    /// Advances the distribution by one round under `transition`.
+    pub fn step(&mut self, transition: &TransitionMatrix) {
+        self.probabilities = transition.propagate(&self.probabilities);
+        self.time += 1;
+    }
+
+    /// Advances the distribution by `rounds` rounds.
+    pub fn advance(&mut self, transition: &TransitionMatrix, rounds: usize) {
+        self.probabilities = transition.evolve(&self.probabilities, rounds);
+        self.time += rounds;
+    }
+
+    /// `Σ_i P_i²` — the quantity consumed by Theorems 5.3–5.6.
+    pub fn sum_of_squares(&self) -> f64 {
+        crate::degree::sum_of_squares(&self.probabilities)
+    }
+
+    /// `Γ_G(t) = n Σ_i P_i(t)²`, the time-dependent irregularity.
+    pub fn irregularity(&self) -> f64 {
+        crate::degree::irregularity_from_distribution(&self.probabilities)
+    }
+
+    /// Ratio `ρ* = max_i P_i / min_{i: P_i > 0} P_i` used by Theorem 5.4.
+    ///
+    /// Returns `None` if every entry is zero (cannot happen for a valid
+    /// distribution) or non-finite.
+    pub fn support_ratio(&self) -> Option<f64> {
+        let max = self.probabilities.iter().cloned().fold(f64::NAN, f64::max);
+        let min_nonzero = self
+            .probabilities
+            .iter()
+            .cloned()
+            .filter(|&x| x > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        if !max.is_finite() || !min_nonzero.is_finite() || min_nonzero == 0.0 {
+            None
+        } else {
+            Some(max / min_nonzero)
+        }
+    }
+
+    /// Graph total-variation distance of Definition 4.4:
+    /// `TV_G(P, Q) = Σ_i |P_i − Q_i| = ‖P − Q‖₁`.
+    ///
+    /// Note this is the un-halved L1 distance, matching the paper's
+    /// definition (twice the usual statistical total variation).
+    pub fn tv_distance(&self, other: &[f64]) -> f64 {
+        assert_eq!(self.probabilities.len(), other.len(), "distributions must share the node set");
+        self.probabilities.iter().zip(other.iter()).map(|(a, b)| (a - b).abs()).sum()
+    }
+
+    /// Euclidean (L2) distance to another distribution.
+    pub fn l2_distance(&self, other: &[f64]) -> f64 {
+        assert_eq!(self.probabilities.len(), other.len(), "distributions must share the node set");
+        self.probabilities
+            .iter()
+            .zip(other.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Tracks the sequence `Σ_i P_i(t)²` for `t = 0..=rounds` starting from a
+/// point mass at `origin`.
+///
+/// This is the exact, per-round quantity used by the symmetric-distribution
+/// theorems (5.4 and 5.6) and plotted in Figure 5.  For a vertex-transitive
+/// graph (e.g. a circulant k-regular graph) the choice of origin is
+/// irrelevant; for other graphs the caller decides which user to analyse.
+///
+/// # Errors
+///
+/// Propagates transition-matrix construction errors.
+pub fn sum_of_squares_trajectory(
+    graph: &Graph,
+    origin: NodeId,
+    rounds: usize,
+    laziness: f64,
+) -> Result<Vec<f64>> {
+    let transition = TransitionMatrix::with_laziness(graph, laziness)?;
+    let mut dist = PositionDistribution::point_mass(graph.node_count(), origin)?;
+    let mut out = Vec::with_capacity(rounds + 1);
+    out.push(dist.sum_of_squares());
+    for _ in 0..rounds {
+        dist.step(&transition);
+        out.push(dist.sum_of_squares());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn point_mass_and_uniform_constructors() {
+        let p = PositionDistribution::point_mass(4, 2).unwrap();
+        assert_eq!(p.probabilities(), &[0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(p.sum_of_squares(), 1.0);
+        assert!(PositionDistribution::point_mass(4, 4).is_err());
+
+        let u = PositionDistribution::uniform(4).unwrap();
+        assert!((u.sum_of_squares() - 0.25).abs() < 1e-12);
+        assert!(PositionDistribution::uniform(0).is_err());
+    }
+
+    #[test]
+    fn from_probabilities_validates() {
+        assert!(PositionDistribution::from_probabilities(vec![0.5, 0.5]).is_ok());
+        assert!(PositionDistribution::from_probabilities(vec![0.5, 0.6]).is_err());
+        assert!(PositionDistribution::from_probabilities(vec![-0.1, 1.1]).is_err());
+        assert!(PositionDistribution::from_probabilities(vec![]).is_err());
+    }
+
+    #[test]
+    fn stepping_tracks_time_and_mass() {
+        let g = generators::complete(5).unwrap();
+        let t = TransitionMatrix::new(&g).unwrap();
+        let mut p = PositionDistribution::point_mass(5, 0).unwrap();
+        p.step(&t);
+        assert_eq!(p.time(), 1);
+        assert!((p.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        p.advance(&t, 10);
+        assert_eq!(p.time(), 11);
+    }
+
+    #[test]
+    fn sum_of_squares_decreases_towards_uniform_on_complete_graph() {
+        let g = generators::complete(8).unwrap();
+        let traj = sum_of_squares_trajectory(&g, 0, 20, 0.0).unwrap();
+        assert!((traj[0] - 1.0).abs() < 1e-12);
+        // Limit is 1/n = 0.125 for the complete graph (regular).
+        assert!((traj[20] - 0.125).abs() < 1e-6);
+        // Trajectory approaches the limit from above.
+        assert!(traj[20] <= traj[1]);
+    }
+
+    #[test]
+    fn support_ratio_of_uniform_is_one() {
+        let p = PositionDistribution::uniform(10).unwrap();
+        assert!((p.support_ratio().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_ratio_ignores_zero_entries() {
+        let p =
+            PositionDistribution::from_probabilities(vec![0.0, 0.2, 0.8, 0.0]).unwrap();
+        assert!((p.support_ratio().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_and_l2_distances() {
+        let p = PositionDistribution::from_probabilities(vec![1.0, 0.0]).unwrap();
+        let q = [0.0, 1.0];
+        assert!((p.tv_distance(&q) - 2.0).abs() < 1e-12);
+        assert!((p.l2_distance(&q) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(p.tv_distance(p.probabilities()), 0.0);
+    }
+
+    #[test]
+    fn oscillation_on_bipartite_graph_without_laziness() {
+        // On an even cycle the point mass alternates between the two sides,
+        // so Sum P^2 never converges to 1/n; with laziness it does.
+        let g = generators::cycle(4).unwrap();
+        let simple = sum_of_squares_trajectory(&g, 0, 101, 0.0).unwrap();
+        let lazy = sum_of_squares_trajectory(&g, 0, 300, 0.3).unwrap();
+        assert!(simple[101] > 0.4);
+        assert!((lazy[300] - 0.25).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for graph construction and analysis.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced while building or analysing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node id outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph being built.
+        node_count: usize,
+    },
+    /// A self-loop `(u, u)` was supplied where the construction forbids it.
+    SelfLoop(usize),
+    /// The requested generator parameters are infeasible
+    /// (e.g. `n * k` odd for a k-regular graph, or `k >= n`).
+    InvalidParameters(String),
+    /// An operation that requires a connected graph was called on a
+    /// disconnected one.  The paper analyses connected graphs only; the
+    /// privacy of a disconnected graph is the parallel composition of its
+    /// components (Section 4.2).
+    Disconnected,
+    /// An operation that requires an ergodic (non-bipartite) walk was called
+    /// on a bipartite graph without enabling laziness (Theorem 4.3).
+    Bipartite,
+    /// The graph has an isolated node (degree zero), so the transition matrix
+    /// is undefined for that node.
+    IsolatedNode(usize),
+    /// An empty graph (zero nodes) was supplied where at least one node is
+    /// required.
+    EmptyGraph,
+    /// An I/O error occurred while reading or writing an edge list.
+    Io(String),
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node id {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop(u) => write!(f, "self-loop at node {u} is not allowed"),
+            GraphError::InvalidParameters(msg) => write!(f, "invalid generator parameters: {msg}"),
+            GraphError::Disconnected => write!(f, "operation requires a connected graph"),
+            GraphError::Bipartite => {
+                write!(f, "operation requires a non-bipartite graph (use a lazy walk instead)")
+            }
+            GraphError::IsolatedNode(u) => write!(f, "node {u} has degree zero"),
+            GraphError::EmptyGraph => write!(f, "graph must contain at least one node"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 10, node_count: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::InvalidParameters("k must be < n".into());
+        assert!(e.to_string().contains("k must be < n"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

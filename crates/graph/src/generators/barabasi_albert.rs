@@ -1,0 +1,99 @@
+//! Barabási–Albert preferential-attachment graphs.
+//!
+//! Grown networks with heavy-tailed degree distributions, i.e. large
+//! irregularity `Γ_G` — the regime of the Enron and Google graphs in Table 4.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Generates a Barabási–Albert graph on `n` nodes where each newly arriving
+/// node attaches to `m` existing nodes with probability proportional to
+/// their current degree.
+///
+/// The process is seeded with a star on `m + 1` nodes so that every node has
+/// degree at least `m` and the graph is connected by construction.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `m == 0` or `n <= m`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph> {
+    if m == 0 {
+        return Err(GraphError::InvalidParameters("attachment count m must be positive".into()));
+    }
+    if n <= m {
+        return Err(GraphError::InvalidParameters(format!(
+            "barabasi_albert requires n > m, got n = {n}, m = {m}"
+        )));
+    }
+    let mut builder = GraphBuilder::new(n);
+    // `targets` holds one entry per half-edge endpoint, so sampling an
+    // element uniformly is sampling a node proportionally to its degree.
+    let mut degree_urn: Vec<usize> = Vec::with_capacity(2 * n * m);
+
+    // Seed star on nodes 0..=m.
+    for leaf in 1..=m {
+        builder.add_edge(0, leaf)?;
+        degree_urn.push(0);
+        degree_urn.push(leaf);
+    }
+
+    for new_node in (m + 1)..n {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let target = degree_urn[rng.gen_range(0..degree_urn.len())];
+            if target != new_node && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &target in &chosen {
+            builder.add_edge(new_node, target)?;
+            degree_urn.push(new_node);
+            degree_urn.push(target);
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn produces_connected_graph_with_expected_edge_count() {
+        let mut rng = seeded_rng(21);
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng).unwrap();
+        assert_eq!(g.node_count(), n);
+        assert_eq!(g.edge_count(), m + (n - m - 1) * m);
+        assert!(g.is_connected());
+        assert!(g.min_degree().unwrap() >= 1);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let mut rng = seeded_rng(22);
+        let g = barabasi_albert(2_000, 4, &mut rng).unwrap();
+        let stats = crate::degree::DegreeStats::compute(&g).unwrap();
+        // A BA graph has Gamma_G well above 1 (power-law-ish tail).
+        assert!(stats.irregularity > 1.5, "Gamma = {}", stats.irregularity);
+        assert!(stats.max_degree > 10 * stats.min_degree);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let mut rng = seeded_rng(23);
+        assert!(barabasi_albert(10, 0, &mut rng).is_err());
+        assert!(barabasi_albert(3, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = barabasi_albert(200, 2, &mut seeded_rng(5)).unwrap();
+        let b = barabasi_albert(200, 2, &mut seeded_rng(5)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,145 @@
+//! Chung–Lu random graphs with a prescribed expected-degree sequence.
+//!
+//! Given weights `w_1, …, w_n`, edge `(i, j)` is present independently with
+//! probability `min(1, w_i w_j / Σ_k w_k)`, so the expected degree of node
+//! `i` is (approximately) `w_i`.  This is the generator used by
+//! `ns-datasets` to build stand-ins for the paper's real-world graphs: the
+//! privacy bounds depend on the graph only through `n`, `Γ_G = ⟨k²⟩/⟨k⟩²`
+//! and the spectral gap, all of which are controlled by the weight sequence.
+//!
+//! The implementation follows the Miller–Hagberg "fast Chung–Lu" scheme:
+//! weights are sorted in decreasing order and, for each `i`, candidate
+//! partners `j > i` are visited with geometric skips calibrated to an upper
+//! bound on the edge probability, giving an `O(n + m)` expected running time.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Generates a Chung–Lu graph from the given expected-degree weights.
+///
+/// Node `i` of the output corresponds to `weights[i]` (the internal sorting
+/// is undone before returning), so callers can attach metadata positionally.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if fewer than two weights are given, a
+/// weight is negative or non-finite, or all weights are zero.
+pub fn chung_lu<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Result<Graph> {
+    let n = weights.len();
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(format!(
+            "chung_lu requires at least 2 weights, got {n}"
+        )));
+    }
+    if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+        return Err(GraphError::InvalidParameters(
+            "chung_lu weights must be finite and non-negative".into(),
+        ));
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(GraphError::InvalidParameters("chung_lu weights must not all be zero".into()));
+    }
+
+    // Sort nodes by decreasing weight, remembering the original index.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite weights"));
+    let sorted: Vec<f64> = order.iter().map(|&i| weights[i]).collect();
+
+    let mut builder = GraphBuilder::new(n);
+    for i in 0..n - 1 {
+        if sorted[i] <= 0.0 {
+            break; // remaining weights are all zero
+        }
+        let mut j = i + 1;
+        // Upper bound for the probability of any edge (i, j') with j' >= j:
+        // weights are sorted, so p_ij' <= p = min(1, w_i * w_j / total).
+        let mut p = (sorted[i] * sorted[j] / total).min(1.0);
+        while j < n && p > 0.0 {
+            if p < 1.0 {
+                // Geometric skip: jump to the next candidate that would be
+                // selected under probability p.
+                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
+                j += skip;
+            }
+            if j >= n {
+                break;
+            }
+            let q = (sorted[i] * sorted[j] / total).min(1.0);
+            // Accept with probability q / p to correct for the bound.
+            if rng.gen::<f64>() < q / p {
+                builder
+                    .add_edge(order[i], order[j])
+                    .expect("sorted indices map to valid node ids");
+            }
+            p = q;
+            j += 1;
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn homogeneous_weights_behave_like_gnp() {
+        let mut rng = seeded_rng(41);
+        let n = 500usize;
+        let w = vec![10.0; n];
+        let g = chung_lu(&w, &mut rng).unwrap();
+        let stats = crate::degree::DegreeStats::compute(&g).unwrap();
+        assert!((stats.mean_degree - 10.0).abs() < 1.0, "mean degree {}", stats.mean_degree);
+        // Poisson-like degrees: Gamma_G = 1 + Var/mean^2 ≈ 1.1.
+        assert!(stats.irregularity < 1.4, "Gamma = {}", stats.irregularity);
+    }
+
+    #[test]
+    fn expected_degrees_track_weights() {
+        let mut rng = seeded_rng(42);
+        let n = 2_000usize;
+        let mut w = vec![5.0; n];
+        // A handful of hubs with weight 100.
+        for hub in w.iter_mut().take(20) {
+            *hub = 100.0;
+        }
+        let g = chung_lu(&w, &mut rng).unwrap();
+        let hub_mean: f64 = (0..20).map(|i| g.degree(i) as f64).sum::<f64>() / 20.0;
+        let leaf_mean: f64 = (20..n).map(|i| g.degree(i) as f64).sum::<f64>() / (n - 20) as f64;
+        assert!((hub_mean - 100.0).abs() < 15.0, "hub mean {hub_mean}");
+        assert!((leaf_mean - 5.0).abs() < 1.0, "leaf mean {leaf_mean}");
+        let stats = crate::degree::DegreeStats::compute(&g).unwrap();
+        assert!(stats.irregularity > 1.5);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut rng = seeded_rng(43);
+        assert!(chung_lu(&[1.0], &mut rng).is_err());
+        assert!(chung_lu(&[1.0, -2.0], &mut rng).is_err());
+        assert!(chung_lu(&[0.0, 0.0], &mut rng).is_err());
+        assert!(chung_lu(&[1.0, f64::NAN], &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let w: Vec<f64> = (1..=300).map(|i| 2.0 + (i % 17) as f64).collect();
+        let a = chung_lu(&w, &mut seeded_rng(44)).unwrap();
+        let b = chung_lu(&w, &mut seeded_rng(44)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_weight_nodes_stay_isolated() {
+        let mut rng = seeded_rng(45);
+        let mut w = vec![8.0; 100];
+        w[7] = 0.0;
+        let g = chung_lu(&w, &mut rng).unwrap();
+        assert_eq!(g.degree(7), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Deterministic graph families with closed-form spectra and degree
+//! statistics, used throughout the test suite as ground truth.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+
+/// The cycle `C_n` (a 2-regular ring).
+///
+/// Connected for `n ≥ 3`; bipartite iff `n` is even.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameters(format!("cycle requires n >= 3, got {n}")));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n)?;
+    }
+    Ok(b.build())
+}
+
+/// The path `P_n` (`n` nodes in a line).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `n < 2`.
+pub fn path(n: usize) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(format!("path requires n >= 2, got {n}")));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n - 1 {
+        b.add_edge(i, i + 1)?;
+    }
+    Ok(b.build())
+}
+
+/// The complete graph `K_n`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `n < 2`.
+pub fn complete(n: usize) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(format!("complete requires n >= 2, got {n}")));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// The star `S_n`: node 0 is the hub, nodes `1..n` are leaves.
+///
+/// Maximally irregular among connected graphs of its size
+/// (`Γ_G = n² / 4(n−1)`), and bipartite.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(format!("star requires n >= 2, got {n}")));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i)?;
+    }
+    Ok(b.build())
+}
+
+/// The circulant graph: node `i` is connected to `i ± 1, …, i ± k/2 (mod n)`.
+///
+/// A deterministic k-regular graph (for even `k`), useful when a reproducible
+/// regular topology is needed; note its spectral gap is much smaller than a
+/// random regular graph's, so mixing is slow.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `k` is odd, `k == 0`, or `k >= n`.
+pub fn circulant(n: usize, k: usize) -> Result<Graph> {
+    if k == 0 || !k.is_multiple_of(2) {
+        return Err(GraphError::InvalidParameters(format!(
+            "circulant requires a positive even degree, got {k}"
+        )));
+    }
+    if k >= n {
+        return Err(GraphError::InvalidParameters(format!(
+            "circulant requires k < n, got k = {k}, n = {n}"
+        )));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for offset in 1..=(k / 2) {
+            b.add_edge(i, (i + offset) % n)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// A "two-degree-class" graph: `n_low` nodes of (approximate) degree `k_low`
+/// interleaved with `n_high` hubs of higher degree, wired deterministically.
+///
+/// Construction: all nodes are placed on a ring (so the graph is connected
+/// and 2-regular to start with); every hub is then additionally connected to
+/// `extra` evenly-spaced non-hub nodes.  This produces a connected,
+/// non-bipartite graph whose irregularity `Γ_G` can be dialled far above 1,
+/// which is what the Figure 8 parameter sweep needs without invoking a random
+/// generator.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] on degenerate sizes.
+pub fn two_degree_class(n: usize, hub_count: usize, extra_per_hub: usize) -> Result<Graph> {
+    if n < 4 {
+        return Err(GraphError::InvalidParameters(format!(
+            "two_degree_class requires n >= 4, got {n}"
+        )));
+    }
+    if hub_count == 0 || hub_count > n / 2 {
+        return Err(GraphError::InvalidParameters(format!(
+            "hub_count must be in 1..=n/2, got {hub_count}"
+        )));
+    }
+    if extra_per_hub == 0 || extra_per_hub >= n {
+        return Err(GraphError::InvalidParameters(format!(
+            "extra_per_hub must be in 1..n, got {extra_per_hub}"
+        )));
+    }
+    let mut b = GraphBuilder::new(n);
+    // Base ring keeps the graph connected.
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n)?;
+    }
+    // A triangle chord makes it non-bipartite even when n is even.
+    b.add_edge(0, 2).ok();
+    // Hubs are the first `hub_count` nodes; each connects to evenly spaced
+    // targets.
+    for h in 0..hub_count {
+        let hub = h * (n / hub_count);
+        for j in 1..=extra_per_hub {
+            let target = (hub + 2 + j * (n / (extra_per_hub + 1))) % n;
+            if target != hub && !b.has_edge(hub, target) {
+                b.add_edge(hub, target)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle(7).unwrap();
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.is_regular());
+        assert!(g.is_connected());
+        assert!(!g.is_bipartite());
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn path_properties() {
+        let g = path(5).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_connected());
+        assert!(g.is_bipartite());
+        assert!(path(1).is_err());
+    }
+
+    #[test]
+    fn complete_properties() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.is_regular());
+        assert_eq!(g.degree(3), 5);
+        assert!(complete(1).is_err());
+    }
+
+    #[test]
+    fn star_properties() {
+        let g = star(9).unwrap();
+        assert_eq!(g.degree(0), 8);
+        assert_eq!(g.degree(5), 1);
+        assert!(g.is_bipartite());
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn circulant_is_regular_and_connected() {
+        let g = circulant(20, 6).unwrap();
+        assert!(g.is_regular());
+        assert_eq!(g.degree(0), 6);
+        assert!(g.is_connected());
+        assert!(circulant(10, 5).is_err());
+        assert!(circulant(10, 0).is_err());
+        assert!(circulant(4, 6).is_err());
+    }
+
+    #[test]
+    fn two_degree_class_raises_irregularity() {
+        let g = two_degree_class(200, 5, 20).unwrap();
+        assert!(g.is_connected());
+        assert!(!g.is_bipartite());
+        let stats = crate::degree::DegreeStats::compute(&g).unwrap();
+        assert!(stats.irregularity > 1.3, "Gamma = {}", stats.irregularity);
+        assert!(two_degree_class(3, 1, 1).is_err());
+        assert!(two_degree_class(10, 0, 1).is_err());
+        assert!(two_degree_class(10, 2, 0).is_err());
+    }
+}

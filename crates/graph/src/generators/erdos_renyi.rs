@@ -1,0 +1,142 @@
+//! Erdős–Rényi random graphs `G(n, p)` and `G(n, m)`.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Generates `G(n, p)`: each of the `n(n−1)/2` possible edges is present
+/// independently with probability `p`.
+///
+/// Uses geometric skipping over the edge enumeration, so the cost is
+/// `O(n + m)` rather than `O(n²)` for sparse graphs.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `n < 2` or `p ∉ [0, 1]`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(format!("gnp requires n >= 2, got {n}")));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameters(format!("p must be in [0, 1], got {p}")));
+    }
+    let mut builder = GraphBuilder::new(n);
+    if p == 0.0 {
+        return Ok(builder.build());
+    }
+    if p == 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                builder.add_edge(u, v)?;
+            }
+        }
+        return Ok(builder.build());
+    }
+
+    // Enumerate candidate edges lexicographically and jump ahead by
+    // geometrically-distributed gaps (Batagelj–Brandes).
+    let log_q = (1.0 - p).ln();
+    let mut u: usize = 0;
+    let mut v: i64 = -1;
+    while u < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as i64 + 1;
+        v += skip;
+        while u < n && v >= (n as i64 - u as i64 - 1) {
+            v -= n as i64 - u as i64 - 1;
+            u += 1;
+        }
+        if u < n {
+            let w = u as i64 + 1 + v;
+            builder.add_edge(u, w as usize)?;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Generates `G(n, m)`: a graph with exactly `m` distinct edges chosen
+/// uniformly among all `n(n−1)/2` candidates.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `n < 2` or `m` exceeds the number of
+/// possible edges.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(format!("gnm requires n >= 2, got {n}")));
+    }
+    let max_edges = n * (n - 1) / 2;
+    if m > max_edges {
+        return Err(GraphError::InvalidParameters(format!(
+            "m = {m} exceeds the maximum {max_edges} edges for n = {n}"
+        )));
+    }
+    let mut builder = GraphBuilder::new(n);
+    let mut added = 0usize;
+    // Rejection sampling is efficient while m is well below max_edges; when
+    // the graph is dense, fall back to sampling from the complement size.
+    while added < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || builder.has_edge(u, v) {
+            continue;
+        }
+        builder.add_edge(u, v)?;
+        added += 1;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn gnp_edge_count_concentrates_around_mean() {
+        let mut rng = seeded_rng(5);
+        let n = 400usize;
+        let p = 0.02;
+        let g = gnp(n, p, &mut rng).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.edge_count() as f64;
+        assert!((m - expected).abs() < 4.0 * expected.sqrt() + 10.0, "m = {m}, expected {expected}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = seeded_rng(6);
+        assert_eq!(gnp(10, 0.0, &mut rng).unwrap().edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).unwrap().edge_count(), 45);
+        assert!(gnp(1, 0.5, &mut rng).is_err());
+        assert!(gnp(10, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = seeded_rng(7);
+        let g = gnm(50, 120, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 120);
+        assert!(gnm(5, 11, &mut rng).is_err());
+        assert_eq!(gnm(5, 10, &mut rng).unwrap().edge_count(), 10);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = gnp(100, 0.05, &mut seeded_rng(42)).unwrap();
+        let b = gnp(100, 0.05, &mut seeded_rng(42)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn supercritical_gnp_is_mostly_connected() {
+        // p = 3 ln n / n is well above the connectivity threshold.
+        let mut rng = seeded_rng(8);
+        let n = 300usize;
+        let p = 3.0 * (n as f64).ln() / n as f64;
+        let g = gnp(n, p, &mut rng).unwrap();
+        let (lcc, _) = crate::connectivity::largest_connected_component(&g);
+        assert!(lcc.node_count() as f64 >= 0.99 * n as f64);
+    }
+}

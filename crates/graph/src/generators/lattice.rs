@@ -1,0 +1,76 @@
+//! Lattice topologies: the 2-D torus grid.
+//!
+//! Wireless-sensor and IoT deployments often communicate with geographic
+//! neighbours only, which makes the communication network grid-like.  Grids
+//! are 4-regular but mix far more slowly than random regular graphs
+//! (`α = Θ(1/n)` instead of `Θ(1)`), so they are the stress case for the
+//! "how many rounds do we need" question.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+
+/// Generates the `rows × cols` torus grid: node `(r, c)` is connected to its
+/// four neighbours with wrap-around.  The result is 4-regular (2-regular
+/// along a dimension of size 2) and non-bipartite iff at least one dimension
+/// is odd.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if either dimension is smaller than 3
+/// (wrap-around would create duplicate edges or self-loops).
+pub fn torus(rows: usize, cols: usize) -> Result<Graph> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::InvalidParameters(format!(
+            "torus requires both dimensions >= 3, got {rows} x {cols}"
+        )));
+    }
+    let index = |r: usize, c: usize| r * cols + c;
+    let mut builder = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            builder.add_edge(index(r, c), index((r + 1) % rows, c))?;
+            builder.add_edge(index(r, c), index(r, (c + 1) % cols))?;
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_dimensions() {
+        assert!(torus(2, 5).is_err());
+        assert!(torus(5, 2).is_err());
+        assert!(torus(3, 3).is_ok());
+    }
+
+    #[test]
+    fn torus_is_4_regular_and_connected() {
+        let g = torus(5, 7).unwrap();
+        assert_eq!(g.node_count(), 35);
+        assert!(g.is_regular());
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.edge_count(), 2 * 35);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn bipartiteness_depends_on_parity() {
+        assert!(torus(4, 6).unwrap().is_bipartite());
+        assert!(!torus(5, 6).unwrap().is_bipartite());
+        assert!(!torus(5, 7).unwrap().is_bipartite());
+    }
+
+    #[test]
+    fn torus_mixes_much_slower_than_a_random_regular_graph() {
+        let grid = torus(15, 15).unwrap(); // 225 nodes, 4-regular, odd dims
+        let random = crate::generators::random_regular(225, 4, &mut crate::rng::seeded_rng(1)).unwrap();
+        let opts = crate::spectral::SpectralOptions::default();
+        let gap_grid = crate::spectral::SpectralAnalysis::compute(&grid, opts).spectral_gap();
+        let gap_random = crate::spectral::SpectralAnalysis::compute(&random, opts).spectral_gap();
+        assert!(gap_grid < gap_random / 3.0, "grid gap {gap_grid}, random gap {gap_random}");
+    }
+}

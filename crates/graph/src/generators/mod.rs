@@ -1,0 +1,37 @@
+//! Graph generators for the families studied in the paper.
+//!
+//! * [`classic`] — deterministic topologies with known spectra (cycle, path,
+//!   complete, star, circulant, two-degree-class), used as analytic test
+//!   fixtures and as extreme cases of the irregularity measure `Γ_G`.
+//! * [`regular`] — random k-regular graphs (the "symmetric distribution"
+//!   scenario of Section 4.2 / Figure 5).
+//! * [`erdos_renyi`] — `G(n, p)` and `G(n, m)` random graphs.
+//! * [`barabasi_albert`] — preferential-attachment graphs with heavy-tailed
+//!   degrees (high `Γ_G`, like the paper's web graphs).
+//! * [`watts_strogatz`] — small-world graphs interpolating between a ring
+//!   lattice and a random graph.
+//! * [`chung_lu`] — configuration-model style graphs with a prescribed
+//!   expected-degree sequence; the dataset stand-ins in `ns-datasets` are
+//!   built on this generator.
+//! * [`sbm`] — stochastic block models (planted communities), the stress
+//!   case for mixing on social networks.
+//! * [`lattice`] — torus grids, the stress case for geographically
+//!   constrained sensor/IoT meshes.
+
+pub mod barabasi_albert;
+pub mod chung_lu;
+pub mod classic;
+pub mod erdos_renyi;
+pub mod lattice;
+pub mod regular;
+pub mod sbm;
+pub mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use chung_lu::chung_lu;
+pub use classic::{circulant, complete, cycle, path, star, two_degree_class};
+pub use erdos_renyi::{gnm, gnp};
+pub use lattice::torus;
+pub use regular::random_regular;
+pub use sbm::stochastic_block_model;
+pub use watts_strogatz::watts_strogatz;

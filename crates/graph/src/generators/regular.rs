@@ -1,0 +1,141 @@
+//! Random k-regular graphs via the Steger–Wormald pairing algorithm.
+//!
+//! Random regular graphs are the canonical model for the paper's "symmetric
+//! distribution" scenario (Section 4.2): peer-discovery protocols in which
+//! every user selects the same number `k` of communication partners.  They
+//! are expanders with high probability, so `α₂ ≈ 2√(k−1)/k` and the walk
+//! mixes in `O(log n)` rounds, which is exactly the regime of Figure 5.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Maximum number of full restarts before giving up.
+const MAX_ATTEMPTS: usize = 200;
+
+/// Generates a uniformly-ish random simple k-regular graph on `n` nodes.
+///
+/// Uses the Steger–Wormald incremental pairing heuristic: repeatedly pick two
+/// random unsaturated "stubs" and join them if the edge is simple; restart if
+/// the process gets stuck.  For `k = o(√n)` the restart probability is tiny.
+///
+/// The returned graph is usually connected for `k ≥ 3`; the generator
+/// retries until it is (connectivity is required for ergodicity), so the
+/// distribution is that of a random regular graph conditioned on
+/// connectedness.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `k == 0`, `k >= n`, or `n·k` is odd.
+pub fn random_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Graph> {
+    if k == 0 {
+        return Err(GraphError::InvalidParameters("degree k must be positive".into()));
+    }
+    if k >= n {
+        return Err(GraphError::InvalidParameters(format!(
+            "degree k must satisfy k < n, got k = {k}, n = {n}"
+        )));
+    }
+    if !(n * k).is_multiple_of(2) {
+        return Err(GraphError::InvalidParameters(format!(
+            "n * k must be even, got n = {n}, k = {k}"
+        )));
+    }
+
+    for _ in 0..MAX_ATTEMPTS {
+        if let Some(graph) = try_pairing(n, k, rng) {
+            if graph.is_connected() {
+                return Ok(graph);
+            }
+        }
+    }
+    Err(GraphError::InvalidParameters(format!(
+        "failed to generate a connected {k}-regular graph on {n} nodes after {MAX_ATTEMPTS} attempts"
+    )))
+}
+
+/// One attempt of the pairing construction; `None` if it got stuck.
+fn try_pairing<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Option<Graph> {
+    // Each node contributes k stubs.
+    let mut stubs: Vec<usize> = (0..n).flat_map(|u| std::iter::repeat_n(u, k)).collect();
+    stubs.shuffle(rng);
+
+    let mut builder = GraphBuilder::new(n);
+    // Repeatedly take the last stub and try to match it with another random
+    // stub that yields a simple edge.
+    while !stubs.is_empty() {
+        let u = *stubs.last().expect("non-empty");
+        // Collect candidate positions (any stub not belonging to u and not
+        // already adjacent).  To stay O(1) amortized we sample positions at
+        // random and fall back to a scan when sampling keeps failing.
+        let mut matched = None;
+        for _ in 0..32 {
+            let idx = rng.gen_range(0..stubs.len().saturating_sub(1).max(1));
+            let v = stubs[idx];
+            if v != u && !builder.has_edge(u, v) {
+                matched = Some(idx);
+                break;
+            }
+        }
+        if matched.is_none() {
+            // Exhaustive scan before declaring the attempt stuck.
+            matched = stubs[..stubs.len() - 1]
+                .iter()
+                .position(|&v| v != u && !builder.has_edge(u, v));
+        }
+        let idx = matched?;
+        let v = stubs[idx];
+        builder.add_edge(u, v).expect("pairing endpoints are valid");
+        // Remove the two consumed stubs (order: higher index first).
+        stubs.pop();
+        stubs.swap_remove(idx);
+    }
+    Some(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn generates_regular_connected_graphs() {
+        let mut rng = seeded_rng(1);
+        for &(n, k) in &[(10usize, 3usize), (50, 4), (101, 8), (200, 5)] {
+            let g = random_regular(n, k, &mut rng).unwrap();
+            assert_eq!(g.node_count(), n);
+            assert!(g.is_regular(), "graph for n={n}, k={k} is not regular");
+            assert_eq!(g.degree(0), k);
+            assert!(g.is_connected());
+            assert_eq!(g.edge_count(), n * k / 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let g1 = random_regular(60, 4, &mut seeded_rng(9)).unwrap();
+        let g2 = random_regular(60, 4, &mut seeded_rng(9)).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let mut rng = seeded_rng(2);
+        assert!(random_regular(10, 0, &mut rng).is_err());
+        assert!(random_regular(10, 10, &mut rng).is_err());
+        assert!(random_regular(5, 3, &mut rng).is_err()); // n*k odd
+    }
+
+    #[test]
+    fn complete_graph_corner_case() {
+        // k = n - 1 forces the complete graph.
+        let mut rng = seeded_rng(3);
+        let g = random_regular(6, 5, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 15);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 5);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Stochastic block model (planted-community) graphs.
+//!
+//! Social networks are rarely unstructured: users cluster into communities
+//! with dense internal links and sparse links across.  Community structure
+//! shrinks the spectral gap (the walk takes long to cross between blocks),
+//! which directly lengthens the number of rounds network shuffling needs —
+//! the `ablation_topology` experiment quantifies this.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Generates a stochastic block model with `blocks` equal-sized communities
+/// over `n` nodes: an edge inside a community appears with probability
+/// `p_in`, an edge between communities with probability `p_out`.
+///
+/// Uses the same geometric-skipping trick as `G(n, p)` per block pair, so the
+/// cost is `O(n + m)`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `blocks` is zero or exceeds `n`, or a
+/// probability is outside `[0, 1]`.
+pub fn stochastic_block_model<R: Rng + ?Sized>(
+    n: usize,
+    blocks: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Result<Graph> {
+    if blocks == 0 || blocks > n {
+        return Err(GraphError::InvalidParameters(format!(
+            "blocks must be in 1..=n, got {blocks} for n = {n}"
+        )));
+    }
+    for (name, p) in [("p_in", p_in), ("p_out", p_out)] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidParameters(format!("{name} must be in [0, 1], got {p}")));
+        }
+    }
+    let block_of = |u: usize| u * blocks / n;
+    let mut builder = GraphBuilder::new(n);
+
+    // Enumerate candidate pairs (u, v) with u < v lazily, skipping ahead
+    // geometrically under the maximum of the two probabilities and then
+    // accepting with the exact probability for the pair's block relation.
+    let p_max = p_in.max(p_out);
+    if p_max == 0.0 {
+        return Ok(builder.build());
+    }
+    let mut u = 0usize;
+    let mut v: i64 = 0; // offset within u's candidate list (v = u + 1 + offset)
+    while u + 1 < n {
+        let candidates = (n - u - 1) as i64;
+        if v >= candidates {
+            v -= candidates;
+            u += 1;
+            continue;
+        }
+        let w = u + 1 + v as usize;
+        let p_pair = if block_of(u) == block_of(w) { p_in } else { p_out };
+        if p_max >= 1.0 {
+            if rng.gen::<f64>() < p_pair {
+                builder.add_edge(u, w)?;
+            }
+            v += 1;
+        } else {
+            // Accept the current candidate with p_pair / p_max, then skip a
+            // geometric number of candidates under p_max.
+            if rng.gen::<f64>() < p_pair / p_max {
+                builder.add_edge(u, w)?;
+            }
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = (r.ln() / (1.0 - p_max).ln()).floor() as i64 + 1;
+            v += skip;
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn validates_parameters() {
+        let mut rng = seeded_rng(1);
+        assert!(stochastic_block_model(10, 0, 0.5, 0.1, &mut rng).is_err());
+        assert!(stochastic_block_model(10, 11, 0.5, 0.1, &mut rng).is_err());
+        assert!(stochastic_block_model(10, 2, 1.5, 0.1, &mut rng).is_err());
+        assert!(stochastic_block_model(10, 2, 0.5, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_probabilities_give_an_empty_graph() {
+        let mut rng = seeded_rng(2);
+        let g = stochastic_block_model(50, 5, 0.0, 0.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_densities_match_block_structure() {
+        let mut rng = seeded_rng(3);
+        let n = 400;
+        let g = stochastic_block_model(n, 4, 0.2, 0.01, &mut rng).unwrap();
+        let block_of = |u: usize| u * 4 / n;
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for (u, v) in g.edges() {
+            if block_of(u) == block_of(v) {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        // Expected: within ≈ 0.2 * 4 * C(100,2) = 3960, across ≈ 0.01 * 60000 = 600.
+        assert!((within as f64 - 3_960.0).abs() < 400.0, "within = {within}");
+        assert!((across as f64 - 600.0).abs() < 150.0, "across = {across}");
+    }
+
+    #[test]
+    fn single_block_behaves_like_gnp() {
+        let mut rng = seeded_rng(4);
+        let g = stochastic_block_model(300, 1, 0.05, 0.9, &mut rng).unwrap();
+        let expected = 0.05 * (300.0 * 299.0 / 2.0);
+        assert!((g.edge_count() as f64 - expected).abs() < 4.0 * expected.sqrt() + 20.0);
+    }
+
+    #[test]
+    fn community_structure_shrinks_the_spectral_gap() {
+        let mut rng = seeded_rng(5);
+        let assortative = stochastic_block_model(400, 4, 0.12, 0.002, &mut rng).unwrap();
+        let flat = stochastic_block_model(400, 4, 0.0325, 0.0325, &mut rng).unwrap();
+        let (lcc_a, _) = crate::connectivity::largest_connected_component(&assortative);
+        let (lcc_f, _) = crate::connectivity::largest_connected_component(&flat);
+        let opts = crate::spectral::SpectralOptions::default();
+        let gap_a = crate::spectral::SpectralAnalysis::compute(&lcc_a, opts).spectral_gap();
+        let gap_f = crate::spectral::SpectralAnalysis::compute(&lcc_f, opts).spectral_gap();
+        assert!(gap_a < gap_f, "assortative gap {gap_a} should be below flat gap {gap_f}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = stochastic_block_model(200, 4, 0.1, 0.01, &mut seeded_rng(6)).unwrap();
+        let b = stochastic_block_model(200, 4, 0.1, 0.01, &mut seeded_rng(6)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,119 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! Interpolates between a ring lattice (slow mixing, high clustering) and a
+//! random graph (fast mixing).  Useful for studying how the rewiring
+//! probability — i.e. how "social" vs. "geographic" the communication network
+//! is — affects the privacy/communication trade-off of Figure 4.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Generates a Watts–Strogatz graph: a ring lattice on `n` nodes where each
+/// node connects to its `k` nearest neighbours (`k` even), and every lattice
+/// edge is rewired to a uniformly random endpoint with probability `beta`.
+///
+/// Rewiring never creates self-loops or duplicate edges; if no valid target
+/// exists the edge is kept in place.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `k` is odd or zero, `k >= n`, or
+/// `beta ∉ [0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Result<Graph> {
+    if k == 0 || !k.is_multiple_of(2) {
+        return Err(GraphError::InvalidParameters(format!(
+            "watts_strogatz requires a positive even k, got {k}"
+        )));
+    }
+    if k >= n {
+        return Err(GraphError::InvalidParameters(format!(
+            "watts_strogatz requires k < n, got k = {k}, n = {n}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameters(format!("beta must be in [0, 1], got {beta}")));
+    }
+
+    let mut builder = GraphBuilder::new(n);
+    for i in 0..n {
+        for offset in 1..=(k / 2) {
+            let neighbor = (i + offset) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint to a random node.
+                let mut rewired = None;
+                for _ in 0..64 {
+                    let candidate = rng.gen_range(0..n);
+                    if candidate != i && !builder.has_edge(i, candidate) {
+                        rewired = Some(candidate);
+                        break;
+                    }
+                }
+                match rewired {
+                    Some(target) => builder.add_edge(i, target)?,
+                    None => {
+                        if !builder.has_edge(i, neighbor) {
+                            builder.add_edge(i, neighbor)?;
+                        }
+                    }
+                }
+            } else if !builder.has_edge(i, neighbor) {
+                builder.add_edge(i, neighbor)?;
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn beta_zero_is_the_ring_lattice() {
+        let mut rng = seeded_rng(31);
+        let g = watts_strogatz(30, 4, 0.0, &mut rng).unwrap();
+        assert!(g.is_regular());
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.edge_count(), 60);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn rewiring_preserves_edge_count_approximately() {
+        let mut rng = seeded_rng(32);
+        let g = watts_strogatz(200, 6, 0.3, &mut rng).unwrap();
+        // Rewiring can only drop an edge in the rare fallback case.
+        assert!(g.edge_count() as f64 >= 0.95 * 600.0);
+        assert!(g.edge_count() <= 600);
+    }
+
+    #[test]
+    fn high_beta_improves_mixing() {
+        let mut rng = seeded_rng(33);
+        let lattice = watts_strogatz(300, 6, 0.0, &mut rng).unwrap();
+        let small_world = watts_strogatz(300, 6, 0.5, &mut rng).unwrap();
+        let opts = crate::spectral::SpectralOptions::default();
+        let gap_lattice = crate::spectral::SpectralAnalysis::compute(&lattice, opts).spectral_gap();
+        let gap_sw = crate::spectral::SpectralAnalysis::compute(&small_world, opts).spectral_gap();
+        assert!(gap_sw > gap_lattice, "gap_sw = {gap_sw}, gap_lattice = {gap_lattice}");
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let mut rng = seeded_rng(34);
+        assert!(watts_strogatz(10, 3, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 0, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(4, 4, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 4, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = watts_strogatz(100, 4, 0.2, &mut seeded_rng(77)).unwrap();
+        let b = watts_strogatz(100, 4, 0.2, &mut seeded_rng(77)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,168 @@
+//! Edge-list I/O in the whitespace-separated format used by SNAP datasets.
+//!
+//! The format is one edge per line (`u v`), `#`-prefixed comment lines, and
+//! arbitrary (not necessarily dense) node labels; labels are remapped to the
+//! dense range `0..n` on load.  Saving always writes the dense ids.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Parses an edge list from a reader.
+///
+/// Self-loops are silently dropped (SNAP datasets occasionally contain them
+/// but they have no meaning for the communication network); duplicate edges
+/// are collapsed.
+///
+/// Returns the graph and the mapping `dense_id -> original_label`.
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] for malformed lines, [`GraphError::Io`] for reader
+/// failures.
+pub fn read_edge_list<R: std::io::Read>(reader: R) -> Result<(Graph, Vec<u64>)> {
+    let reader = BufReader::new(reader);
+    let mut labels: HashMap<u64, usize> = HashMap::new();
+    let mut label_order: Vec<u64> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| GraphError::Io(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u = parse_label(parts.next(), line_no)?;
+        let v = parse_label(parts.next(), line_no)?;
+        if parts.next().is_some() {
+            // Extra columns (e.g. weights/timestamps) are tolerated and ignored.
+        }
+        if u == v {
+            continue;
+        }
+        let ui = *labels.entry(u).or_insert_with(|| {
+            label_order.push(u);
+            label_order.len() - 1
+        });
+        let vi = *labels.entry(v).or_insert_with(|| {
+            label_order.push(v);
+            label_order.len() - 1
+        });
+        edges.push((ui, vi));
+    }
+
+    let mut builder = GraphBuilder::new(label_order.len());
+    for (u, v) in edges {
+        builder.add_edge(u, v)?;
+    }
+    Ok((builder.build(), label_order))
+}
+
+fn parse_label(token: Option<&str>, line: usize) -> Result<u64> {
+    let token = token.ok_or(GraphError::Parse { line, message: "expected two node ids".into() })?;
+    token.parse::<u64>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid node id '{token}'"),
+    })
+}
+
+/// Reads an edge list from a file path.
+///
+/// # Errors
+///
+/// See [`read_edge_list`].
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<(Graph, Vec<u64>)> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes a graph as an edge list (`u v` per line, dense node ids).
+///
+/// # Errors
+///
+/// [`GraphError::Io`] on write failures.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<()> {
+    let mut writer = BufWriter::new(writer);
+    writeln!(writer, "# nodes: {} edges: {}", graph.node_count(), graph.edge_count())?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes a graph as an edge list to a file path.
+///
+/// # Errors
+///
+/// See [`write_edge_list`].
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn parses_snap_style_input() {
+        let input = "# comment line\n% another comment\n10 20\n20 30\n10 30\n\n30 30\n10 20\n";
+        let (graph, labels) = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(graph.node_count(), 3);
+        assert_eq!(graph.edge_count(), 3); // self-loop dropped, duplicate collapsed
+        assert_eq!(labels, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn tolerates_extra_columns() {
+        let input = "1 2 0.5\n2 3 0.7 extra\n";
+        let (graph, _) = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = read_edge_list("1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_edge_list("a b\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip_through_edge_list() {
+        let g = generators::star(6).unwrap();
+        let mut buffer = Vec::new();
+        write_edge_list(&g, &mut buffer).unwrap();
+        let (parsed, labels) = read_edge_list(buffer.as_slice()).unwrap();
+        assert_eq!(parsed.node_count(), 6);
+        assert_eq!(parsed.edge_count(), 5);
+        assert_eq!(labels.len(), 6);
+        // The star structure survives: one node of degree 5.
+        assert_eq!(parsed.max_degree(), Some(5));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("ns_graph_io_test_edges.txt");
+        let g = generators::cycle(7).unwrap();
+        write_edge_list_file(&g, &path).unwrap();
+        let (parsed, _) = read_edge_list_file(&path).unwrap();
+        assert_eq!(parsed.node_count(), 7);
+        assert_eq!(parsed.edge_count(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_edge_list_file("/nonexistent/definitely/missing.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

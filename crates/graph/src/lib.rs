@@ -1,0 +1,75 @@
+//! Graph and random-walk substrate for the network-shuffling reproduction.
+//!
+//! The privacy analysis of network shuffling (Liew et al., SIGMOD 2022) models
+//! the exchange of locally-randomized reports between users as a random walk
+//! on an undirected communication graph `G = (V, E)`.  Everything the privacy
+//! accountant needs from the graph is provided by this crate:
+//!
+//! * a compact CSR representation of undirected graphs ([`Graph`]),
+//! * generators for the graph families studied in the paper
+//!   ([`generators`]): k-regular, Erdős–Rényi, Barabási–Albert,
+//!   Watts–Strogatz, Chung–Lu configuration models and several classic
+//!   topologies,
+//! * connectivity / bipartiteness checks that decide ergodicity of the walk
+//!   ([`connectivity`], Theorem 4.3 of the paper),
+//! * the transition matrix `M = A B⁻¹` and the evolution of the position
+//!   probability distribution `P(t+1) = Mᵀ P(t)` ([`transition`],
+//!   [`distribution`]),
+//! * the stationary distribution `k / 2m` and the irregularity measure
+//!   `Γ_G = n · Σ_i π_i²` ([`stationary`], [`degree`]),
+//! * spectral-gap estimation via deflated power iteration ([`spectral`]) and
+//!   the mixing-time rule `t ≈ α⁻¹ log n` ([`mixing`]),
+//! * a discrete random-walk engine that moves actual reports between nodes,
+//!   including the lazy walk used for fault-tolerance modelling ([`walk`]),
+//! * simple edge-list I/O ([`io`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ns_graph::generators::random_regular;
+//! use ns_graph::prelude::*;
+//!
+//! let mut rng = ns_graph::rng::seeded_rng(7);
+//! let g = random_regular(1_000, 8, &mut rng).unwrap();
+//! assert!(g.is_connected());
+//! let spectrum = ns_graph::spectral::SpectralAnalysis::compute(&g, Default::default());
+//! let t_mix = ns_graph::mixing::mixing_time(spectrum.spectral_gap(), g.node_count());
+//! assert!(t_mix > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod connectivity;
+pub mod degree;
+pub mod distribution;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod mixing;
+pub mod rng;
+pub mod spectral;
+pub mod stationary;
+pub mod transition;
+pub mod walk;
+
+pub use builder::GraphBuilder;
+pub use error::{GraphError, Result};
+pub use graph::{Graph, NodeId};
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::builder::GraphBuilder;
+    pub use crate::connectivity::{connected_components, is_bipartite, largest_connected_component};
+    pub use crate::degree::DegreeStats;
+    pub use crate::distribution::PositionDistribution;
+    pub use crate::error::{GraphError, Result};
+    pub use crate::graph::{Graph, NodeId};
+    pub use crate::mixing::{mixing_time, sum_p_squared_bound, tv_bound};
+    pub use crate::spectral::{SpectralAnalysis, SpectralOptions};
+    pub use crate::stationary::stationary_distribution;
+    pub use crate::transition::TransitionMatrix;
+    pub use crate::walk::{LazyWalk, WalkConfig, WalkEngine};
+}

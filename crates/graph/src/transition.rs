@@ -1,0 +1,229 @@
+//! The random-walk transition matrix `M = A B⁻¹` and distribution updates.
+//!
+//! `M_{ij} = A_{ij} / deg(i)` is the probability that a report held by user
+//! `i` is relayed to user `j` in one round.  The position probability
+//! distribution evolves as `P(t+1) = Mᵀ P(t)` (Section 4.1).  The matrix is
+//! never materialized densely; updates stream over the CSR adjacency so a
+//! single round costs `O(n + m)`.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+
+/// A sparse, implicit representation of the transition matrix of the simple
+/// (optionally lazy) random walk on a graph.
+#[derive(Debug, Clone)]
+pub struct TransitionMatrix {
+    /// Reciprocal degrees `1 / deg(i)`.
+    inv_degree: Vec<f64>,
+    /// Offsets/neighbors copied from the graph (borrowing would tie the
+    /// matrix's lifetime to the graph; the copy is 2m + n words and keeps the
+    /// API simple).
+    offsets: Vec<usize>,
+    neighbors: Vec<usize>,
+    /// Probability of staying put in one round (0 for the simple walk).
+    laziness: f64,
+}
+
+impl TransitionMatrix {
+    /// Builds the transition matrix of the simple random walk on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::EmptyGraph`] if the graph has no nodes.
+    /// * [`GraphError::IsolatedNode`] if some node has degree zero.
+    pub fn new(graph: &Graph) -> Result<Self> {
+        Self::with_laziness(graph, 0.0)
+    }
+
+    /// Builds the transition matrix of a lazy random walk that stays at the
+    /// current node with probability `laziness` and otherwise moves to a
+    /// uniformly random neighbour.
+    ///
+    /// Laziness models temporarily unavailable users (Section 4.5) and also
+    /// restores ergodicity on bipartite graphs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TransitionMatrix::new`], plus
+    /// [`GraphError::InvalidParameters`] if `laziness` is outside `[0, 1)`.
+    pub fn with_laziness(graph: &Graph, laziness: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&laziness) {
+            return Err(GraphError::InvalidParameters(format!(
+                "laziness must be in [0, 1), got {laziness}"
+            )));
+        }
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if let Some(u) = graph.find_isolated_node() {
+            return Err(GraphError::IsolatedNode(u));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0usize);
+        for u in graph.nodes() {
+            neighbors.extend_from_slice(graph.neighbors(u));
+            offsets.push(neighbors.len());
+        }
+        let inv_degree = graph.nodes().map(|u| 1.0 / graph.degree(u) as f64).collect();
+        Ok(TransitionMatrix { inv_degree, offsets, neighbors, laziness })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.inv_degree.len()
+    }
+
+    /// The laziness (self-loop probability) of the walk.
+    pub fn laziness(&self) -> f64 {
+        self.laziness
+    }
+
+    /// Transition probability `Pr[next = j | current = i]`.
+    pub fn probability(&self, i: usize, j: usize) -> f64 {
+        let stay = if i == j { self.laziness } else { 0.0 };
+        let nbrs = &self.neighbors[self.offsets[i]..self.offsets[i + 1]];
+        let move_mass = if nbrs.binary_search(&j).is_ok() {
+            (1.0 - self.laziness) * self.inv_degree[i]
+        } else {
+            0.0
+        };
+        stay + move_mass
+    }
+
+    /// One step of the distribution update: returns `P(t+1) = Mᵀ P(t)`.
+    ///
+    /// The output is allocated; use [`TransitionMatrix::propagate_into`] to
+    /// reuse buffers in hot loops.
+    pub fn propagate(&self, p: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; p.len()];
+        self.propagate_into(p, &mut out);
+        out
+    }
+
+    /// One step of the distribution update writing into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `out` do not have length `n`.
+    pub fn propagate_into(&self, p: &[f64], out: &mut [f64]) {
+        let n = self.node_count();
+        assert_eq!(p.len(), n, "input distribution has wrong length");
+        assert_eq!(out.len(), n, "output buffer has wrong length");
+        let move_factor = 1.0 - self.laziness;
+        for x in out.iter_mut() {
+            *x = 0.0;
+        }
+        // Scatter: node i sends (1-laziness) * P_i / deg(i) to each neighbour
+        // and keeps laziness * P_i.
+        for i in 0..n {
+            let mass = p[i];
+            if mass == 0.0 {
+                continue;
+            }
+            out[i] += self.laziness * mass;
+            let share = move_factor * mass * self.inv_degree[i];
+            for &j in &self.neighbors[self.offsets[i]..self.offsets[i + 1]] {
+                out[j] += share;
+            }
+        }
+    }
+
+    /// Evolves a distribution for `steps` rounds, returning `P(t)`.
+    pub fn evolve(&self, p0: &[f64], steps: usize) -> Vec<f64> {
+        let mut current = p0.to_vec();
+        let mut scratch = vec![0.0; p0.len()];
+        for _ in 0..steps {
+            self.propagate_into(&current, &mut scratch);
+            std::mem::swap(&mut current, &mut scratch);
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn probabilities_of_simple_walk_on_path() {
+        let g = generators::path(3).unwrap(); // 0-1-2
+        let m = TransitionMatrix::new(&g).unwrap();
+        assert!((m.probability(0, 1) - 1.0).abs() < 1e-12);
+        assert!((m.probability(1, 0) - 0.5).abs() < 1e-12);
+        assert!((m.probability(1, 2) - 0.5).abs() < 1e-12);
+        assert!((m.probability(0, 2) - 0.0).abs() < 1e-12);
+        assert!((m.probability(0, 0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_walk_probabilities() {
+        let g = generators::path(3).unwrap();
+        let m = TransitionMatrix::with_laziness(&g, 0.5).unwrap();
+        assert!((m.probability(1, 1) - 0.5).abs() < 1e-12);
+        assert!((m.probability(1, 0) - 0.25).abs() < 1e-12);
+        assert!((m.probability(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagate_preserves_probability_mass() {
+        let g = generators::star(6).unwrap();
+        let m = TransitionMatrix::new(&g).unwrap();
+        let mut p = vec![0.0; 6];
+        p[2] = 0.7;
+        p[5] = 0.3;
+        let q = m.propagate(&p);
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(q.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn point_mass_on_star_leaf_moves_to_hub() {
+        let g = generators::star(4).unwrap();
+        let m = TransitionMatrix::new(&g).unwrap();
+        let mut p = vec![0.0; 4];
+        p[1] = 1.0; // a leaf
+        let q = m.propagate(&p);
+        assert!((q[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evolve_converges_towards_stationary_on_odd_cycle() {
+        let g = generators::cycle(5).unwrap();
+        let m = TransitionMatrix::new(&g).unwrap();
+        let mut p0 = vec![0.0; 5];
+        p0[0] = 1.0;
+        let p = m.evolve(&p0, 500);
+        for &x in &p {
+            assert!((x - 0.2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lazy_walk_mixes_on_bipartite_graph() {
+        let g = generators::cycle(4).unwrap();
+        let lazy = TransitionMatrix::with_laziness(&g, 0.5).unwrap();
+        let mut p0 = vec![0.0; 4];
+        p0[0] = 1.0;
+        let p = lazy.evolve(&p0, 300);
+        for &x in &p {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+        // The non-lazy walk oscillates and never mixes.
+        let simple = TransitionMatrix::new(&g).unwrap();
+        let q = simple.evolve(&p0, 300);
+        assert!((q[0] - 0.5).abs() < 1e-9);
+        assert!((q[1] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_laziness_and_degenerate_graphs() {
+        let g = generators::path(3).unwrap();
+        assert!(TransitionMatrix::with_laziness(&g, 1.0).is_err());
+        assert!(TransitionMatrix::with_laziness(&g, -0.1).is_err());
+        assert!(TransitionMatrix::new(&Graph::from_edges(0, &[]).unwrap()).is_err());
+        assert!(TransitionMatrix::new(&Graph::from_edges(2, &[]).unwrap()).is_err());
+    }
+}

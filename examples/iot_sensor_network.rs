@@ -1,0 +1,69 @@
+//! Network shuffling on an IoT / wireless-sensor topology with unreliable
+//! devices (Sections 3.1 and 4.5 of the paper).
+//!
+//! ```text
+//! cargo run --release --example iot_sensor_network
+//! ```
+//!
+//! Sensors form a small-world mesh (Watts–Strogatz) rather than a social
+//! graph, report a bounded scalar (e.g. a temperature reading) through the
+//! Laplace mechanism, and are flaky: in every round each device is offline
+//! with some probability.  The example shows how the lazy-walk fault model
+//! degrades the mixing time but not the asymptotic privacy guarantee, and
+//! how the curator's mean estimate holds up.
+
+use network_shuffle::prelude::*;
+use ns_dp::mechanisms::Laplace;
+use ns_dp::LocalRandomizer;
+use ns_graph::generators::watts_strogatz;
+use rand::Rng;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let n = 1_500;
+    let epsilon_0 = 1.5;
+    let seed = 23;
+
+    // A sensor mesh: each device pairs with 8 nearby devices, 20% of links
+    // rewired to long-range shortcuts.
+    let mut rng = ns_graph::rng::seeded_rng(seed);
+    let graph = watts_strogatz(n, 8, 0.2, &mut rng)?;
+    println!("sensor mesh: n = {n}, m = {} links", graph.edge_count());
+
+    // Ground truth: temperatures around 21 degrees with spatial drift.
+    let truth: Vec<f64> = (0..n).map(|i| 18.0 + 6.0 * (i as f64 / n as f64) + rng.gen::<f64>()).collect();
+    let true_mean = truth.iter().sum::<f64>() / n as f64;
+    let mechanism = Laplace::new(15.0, 28.0, epsilon_0)?;
+
+    let params = AccountantParams::with_defaults(n, epsilon_0)?;
+
+    for &dropout in &[0.0, 0.3] {
+        let model = DropoutModel::new(dropout)?;
+        let accountant = model.accountant(&graph)?;
+        let rounds = accountant.mixing_time();
+        let central = model.central_guarantee_at_mixing_time(&graph, ProtocolKind::All, &params)?;
+
+        // Randomize readings and run the protocol under the dropout model.
+        let mut ldp_rng = ns_graph::rng::derived_rng(seed, "laplace");
+        let payloads: Vec<f64> = truth
+            .iter()
+            .map(|x| mechanism.randomize(x, &mut ldp_rng).expect("finite reading"))
+            .collect();
+        let outcome = model.run_protocol(&graph, payloads, rounds, ProtocolKind::All, seed, |_| 21.5)?;
+
+        let received: Vec<f64> = outcome.collected.all_payloads().into_iter().copied().collect();
+        let estimate = received.iter().sum::<f64>() / received.len() as f64;
+
+        println!("\ndropout probability {dropout}:");
+        println!("  spectral gap {:.4}, mixing time {rounds} rounds", accountant.mixing_profile().spectral_gap);
+        println!("  central guarantee {central}");
+        println!("  mean temperature: true {true_mean:.3}, estimated {estimate:.3}");
+        println!(
+            "  traffic: {:.1} relay messages per device on average",
+            outcome.metrics.mean_messages_per_user()
+        );
+    }
+
+    println!("\nnote: dropouts lengthen the mixing time (more rounds needed) but the");
+    println!("asymptotic central epsilon is unchanged, as predicted by the lazy-walk analysis.");
+    Ok(())
+}

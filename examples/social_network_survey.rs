@@ -1,0 +1,72 @@
+//! A survey over a realistic social network (the Twitch stand-in dataset).
+//!
+//! ```text
+//! cargo run --release --example social_network_survey
+//! ```
+//!
+//! Scenario from the paper's introduction: a messaging-app provider wants to
+//! survey its users without a trusted shuffler.  Users randomize their answer
+//! locally and relay reports along their social connections.  The example
+//! compares the `A_all` and `A_single` protocols on the same network: the
+//! central ε each achieves, and the survey accuracy each delivers.
+
+use network_shuffle::prelude::*;
+use ns_datasets::Dataset;
+use ns_dp::estimators::estimate_frequencies;
+use ns_dp::mechanisms::RandomizedResponse;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let epsilon_0 = 2.0;
+    let categories = 5;
+    let seed = 7;
+
+    // The Twitch stand-in, scaled down 4x so the example runs in seconds.
+    let generated = Dataset::Twitch.generate_scaled(4, seed)?;
+    let graph = &generated.graph;
+    let n = graph.node_count();
+    println!(
+        "{} stand-in: n = {n}, Gamma_G = {:.2} (paper target {:.2})",
+        generated.spec.name, generated.achieved.irregularity, generated.spec.irregularity
+    );
+
+    // Ground truth: answers follow a Zipf-ish distribution.
+    let truth: Vec<usize> = (0..n).map(|i| match i % 100 {
+        0..=49 => 0,
+        50..=74 => 1,
+        75..=89 => 2,
+        90..=97 => 3,
+        _ => 4,
+    }).collect();
+    let true_freq: Vec<f64> = (0..categories)
+        .map(|c| truth.iter().filter(|&&t| t == c).count() as f64 / n as f64)
+        .collect();
+    let randomizer = RandomizedResponse::new(categories, epsilon_0)?;
+
+    let accountant = NetworkShuffleAccountant::new(graph)?;
+    let rounds = accountant.mixing_time();
+    let params = AccountantParams::with_defaults(n, epsilon_0)?;
+    println!("running {rounds} exchange rounds (mixing time)\n");
+
+    for protocol in [ProtocolKind::All, ProtocolKind::Single] {
+        let config = SimulationConfig { rounds, laziness: 0.0, protocol, seed };
+        let outcome = run_protocol_with_randomizer(graph, &truth, &randomizer, config, &0usize)?;
+
+        let reports: Vec<usize> = outcome.collected.all_payloads().into_iter().copied().collect();
+        let estimate = estimate_frequencies(&randomizer, &reports)?;
+        let l1_error: f64 =
+            estimate.iter().zip(true_freq.iter()).map(|(a, b)| (a - b).abs()).sum();
+
+        let central = accountant.central_guarantee(protocol, Scenario::Stationary, &params, rounds)?;
+        let dummies = outcome.collected.dummy_count();
+
+        println!("protocol {protocol}:");
+        println!("  reports at curator: {} ({} dummies)", outcome.collected.report_count(), dummies);
+        println!("  central guarantee:  {central}  (local was {epsilon_0}-LDP)");
+        println!("  survey L1 error:    {l1_error:.4}");
+        println!();
+    }
+
+    println!("note: A_single trades some utility (dummies, dropped reports) for a");
+    println!("tighter central epsilon at large epsilon_0 — compare the two blocks above.");
+    Ok(())
+}

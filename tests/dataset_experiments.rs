@@ -1,0 +1,200 @@
+//! Scaled-down versions of the paper's experiments, run as integration
+//! tests so that the qualitative claims of every figure are checked on every
+//! `cargo test` (the full-scale versions live in the `ns-bench` binaries).
+
+use network_shuffle::prelude::*;
+use ns_datasets::{Dataset, MeanEstimationWorkload, WorkloadConfig};
+use ns_dp::amplification::clones_shuffling_epsilon;
+
+const DELTA: f64 = 1e-6;
+
+/// Figure 4 (shape): on a dataset stand-in the stationary-bound ε decreases
+/// monotonically with the number of rounds and flattens by the mixing time.
+#[test]
+fn fig4_epsilon_decreases_and_flattens() {
+    let generated = Dataset::Facebook.generate_scaled(16, 1).expect("dataset");
+    let accountant = NetworkShuffleAccountant::new(&generated.graph).expect("accountant");
+    let n = accountant.node_count();
+    let params = AccountantParams::new(n, 2.0, DELTA, DELTA).expect("params");
+    let t_max = (2 * accountant.mixing_time()).clamp(20, 600);
+    let sweep = accountant
+        .epsilon_vs_rounds(ProtocolKind::All, Scenario::Stationary, &params, t_max)
+        .expect("sweep");
+    for w in sweep.windows(2) {
+        assert!(w[1].1 <= w[0].1 + 1e-12, "epsilon must be non-increasing in t");
+    }
+    // Flattening: the last 10% of rounds changes epsilon by well under 1%.
+    let near_end = sweep[sweep.len() * 9 / 10].1;
+    let end = sweep.last().unwrap().1;
+    assert!((near_end - end) / end < 0.01, "curve should flatten near the mixing time");
+    // And the early value is substantially larger than the converged one.
+    assert!(sweep[0].1 > 1.5 * end);
+}
+
+/// Figure 5 (shape): on k-regular graphs, larger k converges to the
+/// asymptotic ε in fewer rounds.
+#[test]
+fn fig5_larger_degree_converges_faster() {
+    let n = 2_000usize;
+    let params = AccountantParams::new(n, 2.0, DELTA, DELTA).expect("params");
+    let mut rounds_to_converge = Vec::new();
+    for &k in &[4usize, 16] {
+        let graph =
+            ns_graph::generators::random_regular(n, k, &mut ns_graph::rng::seeded_rng(k as u64))
+                .expect("graph");
+        let accountant = NetworkShuffleAccountant::new(&graph).expect("accountant");
+        let sweep = accountant
+            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Symmetric { origin: 0 }, &params, 60)
+            .expect("sweep");
+        let asymptote = sweep.last().unwrap().1;
+        let converged_at = sweep
+            .iter()
+            .find(|(_, eps)| (*eps - asymptote) / asymptote < 0.01)
+            .map(|(t, _)| *t)
+            .unwrap_or(60);
+        rounds_to_converge.push(converged_at);
+    }
+    assert!(
+        rounds_to_converge[1] < rounds_to_converge[0],
+        "k = 16 should converge before k = 4: {rounds_to_converge:?}"
+    );
+}
+
+/// Figure 6 (shape): the larger stand-in amplifies more than the smaller one
+/// at every ε₀ in the paper's range.
+#[test]
+fn fig6_larger_population_amplifies_more() {
+    let small = Dataset::Twitch.generate_scaled(8, 2).expect("dataset");
+    let large = Dataset::Deezer.generate_scaled(2, 2).expect("dataset");
+    let acc_small = NetworkShuffleAccountant::new(&small.graph).expect("accountant");
+    let acc_large = NetworkShuffleAccountant::new(&large.graph).expect("accountant");
+    assert!(acc_large.node_count() > 4 * acc_small.node_count());
+    for &eps0 in &[0.4, 0.8, 1.2] {
+        let p_small = AccountantParams::new(acc_small.node_count(), eps0, DELTA, DELTA).unwrap();
+        let p_large = AccountantParams::new(acc_large.node_count(), eps0, DELTA, DELTA).unwrap();
+        let e_small = acc_small
+            .central_guarantee_at_mixing_time(ProtocolKind::All, Scenario::Stationary, &p_small)
+            .unwrap();
+        let e_large = acc_large
+            .central_guarantee_at_mixing_time(ProtocolKind::All, Scenario::Stationary, &p_large)
+            .unwrap();
+        assert!(
+            e_large.epsilon < e_small.epsilon,
+            "eps0 = {eps0}: large-n epsilon {} should beat small-n {}",
+            e_large.epsilon,
+            e_small.epsilon
+        );
+    }
+}
+
+/// Figure 7 (shape): `A_single` overtakes `A_all` as ε₀ grows.
+#[test]
+fn fig7_single_overtakes_all_at_large_epsilon0() {
+    let generated = Dataset::Twitch.generate_scaled(8, 3).expect("dataset");
+    let accountant = NetworkShuffleAccountant::new(&generated.graph).expect("accountant");
+    let n = accountant.node_count();
+    let gap_at = |eps0: f64| {
+        let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+        let all = accountant
+            .central_guarantee_at_mixing_time(ProtocolKind::All, Scenario::Stationary, &params)
+            .unwrap()
+            .epsilon;
+        let single = accountant
+            .central_guarantee_at_mixing_time(ProtocolKind::Single, Scenario::Stationary, &params)
+            .unwrap()
+            .epsilon;
+        all - single
+    };
+    // At large eps0 A_single is strictly better; the advantage grows with eps0.
+    assert!(gap_at(4.0) > 0.0);
+    assert!(gap_at(4.0) > gap_at(1.0));
+}
+
+/// Table 1 (shape): network shuffling amplifies below ε₀ across the whole
+/// range, and its weaker exponential dependence on ε₀ (e^{1.5ε₀} vs the
+/// clones bound's e^{0.5ε₀}) makes the trusted-shuffler clones bound the
+/// tighter one once ε₀ is large.
+#[test]
+fn table1_network_shuffling_sits_between_clones_and_no_amplification() {
+    let n = 500_000usize;
+    for &eps0 in &[0.3, 0.6, 1.0, 2.0, 3.0] {
+        let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+        let network = single_protocol_epsilon(&params, 1.0 / n as f64).unwrap().epsilon;
+        assert!(network < eps0, "eps0={eps0}: network {network} should amplify below eps0");
+    }
+    for &eps0 in &[2.0, 3.0] {
+        let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+        let network = single_protocol_epsilon(&params, 1.0 / n as f64).unwrap().epsilon;
+        let clones = clones_shuffling_epsilon(eps0, n, DELTA).unwrap();
+        assert!(
+            clones < network,
+            "eps0={eps0}: clones {clones} should be tighter than network {network} at large eps0"
+        );
+    }
+}
+
+/// Figure 9 (shape): at equal ε₀ the `A_all` estimate has lower squared
+/// error than `A_single` on the Gaussian-mixture workload.
+#[test]
+fn fig9_a_all_beats_a_single_on_utility() {
+    let generated = Dataset::Twitch.generate_scaled(16, 4).expect("dataset");
+    let graph = &generated.graph;
+    let n = graph.node_count();
+    let workload = MeanEstimationWorkload::generate(&WorkloadConfig {
+        dimension: 32,
+        ..WorkloadConfig::paper_defaults(n, 5)
+    });
+    // A large eps0 keeps the PrivUnit noise small, so the systematic costs of
+    // A_single (dummy bias, dropped duplicates) dominate the comparison and
+    // the test is not at the mercy of noise fluctuations; errors are averaged
+    // over a few seeds for the same reason.
+    let rounds = 50;
+    let epsilon_0 = 8.0;
+    let mut all_error = 0.0;
+    let mut single_error = 0.0;
+    for seed in 0..3u64 {
+        let all = run_mean_estimation(
+            graph,
+            &workload.data,
+            &workload.dummy_pool,
+            MeanEstimationConfig { epsilon_0, rounds, protocol: ProtocolKind::All, seed },
+        )
+        .expect("A_all");
+        let single = run_mean_estimation(
+            graph,
+            &workload.data,
+            &workload.dummy_pool,
+            MeanEstimationConfig { epsilon_0, rounds, protocol: ProtocolKind::Single, seed },
+        )
+        .expect("A_single");
+        all_error += all.squared_error;
+        single_error += single.squared_error;
+    }
+    assert!(
+        all_error < single_error,
+        "A_all error {all_error} should be below A_single error {single_error}"
+    );
+}
+
+/// Table 4 (calibration): every stand-in (at test scale) reproduces its
+/// target irregularity to within 30% and is usable by the accountant.
+#[test]
+fn table4_standins_are_calibrated_and_ergodic() {
+    for (dataset, divisor) in [
+        (Dataset::Facebook, 8usize),
+        (Dataset::Twitch, 4),
+        (Dataset::Deezer, 8),
+        (Dataset::Enron, 2),
+        (Dataset::Google, 64),
+    ] {
+        let generated = dataset.generate_scaled(divisor, 6).expect("dataset");
+        let relative = generated.irregularity_error();
+        assert!(
+            relative < 0.3,
+            "{dataset}: Gamma achieved {} vs target {} (error {relative:.2})",
+            generated.achieved.irregularity,
+            generated.spec.irregularity
+        );
+        assert!(NetworkShuffleAccountant::new(&generated.graph).is_ok(), "{dataset} not ergodic");
+    }
+}

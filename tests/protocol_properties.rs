@@ -1,0 +1,191 @@
+//! Property-based tests of the protocol and walk invariants.
+
+use network_shuffle::prelude::*;
+use ns_graph::distribution::PositionDistribution;
+use ns_graph::generators::{gnp, random_regular};
+use ns_graph::transition::TransitionMatrix;
+use ns_graph::Graph;
+use proptest::prelude::*;
+
+/// Builds a connected, non-bipartite test graph from proptest parameters.
+fn test_graph(n: usize, k: usize, seed: u64) -> Graph {
+    let k = k.min(n - 1);
+    let k = if (n * k) % 2 == 1 { k + 1 } else { k };
+    let k = k.clamp(3, n - 1);
+    random_regular(n, k, &mut ns_graph::rng::seeded_rng(seed)).expect("regular graph")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `A_all` conserves reports: every origin appears exactly once at the
+    /// curator, regardless of graph, rounds, laziness or seed.
+    #[test]
+    fn a_all_conserves_reports(
+        n in 10usize..120,
+        k in 3usize..8,
+        rounds in 0usize..25,
+        laziness in 0.0f64..0.9,
+        seed in 0u64..1_000,
+    ) {
+        let graph = test_graph(n, k, seed);
+        let n = graph.node_count();
+        let payloads: Vec<u32> = (0..n as u32).collect();
+        let config = SimulationConfig { rounds, laziness, protocol: ProtocolKind::All, seed };
+        let outcome = run_protocol(&graph, payloads, config, |_| u32::MAX).unwrap();
+        prop_assert_eq!(outcome.collected.report_count(), n);
+        prop_assert_eq!(outcome.collected.dummy_count(), 0);
+        let mut origins: Vec<usize> =
+            outcome.collected.reports_with_submitter().map(|(_, r)| r.origin).collect();
+        origins.sort_unstable();
+        prop_assert_eq!(origins, (0..n).collect::<Vec<_>>());
+        // Load vector sums to n and matches the submissions.
+        let load = outcome.collected.load_vector(n);
+        prop_assert_eq!(load.iter().sum::<usize>(), n);
+    }
+
+    /// `A_single` sends exactly one report per user; genuine + dummy = n and
+    /// no genuine origin is duplicated.
+    #[test]
+    fn a_single_sends_exactly_one_report_each(
+        n in 10usize..120,
+        k in 3usize..8,
+        rounds in 1usize..25,
+        seed in 0u64..1_000,
+    ) {
+        let graph = test_graph(n, k, seed);
+        let n = graph.node_count();
+        let payloads: Vec<u32> = (0..n as u32).collect();
+        let outcome =
+            run_protocol(&graph, payloads, SimulationConfig::single(rounds, seed), |_| 0).unwrap();
+        prop_assert_eq!(outcome.collected.report_count(), n);
+        for submission in outcome.collected.submissions() {
+            prop_assert_eq!(submission.len(), 1);
+        }
+        let genuine: Vec<usize> = outcome
+            .collected
+            .reports_with_submitter()
+            .filter(|(_, r)| !r.is_dummy)
+            .map(|(_, r)| r.origin)
+            .collect();
+        let mut dedup = genuine.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), genuine.len(), "a genuine report was duplicated");
+        prop_assert_eq!(genuine.len() + outcome.collected.dummy_count(), n);
+    }
+
+    /// Traffic accounting: under `A_all` with no laziness, total relay
+    /// messages equal reports × rounds, and the server stores exactly n
+    /// reports.
+    #[test]
+    fn traffic_metrics_match_conservation_laws(
+        n in 10usize..100,
+        k in 3usize..6,
+        rounds in 0usize..20,
+        seed in 0u64..500,
+    ) {
+        let graph = test_graph(n, k, seed);
+        let n = graph.node_count();
+        let outcome = run_protocol(
+            &graph,
+            vec![0u8; n],
+            SimulationConfig::all(rounds, seed),
+            |_| 0,
+        )
+        .unwrap();
+        prop_assert_eq!(outcome.metrics.total_messages(), n * rounds);
+        prop_assert_eq!(outcome.metrics.server_reports, n);
+        prop_assert!(outcome.metrics.max_peak_reports() >= 1);
+    }
+
+    /// The transition matrix conserves probability mass and keeps every
+    /// entry non-negative, for arbitrary connected graphs and laziness.
+    #[test]
+    fn transition_preserves_probability(
+        n in 5usize..200,
+        p_edge in 0.05f64..0.5,
+        laziness in 0.0f64..0.95,
+        seed in 0u64..1_000,
+        origin_choice in 0usize..10_000,
+    ) {
+        let raw = gnp(n, p_edge, &mut ns_graph::rng::seeded_rng(seed)).unwrap();
+        let (graph, _) = ns_graph::connectivity::largest_connected_component(&raw);
+        prop_assume!(graph.node_count() >= 2);
+        let transition = TransitionMatrix::with_laziness(&graph, laziness).unwrap();
+        let origin = origin_choice % graph.node_count();
+        let mut dist = PositionDistribution::point_mass(graph.node_count(), origin).unwrap();
+        for _ in 0..10 {
+            dist.step(&transition);
+            let total: f64 = dist.probabilities().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(dist.probabilities().iter().all(|&x| x >= -1e-15));
+            prop_assert!(dist.sum_of_squares() <= 1.0 + 1e-9);
+            prop_assert!(dist.sum_of_squares() >= 1.0 / graph.node_count() as f64 - 1e-9);
+        }
+    }
+
+    /// Walk-engine positions always remain valid nodes and the load vector
+    /// always sums to the number of walkers.
+    #[test]
+    fn walk_engine_invariants(
+        n in 10usize..150,
+        k in 3usize..8,
+        rounds in 1usize..30,
+        laziness in 0.0f64..0.9,
+        seed in 0u64..1_000,
+    ) {
+        let graph = test_graph(n, k, seed);
+        let n = graph.node_count();
+        let mut engine = ns_graph::walk::WalkEngine::one_walker_per_node(&graph).unwrap();
+        let mut rng = ns_graph::rng::seeded_rng(seed);
+        engine.run(ns_graph::walk::WalkConfig::lazy(rounds, laziness), &mut rng).unwrap();
+        prop_assert!(engine.positions().iter().all(|&p| p < n));
+        prop_assert_eq!(engine.load_vector().iter().sum::<usize>(), n);
+        prop_assert_eq!(engine.round(), rounds);
+    }
+
+    /// Determinism: identical seeds produce identical curator views.
+    #[test]
+    fn simulation_is_deterministic(
+        n in 10usize..80,
+        k in 3usize..6,
+        rounds in 1usize..15,
+        seed in 0u64..300,
+    ) {
+        let graph = test_graph(n, k, seed);
+        let n = graph.node_count();
+        let run = || {
+            let outcome = run_protocol(
+                &graph,
+                (0..n as u32).collect(),
+                SimulationConfig::single(rounds, seed),
+                |_| 7,
+            )
+            .unwrap();
+            outcome
+                .collected
+                .reports_with_submitter()
+                .map(|(s, r)| (s, r.origin, r.is_dummy, r.payload))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Non-proptest regression: an adversary observing a zero-round run links
+/// everything; a well-mixed run links almost nothing.  (Kept outside the
+/// proptest block because it needs a specific, larger configuration.)
+#[test]
+fn anonymity_improves_with_rounds() {
+    let graph = random_regular(300, 8, &mut ns_graph::rng::seeded_rng(5)).unwrap();
+    let before = run_protocol(&graph, vec![0u8; 300], SimulationConfig::all(0, 1), |_| 0).unwrap();
+    let after = run_protocol(&graph, vec![0u8; 300], SimulationConfig::all(60, 1), |_| 0).unwrap();
+    let rate = |outcome: &SimulationOutcome<u8>| {
+        AdversaryView::from_submissions(outcome.collected.submissions())
+            .linkage_stats(&graph)
+            .return_rate()
+    };
+    assert_eq!(rate(&before), 1.0);
+    assert!(rate(&after) < 0.05, "return rate after mixing = {}", rate(&after));
+}
