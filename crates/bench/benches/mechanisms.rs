@@ -37,5 +37,10 @@ fn bench_priv_unit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_randomized_response, bench_laplace, bench_priv_unit);
+criterion_group!(
+    benches,
+    bench_randomized_response,
+    bench_laplace,
+    bench_priv_unit
+);
 criterion_main!(benches);

@@ -35,7 +35,12 @@ fn main() {
         let model = DropoutModel::new(p).expect("valid dropout");
         let accountant = model.accountant(&graph).expect("ergodic graph");
         let at_budget = accountant
-            .central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, fixed_budget)
+            .central_guarantee(
+                ProtocolKind::All,
+                Scenario::Stationary,
+                &params,
+                fixed_budget,
+            )
             .expect("guarantee");
         let at_mixing = accountant
             .central_guarantee_at_mixing_time(ProtocolKind::All, Scenario::Stationary, &params)

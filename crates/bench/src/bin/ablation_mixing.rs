@@ -17,7 +17,12 @@ fn main() {
     let fractions = [0.25f64, 0.5, 1.0, 2.0];
     let datasets = [Dataset::Twitch, Dataset::Facebook];
 
-    let headers = vec!["dataset", "c (fraction of t_mix)", "rounds", "central eps (A_all)"];
+    let headers = vec![
+        "dataset",
+        "c (fraction of t_mix)",
+        "rounds",
+        "central eps (A_all)",
+    ];
     let mut rows = Vec::new();
     for dataset in datasets {
         let generated = dataset_graph(dataset);

@@ -26,15 +26,21 @@ fn main() {
     let mut rng = seeded_rng(SEED);
 
     let topologies: Vec<(&str, Graph)> = vec![
-        ("random 4-regular", generators::random_regular(n, 4, &mut rng).expect("graph")),
+        (
+            "random 4-regular",
+            generators::random_regular(n, 4, &mut rng).expect("graph"),
+        ),
         (
             "Watts-Strogatz (k=4, beta=0.1)",
             generators::watts_strogatz(n, 4, 0.1, &mut rng).expect("graph"),
         ),
-        ("Barabasi-Albert (m=2)", generators::barabasi_albert(n, 2, &mut rng).expect("graph")),
+        (
+            "Barabasi-Albert (m=2)",
+            generators::barabasi_albert(n, 2, &mut rng).expect("graph"),
+        ),
         ("SBM (8 blocks, strong communities)", {
-            let raw = generators::stochastic_block_model(n, 8, 0.009, 0.0002, &mut rng)
-                .expect("graph");
+            let raw =
+                generators::stochastic_block_model(n, 8, 0.009, 0.0002, &mut rng).expect("graph");
             largest_connected_component(&raw).0
         }),
         ("torus 65x65", generators::torus(65, 65).expect("graph")),
@@ -62,15 +68,12 @@ fn main() {
         };
         let n_lcc = accountant.node_count();
         let params = AccountantParams::new(n_lcc, epsilon_0, DELTA, DELTA).expect("params");
-        let gamma = ns_graph::degree::DegreeStats::compute(graph).expect("stats").irregularity;
-        let (rounds, eps) = rounds_for_target_epsilon(
-            &accountant,
-            ProtocolKind::Single,
-            &params,
-            0.01,
-            20_000,
-        )
-        .expect("search");
+        let gamma = ns_graph::degree::DegreeStats::compute(graph)
+            .expect("stats")
+            .irregularity;
+        let (rounds, eps) =
+            rounds_for_target_epsilon(&accountant, ProtocolKind::Single, &params, 0.01, 20_000)
+                .expect("search");
         rows.push(vec![
             name.to_string(),
             n_lcc.to_string(),

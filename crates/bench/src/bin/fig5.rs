@@ -34,12 +34,16 @@ fn main() {
                 max_rounds,
             )
             .expect("sweep");
-        println!("k = {k}: spectral gap = {:.4}", accountant.mixing_profile().spectral_gap);
+        println!(
+            "k = {k}: spectral gap = {:.4}",
+            accountant.mixing_profile().spectral_gap
+        );
         columns.push(sweep);
     }
 
-    let headers: Vec<String> =
-        std::iter::once("rounds t".to_string()).chain(degrees.iter().map(|k| format!("k = {k}"))).collect();
+    let headers: Vec<String> = std::iter::once("rounds t".to_string())
+        .chain(degrees.iter().map(|k| format!("k = {k}")))
+        .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut rows = Vec::new();
     for t in 1..=max_rounds {

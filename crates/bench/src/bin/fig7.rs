@@ -30,9 +30,11 @@ fn main() {
     }
 
     let headers: Vec<String> = std::iter::once("eps0".to_string())
-        .chain(accountants.iter().flat_map(|(name, _)| {
-            [format!("{name} A_all"), format!("{name} A_single")]
-        }))
+        .chain(
+            accountants
+                .iter()
+                .flat_map(|(name, _)| [format!("{name} A_all"), format!("{name} A_single")]),
+        )
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
@@ -47,7 +49,11 @@ fn main() {
                 .central_guarantee_at_mixing_time(ProtocolKind::All, Scenario::Stationary, &params)
                 .expect("guarantee");
             let single = accountant
-                .central_guarantee_at_mixing_time(ProtocolKind::Single, Scenario::Stationary, &params)
+                .central_guarantee_at_mixing_time(
+                    ProtocolKind::Single,
+                    Scenario::Stationary,
+                    &params,
+                )
                 .expect("guarantee");
             if single.epsilon < all.epsilon {
                 crossover_seen = true;

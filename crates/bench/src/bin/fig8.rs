@@ -20,7 +20,12 @@ fn main() {
     for &n in &populations {
         for &gamma in &gammas {
             for protocol in ["A_all", "A_single"] {
-                headers.push(format!("n=1e{} G={} {}", (n as f64).log10() as u32, gamma, protocol));
+                headers.push(format!(
+                    "n=1e{} G={} {}",
+                    (n as f64).log10() as u32,
+                    gamma,
+                    protocol
+                ));
             }
         }
     }
@@ -33,8 +38,12 @@ fn main() {
             for &gamma in &gammas {
                 let params = AccountantParams::new(n, eps0, DELTA, DELTA).expect("valid params");
                 let sum_p_sq = gamma / n as f64;
-                let all = all_protocol_epsilon(&params, sum_p_sq, 1.0).expect("valid").epsilon;
-                let single = single_protocol_epsilon(&params, sum_p_sq).expect("valid").epsilon;
+                let all = all_protocol_epsilon(&params, sum_p_sq, 1.0)
+                    .expect("valid")
+                    .epsilon;
+                let single = single_protocol_epsilon(&params, sum_p_sq)
+                    .expect("valid")
+                    .epsilon;
                 row.push(fmt(all));
                 row.push(fmt(single));
             }

@@ -22,7 +22,11 @@ fn main() {
     let fast = std::env::var("NS_BENCH_FAST").is_ok();
     let dimension = if fast { 32 } else { 200 };
     let trials = if fast { 1 } else { 3 };
-    let epsilon_grid: Vec<f64> = if fast { vec![1.0, 4.0] } else { vec![0.5, 1.0, 2.0, 3.0, 4.0, 6.0] };
+    let epsilon_grid: Vec<f64> = if fast {
+        vec![1.0, 4.0]
+    } else {
+        vec![0.5, 1.0, 2.0, 3.0, 4.0, 6.0]
+    };
 
     let generated = dataset_graph(Dataset::Twitch);
     let graph = &generated.graph;
@@ -41,7 +45,13 @@ fn main() {
         ..WorkloadConfig::paper_defaults(n, SEED)
     });
 
-    let headers = vec!["eps0", "protocol", "central eps", "squared error", "dummies"];
+    let headers = vec![
+        "eps0",
+        "protocol",
+        "central eps",
+        "squared error",
+        "dummies",
+    ];
     let mut rows = Vec::new();
     for &eps0 in &epsilon_grid {
         let params = AccountantParams::new(n, eps0, DELTA, DELTA).expect("valid params");
@@ -58,8 +68,9 @@ fn main() {
                     protocol,
                     seed: SEED.wrapping_add(trial as u64),
                 };
-                let result = run_mean_estimation(graph, &workload.data, &workload.dummy_pool, config)
-                    .expect("mean estimation");
+                let result =
+                    run_mean_estimation(graph, &workload.data, &workload.dummy_pool, config)
+                        .expect("mean estimation");
                 total_error += result.squared_error;
                 total_dummies += result.dummy_reports;
             }

@@ -12,14 +12,22 @@
 
 use network_shuffle::prelude::{all_protocol_epsilon, single_protocol_epsilon, AccountantParams};
 use ns_bench::{fmt, print_table, write_csv, DELTA};
-use ns_dp::amplification::{clones_shuffling_epsilon, erlingsson_shuffling_epsilon, subsampling_epsilon};
+use ns_dp::amplification::{
+    clones_shuffling_epsilon, erlingsson_shuffling_epsilon, subsampling_epsilon,
+};
 
 fn main() {
     let populations = [1_000usize, 10_000, 100_000, 1_000_000];
     let epsilons = [0.25f64, 0.5, 1.0, 2.0];
 
     let headers = vec![
-        "n", "eps0", "no amp", "subsample", "shuffle[22]", "clones[25]", "network A_all",
+        "n",
+        "eps0",
+        "no amp",
+        "subsample",
+        "shuffle[22]",
+        "clones[25]",
+        "network A_all",
         "network A_single",
     ];
     let mut rows = Vec::new();
@@ -32,8 +40,12 @@ fn main() {
             let subsample = subsampling_epsilon(eps0, q).expect("valid");
             let erlingsson = erlingsson_shuffling_epsilon(eps0, n, DELTA).expect("valid");
             let clones = clones_shuffling_epsilon(eps0, n, DELTA).expect("valid");
-            let all = all_protocol_epsilon(&params, sum_p_sq, 1.0).expect("valid").epsilon;
-            let single = single_protocol_epsilon(&params, sum_p_sq).expect("valid").epsilon;
+            let all = all_protocol_epsilon(&params, sum_p_sq, 1.0)
+                .expect("valid")
+                .epsilon;
+            let single = single_protocol_epsilon(&params, sum_p_sq)
+                .expect("valid")
+                .epsilon;
             rows.push(vec![
                 n.to_string(),
                 fmt(eps0),

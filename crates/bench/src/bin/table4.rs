@@ -45,7 +45,11 @@ fn main() {
         ]);
     }
 
-    print_table("Table 4: dataset stand-ins (largest connected component)", &headers, &rows);
+    print_table(
+        "Table 4: dataset stand-ins (largest connected component)",
+        &headers,
+        &rows,
+    );
     write_csv("table4", &headers, &rows);
     println!(
         "\nnote: stand-ins are Chung-Lu graphs calibrated to the paper's (n, Gamma_G); the Google\n\

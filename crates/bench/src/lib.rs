@@ -45,9 +45,9 @@ pub fn scale_divisor(dataset: Dataset) -> usize {
 /// Panics if generation fails — experiment binaries treat that as fatal.
 pub fn dataset_graph(dataset: Dataset) -> GeneratedDataset {
     let divisor = scale_divisor(dataset);
-    dataset
-        .generate_scaled(divisor, SEED)
-        .unwrap_or_else(|e| panic!("failed to generate {dataset} stand-in (divisor {divisor}): {e}"))
+    dataset.generate_scaled(divisor, SEED).unwrap_or_else(|e| {
+        panic!("failed to generate {dataset} stand-in (divisor {divisor}): {e}")
+    })
 }
 
 /// Prints a fixed-width table with a header row and a separator.
@@ -56,7 +56,13 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let widths: Vec<usize> = headers
         .iter()
         .enumerate()
-        .map(|(i, h)| rows.iter().map(|r| r.get(i).map_or(0, |c| c.len())).chain([h.len()]).max().unwrap_or(0))
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, |c| c.len()))
+                .chain([h.len()])
+                .max()
+                .unwrap_or(0)
+        })
         .collect();
     let render = |cells: &[String]| {
         cells
@@ -68,7 +74,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     println!("{}", render(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
     for row in rows {
         println!("{}", render(row));
     }
@@ -120,7 +129,9 @@ pub fn linspace(lo: f64, hi: f64, points: usize) -> Vec<f64> {
     if points <= 1 {
         return vec![lo];
     }
-    (0..points).map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64).collect()
+    (0..points)
+        .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+        .collect()
 }
 
 #[cfg(test)]

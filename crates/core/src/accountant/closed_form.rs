@@ -38,7 +38,9 @@ impl AccountantParams {
     /// `δ`/`δ₂` outside `(0, 1)`.
     pub fn new(n: usize, epsilon_0: f64, delta: f64, delta_2: f64) -> Result<Self> {
         if n < 2 {
-            return Err(Error::InvalidConfiguration(format!("n must be at least 2, got {n}")));
+            return Err(Error::InvalidConfiguration(format!(
+                "n must be at least 2, got {n}"
+            )));
         }
         if !epsilon_0.is_finite() || epsilon_0 <= 0.0 {
             return Err(Error::InvalidConfiguration(format!(
@@ -52,7 +54,12 @@ impl AccountantParams {
                 )));
             }
         }
-        Ok(AccountantParams { n, epsilon_0, delta, delta_2 })
+        Ok(AccountantParams {
+            n,
+            epsilon_0,
+            delta,
+            delta_2,
+        })
     }
 
     /// Convenience constructor with the δ = δ₂ = 10⁻⁶ defaults used by the
@@ -104,7 +111,11 @@ fn all_protocol_epsilon_at(
 }
 
 /// Shared body of Theorems 5.5 and 5.6 at a given pure LDP level `ε₀`.
-fn single_protocol_epsilon_at(epsilon_0: f64, params: &AccountantParams, sum_p_squared: f64) -> f64 {
+fn single_protocol_epsilon_at(
+    epsilon_0: f64,
+    params: &AccountantParams,
+    sum_p_squared: f64,
+) -> f64 {
     let e = epsilon_0.exp();
     (2.0 * epsilon_0).exp() * (e - 1.0).powi(2) / 2.0 * sum_p_squared
         + e * (e - 1.0) * (2.0 * (1.0 / params.delta).ln() * sum_p_squared).sqrt()
@@ -134,7 +145,10 @@ pub fn all_protocol_epsilon(
         )));
     }
     let epsilon = all_protocol_epsilon_at(params.epsilon_0, params, sum_p_squared, rho_star);
-    Ok(PrivacyGuarantee::new(epsilon, params.delta + params.delta_2)?)
+    Ok(PrivacyGuarantee::new(
+        epsilon,
+        params.delta + params.delta_2,
+    )?)
 }
 
 /// Theorem 5.5 / 5.6 (protocol `A_single`).
@@ -182,7 +196,10 @@ pub fn all_protocol_epsilon_approx(
     let delta_prime = params.delta
         + params.delta_2
         + union_bound_delta(params.n, epsilon_prime, surrogate.tv_distance);
-    Ok(PrivacyGuarantee::new(epsilon_prime, delta_prime.min(1.0 - f64::EPSILON))?)
+    Ok(PrivacyGuarantee::new(
+        epsilon_prime,
+        delta_prime.min(1.0 - f64::EPSILON),
+    )?)
 }
 
 /// Approximate-DP corollary of Theorems 5.5/5.6 for protocol `A_single`.
@@ -202,7 +219,10 @@ pub fn single_protocol_epsilon_approx(
     let delta_prime = params.delta
         + params.delta_2
         + union_bound_delta(params.n, epsilon_prime, surrogate.tv_distance);
-    Ok(PrivacyGuarantee::new(epsilon_prime, delta_prime.min(1.0 - f64::EPSILON))?)
+    Ok(PrivacyGuarantee::new(
+        epsilon_prime,
+        delta_prime.min(1.0 - f64::EPSILON),
+    )?)
 }
 
 /// The trivial central guarantee `(ε₀, 0)` that holds with no amplification
@@ -301,7 +321,12 @@ mod tests {
         let s = 5.0 / 100_000.0;
         let all = all_protocol_epsilon(&p, s, 1.0).unwrap();
         let single = single_protocol_epsilon(&p, s).unwrap();
-        assert!(single.epsilon < all.epsilon, "single {} vs all {}", single.epsilon, all.epsilon);
+        assert!(
+            single.epsilon < all.epsilon,
+            "single {} vs all {}",
+            single.epsilon,
+            all.epsilon
+        );
     }
 
     #[test]

@@ -74,7 +74,8 @@ pub fn estimate_mixing(
         vec![std::collections::HashMap::new(); n];
 
     for trial in 0..trials {
-        let mut rng = SimRng::seed_from_u64(seed.wrapping_add(trial as u64).wrapping_mul(0x9e37_79b9));
+        let mut rng =
+            SimRng::seed_from_u64(seed.wrapping_add(trial as u64).wrapping_mul(0x9e37_79b9));
         let mut engine = WalkEngine::one_walker_per_node(graph)?;
         engine.run(WalkConfig::lazy(rounds, laziness), &mut rng)?;
         for (origin, &holder) in engine.positions().iter().enumerate() {
@@ -86,11 +87,18 @@ pub fn estimate_mixing(
     let mut sum_p_sq_total = 0.0;
     let mut ratio_total = 0.0;
     for per_origin in &counts {
-        let collisions: f64 =
-            per_origin.values().map(|&c| f64::from(c) * (f64::from(c) - 1.0)).sum();
+        let collisions: f64 = per_origin
+            .values()
+            .map(|&c| f64::from(c) * (f64::from(c) - 1.0))
+            .sum();
         sum_p_sq_total += collisions / (t * (t - 1.0));
         let max = per_origin.values().copied().max().unwrap_or(0) as f64;
-        let min = per_origin.values().copied().filter(|&c| c > 0).min().unwrap_or(1) as f64;
+        let min = per_origin
+            .values()
+            .copied()
+            .filter(|&c| c > 0)
+            .min()
+            .unwrap_or(1) as f64;
         ratio_total += max / min;
     }
 
@@ -124,7 +132,11 @@ mod tests {
         let est = estimate_mixing(&g, 8, 0.0, 400, 7).unwrap();
         // Limit is 1/n = 0.05; the collision estimator is unbiased, allow
         // Monte-Carlo slack.
-        assert!((est.sum_p_squared - 1.0 / n as f64).abs() < 0.01, "{}", est.sum_p_squared);
+        assert!(
+            (est.sum_p_squared - 1.0 / n as f64).abs() < 0.01,
+            "{}",
+            est.sum_p_squared
+        );
         assert_eq!(est.trials, 400);
         assert_eq!(est.rounds, 8);
     }
@@ -134,13 +146,19 @@ mod tests {
         let g = random_regular(60, 6, &mut seeded_rng(3)).unwrap();
         let accountant = NetworkShuffleAccountant::new(&g).unwrap();
         let rounds = 12;
-        let (exact, _) = accountant.sum_p_squared(Scenario::Symmetric { origin: 0 }, rounds).unwrap();
+        let (exact, _) = accountant
+            .sum_p_squared(Scenario::Symmetric { origin: 0 }, rounds)
+            .unwrap();
         // The empirical estimate averages over all origins; on a random
         // regular graph per-origin values are close to each other, so the
         // average should be close to the single-origin exact value.
         let est = estimate_mixing(&g, rounds, 0.0, 600, 9).unwrap();
         let relative = (est.sum_p_squared - exact).abs() / exact;
-        assert!(relative < 0.25, "empirical {} vs exact {exact}", est.sum_p_squared);
+        assert!(
+            relative < 0.25,
+            "empirical {} vs exact {exact}",
+            est.sum_p_squared
+        );
     }
 
     #[test]
@@ -148,7 +166,9 @@ mod tests {
         let g = random_regular(80, 8, &mut seeded_rng(4)).unwrap();
         let accountant = NetworkShuffleAccountant::new(&g).unwrap();
         for &rounds in &[2usize, 5, 15] {
-            let (bound, _) = accountant.sum_p_squared(Scenario::Stationary, rounds).unwrap();
+            let (bound, _) = accountant
+                .sum_p_squared(Scenario::Stationary, rounds)
+                .unwrap();
             let est = estimate_mixing(&g, rounds, 0.0, 300, 11).unwrap();
             assert!(
                 est.sum_p_squared <= bound * 1.1 + 0.01,

@@ -246,7 +246,8 @@ mod tests {
         assert!(NetworkShuffleAccountant::new(&bipartite).is_err());
         assert!(NetworkShuffleAccountant::with_laziness(&bipartite, 0.3).is_ok());
 
-        let disconnected = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let disconnected =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
         assert!(NetworkShuffleAccountant::new(&disconnected).is_err());
 
         let tiny = Graph::from_edges(1, &[]).unwrap();
@@ -270,14 +271,20 @@ mod tests {
     fn symmetric_scenario_tracks_exact_distribution() {
         let g = regular_graph(300, 8, 2);
         let accountant = NetworkShuffleAccountant::new(&g).unwrap();
-        let (t1, _) = accountant.sum_p_squared(Scenario::Symmetric { origin: 0 }, 1).unwrap();
+        let (t1, _) = accountant
+            .sum_p_squared(Scenario::Symmetric { origin: 0 }, 1)
+            .unwrap();
         // After one round the report is uniform over the 8 neighbours.
         assert!((t1 - 1.0 / 8.0).abs() < 1e-12);
-        let (t50, rho) = accountant.sum_p_squared(Scenario::Symmetric { origin: 0 }, 50).unwrap();
+        let (t50, rho) = accountant
+            .sum_p_squared(Scenario::Symmetric { origin: 0 }, 50)
+            .unwrap();
         assert!(t50 < 2.0 / 300.0, "sum P^2 after mixing = {t50}");
         assert!(rho >= 1.0);
         // Out-of-range origin is rejected.
-        assert!(accountant.sum_p_squared(Scenario::Symmetric { origin: 300 }, 1).is_err());
+        assert!(accountant
+            .sum_p_squared(Scenario::Symmetric { origin: 300 }, 1)
+            .is_err());
     }
 
     #[test]
@@ -302,7 +309,10 @@ mod tests {
             .unwrap();
         assert_eq!(sweep.len(), 50);
         for window in sweep.windows(2) {
-            assert!(window[1].1 <= window[0].1 + 1e-12, "stationary bound must be monotone");
+            assert!(
+                window[1].1 <= window[0].1 + 1e-12,
+                "stationary bound must be monotone"
+            );
         }
     }
 
@@ -312,7 +322,12 @@ mod tests {
         let accountant = NetworkShuffleAccountant::new(&g).unwrap();
         let params = AccountantParams::with_defaults(400, 1.0).unwrap();
         let exact = accountant
-            .epsilon_vs_rounds(ProtocolKind::Single, Scenario::Symmetric { origin: 3 }, &params, 80)
+            .epsilon_vs_rounds(
+                ProtocolKind::Single,
+                Scenario::Symmetric { origin: 3 },
+                &params,
+                80,
+            )
             .unwrap();
         let bound = accountant
             .epsilon_vs_rounds(ProtocolKind::Single, Scenario::Stationary, &params, 80)
@@ -334,11 +349,21 @@ mod tests {
         let dense = regular_graph(500, 20, 7);
         let sparse_sweep = NetworkShuffleAccountant::new(&sparse)
             .unwrap()
-            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Symmetric { origin: 0 }, &params, 10)
+            .epsilon_vs_rounds(
+                ProtocolKind::All,
+                Scenario::Symmetric { origin: 0 },
+                &params,
+                10,
+            )
             .unwrap();
         let dense_sweep = NetworkShuffleAccountant::new(&dense)
             .unwrap()
-            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Symmetric { origin: 0 }, &params, 10)
+            .epsilon_vs_rounds(
+                ProtocolKind::All,
+                Scenario::Symmetric { origin: 0 },
+                &params,
+                10,
+            )
             .unwrap();
         // After 10 rounds the dense graph has the smaller epsilon.
         assert!(dense_sweep[9].1 < sparse_sweep[9].1);

@@ -49,9 +49,17 @@ pub fn rounds_for_target_epsilon(
     }
     let max_rounds = max_rounds.max(1);
     // Asymptotic value: evaluate at a round count far past the mixing time.
-    let horizon = accountant.mixing_time().saturating_mul(4).clamp(max_rounds, usize::MAX);
+    let horizon = accountant
+        .mixing_time()
+        .saturating_mul(4)
+        .clamp(max_rounds, usize::MAX);
     let asymptote = accountant
-        .central_guarantee(protocol, Scenario::Stationary, params, horizon.min(1_000_000))?
+        .central_guarantee(
+            protocol,
+            Scenario::Stationary,
+            params,
+            horizon.min(1_000_000),
+        )?
         .epsilon;
 
     let sweep = accountant.epsilon_vs_rounds(protocol, Scenario::Stationary, params, max_rounds)?;
@@ -60,7 +68,10 @@ pub fn rounds_for_target_epsilon(
             return Ok((*t, *eps));
         }
     }
-    Ok(sweep.last().map(|&(t, eps)| (t, eps)).unwrap_or((max_rounds, asymptote)))
+    Ok(sweep
+        .last()
+        .map(|&(t, eps)| (t, eps))
+        .unwrap_or((max_rounds, asymptote)))
 }
 
 /// The largest local ε₀ such that the central guarantee after `rounds`
@@ -196,11 +207,19 @@ mod tests {
             .expect("target should be reachable");
             let params = AccountantParams::new(100_000, eps0, 1e-6, 1e-6).unwrap();
             let achieved = single_protocol_epsilon(&params, sum_p_sq).unwrap().epsilon;
-            assert!(achieved <= target * (1.0 + 1e-6), "achieved {achieved} vs target {target}");
+            assert!(
+                achieved <= target * (1.0 + 1e-6),
+                "achieved {achieved} vs target {target}"
+            );
             // Maximality: 5% more local budget would overshoot the target.
             let params_over = AccountantParams::new(100_000, eps0 * 1.05, 1e-6, 1e-6).unwrap();
-            let over = single_protocol_epsilon(&params_over, sum_p_sq).unwrap().epsilon;
-            assert!(over > target, "calibration is not tight: {over} <= {target}");
+            let over = single_protocol_epsilon(&params_over, sum_p_sq)
+                .unwrap()
+                .epsilon;
+            assert!(
+                over > target,
+                "calibration is not tight: {over} <= {target}"
+            );
         }
     }
 
@@ -209,32 +228,24 @@ mod tests {
         // A tiny population cannot reach an aggressive central target under
         // A_all: the concentration term alone exceeds it.
         let template = AccountantParams::with_defaults(200, 1.0).unwrap();
-        let result = epsilon_0_for_central_target(
-            &template,
-            ProtocolKind::All,
-            1.0 / 200.0,
-            1.0,
-            1e-4,
-        )
-        .unwrap();
+        let result =
+            epsilon_0_for_central_target(&template, ProtocolKind::All, 1.0 / 200.0, 1.0, 1e-4)
+                .unwrap();
         assert!(result.is_none());
         // Invalid targets are rejected.
-        assert!(epsilon_0_for_central_target(&template, ProtocolKind::All, 0.005, 1.0, 0.0)
-            .is_err());
+        assert!(
+            epsilon_0_for_central_target(&template, ProtocolKind::All, 0.005, 1.0, 0.0).is_err()
+        );
     }
 
     #[test]
     fn calibration_on_graph_matches_manual_route() {
         let acc = accountant(3_000, 10);
         let template = AccountantParams::with_defaults(3_000, 1.0).unwrap();
-        let via_graph = epsilon_0_for_central_target_on_graph(
-            &acc,
-            &template,
-            ProtocolKind::Single,
-            0.5,
-        )
-        .unwrap()
-        .expect("reachable");
+        let via_graph =
+            epsilon_0_for_central_target_on_graph(&acc, &template, ProtocolKind::Single, 0.5)
+                .unwrap()
+                .expect("reachable");
         let (sum_sq, rho) = acc
             .sum_p_squared(Scenario::Stationary, acc.mixing_time())
             .unwrap();
@@ -243,7 +254,10 @@ mod tests {
                 .unwrap()
                 .expect("reachable");
         assert!((via_graph - manual).abs() < 1e-9);
-        assert!(via_graph > 0.5, "amplification should allow eps0 above the central target");
+        assert!(
+            via_graph > 0.5,
+            "amplification should allow eps0 above the central target"
+        );
     }
 
     #[test]

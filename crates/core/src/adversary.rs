@@ -55,7 +55,11 @@ impl AdversaryView {
     pub fn from_submissions<P>(submissions: &[Submission<P>]) -> Self {
         let observations = submissions
             .iter()
-            .flat_map(|s| s.reports.iter().map(move |r| (r.origin, s.submitter, r.is_dummy)))
+            .flat_map(|s| {
+                s.reports
+                    .iter()
+                    .map(move |r| (r.origin, s.submitter, r.is_dummy))
+            })
             .collect();
         AdversaryView { observations }
     }
@@ -114,9 +118,18 @@ mod tests {
 
     fn submissions() -> Vec<Submission<u32>> {
         vec![
-            Submission { submitter: 0, reports: vec![Report::genuine(0, 1), Report::genuine(3, 2)] },
-            Submission { submitter: 1, reports: vec![Report::genuine(2, 3)] },
-            Submission { submitter: 2, reports: vec![Report::dummy(2, 0)] },
+            Submission {
+                submitter: 0,
+                reports: vec![Report::genuine(0, 1), Report::genuine(3, 2)],
+            },
+            Submission {
+                submitter: 1,
+                reports: vec![Report::genuine(2, 3)],
+            },
+            Submission {
+                submitter: 2,
+                reports: vec![Report::dummy(2, 0)],
+            },
             Submission::null(3),
         ]
     }

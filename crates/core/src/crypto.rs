@@ -45,7 +45,10 @@ impl KeyPair {
     /// Generates a fresh key pair.
     pub fn generate() -> Self {
         let id = NEXT_KEY_ID.fetch_add(1, Ordering::Relaxed);
-        KeyPair { public: PublicKey(id), secret: SecretKey(id) }
+        KeyPair {
+            public: PublicKey(id),
+            secret: SecretKey(id),
+        }
     }
 }
 
@@ -93,7 +96,10 @@ impl<T> Envelope<T> {
         if secret.0 == self.recipient.0 {
             Ok(self.payload)
         } else {
-            Err(Error::WrongKey { expected: self.recipient.0, got: secret.0 })
+            Err(Error::WrongKey {
+                expected: self.recipient.0,
+                got: secret.0,
+            })
         }
     }
 }

@@ -33,7 +33,10 @@ impl fmt::Display for Error {
             Error::Dp(e) => write!(f, "differential-privacy error: {e}"),
             Error::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
             Error::WrongKey { expected, got } => {
-                write!(f, "envelope sealed for key {expected} opened with key {got}")
+                write!(
+                    f,
+                    "envelope sealed for key {expected} opened with key {got}"
+                )
             }
             Error::UnknownUser(u) => write!(f, "unknown user id {u}"),
         }
@@ -79,7 +82,10 @@ mod tests {
         let cfg = Error::InvalidConfiguration("rounds must be positive".into());
         assert!(cfg.to_string().contains("rounds"));
 
-        let key = Error::WrongKey { expected: 1, got: 2 };
+        let key = Error::WrongKey {
+            expected: 1,
+            got: 2,
+        };
         assert!(key.to_string().contains('1'));
         assert!(key.to_string().contains('2'));
 

@@ -76,7 +76,9 @@ pub fn run_mean_estimation(
         Error::InvalidConfiguration("mean estimation requires at least one user".into())
     })?;
     if data.iter().any(|v| v.len() != dimension) {
-        return Err(Error::InvalidConfiguration("data vectors must share a dimension".into()));
+        return Err(Error::InvalidConfiguration(
+            "data vectors must share a dimension".into(),
+        ));
     }
     if config.protocol == ProtocolKind::Single && dummy_pool.is_empty() {
         return Err(Error::InvalidConfiguration(
@@ -84,7 +86,9 @@ pub fn run_mean_estimation(
         ));
     }
     if dummy_pool.iter().any(|v| v.len() != dimension) {
-        return Err(Error::InvalidConfiguration("dummy vectors must share the data dimension".into()));
+        return Err(Error::InvalidConfiguration(
+            "dummy vectors must share the data dimension".into(),
+        ));
     }
 
     let mechanism = PrivUnit::new(dimension, config.epsilon_0)?;
@@ -112,12 +116,17 @@ pub fn run_mean_estimation(
         protocol: config.protocol,
         seed: config.seed,
     };
-    let outcome: SimulationOutcome<Vec<f64>> = run_protocol(graph, payloads, sim_config, make_dummy)?;
+    let outcome: SimulationOutcome<Vec<f64>> =
+        run_protocol(graph, payloads, sim_config, make_dummy)?;
 
     // The curator averages every payload it received (it cannot distinguish
     // dummies), which is the paper's estimator.
-    let received: Vec<Vec<f64>> =
-        outcome.collected.all_payloads().into_iter().cloned().collect();
+    let received: Vec<Vec<f64>> = outcome
+        .collected
+        .all_payloads()
+        .into_iter()
+        .cloned()
+        .collect();
     let estimate = estimate_mean(&received)?;
 
     let true_mean = mean_of(data);
@@ -125,7 +134,12 @@ pub fn run_mean_estimation(
     let dummy_reports = outcome.collected.dummy_count();
     let genuine_reports = outcome.collected.report_count() - dummy_reports;
 
-    Ok(MeanEstimationResult { estimate, squared_error: error, genuine_reports, dummy_reports })
+    Ok(MeanEstimationResult {
+        estimate,
+        squared_error: error,
+        genuine_reports,
+        dummy_reports,
+    })
 }
 
 /// Coordinate-wise mean of a set of vectors.
@@ -174,7 +188,9 @@ mod tests {
 
     fn dummy_pool(d: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = seeded_rng(seed);
-        (0..32).map(|_| unit((0..d).map(|_| 5.0 + rng.gen::<f64>() - 0.5).collect())).collect()
+        (0..32)
+            .map(|_| unit((0..d).map(|_| 5.0 + rng.gen::<f64>() - 0.5).collect()))
+            .collect()
     }
 
     #[test]
@@ -195,7 +211,11 @@ mod tests {
         assert_eq!(result.estimate.len(), d);
         // With a large epsilon the PrivUnit noise is modest; the error should
         // be well below the norm of the mean (which is <= 1).
-        assert!(result.squared_error < 0.5, "squared error = {}", result.squared_error);
+        assert!(
+            result.squared_error < 0.5,
+            "squared error = {}",
+            result.squared_error
+        );
     }
 
     #[test]
@@ -210,21 +230,35 @@ mod tests {
         // utility cost rather than a noise-level effect.
         let dummies: Vec<Vec<f64>> = (0..8)
             .map(|shift| {
-                unit((0..d).map(|i| if (i + shift) % 2 == 0 { 1.0 } else { -1.0 }).collect())
+                unit(
+                    (0..d)
+                        .map(|i| if (i + shift) % 2 == 0 { 1.0 } else { -1.0 })
+                        .collect(),
+                )
             })
             .collect();
         let all = run_mean_estimation(
             &g,
             &data,
             &dummies,
-            MeanEstimationConfig { epsilon_0: 6.0, rounds: 25, protocol: ProtocolKind::All, seed: 8 },
+            MeanEstimationConfig {
+                epsilon_0: 6.0,
+                rounds: 25,
+                protocol: ProtocolKind::All,
+                seed: 8,
+            },
         )
         .unwrap();
         let single = run_mean_estimation(
             &g,
             &data,
             &dummies,
-            MeanEstimationConfig { epsilon_0: 6.0, rounds: 25, protocol: ProtocolKind::Single, seed: 8 },
+            MeanEstimationConfig {
+                epsilon_0: 6.0,
+                rounds: 25,
+                protocol: ProtocolKind::Single,
+                seed: 8,
+            },
         )
         .unwrap();
         assert!(single.dummy_reports > 0);

@@ -39,7 +39,9 @@ impl DropoutModel {
                 "dropout probability must be in [0, 1), got {dropout_probability}"
             )));
         }
-        Ok(DropoutModel { dropout_probability })
+        Ok(DropoutModel {
+            dropout_probability,
+        })
     }
 
     /// The equivalent lazy-walk stay probability.
@@ -90,8 +92,12 @@ impl DropoutModel {
         seed: u64,
         make_dummy: impl FnMut(&mut ns_graph::rng::SimRng) -> P,
     ) -> Result<SimulationOutcome<P>> {
-        let config =
-            SimulationConfig { rounds, laziness: self.as_laziness(), protocol, seed };
+        let config = SimulationConfig {
+            rounds,
+            laziness: self.as_laziness(),
+            protocol,
+            seed,
+        };
         run_protocol(graph, payloads, config, make_dummy)
     }
 }
@@ -122,11 +128,7 @@ mod tests {
         // is unchanged.
         let params = AccountantParams::with_defaults(400, 1.0).unwrap();
         let e_reliable = reliable
-            .central_guarantee_at_mixing_time(
-                ProtocolKind::Single,
-                Scenario::Stationary,
-                &params,
-            )
+            .central_guarantee_at_mixing_time(ProtocolKind::Single, Scenario::Stationary, &params)
             .unwrap();
         let e_flaky = flaky
             .central_guarantee_at_mixing_time(ProtocolKind::Single, Scenario::Stationary, &params)

@@ -20,7 +20,9 @@
 //! * [`crypto`] — the simulated two-layer envelope encryption / PKI of the
 //!   paper's communication protocol (Section 4.4);
 //! * [`simulation`] — a deterministic round-based execution of the whole
-//!   population, with traffic/memory metrics (Table 3);
+//!   population on the batched mixing engine, with streamed traffic/memory
+//!   metrics (Table 3) and the historical per-client loop preserved as
+//!   [`simulation::reference`];
 //! * [`server`] / [`adversary`] — the curator's view and empirical linkage
 //!   measurements (Section 3.3);
 //! * [`accountant`] — the central-DP guarantees of Theorems 5.3–5.6 and 6.1,
@@ -96,7 +98,7 @@ pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use crate::estimation::{run_mean_estimation, MeanEstimationConfig, MeanEstimationResult};
     pub use crate::faults::DropoutModel;
-    pub use crate::metrics::TrafficMetrics;
+    pub use crate::metrics::{TrafficMetrics, TrafficRecorder};
     pub use crate::protocol::ProtocolKind;
     pub use crate::report::{Report, Submission};
     pub use crate::server::{CollectedReports, Curator};

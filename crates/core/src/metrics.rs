@@ -5,7 +5,13 @@
 //! shuffling) and *user traffic complexity* (reports sent per user).  The
 //! simulation records the corresponding concrete quantities so the
 //! `table3` experiment can show the empirical scaling.
+//!
+//! [`TrafficRecorder`] computes the measurements incrementally: it plugs
+//! into the mixing engine's [`RoundObserver`] hook and folds each round's
+//! sent/load vectors into the running totals, so no post-hoc sweep over
+//! per-client counters is needed.
 
+use ns_graph::mixing_engine::{RoundObserver, RoundStats};
 use serde::{Deserialize, Serialize};
 
 /// Per-run traffic and memory measurements.
@@ -46,7 +52,11 @@ impl TrafficMetrics {
     /// Maximum number of reports any user had to hold at once — the user-side
     /// memory requirement (`O(1)` in expectation for network shuffling).
     pub fn max_peak_reports(&self) -> usize {
-        self.peak_reports_per_user.iter().copied().max().unwrap_or(0)
+        self.peak_reports_per_user
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean of the per-user peak report counts.
@@ -55,6 +65,55 @@ impl TrafficMetrics {
             0.0
         } else {
             self.peak_reports_per_user.iter().sum::<usize>() as f64 / self.user_count as f64
+        }
+    }
+}
+
+/// Streaming builder of [`TrafficMetrics`], driven by the mixing engine.
+///
+/// Every user starts as the holder of exactly her own report, so the peak
+/// vector is initialised to 1; each observed round then adds the round's
+/// sends to the per-user message totals and raises the per-user peaks to the
+/// post-round loads.  (Within a round a holder's count only dips below its
+/// boundary values, so round boundaries are where peaks occur — the same
+/// quantity the per-client counters used to track.)
+#[derive(Debug, Clone)]
+pub struct TrafficRecorder {
+    rounds: usize,
+    messages_per_user: Vec<usize>,
+    peak_reports_per_user: Vec<usize>,
+}
+
+impl TrafficRecorder {
+    /// A recorder for `n` users, each initially holding one report.
+    pub fn new(n: usize) -> Self {
+        TrafficRecorder {
+            rounds: 0,
+            messages_per_user: vec![0; n],
+            peak_reports_per_user: vec![1; n],
+        }
+    }
+
+    /// Finishes the recording, attaching the curator-side report count.
+    pub fn into_metrics(self, server_reports: usize) -> TrafficMetrics {
+        TrafficMetrics {
+            user_count: self.messages_per_user.len(),
+            rounds: self.rounds,
+            messages_per_user: self.messages_per_user,
+            peak_reports_per_user: self.peak_reports_per_user,
+            server_reports,
+        }
+    }
+}
+
+impl RoundObserver for TrafficRecorder {
+    fn on_round(&mut self, stats: &RoundStats<'_>) {
+        self.rounds = stats.round;
+        for (total, &sent) in self.messages_per_user.iter_mut().zip(stats.sent) {
+            *total += sent as usize;
+        }
+        for (peak, &load) in self.peak_reports_per_user.iter_mut().zip(stats.load) {
+            *peak = (*peak).max(load as usize);
         }
     }
 }
@@ -96,5 +155,27 @@ mod tests {
         assert_eq!(m.mean_peak_reports(), 0.0);
         assert_eq!(m.max_messages_per_user(), 0);
         assert_eq!(m.max_peak_reports(), 0);
+    }
+
+    #[test]
+    fn recorder_accumulates_messages_and_peaks() {
+        let mut recorder = TrafficRecorder::new(3);
+        recorder.on_round(&RoundStats {
+            round: 1,
+            sent: &[1, 1, 0],
+            load: &[0, 2, 1],
+        });
+        recorder.on_round(&RoundStats {
+            round: 2,
+            sent: &[0, 2, 1],
+            load: &[3, 0, 0],
+        });
+        let m = recorder.into_metrics(3);
+        assert_eq!(m.user_count, 3);
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.messages_per_user, vec![1, 3, 1]);
+        // Peaks start at 1 (own report) and track post-round loads.
+        assert_eq!(m.peak_reports_per_user, vec![3, 2, 1]);
+        assert_eq!(m.server_reports, 3);
     }
 }

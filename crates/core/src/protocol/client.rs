@@ -1,4 +1,13 @@
 //! The per-user client state machine (Algorithms 1 and 2).
+//!
+//! Since the batched-engine refactor, report *movement* is executed by
+//! [`ns_graph::mixing_engine::MixingEngine`] over flat arrays — the fast
+//! path in [`crate::simulation::run_protocol`] never constructs a `Client`.
+//! What remains here is the cryptographic per-user state machine: sealing
+//! the own report for the curator, the two-layer envelope exchange of the
+//! wire protocol ([`Client::relay_round`] / [`Client::receive`], used by the
+//! reference simulation in [`crate::simulation::reference`]), and the
+//! final-round submission logic ([`Client::finalize`]).
 
 use crate::crypto::{Envelope, KeyPair, PublicKey, SecretKey};
 use crate::error::{Error, Result};
@@ -26,6 +35,39 @@ impl From<ProtocolKind> for FinalizePolicy {
         match kind {
             ProtocolKind::All => FinalizePolicy::All,
             ProtocolKind::Single => FinalizePolicy::Single,
+        }
+    }
+}
+
+/// What a finalizing user does with her held reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalizeChoice {
+    /// Upload every held report (empty submission if none).
+    All,
+    /// Upload the held report at this index, discarding the rest.
+    Pick(usize),
+    /// Hold nothing: upload a freshly randomized dummy.
+    Dummy,
+}
+
+impl FinalizePolicy {
+    /// Decides the final-round action for a user holding `held_count`
+    /// reports.
+    ///
+    /// This is the single definition of the submission rule (Algorithms 1
+    /// and 2, final round) — the per-client state machine and the batched
+    /// simulation both resolve their choice (and draw their selection
+    /// randomness) here, so the two paths cannot drift apart.
+    pub fn choose<R: Rng + ?Sized>(self, held_count: usize, rng: &mut R) -> FinalizeChoice {
+        match self {
+            FinalizePolicy::All => FinalizeChoice::All,
+            FinalizePolicy::Single => {
+                if held_count == 0 {
+                    FinalizeChoice::Dummy
+                } else {
+                    FinalizeChoice::Pick(rng.gen_range(0..held_count))
+                }
+            }
         }
     }
 }
@@ -171,21 +213,22 @@ impl<P: Clone> Client<P> {
         make_dummy: impl FnOnce(&mut R) -> P,
         rng: &mut R,
     ) -> SealedSubmission<P> {
-        let reports = match policy {
-            FinalizePolicy::All => std::mem::take(&mut self.held),
-            FinalizePolicy::Single => {
-                if self.held.is_empty() {
-                    let dummy = Report::dummy(self.id, make_dummy(rng));
-                    vec![Envelope::seal(self.curator_key, dummy)]
-                } else {
-                    let idx = rng.gen_range(0..self.held.len());
-                    let chosen = self.held.swap_remove(idx);
-                    self.held.clear();
-                    vec![chosen]
-                }
+        let reports = match policy.choose(self.held.len(), rng) {
+            FinalizeChoice::All => std::mem::take(&mut self.held),
+            FinalizeChoice::Dummy => {
+                let dummy = Report::dummy(self.id, make_dummy(rng));
+                vec![Envelope::seal(self.curator_key, dummy)]
+            }
+            FinalizeChoice::Pick(idx) => {
+                let chosen = self.held.swap_remove(idx);
+                self.held.clear();
+                vec![chosen]
             }
         };
-        SealedSubmission { submitter: self.id, reports }
+        SealedSubmission {
+            submitter: self.id,
+            reports,
+        }
     }
 }
 
@@ -210,7 +253,10 @@ impl<P> SealedSubmission<P> {
         for sealed in self.reports {
             reports.push(sealed.open(curator_secret)?);
         }
-        Ok(Submission { submitter: self.submitter, reports })
+        Ok(Submission {
+            submitter: self.submitter,
+            reports,
+        })
     }
 }
 
@@ -284,7 +330,10 @@ mod tests {
         let mut rng = seeded_rng(3);
         let outgoing = sender.relay_round(|id| users[id].public, 0.0, &mut rng);
         let (_, message) = outgoing.into_iter().next().unwrap();
-        assert!(matches!(wrong_receiver.receive(message), Err(Error::WrongKey { .. })));
+        assert!(matches!(
+            wrong_receiver.receive(message),
+            Err(Error::WrongKey { .. })
+        ));
     }
 
     #[test]
@@ -357,6 +406,9 @@ mod tests {
     #[test]
     fn policy_from_protocol_kind() {
         assert_eq!(FinalizePolicy::from(ProtocolKind::All), FinalizePolicy::All);
-        assert_eq!(FinalizePolicy::from(ProtocolKind::Single), FinalizePolicy::Single);
+        assert_eq!(
+            FinalizePolicy::from(ProtocolKind::Single),
+            FinalizePolicy::Single
+        );
     }
 }

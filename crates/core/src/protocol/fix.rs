@@ -66,7 +66,9 @@ pub fn swap_first_uniform<X: Clone, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<(Vec<X>, usize)> {
     if dataset.is_empty() {
-        return Err(Error::InvalidConfiguration("cannot swap within an empty dataset".into()));
+        return Err(Error::InvalidConfiguration(
+            "cannot swap within an empty dataset".into(),
+        ));
     }
     let mut swapped = dataset.to_vec();
     let index = rng.gen_range(0..dataset.len());

@@ -13,7 +13,7 @@
 pub mod client;
 pub mod fix;
 
-pub use client::{Client, FinalizePolicy};
+pub use client::{Client, FinalizeChoice, FinalizePolicy};
 
 use serde::{Deserialize, Serialize};
 

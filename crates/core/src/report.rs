@@ -24,18 +24,30 @@ pub struct Report<P> {
 impl<P> Report<P> {
     /// A genuine report produced by `origin`.
     pub fn genuine(origin: NodeId, payload: P) -> Self {
-        Report { origin, is_dummy: false, payload }
+        Report {
+            origin,
+            is_dummy: false,
+            payload,
+        }
     }
 
     /// A dummy report submitted by `origin` (used by `A_single` when the
     /// user holds no report after the final round).
     pub fn dummy(origin: NodeId, payload: P) -> Self {
-        Report { origin, is_dummy: true, payload }
+        Report {
+            origin,
+            is_dummy: true,
+            payload,
+        }
     }
 
     /// Maps the payload while preserving the metadata.
     pub fn map<Q>(self, f: impl FnOnce(P) -> Q) -> Report<Q> {
-        Report { origin: self.origin, is_dummy: self.is_dummy, payload: f(self.payload) }
+        Report {
+            origin: self.origin,
+            is_dummy: self.is_dummy,
+            payload: f(self.payload),
+        }
     }
 }
 
@@ -53,7 +65,10 @@ pub struct Submission<P> {
 impl<P> Submission<P> {
     /// A null response (user held no reports under `A_all`).
     pub fn null(submitter: NodeId) -> Self {
-        Submission { submitter, reports: Vec::new() }
+        Submission {
+            submitter,
+            reports: Vec::new(),
+        }
     }
 
     /// Number of reports in this submission.
@@ -98,7 +113,10 @@ mod tests {
         assert_eq!(s.len(), 0);
         assert_eq!(s.submitter, 4);
 
-        let s = Submission { submitter: 1, reports: vec![Report::genuine(0, 7u32)] };
+        let s = Submission {
+            submitter: 1,
+            reports: vec![Report::genuine(0, 7u32)],
+        };
         assert_eq!(s.len(), 1);
         assert!(!s.is_empty());
     }

@@ -23,7 +23,9 @@ pub struct Curator {
 impl Curator {
     /// Creates a curator with a fresh envelope key pair.
     pub fn new() -> Self {
-        Curator { keys: KeyPair::generate() }
+        Curator {
+            keys: KeyPair::generate(),
+        }
     }
 
     /// The public envelope key users seal their reports with.
@@ -44,11 +46,29 @@ impl Curator {
     /// [`crate::error::Error::WrongKey`] if any report was sealed for a
     /// different key (a protocol bug).
     pub fn collect<P>(&self, submissions: Vec<SealedSubmission<P>>) -> Result<CollectedReports<P>> {
-        let mut opened = Vec::with_capacity(submissions.len());
-        for sealed in submissions {
+        self.collect_from(submissions)
+    }
+
+    /// Streaming variant of [`Curator::collect`]: decrypts submissions as
+    /// they arrive from any iterator, so callers that produce submissions
+    /// on the fly (the batched simulation, a future network frontend) need
+    /// not buffer them twice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Curator::collect`].
+    pub fn collect_from<P>(
+        &self,
+        submissions: impl IntoIterator<Item = SealedSubmission<P>>,
+    ) -> Result<CollectedReports<P>> {
+        let iter = submissions.into_iter();
+        let mut opened = Vec::with_capacity(iter.size_hint().0);
+        for sealed in iter {
             opened.push(sealed.open(&self.keys.secret)?);
         }
-        Ok(CollectedReports { submissions: opened })
+        Ok(CollectedReports {
+            submissions: opened,
+        })
     }
 }
 
@@ -83,7 +103,11 @@ impl<P> CollectedReports<P> {
 
     /// Number of dummy reports received (only `A_single` produces them).
     pub fn dummy_count(&self) -> usize {
-        self.submissions.iter().flat_map(|s| &s.reports).filter(|r| r.is_dummy).count()
+        self.submissions
+            .iter()
+            .flat_map(|s| &s.reports)
+            .filter(|r| r.is_dummy)
+            .count()
     }
 
     /// Number of null responses (empty submissions under `A_all`).
@@ -92,8 +116,12 @@ impl<P> CollectedReports<P> {
     }
 
     /// Iterates over `(submitter, report)` pairs — the curator's view.
-    pub fn reports_with_submitter(&self) -> impl Iterator<Item = (NodeId, &crate::report::Report<P>)> {
-        self.submissions.iter().flat_map(|s| s.reports.iter().map(move |r| (s.submitter, r)))
+    pub fn reports_with_submitter(
+        &self,
+    ) -> impl Iterator<Item = (NodeId, &crate::report::Report<P>)> {
+        self.submissions
+            .iter()
+            .flat_map(|s| s.reports.iter().map(move |r| (s.submitter, r)))
     }
 
     /// Payloads of all genuine (non-dummy) reports.
@@ -109,7 +137,11 @@ impl<P> CollectedReports<P> {
     /// Payloads of all reports, dummies included (what the curator actually
     /// averages over under `A_single`, since it cannot tell dummies apart).
     pub fn all_payloads(&self) -> Vec<&P> {
-        self.submissions.iter().flat_map(|s| &s.reports).map(|r| &r.payload).collect()
+        self.submissions
+            .iter()
+            .flat_map(|s| &s.reports)
+            .map(|r| &r.payload)
+            .collect()
     }
 
     /// The load vector `L = (L_1, …, L_n)` of Lemma 5.1: number of reports
@@ -132,10 +164,17 @@ mod tests {
     use crate::crypto::Envelope;
     use crate::report::Report;
 
-    fn sealed(curator: &Curator, submitter: NodeId, reports: Vec<Report<u32>>) -> SealedSubmission<u32> {
+    fn sealed(
+        curator: &Curator,
+        submitter: NodeId,
+        reports: Vec<Report<u32>>,
+    ) -> SealedSubmission<u32> {
         SealedSubmission {
             submitter,
-            reports: reports.into_iter().map(|r| Envelope::seal(curator.public_key(), r)).collect(),
+            reports: reports
+                .into_iter()
+                .map(|r| Envelope::seal(curator.public_key(), r))
+                .collect(),
         }
     }
 
@@ -143,7 +182,11 @@ mod tests {
     fn collect_decrypts_submissions() {
         let curator = Curator::new();
         let submissions = vec![
-            sealed(&curator, 0, vec![Report::genuine(0, 1), Report::genuine(2, 3)]),
+            sealed(
+                &curator,
+                0,
+                vec![Report::genuine(0, 1), Report::genuine(2, 3)],
+            ),
             sealed(&curator, 1, vec![]),
             sealed(&curator, 2, vec![Report::dummy(2, 0)]),
         ];
@@ -169,8 +212,14 @@ mod tests {
     #[test]
     fn load_vector_counts_reports_per_submitter() {
         let collected = CollectedReports::from_submissions(vec![
-            Submission { submitter: 0, reports: vec![Report::genuine(1, 1u32), Report::genuine(2, 2)] },
-            Submission { submitter: 2, reports: vec![Report::genuine(0, 3)] },
+            Submission {
+                submitter: 0,
+                reports: vec![Report::genuine(1, 1u32), Report::genuine(2, 2)],
+            },
+            Submission {
+                submitter: 2,
+                reports: vec![Report::genuine(0, 3)],
+            },
             Submission::null(1),
         ]);
         assert_eq!(collected.load_vector(3), vec![2, 0, 1]);

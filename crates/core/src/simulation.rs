@@ -2,28 +2,44 @@
 //!
 //! This module ties the pieces together exactly as in Figure 3 of the paper:
 //!
-//! 1. the curator and every user generate key pairs and publish the public
-//!    halves via the simulated PKI;
+//! 1. the curator generates her envelope key pair;
 //! 2. every user randomizes her value (the caller supplies the already
 //!    randomized payloads, so any [`ns_dp::LocalRandomizer`] can be used),
 //!    seals it for the curator and becomes the initial holder of her own
 //!    report;
 //! 3. for `t` rounds, every held report is relayed to a uniformly random
-//!    neighbour over an end-to-end encrypted channel (synchronous rounds:
-//!    all sends of a round are collected before any delivery, so a report
-//!    moves exactly once per round);
+//!    neighbour (synchronous rounds: all sends of a round are collected
+//!    before any delivery, so a report moves exactly once per round);
 //! 4. at the final round every user uploads according to the chosen protocol
 //!    (`A_all` or `A_single`), and the curator decrypts and aggregates.
 //!
-//! The simulation also records the traffic/memory metrics of Table 3.
+//! Since the batched-engine refactor, the exchange phase is executed by
+//! [`ns_graph::mixing_engine::MixingEngine`] over struct-of-arrays state:
+//! the curator-sealed envelopes live in a flat arena keyed by report id
+//! (= origin), the engine moves report ids between holders with counting-sort
+//! routing, and the Table 3 traffic metrics stream out of the engine's
+//! [`RoundObserver`](ns_graph::mixing_engine::RoundObserver) hook instead of
+//! being collected per client afterwards.  The historical per-client
+//! message-passing loop — one [`Client`] object per user, with per-hop
+//! end-to-end envelopes — is preserved verbatim in [`reference`]; it is the
+//! semantic baseline the engine is tested against (same seed, identical
+//! submissions and metrics) and the comparison subject for the engine
+//! benchmarks.
+//!
+//! Holder-order rounds in the engine consume the RNG draw-for-draw like the
+//! reference loop, so the two paths produce bit-identical outcomes for any
+//! `(graph, seed, rounds, laziness, protocol)`.
 
-use crate::crypto::{KeyPair, Pki};
+use crate::crypto::Envelope;
 use crate::error::{Error, Result};
-use crate::metrics::TrafficMetrics;
-use crate::protocol::client::Client;
+use crate::metrics::{TrafficMetrics, TrafficRecorder};
+use crate::protocol::client::{FinalizeChoice, FinalizePolicy, SealedSubmission};
 use crate::protocol::ProtocolKind;
+use crate::report::Report;
 use crate::server::{CollectedReports, Curator};
+use ns_graph::mixing_engine::MixingEngine;
 use ns_graph::rng::SimRng;
+use ns_graph::walk::{validate_laziness, WalkConfig};
 use ns_graph::Graph;
 use rand_chacha::rand_core::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -45,27 +61,37 @@ pub struct SimulationConfig {
 impl SimulationConfig {
     /// A plain `A_all` run with the given number of rounds.
     pub fn all(rounds: usize, seed: u64) -> Self {
-        SimulationConfig { rounds, laziness: 0.0, protocol: ProtocolKind::All, seed }
+        SimulationConfig {
+            rounds,
+            laziness: 0.0,
+            protocol: ProtocolKind::All,
+            seed,
+        }
     }
 
     /// A plain `A_single` run with the given number of rounds.
     pub fn single(rounds: usize, seed: u64) -> Self {
-        SimulationConfig { rounds, laziness: 0.0, protocol: ProtocolKind::Single, seed }
+        SimulationConfig {
+            rounds,
+            laziness: 0.0,
+            protocol: ProtocolKind::Single,
+            seed,
+        }
     }
 
-    /// Validates the configuration.
+    /// Validates the configuration (shared laziness-domain rule from the
+    /// graph substrate).
     ///
     /// # Errors
     ///
     /// [`Error::InvalidConfiguration`] if `laziness ∉ [0, 1)`.
     pub fn validate(&self) -> Result<()> {
-        if !(0.0..1.0).contains(&self.laziness) {
-            return Err(Error::InvalidConfiguration(format!(
-                "laziness must be in [0, 1), got {}",
-                self.laziness
-            )));
-        }
-        Ok(())
+        validate_laziness(self.laziness).map_err(Error::InvalidConfiguration)
+    }
+
+    /// The walk configuration of the exchange phase.
+    pub fn walk(&self) -> WalkConfig {
+        WalkConfig::lazy(self.rounds, self.laziness)
     }
 }
 
@@ -78,23 +104,11 @@ pub struct SimulationOutcome<P> {
     pub metrics: TrafficMetrics,
 }
 
-/// Runs one complete network-shuffling protocol execution.
-///
-/// `payloads[i]` is user `i`'s already locally-randomized report payload;
-/// `make_dummy` produces a dummy payload for `A_single` users who end the
-/// exchange phase empty-handed (it is ignored under `A_all`).
-///
-/// # Errors
-///
-/// * graph validation errors (empty graph, isolated node),
-/// * [`Error::InvalidConfiguration`] if `payloads.len() != n` or the config
-///   is invalid.
-pub fn run_protocol<P: Clone>(
+fn validate_run_inputs<P>(
     graph: &Graph,
-    payloads: Vec<P>,
-    config: SimulationConfig,
-    mut make_dummy: impl FnMut(&mut SimRng) -> P,
-) -> Result<SimulationOutcome<P>> {
+    payloads: &[P],
+    config: &SimulationConfig,
+) -> Result<usize> {
     config.validate()?;
     let n = graph.node_count();
     if n == 0 {
@@ -109,61 +123,88 @@ pub fn run_protocol<P: Clone>(
             payloads.len()
         )));
     }
+    Ok(n)
+}
 
+/// Runs one complete network-shuffling protocol execution on the batched
+/// mixing engine.
+///
+/// `payloads[i]` is user `i`'s already locally-randomized report payload;
+/// `make_dummy` produces a dummy payload for `A_single` users who end the
+/// exchange phase empty-handed (it is ignored under `A_all`).
+///
+/// Report `i` is sealed for the curator once, stored in a flat arena at
+/// index `i`, and only its *id* moves between holders during the exchange
+/// phase.  The per-hop end-to-end envelopes of the wire protocol are not
+/// materialized here — routing is correct by construction inside the engine;
+/// the full two-layer envelope exchange (including misdelivery detection)
+/// is exercised by [`reference::run_protocol_reference`] and the client
+/// unit tests.
+///
+/// # Errors
+///
+/// * graph validation errors (empty graph, isolated node),
+/// * [`Error::InvalidConfiguration`] if `payloads.len() != n` or the config
+///   is invalid.
+pub fn run_protocol<P: Clone>(
+    graph: &Graph,
+    payloads: Vec<P>,
+    config: SimulationConfig,
+    mut make_dummy: impl FnMut(&mut SimRng) -> P,
+) -> Result<SimulationOutcome<P>> {
+    let n = validate_run_inputs(graph, &payloads, &config)?;
     let mut rng = SimRng::seed_from_u64(config.seed);
 
-    // Key setup (Figure 3): curator + one end-to-end key pair per user.
+    // Key setup (Figure 3): the curator's envelope key pair.  Per-user
+    // end-to-end keys only exist on the wire; the arena path has no
+    // per-hop envelopes to seal with them.
     let curator = Curator::new();
-    let mut pki = Pki::new();
-    pki.register_curator(curator.public_key());
-    let user_keys: Vec<KeyPair> = (0..n).map(|_| KeyPair::generate()).collect();
-    for key in &user_keys {
-        pki.register_user(key.public);
-    }
 
-    // Client construction and local randomization.
-    let mut clients: Vec<Client<P>> = Vec::with_capacity(n);
-    for (id, payload) in payloads.into_iter().enumerate() {
-        let mut client =
-            Client::new(id, user_keys[id], curator.public_key(), graph.neighbors(id).to_vec())?;
-        client.submit_own_report(payload);
-        clients.push(client);
-    }
+    // Local randomization: report i sits at arena slot i, sealed once.
+    let mut arena: Vec<Option<Envelope<Report<P>>>> = payloads
+        .into_iter()
+        .enumerate()
+        .map(|(origin, payload)| {
+            Some(Envelope::seal(
+                curator.public_key(),
+                Report::genuine(origin, payload),
+            ))
+        })
+        .collect();
 
-    // Synchronous relay rounds.
-    let peer_key = |id: usize| user_keys[id].public;
-    for _ in 0..config.rounds {
-        let mut in_flight = Vec::with_capacity(n);
-        for client in clients.iter_mut() {
-            in_flight.extend(client.relay_round(peer_key, config.laziness, &mut rng));
-        }
-        for (destination, message) in in_flight {
-            clients
-                .get_mut(destination)
-                .ok_or(Error::UnknownUser(destination))?
-                .receive(message)?;
-        }
-    }
+    // Exchange phase: batched holder-order rounds, metrics streamed.
+    let mut engine = MixingEngine::one_walker_per_node(graph)?;
+    let mut recorder = TrafficRecorder::new(n);
+    engine.run_holder_observed(config.walk(), &mut rng, &mut recorder)?;
 
-    // Final round: submissions to the curator.
-    let policy = config.protocol.into();
-    let mut submissions = Vec::with_capacity(n);
-    let mut messages_per_user = Vec::with_capacity(n);
-    let mut peak_reports_per_user = Vec::with_capacity(n);
-    for client in clients.iter_mut() {
-        submissions.push(client.finalize(policy, &mut make_dummy, &mut rng));
-        messages_per_user.push(client.messages_sent());
-        peak_reports_per_user.push(client.peak_held());
-    }
-
-    let collected = curator.collect(submissions)?;
-    let metrics = TrafficMetrics {
-        user_count: n,
-        rounds: config.rounds,
-        messages_per_user,
-        peak_reports_per_user,
-        server_reports: collected.report_count(),
-    };
+    // Final round: submissions stream to the curator, holders in user order
+    // (no intermediate submission buffer).
+    engine.ensure_buckets();
+    let policy: FinalizePolicy = config.protocol.into();
+    let collected = curator.collect_from((0..n).map(|submitter| {
+        let held = engine.held_by(submitter);
+        let reports = match policy.choose(held.len(), &mut rng) {
+            FinalizeChoice::All => held
+                .iter()
+                .map(|&report| {
+                    arena[report as usize]
+                        .take()
+                        .expect("a report is submitted once")
+                })
+                .collect(),
+            FinalizeChoice::Dummy => {
+                let dummy = Report::dummy(submitter, make_dummy(&mut rng));
+                vec![Envelope::seal(curator.public_key(), dummy)]
+            }
+            FinalizeChoice::Pick(index) => {
+                vec![arena[held[index] as usize]
+                    .take()
+                    .expect("a report is submitted once")]
+            }
+        };
+        SealedSubmission { submitter, reports }
+    }))?;
+    let metrics = recorder.into_metrics(collected.report_count());
     Ok(SimulationOutcome { collected, metrics })
 }
 
@@ -216,7 +257,7 @@ where
 ///
 /// # Errors
 ///
-/// Propagates walk-engine construction errors.
+/// Propagates engine construction errors.
 pub fn expected_empty_holders(
     graph: &Graph,
     rounds: usize,
@@ -227,11 +268,101 @@ pub fn expected_empty_holders(
     let mut total_empty = 0usize;
     for trial in 0..trials.max(1) {
         let mut rng = SimRng::seed_from_u64(seed.wrapping_add(trial as u64));
-        let mut engine = ns_graph::walk::WalkEngine::one_walker_per_node(graph)?;
-        engine.run(ns_graph::walk::WalkConfig::lazy(rounds, laziness), &mut rng)?;
+        let mut engine = MixingEngine::one_walker_per_node(graph)?;
+        engine.run(WalkConfig::lazy(rounds, laziness), &mut rng)?;
         total_empty += engine.load_vector().iter().filter(|&&l| l == 0).count();
     }
     Ok(total_empty as f64 / trials.max(1) as f64)
+}
+
+/// The historical per-client simulation, preserved as the semantic baseline.
+///
+/// One [`Client`] object per user, a fresh `in_flight` vector of doubly-
+/// enveloped messages per round, and per-message routing — exactly the wire
+/// protocol of Section 4.4, at the cost of an allocation-heavy hot loop.
+/// The batched engine path in [`run_protocol`] is required (and tested) to
+/// reproduce this loop's outcomes bit for bit; benchmarks measure its
+/// speedup against this baseline.
+pub mod reference {
+    use super::*;
+    use crate::crypto::{KeyPair, Pki};
+    use crate::protocol::client::Client;
+
+    /// Runs the protocol through the per-client message-passing loop.
+    ///
+    /// Same contract as [`run_protocol`]; kept for parity tests, benchmarks
+    /// and as executable documentation of the wire protocol.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_protocol`].
+    pub fn run_protocol_reference<P: Clone>(
+        graph: &Graph,
+        payloads: Vec<P>,
+        config: SimulationConfig,
+        mut make_dummy: impl FnMut(&mut SimRng) -> P,
+    ) -> Result<SimulationOutcome<P>> {
+        let n = validate_run_inputs(graph, &payloads, &config)?;
+        let mut rng = SimRng::seed_from_u64(config.seed);
+
+        // Key setup (Figure 3): curator + one end-to-end key pair per user.
+        let curator = Curator::new();
+        let mut pki = Pki::new();
+        pki.register_curator(curator.public_key());
+        let user_keys: Vec<KeyPair> = (0..n).map(|_| KeyPair::generate()).collect();
+        for key in &user_keys {
+            pki.register_user(key.public);
+        }
+
+        // Client construction and local randomization.
+        let mut clients: Vec<Client<P>> = Vec::with_capacity(n);
+        for (id, payload) in payloads.into_iter().enumerate() {
+            let mut client = Client::new(
+                id,
+                user_keys[id],
+                curator.public_key(),
+                graph.neighbors(id).to_vec(),
+            )?;
+            client.submit_own_report(payload);
+            clients.push(client);
+        }
+
+        // Synchronous relay rounds.
+        let peer_key = |id: usize| user_keys[id].public;
+        for _ in 0..config.rounds {
+            let mut in_flight = Vec::with_capacity(n);
+            for client in clients.iter_mut() {
+                in_flight.extend(client.relay_round(peer_key, config.laziness, &mut rng));
+            }
+            for (destination, message) in in_flight {
+                clients
+                    .get_mut(destination)
+                    .ok_or(Error::UnknownUser(destination))?
+                    .receive(message)?;
+            }
+        }
+
+        // Final round: submissions to the curator.
+        let policy = config.protocol.into();
+        let mut submissions = Vec::with_capacity(n);
+        let mut messages_per_user = Vec::with_capacity(n);
+        let mut peak_reports_per_user = Vec::with_capacity(n);
+        for client in clients.iter_mut() {
+            submissions.push(client.finalize(policy, &mut make_dummy, &mut rng));
+            messages_per_user.push(client.messages_sent());
+            peak_reports_per_user.push(client.peak_held());
+        }
+
+        let collected = curator.collect(submissions)?;
+        let metrics = TrafficMetrics {
+            user_count: n,
+            rounds: config.rounds,
+            messages_per_user,
+            peak_reports_per_user,
+            server_reports: collected.report_count(),
+        };
+        Ok(SimulationOutcome { collected, metrics })
+    }
 }
 
 #[cfg(test)]
@@ -245,13 +376,15 @@ mod tests {
     fn all_protocol_conserves_reports() {
         let g = generators::random_regular(60, 4, &mut ns_graph::rng::seeded_rng(1)).unwrap();
         let payloads: Vec<u32> = (0..60).collect();
-        let outcome =
-            run_protocol(&g, payloads, SimulationConfig::all(15, 7), |_| 999).unwrap();
+        let outcome = run_protocol(&g, payloads, SimulationConfig::all(15, 7), |_| 999).unwrap();
         // Every genuine report reaches the curator exactly once.
         assert_eq!(outcome.collected.report_count(), 60);
         assert_eq!(outcome.collected.dummy_count(), 0);
-        let mut origins: Vec<usize> =
-            outcome.collected.reports_with_submitter().map(|(_, r)| r.origin).collect();
+        let mut origins: Vec<usize> = outcome
+            .collected
+            .reports_with_submitter()
+            .map(|(_, r)| r.origin)
+            .collect();
         origins.sort_unstable();
         assert_eq!(origins, (0..60).collect::<Vec<_>>());
         // Payload i was produced by user i in this setup.
@@ -289,8 +422,7 @@ mod tests {
         let g = generators::random_regular(40, 4, &mut ns_graph::rng::seeded_rng(3)).unwrap();
         let rounds = 10;
         let payloads: Vec<u32> = vec![0; 40];
-        let outcome =
-            run_protocol(&g, payloads, SimulationConfig::all(rounds, 5), |_| 0).unwrap();
+        let outcome = run_protocol(&g, payloads, SimulationConfig::all(rounds, 5), |_| 0).unwrap();
         let m = &outcome.metrics;
         assert_eq!(m.user_count, 40);
         assert_eq!(m.rounds, rounds);
@@ -323,19 +455,43 @@ mod tests {
         let stats = view.linkage_stats(&g);
         // After mixing, the return rate should be near 1/n = 1%, certainly
         // far below 20%.
-        assert!(stats.return_rate() < 0.2, "return rate = {}", stats.return_rate());
+        assert!(
+            stats.return_rate() < 0.2,
+            "return rate = {}",
+            stats.return_rate()
+        );
     }
 
     #[test]
     fn configuration_and_input_validation() {
         let g = generators::complete(5).unwrap();
-        let bad_config = SimulationConfig { laziness: 1.0, ..SimulationConfig::all(3, 0) };
+        let bad_config = SimulationConfig {
+            laziness: 1.0,
+            ..SimulationConfig::all(3, 0)
+        };
         assert!(run_protocol(&g, vec![0u32; 5], bad_config, |_| 0).is_err());
         assert!(run_protocol(&g, vec![0u32; 4], SimulationConfig::all(3, 0), |_| 0).is_err());
         let isolated = Graph::from_edges(3, &[(0, 1)]).unwrap();
-        assert!(run_protocol(&isolated, vec![0u32; 3], SimulationConfig::all(3, 0), |_| 0).is_err());
+        assert!(
+            run_protocol(&isolated, vec![0u32; 3], SimulationConfig::all(3, 0), |_| 0).is_err()
+        );
         let empty = Graph::from_edges(0, &[]).unwrap();
-        assert!(run_protocol(&empty, Vec::<u32>::new(), SimulationConfig::all(3, 0), |_| 0).is_err());
+        assert!(run_protocol(
+            &empty,
+            Vec::<u32>::new(),
+            SimulationConfig::all(3, 0),
+            |_| 0
+        )
+        .is_err());
+        // The reference loop enforces the same contract.
+        assert!(reference::run_protocol_reference(&g, vec![0u32; 5], bad_config, |_| 0).is_err());
+        assert!(reference::run_protocol_reference(
+            &empty,
+            Vec::<u32>::new(),
+            SimulationConfig::all(3, 0),
+            |_| 0
+        )
+        .is_err());
     }
 
     #[test]
@@ -391,6 +547,33 @@ mod tests {
         let g = generators::random_regular(200, 6, &mut ns_graph::rng::seeded_rng(7)).unwrap();
         let empty = expected_empty_holders(&g, 60, 0.0, 5, 123).unwrap();
         let fraction = empty / 200.0;
-        assert!((fraction - 0.368).abs() < 0.08, "empty fraction = {fraction}");
+        assert!(
+            (fraction - 0.368).abs() < 0.08,
+            "empty fraction = {fraction}"
+        );
+    }
+
+    /// The engine path must reproduce the reference loop bit for bit; the
+    /// exhaustive version (more sizes, both protocols, metrics) lives in
+    /// `tests/engine_parity.rs`.
+    #[test]
+    fn engine_path_matches_reference_loop() {
+        let g = generators::random_regular(48, 4, &mut ns_graph::rng::seeded_rng(8)).unwrap();
+        for config in [
+            SimulationConfig::all(12, 21),
+            SimulationConfig::single(12, 21),
+        ] {
+            let payloads: Vec<u32> = (0..48).collect();
+            let engine = run_protocol(&g, payloads.clone(), config, |_| 7).unwrap();
+            let reference = reference::run_protocol_reference(&g, payloads, config, |_| 7).unwrap();
+            let view = |o: &SimulationOutcome<u32>| {
+                o.collected
+                    .reports_with_submitter()
+                    .map(|(s, r)| (s, r.origin, r.is_dummy, r.payload))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(view(&engine), view(&reference));
+            assert_eq!(engine.metrics, reference.metrics);
+        }
     }
 }

@@ -24,8 +24,13 @@ pub enum Dataset {
 
 impl Dataset {
     /// All datasets, in the order of Table 4.
-    pub const ALL: [Dataset; 5] =
-        [Dataset::Facebook, Dataset::Twitch, Dataset::Deezer, Dataset::Enron, Dataset::Google];
+    pub const ALL: [Dataset; 5] = [
+        Dataset::Facebook,
+        Dataset::Twitch,
+        Dataset::Deezer,
+        Dataset::Enron,
+        Dataset::Google,
+    ];
 
     /// The calibration targets taken from Table 4 of the paper.
     pub fn spec(&self) -> DatasetSpec {
@@ -92,7 +97,9 @@ impl Dataset {
     ) -> Result<GeneratedDataset, GraphError> {
         let spec = self.spec();
         if scale_divisor == 0 {
-            return Err(GraphError::InvalidParameters("scale divisor must be positive".into()));
+            return Err(GraphError::InvalidParameters(
+                "scale divisor must be positive".into(),
+            ));
         }
         let target_n = spec.node_count / scale_divisor;
         if target_n < 100 {
@@ -107,7 +114,12 @@ impl Dataset {
             seed ^ dataset_seed(spec.name),
         )?;
         let stats = DegreeStats::compute(&graph).ok_or(GraphError::EmptyGraph)?;
-        Ok(GeneratedDataset { dataset: *self, spec, graph, achieved: stats })
+        Ok(GeneratedDataset {
+            dataset: *self,
+            spec,
+            graph,
+            achieved: stats,
+        })
     }
 }
 
@@ -367,7 +379,11 @@ mod tests {
     fn custom_targets_are_respected() {
         let g = generate_with_targets(3_000, 6.0, 12.0, 9).unwrap();
         let stats = DegreeStats::compute(&g).unwrap();
-        assert!((stats.irregularity - 6.0).abs() / 6.0 < 0.3, "Gamma = {}", stats.irregularity);
+        assert!(
+            (stats.irregularity - 6.0).abs() / 6.0 < 0.3,
+            "Gamma = {}",
+            stats.irregularity
+        );
         assert!(g.is_connected());
     }
 }

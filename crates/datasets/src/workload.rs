@@ -68,14 +68,21 @@ impl MeanEstimationWorkload {
     /// these are programming errors, not runtime conditions.
     pub fn generate(config: &WorkloadConfig) -> Self {
         assert!(config.user_count > 0, "workload requires at least one user");
-        assert!(config.dimension > 0, "workload requires a positive dimension");
+        assert!(
+            config.dimension > 0,
+            "workload requires a positive dimension"
+        );
         assert!(config.dummy_pool_size > 0, "dummy pool must not be empty");
 
         let mut rng = derived_rng(config.seed, "mean-estimation-workload");
         let half = config.user_count / 2;
         let mut data = Vec::with_capacity(config.user_count);
         for i in 0..config.user_count {
-            let mean = if i < half { config.low_mean } else { config.high_mean };
+            let mean = if i < half {
+                config.low_mean
+            } else {
+                config.high_mean
+            };
             data.push(normalized_gaussian(config.dimension, mean, &mut rng));
         }
         let dummy_pool = (0..config.dummy_pool_size)
@@ -92,7 +99,11 @@ impl MeanEstimationWorkload {
             *m /= config.user_count as f64;
         }
 
-        MeanEstimationWorkload { data, dummy_pool, true_mean }
+        MeanEstimationWorkload {
+            data,
+            dummy_pool,
+            true_mean,
+        }
     }
 
     /// Number of users in the workload.
@@ -108,7 +119,9 @@ impl MeanEstimationWorkload {
 
 /// Draws `z ~ N(mean, 1)^{⊗d}` and normalizes it to the unit sphere.
 fn normalized_gaussian(dimension: usize, mean: f64, rng: &mut SimRng) -> Vec<f64> {
-    let mut v: Vec<f64> = (0..dimension).map(|_| mean + standard_normal(rng)).collect();
+    let mut v: Vec<f64> = (0..dimension)
+        .map(|_| mean + standard_normal(rng))
+        .collect();
     let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
     if norm > 0.0 {
         for x in v.iter_mut() {
@@ -142,7 +155,11 @@ mod tests {
 
     #[test]
     fn vectors_are_unit_norm() {
-        let config = WorkloadConfig { user_count: 100, dimension: 16, ..WorkloadConfig::paper_defaults(100, 2) };
+        let config = WorkloadConfig {
+            user_count: 100,
+            dimension: 16,
+            ..WorkloadConfig::paper_defaults(100, 2)
+        };
         let workload = MeanEstimationWorkload::generate(&config);
         assert_eq!(workload.user_count(), 100);
         assert_eq!(workload.dimension(), 16);
@@ -154,7 +171,11 @@ mod tests {
 
     #[test]
     fn true_mean_is_the_mean_of_the_data() {
-        let config = WorkloadConfig { user_count: 50, dimension: 8, ..WorkloadConfig::paper_defaults(50, 3) };
+        let config = WorkloadConfig {
+            user_count: 50,
+            dimension: 8,
+            ..WorkloadConfig::paper_defaults(50, 3)
+        };
         let workload = MeanEstimationWorkload::generate(&config);
         let mut expected = [0.0; 8];
         for v in &workload.data {
@@ -172,7 +193,11 @@ mod tests {
         // Low-mean samples (mean 1, std 1 per coordinate) have much more
         // direction spread than high-mean samples (mean 10): check via the
         // dot product with the all-ones direction.
-        let config = WorkloadConfig { user_count: 200, dimension: 32, ..WorkloadConfig::paper_defaults(200, 4) };
+        let config = WorkloadConfig {
+            user_count: 200,
+            dimension: 32,
+            ..WorkloadConfig::paper_defaults(200, 4)
+        };
         let workload = MeanEstimationWorkload::generate(&config);
         let ones: Vec<f64> = vec![1.0 / (32f64).sqrt(); 32];
         let dot = |v: &Vec<f64>| v.iter().zip(ones.iter()).map(|(a, b)| a * b).sum::<f64>();
@@ -184,7 +209,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let config = WorkloadConfig { user_count: 20, dimension: 4, ..WorkloadConfig::paper_defaults(20, 5) };
+        let config = WorkloadConfig {
+            user_count: 20,
+            dimension: 4,
+            ..WorkloadConfig::paper_defaults(20, 5)
+        };
         let a = MeanEstimationWorkload::generate(&config);
         let b = MeanEstimationWorkload::generate(&config);
         assert_eq!(a, b);
@@ -195,7 +224,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one user")]
     fn zero_users_panics() {
-        let config = WorkloadConfig { user_count: 0, dimension: 4, ..WorkloadConfig::paper_defaults(1, 1) };
+        let config = WorkloadConfig {
+            user_count: 0,
+            dimension: 4,
+            ..WorkloadConfig::paper_defaults(1, 1)
+        };
         MeanEstimationWorkload::generate(&config);
     }
 }

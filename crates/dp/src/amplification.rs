@@ -34,7 +34,9 @@ pub fn no_amplification(epsilon_0: f64) -> Result<f64> {
 pub fn subsampling_epsilon(epsilon_0: f64, q: f64) -> Result<f64> {
     let epsilon_0 = validate_positive_epsilon(epsilon_0)?;
     if !(0.0..=1.0).contains(&q) || q == 0.0 {
-        return Err(DpError::InvalidParameters(format!("sampling rate must be in (0, 1], got {q}")));
+        return Err(DpError::InvalidParameters(format!(
+            "sampling rate must be in (0, 1], got {q}"
+        )));
     }
     Ok((1.0 + q * (epsilon_0.exp() - 1.0)).ln())
 }
@@ -50,7 +52,9 @@ pub fn erlingsson_shuffling_epsilon(epsilon_0: f64, n: usize, delta: f64) -> Res
     let epsilon_0 = validate_positive_epsilon(epsilon_0)?;
     let delta = validate_delta(delta)?;
     if n < 2 {
-        return Err(DpError::InvalidParameters(format!("n must be at least 2, got {n}")));
+        return Err(DpError::InvalidParameters(format!(
+            "n must be at least 2, got {n}"
+        )));
     }
     let amplified =
         12.0 * epsilon_0 * (3.0 * epsilon_0).exp() * ((4.0 / delta).ln() / n as f64).sqrt();
@@ -75,7 +79,9 @@ pub fn clones_shuffling_epsilon(epsilon_0: f64, n: usize, delta: f64) -> Result<
     let epsilon_0 = validate_positive_epsilon(epsilon_0)?;
     let delta = validate_delta(delta)?;
     if n < 2 {
-        return Err(DpError::InvalidParameters(format!("n must be at least 2, got {n}")));
+        return Err(DpError::InvalidParameters(format!(
+            "n must be at least 2, got {n}"
+        )));
     }
     let nf = n as f64;
     let validity_bound = (nf / (16.0 * (2.0 / delta).ln())).ln();
@@ -121,7 +127,10 @@ mod tests {
         assert!(erlingsson < eps0);
         assert!(clones < eps0);
         // Clones analysis is strictly tighter.
-        assert!(clones < erlingsson, "clones {clones} vs erlingsson {erlingsson}");
+        assert!(
+            clones < erlingsson,
+            "clones {clones} vs erlingsson {erlingsson}"
+        );
     }
 
     #[test]

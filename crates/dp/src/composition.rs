@@ -48,8 +48,8 @@ pub fn advanced_composition(
     }
     let delta_slack = validate_delta(delta_slack)?;
     let kf = k as f64;
-    let eps_total =
-        (2.0 * kf * (1.0 / delta_slack).ln()).sqrt() * epsilon + kf * epsilon * (epsilon.exp() - 1.0);
+    let eps_total = (2.0 * kf * (1.0 / delta_slack).ln()).sqrt() * epsilon
+        + kf * epsilon * (epsilon.exp() - 1.0);
     PrivacyGuarantee::new(eps_total, kf * delta + delta_slack)
 }
 
@@ -100,7 +100,12 @@ mod tests {
         let k = 10_000usize;
         let basic = eps * k as f64;
         let adv = advanced_composition(eps, 0.0, k, 1e-6).unwrap();
-        assert!(adv.epsilon < basic, "advanced {} should beat basic {}", adv.epsilon, basic);
+        assert!(
+            adv.epsilon < basic,
+            "advanced {} should beat basic {}",
+            adv.epsilon,
+            basic
+        );
         assert!((adv.delta - 1e-6).abs() < 1e-15);
     }
 

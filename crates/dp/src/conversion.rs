@@ -59,7 +59,10 @@ pub fn approximate_to_pure(epsilon_0: f64, delta_0: f64, delta_1: f64) -> Result
              for epsilon_0 = {epsilon_0}, delta_1 = {delta_1:.3e}"
         )));
     }
-    Ok(PureSurrogate { epsilon: 8.0 * epsilon_0, tv_distance: delta_1 })
+    Ok(PureSurrogate {
+        epsilon: 8.0 * epsilon_0,
+        tv_distance: delta_1,
+    })
 }
 
 /// The additional δ contribution paid when lifting a pure-DP analysis of the

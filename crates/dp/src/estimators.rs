@@ -24,7 +24,9 @@ use crate::types::{DpError, Result};
 /// category range; [`DpError::InvalidParameters`] if no reports are given.
 pub fn estimate_frequencies(mechanism: &RandomizedResponse, reports: &[usize]) -> Result<Vec<f64>> {
     if reports.is_empty() {
-        return Err(DpError::InvalidParameters("cannot estimate from zero reports".into()));
+        return Err(DpError::InvalidParameters(
+            "cannot estimate from zero reports".into(),
+        ));
     }
     let k = mechanism.categories();
     let mut counts = vec![0usize; k];
@@ -40,7 +42,10 @@ pub fn estimate_frequencies(mechanism: &RandomizedResponse, reports: &[usize]) -
     let p = mechanism.keep_probability();
     let q = mechanism.flip_probability();
     let denom = p - q;
-    Ok(counts.iter().map(|&c| (c as f64 - n * q) / (denom * n)).collect())
+    Ok(counts
+        .iter()
+        .map(|&c| (c as f64 - n * q) / (denom * n))
+        .collect())
 }
 
 /// Mean estimation for vector-valued reports that are already unbiased
@@ -56,7 +61,9 @@ pub fn estimate_mean(reports: &[Vec<f64>]) -> Result<Vec<f64>> {
     })?;
     let d = first.len();
     if reports.iter().any(|r| r.len() != d) {
-        return Err(DpError::InvalidParameters("reports must share a dimension".into()));
+        return Err(DpError::InvalidParameters(
+            "reports must share a dimension".into(),
+        ));
     }
     let mut mean = vec![0.0; d];
     for report in reports {
@@ -77,8 +84,16 @@ pub fn estimate_mean(reports: &[Vec<f64>]) -> Result<Vec<f64>> {
 ///
 /// Panics if the two vectors have different lengths.
 pub fn squared_error(estimate: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(estimate.len(), truth.len(), "vectors must share a dimension");
-    estimate.iter().zip(truth.iter()).map(|(a, b)| (a - b) * (a - b)).sum()
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "vectors must share a dimension"
+    );
+    estimate
+        .iter()
+        .zip(truth.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum()
 }
 
 #[cfg(test)]

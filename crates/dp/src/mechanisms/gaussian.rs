@@ -45,7 +45,13 @@ impl Gaussian {
         let delta = validate_delta(delta)?;
         let sensitivity = hi - lo;
         let sigma = sensitivity * (2.0 * (1.25 / delta).ln()).sqrt() / epsilon;
-        Ok(Gaussian { lo, hi, epsilon, delta, sigma })
+        Ok(Gaussian {
+            lo,
+            hi,
+            epsilon,
+            delta,
+            sigma,
+        })
     }
 
     /// The noise standard deviation σ.
@@ -67,7 +73,9 @@ impl LocalRandomizer for Gaussian {
 
     fn randomize<R: Rng + ?Sized>(&self, input: &f64, rng: &mut R) -> Result<f64> {
         if !input.is_finite() {
-            return Err(DpError::DomainViolation(format!("input {input} is not finite")));
+            return Err(DpError::DomainViolation(format!(
+                "input {input} is not finite"
+            )));
         }
         let clamped = input.clamp(self.lo, self.hi);
         Ok(clamped + self.sigma * Self::sample_standard_normal(rng))
@@ -104,12 +112,18 @@ mod tests {
         let g = Gaussian::new(0.0, 1.0, 1.0, 1e-4).unwrap();
         let mut rng = seeded_rng(5);
         let trials = 50_000;
-        let samples: Vec<f64> = (0..trials).map(|_| g.randomize(&0.3, &mut rng).unwrap()).collect();
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| g.randomize(&0.3, &mut rng).unwrap())
+            .collect();
         let mean = samples.iter().sum::<f64>() / trials as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
         assert!((mean - 0.3).abs() < 0.1, "mean = {mean}");
         let expected_var = g.sigma() * g.sigma();
-        assert!((var / expected_var - 1.0).abs() < 0.05, "var ratio = {}", var / expected_var);
+        assert!(
+            (var / expected_var - 1.0).abs() < 0.05,
+            "var ratio = {}",
+            var / expected_var
+        );
     }
 
     #[test]

@@ -33,7 +33,12 @@ impl Laplace {
         }
         let epsilon = validate_positive_epsilon(epsilon)?;
         let scale = (hi - lo) / epsilon;
-        Ok(Laplace { lo, hi, epsilon, scale })
+        Ok(Laplace {
+            lo,
+            hi,
+            epsilon,
+            scale,
+        })
     }
 
     /// Noise scale `b = (hi − lo) / ε`.
@@ -66,7 +71,9 @@ impl LocalRandomizer for Laplace {
 
     fn randomize<R: Rng + ?Sized>(&self, input: &f64, rng: &mut R) -> Result<f64> {
         if !input.is_finite() {
-            return Err(DpError::DomainViolation(format!("input {input} is not finite")));
+            return Err(DpError::DomainViolation(format!(
+                "input {input} is not finite"
+            )));
         }
         let clamped = input.clamp(self.lo, self.hi);
         Ok(clamped + self.sample_noise(rng))
@@ -104,8 +111,9 @@ mod tests {
         let lap = Laplace::new(0.0, 1.0, 1.0).unwrap();
         let mut rng = seeded_rng(3);
         let trials = 60_000;
-        let samples: Vec<f64> =
-            (0..trials).map(|_| lap.randomize(&0.5, &mut rng).unwrap()).collect();
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| lap.randomize(&0.5, &mut rng).unwrap())
+            .collect();
         let mean = samples.iter().sum::<f64>() / trials as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");

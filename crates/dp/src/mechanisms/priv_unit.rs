@@ -88,7 +88,16 @@ impl PrivUnit {
             )
         })?;
 
-        Ok(PrivUnit { dimension, epsilon, gamma, cap_probability, cap_weight, scale, grid, cdf })
+        Ok(PrivUnit {
+            dimension,
+            epsilon,
+            gamma,
+            cap_probability,
+            cap_weight,
+            scale,
+            grid,
+            cdf,
+        })
     }
 
     /// The ambient dimension `d`.
@@ -197,8 +206,9 @@ impl LocalRandomizer for PrivUnit {
 /// `f(w) ∝ (1 − w²)^{(d−3)/2}` on `[-1, 1]`.
 fn marginal_tables(dimension: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let exponent = (dimension as f64 - 3.0) / 2.0;
-    let grid: Vec<f64> =
-        (0..GRID_POINTS).map(|i| -1.0 + 2.0 * i as f64 / (GRID_POINTS - 1) as f64).collect();
+    let grid: Vec<f64> = (0..GRID_POINTS)
+        .map(|i| -1.0 + 2.0 * i as f64 / (GRID_POINTS - 1) as f64)
+        .collect();
     // Log-space evaluation avoids underflow for large d.
     let log_pdf: Vec<f64> = grid
         .iter()
@@ -383,7 +393,10 @@ mod tests {
             *m /= trials as f64;
         }
         for (m, target) in mean.iter().zip(u.iter()) {
-            assert!((m - target).abs() < 0.05, "coordinate mean {m} vs target {target}");
+            assert!(
+                (m - target).abs() < 0.05,
+                "coordinate mean {m} vs target {target}"
+            );
         }
     }
 

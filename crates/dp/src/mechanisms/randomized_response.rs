@@ -35,7 +35,11 @@ impl RandomizedResponse {
         let epsilon = validate_positive_epsilon(epsilon)?;
         let e = epsilon.exp();
         let keep_probability = e / (e + categories as f64 - 1.0);
-        Ok(RandomizedResponse { categories, epsilon, keep_probability })
+        Ok(RandomizedResponse {
+            categories,
+            epsilon,
+            keep_probability,
+        })
     }
 
     /// Number of categories `k`.
@@ -122,7 +126,9 @@ mod tests {
         let rr = RandomizedResponse::new(3, 1.5).unwrap();
         let mut rng = seeded_rng(2);
         let trials = 40_000;
-        let kept = (0..trials).filter(|_| rr.randomize(&1, &mut rng).unwrap() == 1).count();
+        let kept = (0..trials)
+            .filter(|_| rr.randomize(&1, &mut rng).unwrap() == 1)
+            .count();
         let rate = kept as f64 / trials as f64;
         assert!((rate - rr.keep_probability()).abs() < 0.01, "rate = {rate}");
     }

@@ -72,7 +72,9 @@ impl UnaryEncoding {
     /// [`DpError::DomainViolation`] if a report has the wrong width.
     pub fn estimate_frequencies(&self, reports: &[Vec<bool>]) -> Result<Vec<f64>> {
         if reports.is_empty() {
-            return Err(DpError::InvalidParameters("cannot estimate from zero reports".into()));
+            return Err(DpError::InvalidParameters(
+                "cannot estimate from zero reports".into(),
+            ));
         }
         let mut counts = vec![0usize; self.categories];
         for report in reports {
@@ -91,7 +93,10 @@ impl UnaryEncoding {
         }
         let n = reports.len() as f64;
         let denom = self.keep_probability - self.flip_probability;
-        Ok(counts.iter().map(|&c| (c as f64 / n - self.flip_probability) / denom).collect())
+        Ok(counts
+            .iter()
+            .map(|&c| (c as f64 / n - self.flip_probability) / denom)
+            .collect())
     }
 }
 
@@ -108,8 +113,11 @@ impl LocalRandomizer for UnaryEncoding {
         }
         Ok((0..self.categories)
             .map(|j| {
-                let probability =
-                    if j == *input { self.keep_probability } else { self.flip_probability };
+                let probability = if j == *input {
+                    self.keep_probability
+                } else {
+                    self.flip_probability
+                };
                 rng.gen::<f64>() < probability
             })
             .collect())
@@ -197,15 +205,18 @@ mod tests {
         let oue = UnaryEncoding::new(k, eps).unwrap();
         let krr = crate::mechanisms::RandomizedResponse::new(k, eps).unwrap();
 
-        let oue_reports: Vec<Vec<bool>> =
-            (0..n).map(|i| oue.randomize(&(i % k), &mut rng).unwrap()).collect();
-        let krr_reports: Vec<usize> =
-            (0..n).map(|i| krr.randomize(&(i % k), &mut rng).unwrap()).collect();
+        let oue_reports: Vec<Vec<bool>> = (0..n)
+            .map(|i| oue.randomize(&(i % k), &mut rng).unwrap())
+            .collect();
+        let krr_reports: Vec<usize> = (0..n)
+            .map(|i| krr.randomize(&(i % k), &mut rng).unwrap())
+            .collect();
 
         let oue_est = oue.estimate_frequencies(&oue_reports).unwrap();
         let krr_est = crate::estimators::estimate_frequencies(&krr, &krr_reports).unwrap();
         let truth = 1.0 / k as f64;
-        let mse = |est: &[f64]| est.iter().map(|f| (f - truth) * (f - truth)).sum::<f64>() / k as f64;
+        let mse =
+            |est: &[f64]| est.iter().map(|f| (f - truth) * (f - truth)).sum::<f64>() / k as f64;
         assert!(
             mse(&oue_est) < mse(&krr_est),
             "OUE mse {} should beat kRR mse {}",

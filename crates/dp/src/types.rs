@@ -162,7 +162,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(PrivacyGuarantee::pure(1.0).unwrap().to_string(), "1.000000-DP");
+        assert_eq!(
+            PrivacyGuarantee::pure(1.0).unwrap().to_string(),
+            "1.000000-DP"
+        );
         let g = PrivacyGuarantee::new(0.25, 1e-6).unwrap();
         assert!(g.to_string().contains("0.250000"));
         assert!(g.to_string().contains("1.000e-6"));
@@ -188,7 +191,11 @@ mod tests {
     fn error_display() {
         assert!(DpError::InvalidEpsilon(-1.0).to_string().contains("-1"));
         assert!(DpError::InvalidDelta(2.0).to_string().contains('2'));
-        assert!(DpError::InvalidParameters("oops".into()).to_string().contains("oops"));
-        assert!(DpError::DomainViolation("bad".into()).to_string().contains("bad"));
+        assert!(DpError::InvalidParameters("oops".into())
+            .to_string()
+            .contains("oops"));
+        assert!(DpError::DomainViolation("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

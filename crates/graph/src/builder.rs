@@ -20,7 +20,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { node_count: n, adjacency: vec![Vec::new(); n] }
+        GraphBuilder {
+            node_count: n,
+            adjacency: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes the final graph will have.
@@ -38,10 +41,16 @@ impl GraphBuilder {
     /// * [`GraphError::SelfLoop`] if `u == v`.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
         if u >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: u, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                node_count: self.node_count,
+            });
         }
         if v >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: v, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: self.node_count,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop(u));
@@ -131,11 +140,17 @@ mod tests {
         assert_eq!(b.add_edge(0, 0), Err(GraphError::SelfLoop(0)));
         assert_eq!(
             b.add_edge(0, 5),
-            Err(GraphError::NodeOutOfRange { node: 5, node_count: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 2
+            })
         );
         assert_eq!(
             b.add_edge(7, 1),
-            Err(GraphError::NodeOutOfRange { node: 7, node_count: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 7,
+                node_count: 2
+            })
         );
     }
 

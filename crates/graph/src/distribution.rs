@@ -28,11 +28,17 @@ impl PositionDistribution {
     /// [`GraphError::NodeOutOfRange`] if `origin >= n`.
     pub fn point_mass(n: usize, origin: NodeId) -> Result<Self> {
         if origin >= n {
-            return Err(GraphError::NodeOutOfRange { node: origin, node_count: n });
+            return Err(GraphError::NodeOutOfRange {
+                node: origin,
+                node_count: n,
+            });
         }
         let mut probabilities = vec![0.0; n];
         probabilities[origin] = 1.0;
-        Ok(PositionDistribution { probabilities, time: 0 })
+        Ok(PositionDistribution {
+            probabilities,
+            time: 0,
+        })
     }
 
     /// The uniform distribution `1/n`.
@@ -44,7 +50,10 @@ impl PositionDistribution {
         if n == 0 {
             return Err(GraphError::EmptyGraph);
         }
-        Ok(PositionDistribution { probabilities: vec![1.0 / n as f64; n], time: 0 })
+        Ok(PositionDistribution {
+            probabilities: vec![1.0 / n as f64; n],
+            time: 0,
+        })
     }
 
     /// Wraps an explicit probability vector.
@@ -68,7 +77,10 @@ impl PositionDistribution {
                 "probabilities must sum to 1, got {total}"
             )));
         }
-        Ok(PositionDistribution { probabilities: p, time: 0 })
+        Ok(PositionDistribution {
+            probabilities: p,
+            time: 0,
+        })
     }
 
     /// The underlying probability vector.
@@ -138,13 +150,25 @@ impl PositionDistribution {
     /// Note this is the un-halved L1 distance, matching the paper's
     /// definition (twice the usual statistical total variation).
     pub fn tv_distance(&self, other: &[f64]) -> f64 {
-        assert_eq!(self.probabilities.len(), other.len(), "distributions must share the node set");
-        self.probabilities.iter().zip(other.iter()).map(|(a, b)| (a - b).abs()).sum()
+        assert_eq!(
+            self.probabilities.len(),
+            other.len(),
+            "distributions must share the node set"
+        );
+        self.probabilities
+            .iter()
+            .zip(other.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
     }
 
     /// Euclidean (L2) distance to another distribution.
     pub fn l2_distance(&self, other: &[f64]) -> f64 {
-        assert_eq!(self.probabilities.len(), other.len(), "distributions must share the node set");
+        assert_eq!(
+            self.probabilities.len(),
+            other.len(),
+            "distributions must share the node set"
+        );
         self.probabilities
             .iter()
             .zip(other.iter())
@@ -238,8 +262,7 @@ mod tests {
 
     #[test]
     fn support_ratio_ignores_zero_entries() {
-        let p =
-            PositionDistribution::from_probabilities(vec![0.0, 0.2, 0.8, 0.0]).unwrap();
+        let p = PositionDistribution::from_probabilities(vec![0.0, 0.2, 0.8, 0.0]).unwrap();
         assert!((p.support_ratio().unwrap() - 4.0).abs() < 1e-12);
     }
 

@@ -49,13 +49,19 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node id {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node id {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop(u) => write!(f, "self-loop at node {u} is not allowed"),
             GraphError::InvalidParameters(msg) => write!(f, "invalid generator parameters: {msg}"),
             GraphError::Disconnected => write!(f, "operation requires a connected graph"),
             GraphError::Bipartite => {
-                write!(f, "operation requires a non-bipartite graph (use a lazy walk instead)")
+                write!(
+                    f,
+                    "operation requires a non-bipartite graph (use a lazy walk instead)"
+                )
             }
             GraphError::IsolatedNode(u) => write!(f, "node {u} has degree zero"),
             GraphError::EmptyGraph => write!(f, "graph must contain at least one node"),
@@ -81,11 +87,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::NodeOutOfRange { node: 10, node_count: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 10,
+            node_count: 5,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('5'));
 
-        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
 
         let e = GraphError::InvalidParameters("k must be < n".into());

@@ -20,7 +20,9 @@ use rand::Rng;
 /// [`GraphError::InvalidParameters`] if `m == 0` or `n <= m`.
 pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph> {
     if m == 0 {
-        return Err(GraphError::InvalidParameters("attachment count m must be positive".into()));
+        return Err(GraphError::InvalidParameters(
+            "attachment count m must be positive".into(),
+        ));
     }
     if n <= m {
         return Err(GraphError::InvalidParameters(format!(

@@ -40,7 +40,9 @@ pub fn chung_lu<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Result<Graph> 
     }
     let total: f64 = weights.iter().sum();
     if total <= 0.0 {
-        return Err(GraphError::InvalidParameters("chung_lu weights must not all be zero".into()));
+        return Err(GraphError::InvalidParameters(
+            "chung_lu weights must not all be zero".into(),
+        ));
     }
 
     // Sort nodes by decreasing weight, remembering the original index.
@@ -94,7 +96,11 @@ mod tests {
         let w = vec![10.0; n];
         let g = chung_lu(&w, &mut rng).unwrap();
         let stats = crate::degree::DegreeStats::compute(&g).unwrap();
-        assert!((stats.mean_degree - 10.0).abs() < 1.0, "mean degree {}", stats.mean_degree);
+        assert!(
+            (stats.mean_degree - 10.0).abs() < 1.0,
+            "mean degree {}",
+            stats.mean_degree
+        );
         // Poisson-like degrees: Gamma_G = 1 + Var/mean^2 ≈ 1.1.
         assert!(stats.irregularity < 1.4, "Gamma = {}", stats.irregularity);
     }

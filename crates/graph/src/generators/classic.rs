@@ -14,7 +14,9 @@ use crate::graph::Graph;
 /// [`GraphError::InvalidParameters`] if `n < 3`.
 pub fn cycle(n: usize) -> Result<Graph> {
     if n < 3 {
-        return Err(GraphError::InvalidParameters(format!("cycle requires n >= 3, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "cycle requires n >= 3, got {n}"
+        )));
     }
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
@@ -30,7 +32,9 @@ pub fn cycle(n: usize) -> Result<Graph> {
 /// [`GraphError::InvalidParameters`] if `n < 2`.
 pub fn path(n: usize) -> Result<Graph> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters(format!("path requires n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "path requires n >= 2, got {n}"
+        )));
     }
     let mut b = GraphBuilder::new(n);
     for i in 0..n - 1 {
@@ -46,7 +50,9 @@ pub fn path(n: usize) -> Result<Graph> {
 /// [`GraphError::InvalidParameters`] if `n < 2`.
 pub fn complete(n: usize) -> Result<Graph> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters(format!("complete requires n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "complete requires n >= 2, got {n}"
+        )));
     }
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
@@ -67,7 +73,9 @@ pub fn complete(n: usize) -> Result<Graph> {
 /// [`GraphError::InvalidParameters`] if `n < 2`.
 pub fn star(n: usize) -> Result<Graph> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters(format!("star requires n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "star requires n >= 2, got {n}"
+        )));
     }
     let mut b = GraphBuilder::new(n);
     for i in 1..n {

@@ -16,10 +16,14 @@ use rand::Rng;
 /// [`GraphError::InvalidParameters`] if `n < 2` or `p ∉ [0, 1]`.
 pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters(format!("gnp requires n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "gnp requires n >= 2, got {n}"
+        )));
     }
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidParameters(format!("p must be in [0, 1], got {p}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "p must be in [0, 1], got {p}"
+        )));
     }
     let mut builder = GraphBuilder::new(n);
     if p == 0.0 {
@@ -64,7 +68,9 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
 /// possible edges.
 pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters(format!("gnm requires n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "gnm requires n >= 2, got {n}"
+        )));
     }
     let max_edges = n * (n - 1) / 2;
     if m > max_edges {
@@ -101,7 +107,10 @@ mod tests {
         let g = gnp(n, p, &mut rng).unwrap();
         let expected = p * (n * (n - 1) / 2) as f64;
         let m = g.edge_count() as f64;
-        assert!((m - expected).abs() < 4.0 * expected.sqrt() + 10.0, "m = {m}, expected {expected}");
+        assert!(
+            (m - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "m = {m}, expected {expected}"
+        );
     }
 
     #[test]

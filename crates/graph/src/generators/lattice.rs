@@ -67,10 +67,14 @@ mod tests {
     #[test]
     fn torus_mixes_much_slower_than_a_random_regular_graph() {
         let grid = torus(15, 15).unwrap(); // 225 nodes, 4-regular, odd dims
-        let random = crate::generators::random_regular(225, 4, &mut crate::rng::seeded_rng(1)).unwrap();
+        let random =
+            crate::generators::random_regular(225, 4, &mut crate::rng::seeded_rng(1)).unwrap();
         let opts = crate::spectral::SpectralOptions::default();
         let gap_grid = crate::spectral::SpectralAnalysis::compute(&grid, opts).spectral_gap();
         let gap_random = crate::spectral::SpectralAnalysis::compute(&random, opts).spectral_gap();
-        assert!(gap_grid < gap_random / 3.0, "grid gap {gap_grid}, random gap {gap_random}");
+        assert!(
+            gap_grid < gap_random / 3.0,
+            "grid gap {gap_grid}, random gap {gap_random}"
+        );
     }
 }

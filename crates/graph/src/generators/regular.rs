@@ -31,7 +31,9 @@ const MAX_ATTEMPTS: usize = 200;
 /// [`GraphError::InvalidParameters`] if `k == 0`, `k >= n`, or `n·k` is odd.
 pub fn random_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Graph> {
     if k == 0 {
-        return Err(GraphError::InvalidParameters("degree k must be positive".into()));
+        return Err(GraphError::InvalidParameters(
+            "degree k must be positive".into(),
+        ));
     }
     if k >= n {
         return Err(GraphError::InvalidParameters(format!(

@@ -36,7 +36,9 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
     }
     for (name, p) in [("p_in", p_in), ("p_out", p_out)] {
         if !(0.0..=1.0).contains(&p) {
-            return Err(GraphError::InvalidParameters(format!("{name} must be in [0, 1], got {p}")));
+            return Err(GraphError::InvalidParameters(format!(
+                "{name} must be in [0, 1], got {p}"
+            )));
         }
     }
     let block_of = |u: usize| u * blocks / n;
@@ -59,7 +61,11 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
             continue;
         }
         let w = u + 1 + v as usize;
-        let p_pair = if block_of(u) == block_of(w) { p_in } else { p_out };
+        let p_pair = if block_of(u) == block_of(w) {
+            p_in
+        } else {
+            p_out
+        };
         if p_max >= 1.0 {
             if rng.gen::<f64>() < p_pair {
                 builder.add_edge(u, w)?;
@@ -138,7 +144,10 @@ mod tests {
         let opts = crate::spectral::SpectralOptions::default();
         let gap_a = crate::spectral::SpectralAnalysis::compute(&lcc_a, opts).spectral_gap();
         let gap_f = crate::spectral::SpectralAnalysis::compute(&lcc_f, opts).spectral_gap();
-        assert!(gap_a < gap_f, "assortative gap {gap_a} should be below flat gap {gap_f}");
+        assert!(
+            gap_a < gap_f,
+            "assortative gap {gap_a} should be below flat gap {gap_f}"
+        );
     }
 
     #[test]

@@ -21,7 +21,12 @@ use rand::Rng;
 ///
 /// [`GraphError::InvalidParameters`] if `k` is odd or zero, `k >= n`, or
 /// `beta ∉ [0, 1]`.
-pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Result<Graph> {
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<Graph> {
     if k == 0 || !k.is_multiple_of(2) {
         return Err(GraphError::InvalidParameters(format!(
             "watts_strogatz requires a positive even k, got {k}"
@@ -33,7 +38,9 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
         )));
     }
     if !(0.0..=1.0).contains(&beta) {
-        return Err(GraphError::InvalidParameters(format!("beta must be in [0, 1], got {beta}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "beta must be in [0, 1], got {beta}"
+        )));
     }
 
     let mut builder = GraphBuilder::new(n);
@@ -98,7 +105,10 @@ mod tests {
         let opts = crate::spectral::SpectralOptions::default();
         let gap_lattice = crate::spectral::SpectralAnalysis::compute(&lattice, opts).spectral_gap();
         let gap_sw = crate::spectral::SpectralAnalysis::compute(&small_world, opts).spectral_gap();
-        assert!(gap_sw > gap_lattice, "gap_sw = {gap_sw}, gap_lattice = {gap_lattice}");
+        assert!(
+            gap_sw > gap_lattice,
+            "gap_sw = {gap_sw}, gap_lattice = {gap_lattice}"
+        );
     }
 
     #[test]

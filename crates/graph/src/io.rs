@@ -64,7 +64,10 @@ pub fn read_edge_list<R: std::io::Read>(reader: R) -> Result<(Graph, Vec<u64>)> 
 }
 
 fn parse_label(token: Option<&str>, line: usize) -> Result<u64> {
-    let token = token.ok_or(GraphError::Parse { line, message: "expected two node ids".into() })?;
+    let token = token.ok_or(GraphError::Parse {
+        line,
+        message: "expected two node ids".into(),
+    })?;
     token.parse::<u64>().map_err(|_| GraphError::Parse {
         line,
         message: format!("invalid node id '{token}'"),
@@ -88,7 +91,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<(Graph, Vec<u64>)>
 /// [`GraphError::Io`] on write failures.
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<()> {
     let mut writer = BufWriter::new(writer);
-    writeln!(writer, "# nodes: {} edges: {}", graph.node_count(), graph.edge_count())?;
+    writeln!(
+        writer,
+        "# nodes: {} edges: {}",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(writer, "{u} {v}")?;
     }

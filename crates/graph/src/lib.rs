@@ -19,6 +19,9 @@
 //!   `Γ_G = n · Σ_i π_i²` ([`stationary`], [`degree`]),
 //! * spectral-gap estimation via deflated power iteration ([`spectral`]) and
 //!   the mixing-time rule `t ≈ α⁻¹ log n` ([`mixing`]),
+//! * a batched, struct-of-arrays round-execution core shared by the walk
+//!   engine and the protocol simulation, with streaming per-round metrics
+//!   and optional data-parallel rounds ([`mixing_engine`]),
 //! * a discrete random-walk engine that moves actual reports between nodes,
 //!   including the lazy walk used for fault-tolerance modelling ([`walk`]),
 //! * simple edge-list I/O ([`io`]).
@@ -49,6 +52,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod mixing;
+pub mod mixing_engine;
 pub mod rng;
 pub mod spectral;
 pub mod stationary;
@@ -62,12 +66,15 @@ pub use graph::{Graph, NodeId};
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::builder::GraphBuilder;
-    pub use crate::connectivity::{connected_components, is_bipartite, largest_connected_component};
+    pub use crate::connectivity::{
+        connected_components, is_bipartite, largest_connected_component,
+    };
     pub use crate::degree::DegreeStats;
     pub use crate::distribution::PositionDistribution;
     pub use crate::error::{GraphError, Result};
     pub use crate::graph::{Graph, NodeId};
     pub use crate::mixing::{mixing_time, sum_p_squared_bound, tv_bound};
+    pub use crate::mixing_engine::{MixingEngine, RoundObserver, RoundStats};
     pub use crate::spectral::{SpectralAnalysis, SpectralOptions};
     pub use crate::stationary::stationary_distribution;
     pub use crate::transition::TransitionMatrix;

@@ -166,7 +166,11 @@ mod tests {
         let profile = MixingProfile::compute(&g, SpectralOptions::default()).unwrap();
         // The gap is zero up to numerical error, so the estimated mixing time
         // is either usize::MAX (exact zero) or astronomically large.
-        assert!(profile.mixing_time > 1_000_000, "mixing_time = {}", profile.mixing_time);
+        assert!(
+            profile.mixing_time > 1_000_000,
+            "mixing_time = {}",
+            profile.mixing_time
+        );
         let lazy = MixingProfile::compute_lazy(&g, 0.5, SpectralOptions::default()).unwrap();
         assert!(lazy.mixing_time < 1_000);
     }

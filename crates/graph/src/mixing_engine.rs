@@ -1,0 +1,687 @@
+//! Batched, struct-of-arrays execution core for exchange rounds.
+//!
+//! Both the walk engine ([`crate::walk`]) and the full protocol simulation in
+//! the core crate ultimately do the same thing: every round, each report held
+//! at node `u` moves to a uniformly random neighbour of `u` (staying put with
+//! probability `laziness`).  Historically the two layers each had their own
+//! round loop — a flat per-walker sweep here, and a per-client object graph in
+//! the core crate that allocated an `in_flight` vector of messages and routed
+//! them one by one.  This module is the single shared core both drive.
+//!
+//! State is kept in flat arrays: `positions[w]` is the node holding walker
+//! `w`, and an optional CSR bucket structure (`bucket_starts`/`bucket_walkers`)
+//! groups walkers by holder for protocols that need per-holder iteration
+//! order.  Rounds execute in one of two orders:
+//!
+//! * **walker order** ([`MixingEngine::step`]) — sweep `positions` once;
+//!   the cheapest possible round, used by the walk engine;
+//! * **holder order** ([`MixingEngine::step_holder`]) — iterate nodes in id
+//!   order and each node's held walkers in insertion order (survivors of the
+//!   previous round first, then arrivals in global send order).  This is
+//!   draw-for-draw identical to the historical per-client simulation loop,
+//!   which lets the core crate replace its object-graph round loop without
+//!   changing a single sampled trajectory.  Deliveries are routed by a
+//!   counting sort over destinations instead of per-message routing.
+//!
+//! Per-round statistics stream through [`RoundObserver`], so traffic metrics
+//! are computed incrementally instead of post-hoc per client.  With the
+//! `parallel` cargo feature, [`MixingEngine::run_parallel`] executes
+//! walker-order rounds across threads in fixed-size chunks with per-chunk
+//! deterministic RNG streams (results depend only on the seed, never on the
+//! number of threads).
+
+use crate::error::{GraphError, Result};
+use crate::graph::{Graph, NodeId};
+use crate::walk::WalkConfig;
+use rand::Rng;
+
+/// Per-round measurements streamed to a [`RoundObserver`].
+#[derive(Debug)]
+pub struct RoundStats<'a> {
+    /// 1-based index of the round that just finished.
+    pub round: usize,
+    /// Messages sent by each node this round (walkers that moved away).
+    pub sent: &'a [u32],
+    /// Walkers held by each node after the round.
+    pub load: &'a [u32],
+}
+
+/// Streaming consumer of per-round statistics.
+///
+/// Implementations accumulate whatever they need (total traffic, peak load,
+/// mixing diagnostics) while the engine runs, so no per-client post-hoc pass
+/// over the population is required.
+pub trait RoundObserver {
+    /// Called once per executed round, after all moves of the round.
+    fn on_round(&mut self, stats: &RoundStats<'_>);
+}
+
+/// The no-op observer: rounds are executed without collecting statistics.
+impl RoundObserver for () {
+    fn on_round(&mut self, _stats: &RoundStats<'_>) {}
+}
+
+impl<O: RoundObserver + ?Sized> RoundObserver for &mut O {
+    fn on_round(&mut self, stats: &RoundStats<'_>) {
+        (**self).on_round(stats);
+    }
+}
+
+/// Samples one walker's move at node `at`: `None` to stay (lazy draw), else
+/// the uniformly chosen neighbour.
+///
+/// This is the single definition of the per-walker sampling rule.  Every
+/// round form (walker order, holder order, data-parallel) draws through it,
+/// in the same order — one `f64` for the lazy decision (only when
+/// `laziness > 0`), then one uniform index — which is what keeps the
+/// draw-for-draw parity contract with the historical loops in one place.
+#[inline]
+fn sample_move<R: Rng + ?Sized>(
+    graph: &Graph,
+    at: NodeId,
+    laziness: f64,
+    rng: &mut R,
+) -> Option<NodeId> {
+    if laziness > 0.0 && rng.gen::<f64>() < laziness {
+        return None;
+    }
+    let nbrs = graph.neighbors(at);
+    debug_assert!(
+        !nbrs.is_empty(),
+        "isolated nodes are rejected at construction"
+    );
+    Some(nbrs[rng.gen_range(0..nbrs.len())])
+}
+
+/// Shared, batched executor of exchange rounds over struct-of-arrays state.
+///
+/// Walker `w` is identified by its index in the position array; callers
+/// attach meaning (e.g. "report produced by user `w`") externally.
+#[derive(Debug, Clone)]
+pub struct MixingEngine<'g> {
+    graph: &'g Graph,
+    /// `positions[w]` is the node currently holding walker `w`.
+    positions: Vec<NodeId>,
+    /// Rounds executed so far.
+    round: usize,
+    /// CSR bucket structure: walkers held by node `u` are
+    /// `bucket_walkers[bucket_starts[u]..bucket_starts[u + 1]]`, in insertion
+    /// order.  Maintained by holder-order rounds; rebuilt (in walker-id
+    /// order) on demand after walker-order rounds.
+    bucket_starts: Vec<usize>,
+    bucket_walkers: Vec<u32>,
+    buckets_valid: bool,
+    /// Per-round statistics, valid after an observed round.
+    sent: Vec<u32>,
+    load: Vec<u32>,
+    /// Scratch buffers reused across rounds (no per-round allocation).
+    kept_nodes: Vec<u32>,
+    kept_walkers: Vec<u32>,
+    moved_dests: Vec<u32>,
+    moved_walkers: Vec<u32>,
+    next_walkers: Vec<u32>,
+    cursor: Vec<usize>,
+}
+
+impl<'g> MixingEngine<'g> {
+    /// Creates an engine with one walker per node, walker `i` starting at
+    /// node `i` — the initial condition of network shuffling, where every
+    /// user holds exactly her own randomized report.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EmptyGraph`] / [`GraphError::IsolatedNode`] for graphs
+    /// the walk cannot run on.
+    pub fn one_walker_per_node(graph: &'g Graph) -> Result<Self> {
+        let starts: Vec<NodeId> = graph.nodes().collect();
+        Self::with_starts(graph, starts)
+    }
+
+    /// Creates an engine with walkers at the given starting nodes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MixingEngine::one_walker_per_node`], plus
+    /// [`GraphError::NodeOutOfRange`] if a start is out of range and
+    /// [`GraphError::InvalidParameters`] if the walker or node count exceeds
+    /// the engine's `u32` id space.
+    pub fn with_starts(graph: &'g Graph, starts: Vec<NodeId>) -> Result<Self> {
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if let Some(u) = graph.find_isolated_node() {
+            return Err(GraphError::IsolatedNode(u));
+        }
+        if let Some(&bad) = starts.iter().find(|&&s| s >= n) {
+            return Err(GraphError::NodeOutOfRange {
+                node: bad,
+                node_count: n,
+            });
+        }
+        if starts.len() > u32::MAX as usize || n > u32::MAX as usize {
+            return Err(GraphError::InvalidParameters(format!(
+                "mixing engine supports at most 2^32 - 1 walkers and nodes, got {} walkers on {n} nodes",
+                starts.len()
+            )));
+        }
+        let walkers = starts.len();
+        Ok(MixingEngine {
+            graph,
+            positions: starts,
+            round: 0,
+            bucket_starts: vec![0; n + 1],
+            bucket_walkers: Vec::with_capacity(walkers),
+            buckets_valid: false,
+            sent: vec![0; n],
+            load: vec![0; n],
+            kept_nodes: Vec::new(),
+            kept_walkers: Vec::new(),
+            moved_dests: Vec::new(),
+            moved_walkers: Vec::new(),
+            next_walkers: Vec::new(),
+            cursor: vec![0; n],
+        })
+    }
+
+    /// The graph the walkers move on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Number of walkers being tracked.
+    pub fn walker_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Current position of walker `w`.
+    pub fn position(&self, walker: usize) -> NodeId {
+        self.positions[walker]
+    }
+
+    /// Current positions of all walkers (`positions[w] = holder of w`).
+    pub fn positions(&self) -> &[NodeId] {
+        &self.positions
+    }
+
+    /// Histogram of walkers per node: entry `L_i` of Lemma 5.1.
+    pub fn load_vector(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.graph.node_count()];
+        for &node in &self.positions {
+            load[node] += 1;
+        }
+        load
+    }
+
+    /// Groups walkers by their current holder: `holders[u]` lists the walker
+    /// ids currently at node `u` — the multiset `{s_j}ᵢ` of reports held by
+    /// each user at the end of the exchange phase (Figure 2).
+    ///
+    /// Ordering within a node follows the engine's bucket order when rounds
+    /// ran in holder order (survivors first, then arrivals in send order),
+    /// and walker-id order otherwise.
+    pub fn walkers_by_holder(&self) -> Vec<Vec<usize>> {
+        let mut holders = vec![Vec::new(); self.graph.node_count()];
+        if self.buckets_valid {
+            for u in self.graph.nodes() {
+                holders[u] = self.held_by(u).iter().map(|&w| w as usize).collect();
+            }
+        } else {
+            for (walker, &node) in self.positions.iter().enumerate() {
+                holders[node].push(walker);
+            }
+        }
+        holders
+    }
+
+    /// The walkers currently held by node `u`, in bucket order.
+    ///
+    /// Requires the bucket structure to be valid; call
+    /// [`MixingEngine::ensure_buckets`] first if rounds ran in walker order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buckets are stale.
+    pub fn held_by(&self, u: NodeId) -> &[u32] {
+        assert!(
+            self.buckets_valid,
+            "holder buckets are stale; call ensure_buckets()"
+        );
+        &self.bucket_walkers[self.bucket_starts[u]..self.bucket_starts[u + 1]]
+    }
+
+    /// (Re)builds the holder buckets from the position array, grouping
+    /// walkers by node in walker-id order via a counting sort.
+    pub fn ensure_buckets(&mut self) {
+        if self.buckets_valid {
+            return;
+        }
+        let n = self.graph.node_count();
+        self.load.fill(0);
+        for &node in &self.positions {
+            self.load[node] += 1;
+        }
+        self.bucket_starts[0] = 0;
+        for u in 0..n {
+            self.bucket_starts[u + 1] = self.bucket_starts[u] + self.load[u] as usize;
+        }
+        self.cursor.copy_from_slice(&self.bucket_starts[..n]);
+        self.bucket_walkers.resize(self.positions.len(), 0);
+        for (walker, &node) in self.positions.iter().enumerate() {
+            self.bucket_walkers[self.cursor[node]] = walker as u32;
+            self.cursor[node] += 1;
+        }
+        self.buckets_valid = true;
+    }
+
+    /// Executes one walker-order round: sweep the position array once, moving
+    /// every walker to a uniformly random neighbour of its current node
+    /// (staying put with probability `laziness`).
+    ///
+    /// This is the fastest round form; it does not maintain holder buckets or
+    /// per-round statistics.
+    pub fn step<R: Rng + ?Sized>(&mut self, laziness: f64, rng: &mut R) {
+        for pos in &mut self.positions {
+            if let Some(dest) = sample_move(self.graph, *pos, laziness, rng) {
+                *pos = dest;
+            }
+        }
+        self.round += 1;
+        self.buckets_valid = false;
+    }
+
+    /// Executes one walker-order round and streams statistics to `observer`.
+    pub fn step_observed<R: Rng + ?Sized, O: RoundObserver>(
+        &mut self,
+        laziness: f64,
+        rng: &mut R,
+        observer: &mut O,
+    ) {
+        self.sent.fill(0);
+        for pos in &mut self.positions {
+            if let Some(dest) = sample_move(self.graph, *pos, laziness, rng) {
+                self.sent[*pos] += 1;
+                *pos = dest;
+            }
+        }
+        self.load.fill(0);
+        for &node in &self.positions {
+            self.load[node] += 1;
+        }
+        self.round += 1;
+        self.buckets_valid = false;
+        observer.on_round(&RoundStats {
+            round: self.round,
+            sent: &self.sent,
+            load: &self.load,
+        });
+    }
+
+    /// Executes one holder-order round: nodes are visited in id order, each
+    /// node's held walkers in insertion order; every walker either stays
+    /// (probability `laziness`) or is sent to a uniformly random neighbour.
+    /// Deliveries are routed with a counting sort over destinations, so a
+    /// node's bucket for the next round lists its survivors first, then its
+    /// arrivals in global send order — exactly the order in which a
+    /// message-passing simulation would have appended them.
+    ///
+    /// Statistics for the finished round stream to `observer` (pass
+    /// `&mut ()` to skip).
+    pub fn step_holder<R: Rng + ?Sized, O: RoundObserver>(
+        &mut self,
+        laziness: f64,
+        rng: &mut R,
+        observer: &mut O,
+    ) {
+        self.ensure_buckets();
+        let n = self.graph.node_count();
+        // Phase 1: decide every walker's move, bucketing survivors and movers.
+        {
+            let MixingEngine {
+                graph,
+                positions,
+                bucket_starts,
+                bucket_walkers,
+                sent,
+                kept_nodes,
+                kept_walkers,
+                moved_dests,
+                moved_walkers,
+                ..
+            } = self;
+            sent.fill(0);
+            kept_nodes.clear();
+            kept_walkers.clear();
+            moved_dests.clear();
+            moved_walkers.clear();
+            for u in 0..n {
+                let held = &bucket_walkers[bucket_starts[u]..bucket_starts[u + 1]];
+                for &w in held {
+                    match sample_move(graph, u, laziness, rng) {
+                        None => {
+                            kept_nodes.push(u as u32);
+                            kept_walkers.push(w);
+                        }
+                        Some(dest) => {
+                            positions[w as usize] = dest;
+                            moved_dests.push(dest as u32);
+                            moved_walkers.push(w);
+                            sent[u] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Phase 2: next-round load and CSR offsets.
+        self.load.fill(0);
+        for &u in &self.kept_nodes {
+            self.load[u as usize] += 1;
+        }
+        for &d in &self.moved_dests {
+            self.load[d as usize] += 1;
+        }
+        self.bucket_starts[0] = 0;
+        for u in 0..n {
+            self.bucket_starts[u + 1] = self.bucket_starts[u] + self.load[u] as usize;
+        }
+        // Phase 3: scatter — survivors first (kept_* is grouped by node in
+        // ascending order), then arrivals in global send order.
+        self.cursor.copy_from_slice(&self.bucket_starts[..n]);
+        self.next_walkers.resize(self.positions.len(), 0);
+        for (&u, &w) in self.kept_nodes.iter().zip(&self.kept_walkers) {
+            self.next_walkers[self.cursor[u as usize]] = w;
+            self.cursor[u as usize] += 1;
+        }
+        for (&d, &w) in self.moved_dests.iter().zip(&self.moved_walkers) {
+            self.next_walkers[self.cursor[d as usize]] = w;
+            self.cursor[d as usize] += 1;
+        }
+        std::mem::swap(&mut self.bucket_walkers, &mut self.next_walkers);
+        self.round += 1;
+        observer.on_round(&RoundStats {
+            round: self.round,
+            sent: &self.sent,
+            load: &self.load,
+        });
+    }
+
+    /// Runs a full walk in walker order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WalkConfig::validate`] errors.
+    pub fn run<R: Rng + ?Sized>(&mut self, config: WalkConfig, rng: &mut R) -> Result<()> {
+        config.validate()?;
+        for _ in 0..config.rounds {
+            self.step(config.laziness, rng);
+        }
+        Ok(())
+    }
+
+    /// Runs a full walk in holder order, streaming statistics to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WalkConfig::validate`] errors.
+    pub fn run_holder_observed<R: Rng + ?Sized, O: RoundObserver>(
+        &mut self,
+        config: WalkConfig,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> Result<()> {
+        config.validate()?;
+        for _ in 0..config.rounds {
+            self.step_holder(config.laziness, rng, observer);
+        }
+        Ok(())
+    }
+}
+
+/// Data-parallel walker-order rounds (enabled by the `parallel` feature).
+///
+/// Rayon is not available in this build environment, so parallelism is
+/// implemented directly on `std::thread::scope`: the position array is split
+/// into fixed-size chunks, each chunk is stepped with its own ChaCha8 stream
+/// derived from `(seed, round, chunk index)`, and chunks are dealt to threads
+/// round-robin.  Because the chunk size and the per-chunk streams are fixed,
+/// the result depends only on the seed — never on how many threads ran.
+#[cfg(feature = "parallel")]
+mod parallel {
+    use super::MixingEngine;
+    use crate::graph::NodeId;
+    use crate::rng::SimRng;
+    use crate::walk::WalkConfig;
+    use rand::SeedableRng;
+
+    /// Walkers per deterministic RNG chunk.
+    pub const CHUNK_WALKERS: usize = 1 << 16;
+
+    /// SplitMix64 finalizer for deriving per-chunk seeds.
+    fn mix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn chunk_rng(seed: u64, round: usize, chunk: usize) -> SimRng {
+        SimRng::seed_from_u64(mix64(mix64(seed ^ round as u64) ^ chunk as u64))
+    }
+
+    impl MixingEngine<'_> {
+        /// Executes one walker-order round in parallel.
+        ///
+        /// Deterministic in `seed` and the current round index; independent
+        /// of thread count.  The sampled trajectories differ from the serial
+        /// [`MixingEngine::step`] for the same seed (each chunk draws from
+        /// its own stream), but are equally distributed.
+        pub fn step_parallel(&mut self, laziness: f64, seed: u64) {
+            self.run_parallel_rounds(laziness, seed, 1);
+        }
+
+        /// Runs a full walk with parallel rounds.
+        ///
+        /// Workers are spawned once for the whole walk, not once per round:
+        /// walkers never interact within walker-order rounds, so each thread
+        /// advances its chunks through all rounds independently — same
+        /// result as round-by-round execution, without per-round thread
+        /// churn.
+        ///
+        /// # Errors
+        ///
+        /// Propagates [`WalkConfig::validate`] errors.
+        pub fn run_parallel(&mut self, config: WalkConfig, seed: u64) -> crate::error::Result<()> {
+            config.validate()?;
+            self.run_parallel_rounds(config.laziness, seed, config.rounds);
+            Ok(())
+        }
+
+        fn run_parallel_rounds(&mut self, laziness: f64, seed: u64, rounds: usize) {
+            if rounds == 0 {
+                return;
+            }
+            let base_round = self.round;
+            let graph = self.graph;
+            let threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            let chunks: Vec<(usize, &mut [NodeId])> = self
+                .positions
+                .chunks_mut(CHUNK_WALKERS)
+                .enumerate()
+                .collect();
+            let threads = threads.min(chunks.len()).max(1);
+            let mut per_thread: Vec<Vec<(usize, &mut [NodeId])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (index, chunk) in chunks {
+                per_thread[index % threads].push((index, chunk));
+            }
+            std::thread::scope(|scope| {
+                for assignment in per_thread {
+                    scope.spawn(move || {
+                        for (chunk_index, chunk) in assignment {
+                            for round in base_round..base_round + rounds {
+                                let mut rng = chunk_rng(seed, round, chunk_index);
+                                for pos in chunk.iter_mut() {
+                                    if let Some(dest) =
+                                        super::sample_move(graph, *pos, laziness, &mut rng)
+                                    {
+                                        *pos = dest;
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            self.round += rounds;
+            self.buckets_valid = false;
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+pub use parallel::CHUNK_WALKERS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::rng::seeded_rng;
+
+    /// The historical per-walker loop, kept verbatim as a reference.
+    fn naive_step<R: Rng + ?Sized>(
+        graph: &Graph,
+        positions: &mut [NodeId],
+        laziness: f64,
+        rng: &mut R,
+    ) {
+        for pos in positions.iter_mut() {
+            if laziness > 0.0 && rng.gen::<f64>() < laziness {
+                continue;
+            }
+            let nbrs = graph.neighbors(*pos);
+            *pos = nbrs[rng.gen_range(0..nbrs.len())];
+        }
+    }
+
+    #[test]
+    fn walker_order_matches_naive_loop_exactly() {
+        let g = generators::random_regular(200, 6, &mut seeded_rng(1)).unwrap();
+        for laziness in [0.0, 0.35] {
+            let mut engine = MixingEngine::one_walker_per_node(&g).unwrap();
+            let mut engine_rng = seeded_rng(99);
+            let mut naive: Vec<NodeId> = g.nodes().collect();
+            let mut naive_rng = seeded_rng(99);
+            for _ in 0..25 {
+                engine.step(laziness, &mut engine_rng);
+                naive_step(&g, &mut naive, laziness, &mut naive_rng);
+            }
+            assert_eq!(engine.positions(), naive.as_slice());
+        }
+    }
+
+    #[test]
+    fn holder_order_conserves_walkers_and_tracks_positions() {
+        let g = generators::random_regular(120, 4, &mut seeded_rng(2)).unwrap();
+        let mut engine = MixingEngine::one_walker_per_node(&g).unwrap();
+        let mut rng = seeded_rng(5);
+        for _ in 0..30 {
+            engine.step_holder(0.2, &mut rng, &mut ());
+        }
+        assert_eq!(engine.round(), 30);
+        // Buckets and positions agree.
+        let load = engine.load_vector();
+        assert_eq!(load.iter().sum::<usize>(), 120);
+        for u in g.nodes() {
+            assert_eq!(engine.held_by(u).len(), load[u]);
+            for &w in engine.held_by(u) {
+                assert_eq!(engine.position(w as usize), u);
+            }
+        }
+    }
+
+    #[test]
+    fn holder_order_buckets_keep_survivors_before_arrivals() {
+        // With laziness ~1 nothing moves, so buckets must be stable across
+        // rounds (survivors keep their relative order).
+        let g = generators::complete(10).unwrap();
+        let mut engine = MixingEngine::one_walker_per_node(&g).unwrap();
+        let mut rng = seeded_rng(3);
+        engine.ensure_buckets();
+        let before = engine.walkers_by_holder();
+        engine.step_holder(0.999_999, &mut rng, &mut ());
+        assert_eq!(engine.walkers_by_holder(), before);
+    }
+
+    #[test]
+    fn observer_sees_conserved_load_and_sent_counts() {
+        struct Checker {
+            walkers: usize,
+            rounds_seen: usize,
+        }
+        impl RoundObserver for Checker {
+            fn on_round(&mut self, stats: &RoundStats<'_>) {
+                self.rounds_seen += 1;
+                assert_eq!(stats.round, self.rounds_seen);
+                let total: u64 = stats.load.iter().map(|&l| l as u64).sum();
+                assert_eq!(total as usize, self.walkers);
+                let sent: u64 = stats.sent.iter().map(|&s| s as u64).sum();
+                assert!(sent as usize <= self.walkers);
+            }
+        }
+        let g = generators::random_regular(80, 4, &mut seeded_rng(4)).unwrap();
+        let mut engine = MixingEngine::one_walker_per_node(&g).unwrap();
+        let mut rng = seeded_rng(6);
+        let mut checker = Checker {
+            walkers: 80,
+            rounds_seen: 0,
+        };
+        engine
+            .run_holder_observed(WalkConfig::lazy(12, 0.1), &mut rng, &mut checker)
+            .unwrap();
+        assert_eq!(checker.rounds_seen, 12);
+
+        let mut walker_checker = Checker {
+            walkers: 80,
+            rounds_seen: 0,
+        };
+        let mut engine2 = MixingEngine::one_walker_per_node(&g).unwrap();
+        engine2.step_observed(0.0, &mut rng, &mut walker_checker);
+        assert_eq!(walker_checker.rounds_seen, 1);
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        assert!(MixingEngine::one_walker_per_node(&empty).is_err());
+        let isolated = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(MixingEngine::one_walker_per_node(&isolated).is_err());
+        let g = generators::cycle(4).unwrap();
+        assert!(MixingEngine::with_starts(&g, vec![0, 9]).is_err());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_rounds_are_deterministic_and_conserve_walkers() {
+        let g = generators::random_regular(5_000, 8, &mut seeded_rng(7)).unwrap();
+        let run = |seed: u64| {
+            let mut engine = MixingEngine::one_walker_per_node(&g).unwrap();
+            engine
+                .run_parallel(WalkConfig::lazy(10, 0.2), seed)
+                .unwrap();
+            engine.positions().to_vec()
+        };
+        let a = run(11);
+        let b = run(11);
+        let c = run(12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&p| p < 5_000));
+    }
+}

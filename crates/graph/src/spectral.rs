@@ -35,7 +35,11 @@ pub struct SpectralOptions {
 
 impl Default for SpectralOptions {
     fn default() -> Self {
-        SpectralOptions { max_iterations: 5_000, tolerance: 1e-10, seed: 0x5EED_57EC }
+        SpectralOptions {
+            max_iterations: 5_000,
+            tolerance: 1e-10,
+            seed: 0x5EED_57EC,
+        }
     }
 }
 
@@ -61,7 +65,8 @@ impl SpectralAnalysis {
     /// Panics if the graph is degenerate; use [`SpectralAnalysis::try_compute`]
     /// for a fallible version.
     pub fn compute(graph: &Graph, options: SpectralOptions) -> Self {
-        Self::try_compute(graph, 0.0, options).expect("graph must be non-empty with no isolated node")
+        Self::try_compute(graph, 0.0, options)
+            .expect("graph must be non-empty with no isolated node")
     }
 
     /// Computes the spectral analysis of a (possibly lazy) random walk.
@@ -87,7 +92,12 @@ impl SpectralAnalysis {
         if n == 1 {
             // A single node with no self-loop: the walk is trivially already
             // stationary; define the gap as 1.
-            return Ok(SpectralAnalysis { alpha_2: 0.0, alpha_n: 0.0, laziness, iterations: 0 });
+            return Ok(SpectralAnalysis {
+                alpha_2: 0.0,
+                alpha_n: 0.0,
+                laziness,
+                iterations: 0,
+            });
         }
 
         let operator = NormalizedAdjacency::new(graph);
@@ -127,7 +137,12 @@ impl SpectralAnalysis {
         let alpha_2 = laziness + (1.0 - laziness) * alpha_2_simple;
         let alpha_n = laziness + (1.0 - laziness) * alpha_n_simple;
 
-        Ok(SpectralAnalysis { alpha_2, alpha_n, laziness, iterations: it1.max(it2) })
+        Ok(SpectralAnalysis {
+            alpha_2,
+            alpha_n,
+            laziness,
+            iterations: it1.max(it2),
+        })
     }
 
     /// The spectral gap `α = min(1 − α₂, 1 − |αₙ|)`.
@@ -159,14 +174,24 @@ impl NormalizedAdjacency {
             neighbors.extend_from_slice(graph.neighbors(u));
             offsets.push(neighbors.len());
         }
-        let inv_sqrt_degree: Vec<f64> =
-            graph.nodes().map(|u| 1.0 / (graph.degree(u) as f64).sqrt()).collect();
-        let mut top: Vec<f64> = graph.nodes().map(|u| (graph.degree(u) as f64).sqrt()).collect();
+        let inv_sqrt_degree: Vec<f64> = graph
+            .nodes()
+            .map(|u| 1.0 / (graph.degree(u) as f64).sqrt())
+            .collect();
+        let mut top: Vec<f64> = graph
+            .nodes()
+            .map(|u| (graph.degree(u) as f64).sqrt())
+            .collect();
         let norm = top.iter().map(|x| x * x).sum::<f64>().sqrt();
         for x in &mut top {
             *x /= norm;
         }
-        NormalizedAdjacency { offsets, neighbors, inv_sqrt_degree, top_eigenvector: top }
+        NormalizedAdjacency {
+            offsets,
+            neighbors,
+            inv_sqrt_degree,
+            top_eigenvector: top,
+        }
     }
 
     fn node_count(&self) -> usize {
@@ -268,8 +293,16 @@ mod tests {
         let g = generators::complete(n).unwrap();
         let s = analyse(&g);
         let expected = -1.0 / (n as f64 - 1.0);
-        assert!((s.alpha_2 - expected).abs() < 1e-6, "alpha_2 = {}", s.alpha_2);
-        assert!((s.alpha_n - expected).abs() < 1e-6, "alpha_n = {}", s.alpha_n);
+        assert!(
+            (s.alpha_2 - expected).abs() < 1e-6,
+            "alpha_2 = {}",
+            s.alpha_2
+        );
+        assert!(
+            (s.alpha_n - expected).abs() < 1e-6,
+            "alpha_n = {}",
+            s.alpha_n
+        );
         let expected_gap = 1.0 - 1.0 / (n as f64 - 1.0);
         assert!((s.spectral_gap() - expected_gap).abs() < 1e-6);
     }
@@ -282,8 +315,16 @@ mod tests {
         let s = analyse(&g);
         let alpha_2 = (2.0 * std::f64::consts::PI / n as f64).cos();
         let alpha_n = (2.0 * std::f64::consts::PI * 4.0 / n as f64).cos();
-        assert!((s.alpha_2 - alpha_2).abs() < 1e-5, "alpha_2 = {}", s.alpha_2);
-        assert!((s.alpha_n - alpha_n).abs() < 1e-5, "alpha_n = {}", s.alpha_n);
+        assert!(
+            (s.alpha_2 - alpha_2).abs() < 1e-5,
+            "alpha_2 = {}",
+            s.alpha_2
+        );
+        assert!(
+            (s.alpha_n - alpha_n).abs() < 1e-5,
+            "alpha_n = {}",
+            s.alpha_n
+        );
     }
 
     #[test]
@@ -308,8 +349,7 @@ mod tests {
     fn laziness_shifts_eigenvalues_and_restores_ergodicity() {
         let g = generators::cycle(8).unwrap();
         let simple = analyse(&g);
-        let lazy =
-            SpectralAnalysis::try_compute(&g, 0.5, SpectralOptions::default()).unwrap();
+        let lazy = SpectralAnalysis::try_compute(&g, 0.5, SpectralOptions::default()).unwrap();
         assert!(lazy.spectral_gap() > 0.05);
         assert!(lazy.alpha_n > simple.alpha_n);
         // Eigenvalue transform check: lazy alpha_2 = 0.5 + 0.5 * simple alpha_2.
@@ -331,9 +371,7 @@ mod tests {
         let empty = Graph::from_edges(0, &[]).unwrap();
         assert!(SpectralAnalysis::try_compute(&empty, 0.0, SpectralOptions::default()).is_err());
         let isolated = Graph::from_edges(3, &[(0, 1)]).unwrap();
-        assert!(
-            SpectralAnalysis::try_compute(&isolated, 0.0, SpectralOptions::default()).is_err()
-        );
+        assert!(SpectralAnalysis::try_compute(&isolated, 0.0, SpectralOptions::default()).is_err());
         let path = generators::path(4).unwrap();
         assert!(SpectralAnalysis::try_compute(&path, 1.5, SpectralOptions::default()).is_err());
     }

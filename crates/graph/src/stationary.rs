@@ -23,13 +23,18 @@ pub fn stationary_distribution(graph: &Graph) -> Result<Vec<f64>> {
         return Err(GraphError::IsolatedNode(u));
     }
     let two_m = (2 * graph.edge_count()) as f64;
-    Ok(graph.nodes().map(|u| graph.degree(u) as f64 / two_m).collect())
+    Ok(graph
+        .nodes()
+        .map(|u| graph.degree(u) as f64 / two_m)
+        .collect())
 }
 
 /// `Σ_i π_i²` for the stationary distribution — the asymptotic value of the
 /// quantity bounded in Eq. 7 of the paper (equal to `Γ_G / n`).
 pub fn stationary_sum_of_squares(graph: &Graph) -> Result<f64> {
-    Ok(crate::degree::sum_of_squares(&stationary_distribution(graph)?))
+    Ok(crate::degree::sum_of_squares(&stationary_distribution(
+        graph,
+    )?))
 }
 
 #[cfg(test)]

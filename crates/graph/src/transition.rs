@@ -66,8 +66,16 @@ impl TransitionMatrix {
             neighbors.extend_from_slice(graph.neighbors(u));
             offsets.push(neighbors.len());
         }
-        let inv_degree = graph.nodes().map(|u| 1.0 / graph.degree(u) as f64).collect();
-        Ok(TransitionMatrix { inv_degree, offsets, neighbors, laziness })
+        let inv_degree = graph
+            .nodes()
+            .map(|u| 1.0 / graph.degree(u) as f64)
+            .collect();
+        Ok(TransitionMatrix {
+            inv_degree,
+            offsets,
+            neighbors,
+            laziness,
+        })
     }
 
     /// Number of nodes.

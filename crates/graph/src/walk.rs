@@ -7,14 +7,36 @@
 //! random walk: in each round, each report held at node `u` is forwarded to a
 //! uniformly random neighbour of `u` (Algorithms 1 and 2 of the paper).
 //!
-//! [`LazyWalk`] adds a per-round probability of a report staying put, which
-//! models temporarily unavailable users (Section 4.5) and also restores
-//! ergodicity on bipartite graphs.
+//! [`WalkEngine`] is a thin adapter over the shared batched round-execution
+//! core in [`crate::mixing_engine`]; it exists to keep the historical
+//! walker-oriented API (and its exact sampled trajectories) stable while the
+//! heavy lifting lives in one place.  [`LazyWalk`] adds a per-round
+//! probability of a report staying put, which models temporarily unavailable
+//! users (Section 4.5) and also restores ergodicity on bipartite graphs.
 
 use crate::error::{GraphError, Result};
 use crate::graph::{Graph, NodeId};
+use crate::mixing_engine::MixingEngine;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Checks the shared laziness-domain invariant `laziness ∈ [0, 1)`.
+///
+/// Every layer that accepts a laziness parameter (the walk configuration
+/// here, the protocol simulation configuration in the core crate) validates
+/// against this single helper so the rule and its message cannot drift.
+///
+/// # Errors
+///
+/// Returns the human-readable violation message, to be wrapped in the
+/// caller's error type.
+pub fn validate_laziness(laziness: f64) -> std::result::Result<(), String> {
+    if (0.0..1.0).contains(&laziness) {
+        Ok(())
+    } else {
+        Err(format!("laziness must be in [0, 1), got {laziness}"))
+    }
+}
 
 /// Configuration of a walk simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,7 +51,10 @@ pub struct WalkConfig {
 impl WalkConfig {
     /// A simple (non-lazy) walk of `rounds` rounds.
     pub fn simple(rounds: usize) -> Self {
-        WalkConfig { rounds, laziness: 0.0 }
+        WalkConfig {
+            rounds,
+            laziness: 0.0,
+        }
     }
 
     /// A lazy walk of `rounds` rounds with the given stay probability.
@@ -43,13 +68,7 @@ impl WalkConfig {
     ///
     /// [`GraphError::InvalidParameters`] if `laziness ∉ [0, 1)`.
     pub fn validate(&self) -> Result<()> {
-        if !(0.0..1.0).contains(&self.laziness) {
-            return Err(GraphError::InvalidParameters(format!(
-                "laziness must be in [0, 1), got {}",
-                self.laziness
-            )));
-        }
-        Ok(())
+        validate_laziness(self.laziness).map_err(GraphError::InvalidParameters)
     }
 }
 
@@ -62,14 +81,13 @@ impl Default for WalkConfig {
 /// Moves a set of walkers (reports) over a graph, one round at a time.
 ///
 /// Walker `w` is identified by its index in the position vector; the caller
-/// attaches meaning (e.g. "report produced by user `w`") externally.
+/// attaches meaning (e.g. "report produced by user `w`") externally.  All
+/// state and round execution are delegated to the shared
+/// [`MixingEngine`]; rounds run in walker order, which reproduces the
+/// historical `WalkEngine` trajectories draw for draw.
 #[derive(Debug, Clone)]
 pub struct WalkEngine<'g> {
-    graph: &'g Graph,
-    /// `positions[w]` is the node currently holding walker `w`.
-    positions: Vec<NodeId>,
-    /// Number of rounds executed so far.
-    round: usize,
+    inner: MixingEngine<'g>,
 }
 
 impl<'g> WalkEngine<'g> {
@@ -82,8 +100,9 @@ impl<'g> WalkEngine<'g> {
     /// [`GraphError::EmptyGraph`] / [`GraphError::IsolatedNode`] for graphs
     /// the walk cannot run on.
     pub fn one_walker_per_node(graph: &'g Graph) -> Result<Self> {
-        let starts: Vec<NodeId> = graph.nodes().collect();
-        Self::with_starts(graph, starts)
+        Ok(WalkEngine {
+            inner: MixingEngine::one_walker_per_node(graph)?,
+        })
     }
 
     /// Creates an engine with walkers at the given starting nodes.
@@ -93,52 +112,41 @@ impl<'g> WalkEngine<'g> {
     /// Same as [`WalkEngine::one_walker_per_node`], plus
     /// [`GraphError::NodeOutOfRange`] if a start is out of range.
     pub fn with_starts(graph: &'g Graph, starts: Vec<NodeId>) -> Result<Self> {
-        let n = graph.node_count();
-        if n == 0 {
-            return Err(GraphError::EmptyGraph);
-        }
-        if let Some(u) = graph.find_isolated_node() {
-            return Err(GraphError::IsolatedNode(u));
-        }
-        if let Some(&bad) = starts.iter().find(|&&s| s >= n) {
-            return Err(GraphError::NodeOutOfRange { node: bad, node_count: n });
-        }
-        Ok(WalkEngine { graph, positions: starts, round: 0 })
+        Ok(WalkEngine {
+            inner: MixingEngine::with_starts(graph, starts)?,
+        })
+    }
+
+    /// The shared round-execution core backing this walk.
+    pub fn engine(&mut self) -> &mut MixingEngine<'g> {
+        &mut self.inner
     }
 
     /// Number of walkers being tracked.
     pub fn walker_count(&self) -> usize {
-        self.positions.len()
+        self.inner.walker_count()
     }
 
     /// Number of rounds executed so far.
     pub fn round(&self) -> usize {
-        self.round
+        self.inner.round()
     }
 
     /// Current position of walker `w`.
     pub fn position(&self, walker: usize) -> NodeId {
-        self.positions[walker]
+        self.inner.position(walker)
     }
 
     /// Current positions of all walkers (`positions[w] = holder of w`).
     pub fn positions(&self) -> &[NodeId] {
-        &self.positions
+        self.inner.positions()
     }
 
     /// Executes one round: every walker moves to a uniformly random
     /// neighbour of its current node (staying put with probability
     /// `laziness`).
     pub fn step<R: Rng + ?Sized>(&mut self, laziness: f64, rng: &mut R) {
-        for pos in &mut self.positions {
-            if laziness > 0.0 && rng.gen::<f64>() < laziness {
-                continue;
-            }
-            let nbrs = self.graph.neighbors(*pos);
-            debug_assert!(!nbrs.is_empty(), "isolated nodes are rejected at construction");
-            *pos = nbrs[rng.gen_range(0..nbrs.len())];
-        }
-        self.round += 1;
+        self.inner.step(laziness, rng);
     }
 
     /// Runs a full walk according to `config`.
@@ -147,31 +155,19 @@ impl<'g> WalkEngine<'g> {
     ///
     /// Propagates [`WalkConfig::validate`] errors.
     pub fn run<R: Rng + ?Sized>(&mut self, config: WalkConfig, rng: &mut R) -> Result<()> {
-        config.validate()?;
-        for _ in 0..config.rounds {
-            self.step(config.laziness, rng);
-        }
-        Ok(())
+        self.inner.run(config, rng)
     }
 
     /// Groups walkers by their current holder: `holders[u]` lists the walker
     /// ids currently at node `u`.  This is the multiset `{s_j}ᵢ` of reports
     /// held by each user at the end of the exchange phase (Figure 2).
     pub fn walkers_by_holder(&self) -> Vec<Vec<usize>> {
-        let mut holders = vec![Vec::new(); self.graph.node_count()];
-        for (walker, &node) in self.positions.iter().enumerate() {
-            holders[node].push(walker);
-        }
-        holders
+        self.inner.walkers_by_holder()
     }
 
     /// Histogram of reports-per-holder sizes: entry `L_i` of Lemma 5.1.
     pub fn load_vector(&self) -> Vec<usize> {
-        let mut load = vec![0usize; self.graph.node_count()];
-        for &node in &self.positions {
-            load[node] += 1;
-        }
-        load
+        self.inner.load_vector()
     }
 }
 
@@ -236,7 +232,10 @@ mod tests {
         let mut rng = seeded_rng(1);
         engine.step(0.0, &mut rng);
         for (w, (&b, &a)) in before.iter().zip(engine.positions().iter()).enumerate() {
-            assert!(g.neighbors(b).contains(&a), "walker {w} moved from {b} to non-neighbor {a}");
+            assert!(
+                g.neighbors(b).contains(&a),
+                "walker {w} moved from {b} to non-neighbor {a}"
+            );
         }
         assert_eq!(engine.round(), 1);
     }
@@ -247,8 +246,16 @@ mod tests {
         let mut engine = WalkEngine::one_walker_per_node(&g).unwrap();
         let mut rng = seeded_rng(2);
         engine.step(0.95, &mut rng);
-        let stayed = engine.positions().iter().enumerate().filter(|(w, &p)| p == *w).count();
-        assert!(stayed >= 4, "expected most walkers to stay, {stayed} stayed");
+        let stayed = engine
+            .positions()
+            .iter()
+            .enumerate()
+            .filter(|(w, &p)| p == *w)
+            .count();
+        assert!(
+            stayed >= 4,
+            "expected most walkers to stay, {stayed} stayed"
+        );
     }
 
     #[test]
@@ -300,6 +307,7 @@ mod tests {
         assert!(WalkConfig::lazy(5, -0.1).validate().is_err());
         assert!(WalkConfig::lazy(5, 0.3).validate().is_ok());
         assert!(WalkConfig::simple(5).validate().is_ok());
+        assert!(validate_laziness(f64::NAN).is_err());
     }
 
     #[test]

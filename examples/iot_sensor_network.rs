@@ -30,7 +30,9 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     println!("sensor mesh: n = {n}, m = {} links", graph.edge_count());
 
     // Ground truth: temperatures around 21 degrees with spatial drift.
-    let truth: Vec<f64> = (0..n).map(|i| 18.0 + 6.0 * (i as f64 / n as f64) + rng.gen::<f64>()).collect();
+    let truth: Vec<f64> = (0..n)
+        .map(|i| 18.0 + 6.0 * (i as f64 / n as f64) + rng.gen::<f64>())
+        .collect();
     let true_mean = truth.iter().sum::<f64>() / n as f64;
     let mechanism = Laplace::new(15.0, 28.0, epsilon_0)?;
 
@@ -46,15 +48,28 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let mut ldp_rng = ns_graph::rng::derived_rng(seed, "laplace");
         let payloads: Vec<f64> = truth
             .iter()
-            .map(|x| mechanism.randomize(x, &mut ldp_rng).expect("finite reading"))
+            .map(|x| {
+                mechanism
+                    .randomize(x, &mut ldp_rng)
+                    .expect("finite reading")
+            })
             .collect();
-        let outcome = model.run_protocol(&graph, payloads, rounds, ProtocolKind::All, seed, |_| 21.5)?;
+        let outcome =
+            model.run_protocol(&graph, payloads, rounds, ProtocolKind::All, seed, |_| 21.5)?;
 
-        let received: Vec<f64> = outcome.collected.all_payloads().into_iter().copied().collect();
+        let received: Vec<f64> = outcome
+            .collected
+            .all_payloads()
+            .into_iter()
+            .copied()
+            .collect();
         let estimate = received.iter().sum::<f64>() / received.len() as f64;
 
         println!("\ndropout probability {dropout}:");
-        println!("  spectral gap {:.4}, mixing time {rounds} rounds", accountant.mixing_profile().spectral_gap);
+        println!(
+            "  spectral gap {:.4}, mixing time {rounds} rounds",
+            accountant.mixing_profile().spectral_gap
+        );
         println!("  central guarantee {central}");
         println!("  mean temperature: true {true_mean:.3}, estimated {estimate:.3}");
         println!(

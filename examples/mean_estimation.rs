@@ -32,14 +32,23 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let accountant = NetworkShuffleAccountant::new(graph)?;
     let rounds = accountant.mixing_time();
     println!("exchange rounds (mixing time): {rounds}\n");
-    println!("{:<10} {:>10} {:>14} {:>18}", "protocol", "eps_0", "central eps", "squared error");
+    println!(
+        "{:<10} {:>10} {:>14} {:>18}",
+        "protocol", "eps_0", "central eps", "squared error"
+    );
 
     for &epsilon_0 in &[1.0, 2.0, 4.0] {
         let params = AccountantParams::with_defaults(n, epsilon_0)?;
         for protocol in [ProtocolKind::All, ProtocolKind::Single] {
-            let config = MeanEstimationConfig { epsilon_0, rounds, protocol, seed };
+            let config = MeanEstimationConfig {
+                epsilon_0,
+                rounds,
+                protocol,
+                seed,
+            };
             let result = run_mean_estimation(graph, &workload.data, &workload.dummy_pool, config)?;
-            let central = accountant.central_guarantee(protocol, Scenario::Stationary, &params, rounds)?;
+            let central =
+                accountant.central_guarantee(protocol, Scenario::Stationary, &params, rounds)?;
             println!(
                 "{:<10} {:>10.2} {:>14.4} {:>18.6}",
                 protocol.name(),

@@ -1,0 +1,81 @@
+//! The batched mixing engine at scale: one million walkers, streaming metrics.
+//!
+//! ```text
+//! cargo run --release --example mixing_engine_scale
+//! # with data-parallel rounds:
+//! cargo run --release --features parallel --example mixing_engine_scale
+//! ```
+//!
+//! Where the quickstart example runs the full protocol (crypto envelopes,
+//! curator, accountant), this one exercises the shared round-execution core
+//! directly: a million-node regular graph, 30 exchange rounds over flat
+//! struct-of-arrays state, and a custom [`RoundObserver`] that watches the
+//! load distribution converge toward the balls-into-bins limit while the
+//! rounds execute — no post-hoc pass over a million client objects.
+
+use ns_graph::generators::random_regular;
+use ns_graph::mixing_engine::MixingEngine;
+#[cfg(not(feature = "parallel"))]
+use ns_graph::mixing_engine::{RoundObserver, RoundStats};
+use ns_graph::rng::seeded_rng;
+use ns_graph::walk::WalkConfig;
+use std::time::Instant;
+
+/// Streams a per-round summary of the load vector.
+#[cfg(not(feature = "parallel"))]
+struct LoadWatcher;
+
+#[cfg(not(feature = "parallel"))]
+impl RoundObserver for LoadWatcher {
+    fn on_round(&mut self, stats: &RoundStats<'_>) {
+        if !stats.round.is_multiple_of(5) {
+            return;
+        }
+        let n = stats.load.len() as f64;
+        let empty = stats.load.iter().filter(|&&l| l == 0).count() as f64;
+        let max = stats.load.iter().max().copied().unwrap_or(0);
+        println!(
+            "round {:>2}: {:>5.1}% empty holders (e^-1 = 36.8% at stationarity), max load {}",
+            stats.round,
+            100.0 * empty / n,
+            max
+        );
+    }
+}
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let n = 1_000_000;
+    let rounds = 30;
+    println!("generating a {n}-node 8-regular communication graph ...");
+    let mut rng = seeded_rng(7);
+    let graph = random_regular(n, 8, &mut rng)?;
+
+    let mut engine = MixingEngine::one_walker_per_node(&graph)?;
+    let start = Instant::now();
+
+    #[cfg(feature = "parallel")]
+    {
+        println!("running {rounds} data-parallel walker-order rounds ...");
+        engine.run_parallel(WalkConfig::simple(rounds), 42)?;
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        println!("running {rounds} holder-order rounds with streaming metrics ...");
+        engine.run_holder_observed(WalkConfig::simple(rounds), &mut rng, &mut LoadWatcher)?;
+    }
+
+    let elapsed = start.elapsed();
+    let load = engine.load_vector();
+    let empty = load.iter().filter(|&&l| l == 0).count();
+    println!(
+        "moved {n} reports x {rounds} rounds in {elapsed:.2?} \
+         ({:.1} M report-moves/s)",
+        (n * rounds) as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!(
+        "final load: {:.1}% empty holders, max {} reports at one node",
+        100.0 * empty as f64 / n as f64,
+        load.iter().max().unwrap()
+    );
+    Ok(())
+}

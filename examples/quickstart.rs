@@ -23,16 +23,33 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // 1. The communication network: every user knows 10 peers.
     let mut rng = ns_graph::rng::seeded_rng(seed);
     let graph = random_regular(n, 10, &mut rng)?;
-    println!("communication network: n = {}, m = {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "communication network: n = {}, m = {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     // 2. Ground-truth data: a skewed categorical distribution.
-    let truth: Vec<usize> = (0..n).map(|i| if i % 10 < 6 { 0 } else if i % 10 < 9 { 1 } else { 2 }).collect();
+    let truth: Vec<usize> = (0..n)
+        .map(|i| {
+            if i % 10 < 6 {
+                0
+            } else if i % 10 < 9 {
+                1
+            } else {
+                2
+            }
+        })
+        .collect();
     let randomizer = RandomizedResponse::new(4, epsilon_0)?;
 
     // 3. How long to shuffle: the paper's stopping rule t = alpha^-1 log n.
     let accountant = NetworkShuffleAccountant::new(&graph)?;
     let rounds = accountant.mixing_time();
-    println!("spectral gap = {:.4}, mixing time = {rounds} rounds", accountant.mixing_profile().spectral_gap);
+    println!(
+        "spectral gap = {:.4}, mixing time = {rounds} rounds",
+        accountant.mixing_profile().spectral_gap
+    );
 
     // 4. Run the A_all protocol.
     let outcome = run_protocol_with_randomizer(
@@ -54,14 +71,26 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     );
 
     // 5. Utility: unbiased frequency estimation from the randomized reports.
-    let reports: Vec<usize> = outcome.collected.all_payloads().into_iter().copied().collect();
+    let reports: Vec<usize> = outcome
+        .collected
+        .all_payloads()
+        .into_iter()
+        .copied()
+        .collect();
     let estimate = estimate_frequencies(&randomizer, &reports)?;
-    println!("estimated frequencies: {:?}", estimate.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "estimated frequencies: {:?}",
+        estimate
+            .iter()
+            .map(|x| (x * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
     println!("true frequencies:      [0.600, 0.300, 0.100, 0.000]");
 
     // 6. Privacy: the amplified central guarantee.
     let params = AccountantParams::with_defaults(n, epsilon_0)?;
-    let central = accountant.central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, rounds)?;
+    let central =
+        accountant.central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, rounds)?;
     println!("local guarantee:   {epsilon_0}-LDP per user");
     println!("central guarantee: {central} after network shuffling");
 

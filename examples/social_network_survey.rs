@@ -30,13 +30,15 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     );
 
     // Ground truth: answers follow a Zipf-ish distribution.
-    let truth: Vec<usize> = (0..n).map(|i| match i % 100 {
-        0..=49 => 0,
-        50..=74 => 1,
-        75..=89 => 2,
-        90..=97 => 3,
-        _ => 4,
-    }).collect();
+    let truth: Vec<usize> = (0..n)
+        .map(|i| match i % 100 {
+            0..=49 => 0,
+            50..=74 => 1,
+            75..=89 => 2,
+            90..=97 => 3,
+            _ => 4,
+        })
+        .collect();
     let true_freq: Vec<f64> = (0..categories)
         .map(|c| truth.iter().filter(|&&t| t == c).count() as f64 / n as f64)
         .collect();
@@ -48,19 +50,37 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     println!("running {rounds} exchange rounds (mixing time)\n");
 
     for protocol in [ProtocolKind::All, ProtocolKind::Single] {
-        let config = SimulationConfig { rounds, laziness: 0.0, protocol, seed };
+        let config = SimulationConfig {
+            rounds,
+            laziness: 0.0,
+            protocol,
+            seed,
+        };
         let outcome = run_protocol_with_randomizer(graph, &truth, &randomizer, config, &0usize)?;
 
-        let reports: Vec<usize> = outcome.collected.all_payloads().into_iter().copied().collect();
+        let reports: Vec<usize> = outcome
+            .collected
+            .all_payloads()
+            .into_iter()
+            .copied()
+            .collect();
         let estimate = estimate_frequencies(&randomizer, &reports)?;
-        let l1_error: f64 =
-            estimate.iter().zip(true_freq.iter()).map(|(a, b)| (a - b).abs()).sum();
+        let l1_error: f64 = estimate
+            .iter()
+            .zip(true_freq.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
 
-        let central = accountant.central_guarantee(protocol, Scenario::Stationary, &params, rounds)?;
+        let central =
+            accountant.central_guarantee(protocol, Scenario::Stationary, &params, rounds)?;
         let dummies = outcome.collected.dummy_count();
 
         println!("protocol {protocol}:");
-        println!("  reports at curator: {} ({} dummies)", outcome.collected.report_count(), dummies);
+        println!(
+            "  reports at curator: {} ({} dummies)",
+            outcome.collected.report_count(),
+            dummies
+        );
         println!("  central guarantee:  {central}  (local was {epsilon_0}-LDP)");
         println!("  survey L1 error:    {l1_error:.4}");
         println!();

@@ -1,0 +1,246 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this workspace
+//! uses: `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `black_box` and
+//! `Bencher::iter`.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up once,
+//! the per-iteration cost is estimated, and then `sample_size` samples are
+//! timed (each sample batching enough iterations to be measurable).  The
+//! mean, minimum and maximum per-iteration times are printed.  There is no
+//! statistical analysis or HTML report — the shim exists so `cargo bench`
+//! runs offline and produces honest wall-clock numbers.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(60);
+/// Soft cap on the total measurement time of one benchmark.
+const TOTAL_BUDGET: Duration = Duration::from_secs(5);
+
+/// Identifier of one benchmark within a group, e.g. `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Things usable as a benchmark id: strings and [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean/min/max per-iteration nanoseconds of the last `iter` call.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, batching iterations into timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + per-iteration estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+
+        let iters_per_sample =
+            (TARGET_SAMPLE_TIME.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as usize;
+        let per_sample = estimate * iters_per_sample as u32;
+        let affordable = (TOTAL_BUDGET.as_nanos() / per_sample.as_nanos().max(1)) as usize;
+        let samples = self.sample_size.min(affordable).max(3);
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            times.push(elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0, f64::max);
+        self.result = Some((mean, min, max));
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(group: Option<&str>, id: String, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let full_id = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id,
+    };
+    let mut bencher = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min, max)) => println!(
+            "bench: {full_id:<50} mean {:>12}  [min {:>12}, max {:>12}]",
+            human(mean),
+            human(min),
+            human(max)
+        ),
+        None => println!("bench: {full_id:<50} (no measurement)"),
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Benchmarks `f` under the given id.
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        run_one(
+            Some(&self.name),
+            id.into_id(),
+            self.effective_sample_size(),
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        f: impl FnMut(&mut Bencher, &T),
+    ) -> &mut Self {
+        let mut f = f;
+        run_one(
+            Some(&self.name),
+            id.into_id(),
+            self.effective_sample_size(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks `f` under the given id, outside any group.
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        run_one(None, id.into_id(), self.sample_size, |b| f(b));
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

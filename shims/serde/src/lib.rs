@@ -1,0 +1,18 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Only the derive macros are exercised (as annotations); the traits exist
+//! so `use serde::{Deserialize, Serialize}` resolves in both the type and
+//! macro namespaces, exactly like the real crate with the `derive` feature.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<T: ?Sized> Deserialize for T {}

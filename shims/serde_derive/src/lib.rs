@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward-
+//! looking annotations — nothing serializes through serde at runtime (there
+//! is no `serde_json` in the tree).  Empty expansions keep the annotations
+//! compiling without the real proc-macro stack, which is unavailable
+//! offline.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

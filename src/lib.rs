@@ -1,0 +1,12 @@
+//! Workspace umbrella crate.
+//!
+//! Exists to host the repository-level integration tests (`tests/`) and the
+//! runnable examples (`examples/`); re-exports the member crates so examples
+//! and docs can reach everything through one name.
+
+#![forbid(unsafe_code)]
+
+pub use network_shuffle;
+pub use ns_datasets;
+pub use ns_dp;
+pub use ns_graph;

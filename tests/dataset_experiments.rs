@@ -21,12 +21,18 @@ fn fig4_epsilon_decreases_and_flattens() {
         .epsilon_vs_rounds(ProtocolKind::All, Scenario::Stationary, &params, t_max)
         .expect("sweep");
     for w in sweep.windows(2) {
-        assert!(w[1].1 <= w[0].1 + 1e-12, "epsilon must be non-increasing in t");
+        assert!(
+            w[1].1 <= w[0].1 + 1e-12,
+            "epsilon must be non-increasing in t"
+        );
     }
     // Flattening: the last 10% of rounds changes epsilon by well under 1%.
     let near_end = sweep[sweep.len() * 9 / 10].1;
     let end = sweep.last().unwrap().1;
-    assert!((near_end - end) / end < 0.01, "curve should flatten near the mixing time");
+    assert!(
+        (near_end - end) / end < 0.01,
+        "curve should flatten near the mixing time"
+    );
     // And the early value is substantially larger than the converged one.
     assert!(sweep[0].1 > 1.5 * end);
 }
@@ -44,7 +50,12 @@ fn fig5_larger_degree_converges_faster() {
                 .expect("graph");
         let accountant = NetworkShuffleAccountant::new(&graph).expect("accountant");
         let sweep = accountant
-            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Symmetric { origin: 0 }, &params, 60)
+            .epsilon_vs_rounds(
+                ProtocolKind::All,
+                Scenario::Symmetric { origin: 0 },
+                &params,
+                60,
+            )
             .expect("sweep");
         let asymptote = sweep.last().unwrap().1;
         let converged_at = sweep
@@ -119,12 +130,19 @@ fn table1_network_shuffling_sits_between_clones_and_no_amplification() {
     let n = 500_000usize;
     for &eps0 in &[0.3, 0.6, 1.0, 2.0, 3.0] {
         let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
-        let network = single_protocol_epsilon(&params, 1.0 / n as f64).unwrap().epsilon;
-        assert!(network < eps0, "eps0={eps0}: network {network} should amplify below eps0");
+        let network = single_protocol_epsilon(&params, 1.0 / n as f64)
+            .unwrap()
+            .epsilon;
+        assert!(
+            network < eps0,
+            "eps0={eps0}: network {network} should amplify below eps0"
+        );
     }
     for &eps0 in &[2.0, 3.0] {
         let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
-        let network = single_protocol_epsilon(&params, 1.0 / n as f64).unwrap().epsilon;
+        let network = single_protocol_epsilon(&params, 1.0 / n as f64)
+            .unwrap()
+            .epsilon;
         let clones = clones_shuffling_epsilon(eps0, n, DELTA).unwrap();
         assert!(
             clones < network,
@@ -157,14 +175,24 @@ fn fig9_a_all_beats_a_single_on_utility() {
             graph,
             &workload.data,
             &workload.dummy_pool,
-            MeanEstimationConfig { epsilon_0, rounds, protocol: ProtocolKind::All, seed },
+            MeanEstimationConfig {
+                epsilon_0,
+                rounds,
+                protocol: ProtocolKind::All,
+                seed,
+            },
         )
         .expect("A_all");
         let single = run_mean_estimation(
             graph,
             &workload.data,
             &workload.dummy_pool,
-            MeanEstimationConfig { epsilon_0, rounds, protocol: ProtocolKind::Single, seed },
+            MeanEstimationConfig {
+                epsilon_0,
+                rounds,
+                protocol: ProtocolKind::Single,
+                seed,
+            },
         )
         .expect("A_single");
         all_error += all.squared_error;
@@ -195,6 +223,9 @@ fn table4_standins_are_calibrated_and_ergodic() {
             generated.achieved.irregularity,
             generated.spec.irregularity
         );
-        assert!(NetworkShuffleAccountant::new(&generated.graph).is_ok(), "{dataset} not ergodic");
+        assert!(
+            NetworkShuffleAccountant::new(&generated.graph).is_ok(),
+            "{dataset} not ergodic"
+        );
     }
 }

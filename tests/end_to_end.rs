@@ -19,7 +19,17 @@ fn survey_pipeline_on_twitch_standin() {
 
     let epsilon_0 = 0.5;
     let randomizer = RandomizedResponse::new(3, epsilon_0).expect("mechanism");
-    let truth: Vec<usize> = (0..n).map(|i| if i % 10 < 7 { 0 } else if i % 10 < 9 { 1 } else { 2 }).collect();
+    let truth: Vec<usize> = (0..n)
+        .map(|i| {
+            if i % 10 < 7 {
+                0
+            } else if i % 10 < 9 {
+                1
+            } else {
+                2
+            }
+        })
+        .collect();
 
     let accountant = NetworkShuffleAccountant::new(graph).expect("accountant");
     let rounds = accountant.mixing_time().min(400);
@@ -36,10 +46,23 @@ fn survey_pipeline_on_twitch_standin() {
     assert_eq!(outcome.collected.report_count(), n);
 
     // Utility: frequency estimation recovers the skewed distribution.
-    let reports: Vec<usize> = outcome.collected.all_payloads().into_iter().copied().collect();
+    let reports: Vec<usize> = outcome
+        .collected
+        .all_payloads()
+        .into_iter()
+        .copied()
+        .collect();
     let estimate = estimate_frequencies(&randomizer, &reports).expect("estimate");
-    assert!((estimate[0] - 0.7).abs() < 0.12, "estimate[0] = {}", estimate[0]);
-    assert!((estimate[2] - 0.1).abs() < 0.12, "estimate[2] = {}", estimate[2]);
+    assert!(
+        (estimate[0] - 0.7).abs() < 0.12,
+        "estimate[0] = {}",
+        estimate[0]
+    );
+    assert!(
+        (estimate[2] - 0.1).abs() < 0.12,
+        "estimate[2] = {}",
+        estimate[2]
+    );
 
     // Privacy: the central epsilon at the mixing time is below epsilon_0, and
     // mixing helps (the bound at the mixing time beats the one-round bound).
@@ -47,7 +70,11 @@ fn survey_pipeline_on_twitch_standin() {
     let central = accountant
         .central_guarantee(ProtocolKind::Single, Scenario::Stationary, &params, rounds)
         .expect("guarantee");
-    assert!(central.epsilon < epsilon_0, "central epsilon {} should be amplified", central.epsilon);
+    assert!(
+        central.epsilon < epsilon_0,
+        "central epsilon {} should be amplified",
+        central.epsilon
+    );
     let one_round = accountant
         .central_guarantee(ProtocolKind::Single, Scenario::Stationary, &params, 1)
         .expect("guarantee");
@@ -56,7 +83,11 @@ fn survey_pipeline_on_twitch_standin() {
     // Anonymity: few reports return to their origin.
     let view = AdversaryView::from_submissions(outcome.collected.submissions());
     let stats = view.linkage_stats(graph);
-    assert!(stats.return_rate() < 0.05, "return rate {}", stats.return_rate());
+    assert!(
+        stats.return_rate() < 0.05,
+        "return rate {}",
+        stats.return_rate()
+    );
 }
 
 /// The mean-estimation pipeline (Figure 9 workload) runs end to end and the
@@ -76,14 +107,24 @@ fn mean_estimation_pipeline() {
         graph,
         &workload.data,
         &workload.dummy_pool,
-        MeanEstimationConfig { epsilon_0: 4.0, rounds, protocol: ProtocolKind::All, seed: 9 },
+        MeanEstimationConfig {
+            epsilon_0: 4.0,
+            rounds,
+            protocol: ProtocolKind::All,
+            seed: 9,
+        },
     )
     .expect("A_all estimation");
     let single = run_mean_estimation(
         graph,
         &workload.data,
         &workload.dummy_pool,
-        MeanEstimationConfig { epsilon_0: 4.0, rounds, protocol: ProtocolKind::Single, seed: 9 },
+        MeanEstimationConfig {
+            epsilon_0: 4.0,
+            rounds,
+            protocol: ProtocolKind::Single,
+            seed: 9,
+        },
     )
     .expect("A_single estimation");
 
@@ -91,7 +132,11 @@ fn mean_estimation_pipeline() {
     assert_eq!(single.genuine_reports + single.dummy_reports, n);
     assert!(single.dummy_reports > 0);
     assert!(all.squared_error.is_finite());
-    assert!(all.squared_error < 1.0, "A_all squared error {}", all.squared_error);
+    assert!(
+        all.squared_error < 1.0,
+        "A_all squared error {}",
+        all.squared_error
+    );
 }
 
 /// Dropouts (lazy walk) leave the pipeline functional and the asymptotic
@@ -139,10 +184,14 @@ fn crypto_visibility_structure() {
     // A snooping server (holding only the curator key) cannot open the hop
     // layer; Bob cannot open the curator layer.
     assert!(for_bob.clone().open(&curator.secret).is_err());
-    let inner = for_bob.open(&bob.secret).expect("bob can unwrap the hop layer");
+    let inner = for_bob
+        .open(&bob.secret)
+        .expect("bob can unwrap the hop layer");
     assert!(inner.clone().open(&bob.secret).is_err());
     assert!(inner.clone().open(&alice.secret).is_err());
-    let report = inner.open(&curator.secret).expect("curator reads the payload");
+    let report = inner
+        .open(&curator.secret)
+        .expect("curator reads the payload");
     assert_eq!(report.payload, vec![1, 2, 3]);
 }
 
@@ -164,7 +213,9 @@ fn disconnected_graphs_are_rejected_until_reduced_to_lcc() {
         }
     }
     for i in 40..60 {
-        builder.add_edge(i, if i + 1 < 60 { i + 1 } else { 40 }).unwrap();
+        builder
+            .add_edge(i, if i + 1 < 60 { i + 1 } else { 40 })
+            .unwrap();
     }
     let graph = builder.build();
     assert!(!graph.is_connected());

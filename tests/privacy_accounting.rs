@@ -48,22 +48,35 @@ fn table1_ordering_holds() {
     let n = 1_000_000usize;
     for &eps0 in &[0.25f64, 0.5, 1.0, 2.0] {
         let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
-        let network = single_protocol_epsilon(&params, 1.0 / n as f64).unwrap().epsilon;
+        let network = single_protocol_epsilon(&params, 1.0 / n as f64)
+            .unwrap()
+            .epsilon;
         let clones = clones_shuffling_epsilon(eps0, n, DELTA).unwrap();
         let erlingsson = erlingsson_shuffling_epsilon(eps0, n, DELTA).unwrap();
-        assert!(network < eps0, "eps0={eps0}: network {network} should amplify");
-        assert!(clones <= erlingsson, "eps0={eps0}: clones should be the tightest shuffle bound");
+        assert!(
+            network < eps0,
+            "eps0={eps0}: network {network} should amplify"
+        );
+        assert!(
+            clones <= erlingsson,
+            "eps0={eps0}: clones should be the tightest shuffle bound"
+        );
     }
     // Exponential dependence: the network-shuffling bound grows like
     // e^{1.5 eps0} while the clones bound grows like e^{0.5 eps0}, so their
     // ratio must increase with eps0 and the clones bound must win eventually.
     let ratio_at = |eps0: f64| {
         let params = AccountantParams::new(n, eps0, DELTA, DELTA).unwrap();
-        single_protocol_epsilon(&params, 1.0 / n as f64).unwrap().epsilon
+        single_protocol_epsilon(&params, 1.0 / n as f64)
+            .unwrap()
+            .epsilon
             / clones_shuffling_epsilon(eps0, n, DELTA).unwrap()
     };
     assert!(ratio_at(2.0) > ratio_at(0.5));
-    assert!(ratio_at(3.0) > 1.0, "clones must be tighter than network shuffling at eps0 = 3");
+    assert!(
+        ratio_at(3.0) > 1.0,
+        "clones must be tighter than network shuffling at eps0 = 3"
+    );
 }
 
 /// The graph accountant's stationary bound is never tighter than the exact
@@ -75,8 +88,13 @@ fn stationary_bound_dominates_exact_value_after_mixing() {
     let accountant = NetworkShuffleAccountant::new(&graph).unwrap();
     let t = accountant.mixing_time();
     let (bound, _) = accountant.sum_p_squared(Scenario::Stationary, t).unwrap();
-    let (exact, _) = accountant.sum_p_squared(Scenario::Symmetric { origin: 0 }, t).unwrap();
-    assert!(exact <= bound * (1.0 + 1e-6), "exact {exact} vs bound {bound}");
+    let (exact, _) = accountant
+        .sum_p_squared(Scenario::Symmetric { origin: 0 }, t)
+        .unwrap();
+    assert!(
+        exact <= bound * (1.0 + 1e-6),
+        "exact {exact} vs bound {bound}"
+    );
 }
 
 /// Approximate-DP corollaries: a Gaussian randomizer with admissible δ₀
@@ -97,7 +115,8 @@ fn approximate_dp_corollaries_are_weaker_but_valid() {
     assert!(approx_all.delta < 1.0);
 
     let pure_single = single_protocol_epsilon(&params, sum_p_sq).unwrap();
-    let approx_single = single_protocol_epsilon_approx(&params, sum_p_sq, delta_0, delta_1).unwrap();
+    let approx_single =
+        single_protocol_epsilon_approx(&params, sum_p_sq, delta_0, delta_1).unwrap();
     assert!(approx_single.epsilon > pure_single.epsilon);
     assert!(approx_single.epsilon >= 8.0 * eps0 * 0.0); // sanity: finite and non-negative
 }

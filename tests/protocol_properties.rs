@@ -187,5 +187,9 @@ fn anonymity_improves_with_rounds() {
             .return_rate()
     };
     assert_eq!(rate(&before), 1.0);
-    assert!(rate(&after) < 0.05, "return rate after mixing = {}", rate(&after));
+    assert!(
+        rate(&after) < 0.05,
+        "return rate after mixing = {}",
+        rate(&after)
+    );
 }
