@@ -1,0 +1,124 @@
+//! Blocked distribution-ensemble kernel vs. the naive per-origin loop.
+//!
+//! On a 100k-node Chung–Lu graph, a batch of origins is evolved to the
+//! accounting horizon either through the blocked interleaved kernel or
+//! through the naive loop — one full `propagate_into` CSR sweep per origin
+//! per round.  Besides the criterion-style per-path timings,
+//! `bench_speedup_ratio` times both paths back to back on identical inputs
+//! and prints the ratio directly.
+//!
+//! Interpreting the ratio: the blocked kernel streams the CSR arrays once
+//! per 8 origins instead of once per origin and delivers 8 lanes per edge
+//! through two AVX2 accumulator chains, so its advantage scales with how
+//! much the naive loop pays for re-streaming the graph.  On hosts whose
+//! last-level cache swallows the whole problem (CSR + both buffers), the
+//! naive loop pays nothing and the measured gap narrows to the SIMD factor;
+//! container-class vCPUs with 2 MB L2 and a large shared L3 are the worst
+//! case, and the sparsity short-cut of `propagate_into` (zero-mass nodes
+//! are skipped) further flatters the naive loop in the pre-mixing rounds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ns_graph::connectivity::largest_connected_component;
+use ns_graph::ensemble::DistributionEnsemble;
+use ns_graph::rng::seeded_rng;
+use ns_graph::transition::TransitionMatrix;
+use ns_graph::Graph;
+use std::time::Instant;
+
+const NODES: usize = 100_000;
+const SOURCES: usize = 64;
+/// Rounds per origin: the accounting horizon (≈ the mixing time of the
+/// benchmark graph), where exact `Σ P²` values are actually consumed.
+const ROUNDS: usize = 20;
+
+/// A 100k-node Chung–Lu graph with a mildly heavy-tailed expected-degree
+/// sequence (mean ≈ 6) — the irregular-topology setting the exact
+/// accounting route exists for.
+fn graph() -> Graph {
+    let weights: Vec<f64> = (0..NODES)
+        .map(|i| 3.0 + 9.0 * ((i % 10) as f64) / 9.0)
+        .collect();
+    let raw = ns_graph::generators::chung_lu(&weights, &mut seeded_rng(1)).expect("graph");
+    largest_connected_component(&raw).0
+}
+
+fn origins(n: usize) -> Vec<usize> {
+    (0..SOURCES).map(|i| i * (n / SOURCES)).collect()
+}
+
+/// The naive route: each origin evolved independently, every round paying a
+/// full sweep of the CSR offsets/neighbour arrays.
+fn naive_per_origin(transition: &TransitionMatrix, origins: &[usize], rounds: usize) -> f64 {
+    let n = transition.node_count();
+    let mut current = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+    let mut checksum = 0.0;
+    for &origin in origins {
+        current.fill(0.0);
+        current[origin] = 1.0;
+        for _ in 0..rounds {
+            transition.propagate_into(&current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+        }
+        checksum += current.iter().map(|x| x * x).sum::<f64>();
+    }
+    checksum
+}
+
+/// The blocked route: all origins in one ensemble, lanes interleaved.
+fn blocked_ensemble(transition: &TransitionMatrix, origins: &[usize], rounds: usize) -> f64 {
+    let n = transition.node_count();
+    let mut ensemble = DistributionEnsemble::point_masses(n, origins).expect("ensemble");
+    ensemble.advance(transition, rounds);
+    (0..ensemble.sources())
+        .map(|row| ensemble.row_stats(row).sum_of_squares)
+        .sum()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let graph = graph();
+    let transition = TransitionMatrix::new(&graph).expect("transition");
+    let origins = origins(graph.node_count());
+    let mut group = c.benchmark_group("ensemble_100k");
+    group.sample_size(10);
+    group.bench_function("blocked_64x20", |b| {
+        b.iter(|| black_box(blocked_ensemble(&transition, &origins, ROUNDS)));
+    });
+    group.bench_function("naive_64x20", |b| {
+        b.iter(|| black_box(naive_per_origin(&transition, &origins, ROUNDS)));
+    });
+    group.finish();
+}
+
+/// Times both kernels back to back and prints the speedup ratio — the
+/// number the acceptance criterion asks for.
+fn bench_speedup_ratio(_c: &mut Criterion) {
+    let graph = graph();
+    let transition = TransitionMatrix::new(&graph).expect("transition");
+    let origins = origins(graph.node_count());
+    let time = |f: &dyn Fn() -> f64| {
+        // One warm-up, then the best of three timed runs.
+        f();
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let blocked = time(&|| blocked_ensemble(&transition, &origins, ROUNDS));
+    let naive = time(&|| naive_per_origin(&transition, &origins, ROUNDS));
+    let parity = (blocked_ensemble(&transition, &origins, ROUNDS)
+        - naive_per_origin(&transition, &origins, ROUNDS))
+    .abs();
+    println!(
+        "speedup: blocked ensemble {blocked:.3} s vs naive per-origin {naive:.3} s \
+         -> {:.2}x (n = {}, sources = {SOURCES}, rounds = {ROUNDS}, checksum delta = {parity:.1e})",
+        naive / blocked,
+        graph.node_count()
+    );
+}
+
+criterion_group!(benches, bench_kernels, bench_speedup_ratio);
+criterion_main!(benches);

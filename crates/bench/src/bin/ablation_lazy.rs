@@ -10,7 +10,7 @@
 //! ```
 
 use network_shuffle::prelude::*;
-use ns_bench::{fmt, print_table, write_csv, DELTA, SEED};
+use ns_bench::{epsilon_at_mixing_time, fmt, print_table, write_csv, DELTA, SEED};
 use ns_graph::generators::random_regular;
 
 fn main() {
@@ -42,15 +42,13 @@ fn main() {
                 fixed_budget,
             )
             .expect("guarantee");
-        let at_mixing = accountant
-            .central_guarantee_at_mixing_time(ProtocolKind::All, Scenario::Stationary, &params)
-            .expect("guarantee");
+        let at_mixing = epsilon_at_mixing_time(&accountant, ProtocolKind::All, epsilon_0);
         rows.push(vec![
             fmt(p),
             fmt(accountant.mixing_profile().spectral_gap),
             accountant.mixing_time().to_string(),
             fmt(at_budget.epsilon),
-            fmt(at_mixing.epsilon),
+            fmt(at_mixing),
         ]);
     }
 

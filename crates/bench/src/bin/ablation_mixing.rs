@@ -9,7 +9,7 @@
 //! ```
 
 use network_shuffle::prelude::*;
-use ns_bench::{dataset_graph, fmt, print_table, write_csv, DELTA};
+use ns_bench::{dataset_accountants, fmt, print_table, write_csv, DELTA};
 use ns_datasets::Dataset;
 
 fn main() {
@@ -24,9 +24,8 @@ fn main() {
         "central eps (A_all)",
     ];
     let mut rows = Vec::new();
-    for dataset in datasets {
-        let generated = dataset_graph(dataset);
-        let accountant = NetworkShuffleAccountant::new(&generated.graph).expect("ergodic graph");
+    for da in dataset_accountants(datasets) {
+        let accountant = &da.accountant;
         let params = AccountantParams::new(accountant.node_count(), epsilon_0, DELTA, DELTA)
             .expect("valid params");
         let t_mix = accountant.mixing_time();
@@ -36,7 +35,7 @@ fn main() {
                 .central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, rounds)
                 .expect("guarantee");
             rows.push(vec![
-                generated.spec.name.to_string(),
+                da.name().to_string(),
                 fmt(c),
                 rounds.to_string(),
                 fmt(guarantee.epsilon),

@@ -71,9 +71,15 @@ fn main() {
         let gamma = ns_graph::degree::DegreeStats::compute(graph)
             .expect("stats")
             .irregularity;
-        let (rounds, eps) =
-            rounds_for_target_epsilon(&accountant, ProtocolKind::Single, &params, 0.01, 20_000)
-                .expect("search");
+        let (rounds, eps) = rounds_for_target_epsilon(
+            &accountant,
+            ProtocolKind::Single,
+            Scenario::Stationary,
+            &params,
+            0.01,
+            20_000,
+        )
+        .expect("search");
         rows.push(vec![
             name.to_string(),
             n_lcc.to_string(),

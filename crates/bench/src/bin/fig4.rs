@@ -10,7 +10,7 @@
 //! ```
 
 use network_shuffle::prelude::*;
-use ns_bench::{dataset_graph, fmt, print_table, write_csv, DELTA};
+use ns_bench::{dataset_accountants, fmt, print_table, write_csv, DELTA};
 use ns_datasets::Dataset;
 
 fn main() {
@@ -18,14 +18,12 @@ fn main() {
     let datasets = [Dataset::Facebook, Dataset::Twitch, Dataset::Deezer];
 
     // Sweep points: log-spaced rounds up to ~2x the largest mixing time.
-    let mut sweeps = Vec::new();
-    let mut max_mixing = 0usize;
-    for dataset in datasets {
-        let generated = dataset_graph(dataset);
-        let accountant = NetworkShuffleAccountant::new(&generated.graph).expect("ergodic graph");
-        max_mixing = max_mixing.max(accountant.mixing_time());
-        sweeps.push((generated, accountant));
-    }
+    let sweeps = dataset_accountants(datasets);
+    let max_mixing = sweeps
+        .iter()
+        .map(|da| da.accountant.mixing_time())
+        .max()
+        .unwrap_or(0);
     let max_rounds = (2 * max_mixing).max(10);
     let checkpoints: Vec<usize> = {
         let mut t = 1usize;
@@ -42,7 +40,8 @@ fn main() {
     let headers: Vec<&str> = vec!["rounds t", "Facebook eps", "Twitch eps", "Deezer eps"];
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<(usize, f64)>> = Vec::new();
-    for (generated, accountant) in &sweeps {
+    for da in &sweeps {
+        let accountant = &da.accountant;
         let params = AccountantParams::new(accountant.node_count(), epsilon_0, DELTA, DELTA)
             .expect("valid params");
         let sweep = accountant
@@ -50,7 +49,7 @@ fn main() {
             .expect("sweep");
         println!(
             "{}: n = {}, spectral gap = {:.4}, mixing time = {}",
-            generated.spec.name,
+            da.name(),
             accountant.node_count(),
             accountant.mixing_profile().spectral_gap,
             accountant.mixing_time()

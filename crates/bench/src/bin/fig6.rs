@@ -9,41 +9,41 @@
 //! ```
 
 use network_shuffle::prelude::*;
-use ns_bench::{dataset_graph, fmt, linspace, print_table, write_csv, DELTA};
+use ns_bench::{dataset_accountant, epsilon_at_mixing_time, fmt, linspace, print_table, write_csv};
 use ns_datasets::Dataset;
 
 fn main() {
     let epsilon_grid = linspace(0.1, 1.2, 12);
 
-    let mut accountants = Vec::new();
-    for dataset in Dataset::ALL {
-        let generated = dataset_graph(dataset);
-        let accountant = NetworkShuffleAccountant::new(&generated.graph).expect("ergodic graph");
-        println!(
-            "{}: n = {}, Gamma = {:.3}, mixing time = {}",
-            generated.spec.name,
-            accountant.node_count(),
-            generated.achieved.irregularity,
-            accountant.mixing_time()
-        );
-        accountants.push((generated.spec.name, accountant));
-    }
+    let accountants: Vec<_> = Dataset::ALL
+        .into_iter()
+        .map(|dataset| {
+            let da = dataset_accountant(dataset);
+            println!(
+                "{}: n = {}, Gamma = {:.3}, mixing time = {}",
+                da.name(),
+                da.accountant.node_count(),
+                da.generated.achieved.irregularity,
+                da.accountant.mixing_time()
+            );
+            da
+        })
+        .collect();
 
     let headers: Vec<String> = std::iter::once("eps0".to_string())
-        .chain(accountants.iter().map(|(name, _)| format!("{name} eps")))
+        .chain(accountants.iter().map(|da| format!("{} eps", da.name())))
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
     let mut rows = Vec::new();
     for &eps0 in &epsilon_grid {
         let mut row = vec![fmt(eps0)];
-        for (_, accountant) in &accountants {
-            let params = AccountantParams::new(accountant.node_count(), eps0, DELTA, DELTA)
-                .expect("valid params");
-            let guarantee = accountant
-                .central_guarantee_at_mixing_time(ProtocolKind::All, Scenario::Stationary, &params)
-                .expect("guarantee");
-            row.push(fmt(guarantee.epsilon));
+        for da in &accountants {
+            row.push(fmt(epsilon_at_mixing_time(
+                &da.accountant,
+                ProtocolKind::All,
+                eps0,
+            )));
         }
         rows.push(row);
     }

@@ -9,32 +9,34 @@
 //! ```
 
 use network_shuffle::prelude::*;
-use ns_bench::{dataset_graph, fmt, linspace, print_table, write_csv, DELTA};
+use ns_bench::{dataset_accountant, epsilon_at_mixing_time, fmt, linspace, print_table, write_csv};
 use ns_datasets::Dataset;
 
 fn main() {
     let epsilon_grid = linspace(0.25, 5.0, 20);
     let datasets = [Dataset::Twitch, Dataset::Google];
 
-    let mut accountants = Vec::new();
-    for dataset in datasets {
-        let generated = dataset_graph(dataset);
-        let accountant = NetworkShuffleAccountant::new(&generated.graph).expect("ergodic graph");
-        println!(
-            "{}: n = {}, mixing time = {}",
-            generated.spec.name,
-            accountant.node_count(),
-            accountant.mixing_time()
-        );
-        accountants.push((generated.spec.name, accountant));
-    }
+    let accountants: Vec<_> = datasets
+        .into_iter()
+        .map(|dataset| {
+            let da = dataset_accountant(dataset);
+            println!(
+                "{}: n = {}, mixing time = {}",
+                da.name(),
+                da.accountant.node_count(),
+                da.accountant.mixing_time()
+            );
+            da
+        })
+        .collect();
 
     let headers: Vec<String> = std::iter::once("eps0".to_string())
-        .chain(
-            accountants
-                .iter()
-                .flat_map(|(name, _)| [format!("{name} A_all"), format!("{name} A_single")]),
-        )
+        .chain(accountants.iter().flat_map(|da| {
+            [
+                format!("{} A_all", da.name()),
+                format!("{} A_single", da.name()),
+            ]
+        }))
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
@@ -42,24 +44,14 @@ fn main() {
     let mut crossover_seen = false;
     for &eps0 in &epsilon_grid {
         let mut row = vec![fmt(eps0)];
-        for (_, accountant) in &accountants {
-            let params = AccountantParams::new(accountant.node_count(), eps0, DELTA, DELTA)
-                .expect("valid params");
-            let all = accountant
-                .central_guarantee_at_mixing_time(ProtocolKind::All, Scenario::Stationary, &params)
-                .expect("guarantee");
-            let single = accountant
-                .central_guarantee_at_mixing_time(
-                    ProtocolKind::Single,
-                    Scenario::Stationary,
-                    &params,
-                )
-                .expect("guarantee");
-            if single.epsilon < all.epsilon {
+        for da in &accountants {
+            let all = epsilon_at_mixing_time(&da.accountant, ProtocolKind::All, eps0);
+            let single = epsilon_at_mixing_time(&da.accountant, ProtocolKind::Single, eps0);
+            if single < all {
                 crossover_seen = true;
             }
-            row.push(fmt(all.epsilon));
-            row.push(fmt(single.epsilon));
+            row.push(fmt(all));
+            row.push(fmt(single));
         }
         rows.push(row);
     }

@@ -15,7 +15,7 @@
 //! tests.
 
 use network_shuffle::prelude::*;
-use ns_bench::{dataset_graph, fmt, print_table, write_csv, DELTA, SEED};
+use ns_bench::{dataset_graph, epsilon_at_mixing_time, fmt, print_table, write_csv, SEED};
 use ns_datasets::{Dataset, MeanEstimationWorkload, WorkloadConfig};
 
 fn main() {
@@ -54,11 +54,8 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for &eps0 in &epsilon_grid {
-        let params = AccountantParams::new(n, eps0, DELTA, DELTA).expect("valid params");
         for protocol in [ProtocolKind::All, ProtocolKind::Single] {
-            let central = accountant
-                .central_guarantee_at_mixing_time(protocol, Scenario::Stationary, &params)
-                .expect("guarantee");
+            let central = epsilon_at_mixing_time(&accountant, protocol, eps0);
             let mut total_error = 0.0;
             let mut total_dummies = 0usize;
             for trial in 0..trials {
@@ -77,7 +74,7 @@ fn main() {
             rows.push(vec![
                 fmt(eps0),
                 protocol.name().to_string(),
-                fmt(central.epsilon),
+                fmt(central),
                 fmt(total_error / trials as f64),
                 (total_dummies / trials).to_string(),
             ]);

@@ -8,6 +8,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use network_shuffle::accountant::closed_form::AccountantParams;
+use network_shuffle::accountant::NetworkShuffleAccountant;
+use network_shuffle::protocol::ProtocolKind;
 use ns_datasets::{Dataset, GeneratedDataset};
 use std::io::Write;
 use std::path::PathBuf;
@@ -48,6 +51,72 @@ pub fn dataset_graph(dataset: Dataset) -> GeneratedDataset {
     dataset.generate_scaled(divisor, SEED).unwrap_or_else(|e| {
         panic!("failed to generate {dataset} stand-in (divisor {divisor}): {e}")
     })
+}
+
+/// A dataset stand-in paired with the privacy accountant of its ergodic
+/// walk — the starting point of almost every accountant experiment.
+pub struct DatasetAccountant {
+    /// The generated graph plus its spec/achieved statistics.
+    pub generated: GeneratedDataset,
+    /// The accountant bound to `generated.graph`.
+    pub accountant: NetworkShuffleAccountant,
+}
+
+impl DatasetAccountant {
+    /// The dataset's display name.
+    pub fn name(&self) -> &'static str {
+        self.generated.spec.name
+    }
+}
+
+/// Generates one dataset at the default scale and binds an accountant to
+/// it — the construction boilerplate shared by the figure/ablation
+/// binaries.  Emits nothing on stdout, so callers control their own
+/// per-dataset log lines.
+///
+/// # Panics
+///
+/// Panics if generation fails or the stand-in is not ergodic — experiment
+/// binaries treat both as fatal.
+pub fn dataset_accountant(dataset: Dataset) -> DatasetAccountant {
+    let generated = dataset_graph(dataset);
+    let accountant = NetworkShuffleAccountant::new(&generated.graph).expect("ergodic graph");
+    DatasetAccountant {
+        generated,
+        accountant,
+    }
+}
+
+/// [`dataset_accountant`] over a list of datasets.
+///
+/// # Panics
+///
+/// See [`dataset_accountant`].
+pub fn dataset_accountants(datasets: impl IntoIterator<Item = Dataset>) -> Vec<DatasetAccountant> {
+    datasets.into_iter().map(dataset_accountant).collect()
+}
+
+/// Central ε at the graph's mixing time under the stationary bound with the
+/// experiment-default δs — the sweep kernel of the ε₀-grid figures.
+///
+/// # Panics
+///
+/// Panics on parameter or accountant errors (fatal in experiment binaries).
+pub fn epsilon_at_mixing_time(
+    accountant: &NetworkShuffleAccountant,
+    protocol: ProtocolKind,
+    epsilon_0: f64,
+) -> f64 {
+    let params = AccountantParams::new(accountant.node_count(), epsilon_0, DELTA, DELTA)
+        .expect("valid params");
+    accountant
+        .central_guarantee_at_mixing_time(
+            protocol,
+            network_shuffle::accountant::Scenario::Stationary,
+            &params,
+        )
+        .expect("guarantee")
+        .epsilon
 }
 
 /// Prints a fixed-width table with a header row and a separator.

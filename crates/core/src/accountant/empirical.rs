@@ -1,27 +1,35 @@
 //! Empirical (Monte-Carlo) estimation of the accountant's graph inputs.
 //!
 //! The closed-form theorems consume `Σ_i P_i^G(t)²`.  The
-//! [`crate::accountant::graph_accountant`] obtains it either from the
-//! spectral bound (worst case) or by exact distribution evolution (exact but
-//! `O(t·m)` per origin).  This module provides a third route: estimate the
-//! position distribution of reports by running the actual walk many times and
-//! counting where reports end up.  This is useful
+//! [`crate::accountant::graph_accountant`] obtains it from the spectral
+//! bound (worst case) or by exact distribution evolution (single origin, or
+//! all origins through the batched ensemble kernel).  This module provides
+//! the remaining route: estimate the position distribution of reports by
+//! running the actual walk many times and counting where reports end up.
+//! This is useful
 //!
 //! * as an independent cross-check of the analytical machinery (the test
-//!   suite compares all three routes), and
+//!   suite compares all the routes), and
 //! * for settings where the transition structure is only available as a
 //!   black-box simulator (e.g. dynamic graphs, availability-dependent
 //!   routing), which the paper lists as future work.
 //!
-//! The estimate averages the *empirical* per-origin distribution over all
-//! origins, so a single simulation run already provides `n` samples.
+//! Trials run on the same batched, struct-of-arrays
+//! [`ns_graph::mixing_engine::MixingEngine`] as the protocol simulation —
+//! one walker per origin, all origins per run — so a single run already
+//! provides `n` samples, and the `parallel` feature's deterministic chunked
+//! execution applies to Monte-Carlo estimation too.
 
 use crate::error::{Error, Result};
-use ns_graph::rng::SimRng;
-use ns_graph::walk::{WalkConfig, WalkEngine};
+use ns_graph::mixing_engine::MixingEngine;
+use ns_graph::walk::WalkConfig;
 use ns_graph::Graph;
-use rand_chacha::rand_core::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+#[cfg(not(feature = "parallel"))]
+use ns_graph::rng::SimRng;
+#[cfg(not(feature = "parallel"))]
+use rand_chacha::rand_core::SeedableRng;
 
 /// Result of a Monte-Carlo estimation of the position-distribution moments.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,6 +53,13 @@ pub struct EmpiricalMixing {
 /// The estimator of `Σ_i P_i²` from `T` samples per origin is the unbiased
 /// collision estimator `(Σ_i c_i(c_i−1)) / (T(T−1))` where `c_i` counts how
 /// often the report landed on user `i`; it is averaged over all origins.
+///
+/// Determinism caveat: results depend only on `seed`, but the `parallel`
+/// cargo feature switches the trials onto the engine's chunked per-seed RNG
+/// streams, so the sampled trajectories — and hence the exact estimate —
+/// differ between the two feature configurations (equally distributed
+/// either way; the sequential build reproduces the historical draws
+/// draw for draw).
 ///
 /// # Errors
 ///
@@ -73,11 +88,22 @@ pub fn estimate_mixing(
     let mut counts: Vec<std::collections::HashMap<usize, u32>> =
         vec![std::collections::HashMap::new(); n];
 
+    // Each trial is one batched engine run over all n walkers at once.  The
+    // sequential path consumes the RNG draw-for-draw like it always has;
+    // with the `parallel` feature the engine's chunked deterministic streams
+    // take over, so estimates depend only on `seed` and never on the thread
+    // count (the sampled trajectories differ from the sequential ones but
+    // are equally distributed).
     for trial in 0..trials {
-        let mut rng =
-            SimRng::seed_from_u64(seed.wrapping_add(trial as u64).wrapping_mul(0x9e37_79b9));
-        let mut engine = WalkEngine::one_walker_per_node(graph)?;
-        engine.run(WalkConfig::lazy(rounds, laziness), &mut rng)?;
+        let trial_seed = seed.wrapping_add(trial as u64).wrapping_mul(0x9e37_79b9);
+        let mut engine = MixingEngine::one_walker_per_node(graph)?;
+        #[cfg(feature = "parallel")]
+        engine.run_parallel(WalkConfig::lazy(rounds, laziness), trial_seed)?;
+        #[cfg(not(feature = "parallel"))]
+        {
+            let mut rng = SimRng::seed_from_u64(trial_seed);
+            engine.run(WalkConfig::lazy(rounds, laziness), &mut rng)?;
+        }
         for (origin, &holder) in engine.positions().iter().enumerate() {
             *counts[origin].entry(holder).or_insert(0) += 1;
         }
@@ -176,6 +202,29 @@ mod tests {
                 est.sum_p_squared
             );
         }
+    }
+
+    #[test]
+    fn estimate_agrees_with_exact_ensemble_average_on_irregular_graph() {
+        // On an irregular graph the empirical estimator averages over all
+        // origins, so its target is the mean of the exact per-origin
+        // ensemble moments — not any single origin.
+        let g = ns_graph::generators::barabasi_albert(70, 3, &mut seeded_rng(8)).unwrap();
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let rounds = 10;
+        let moments = accountant.exact_moments(rounds).unwrap();
+        let exact_mean: f64 = moments
+            .iter()
+            .map(|stats| stats.sum_of_squares)
+            .sum::<f64>()
+            / moments.len() as f64;
+        let est = estimate_mixing(&g, rounds, 0.0, 800, 17).unwrap();
+        let relative = (est.sum_p_squared - exact_mean).abs() / exact_mean;
+        assert!(
+            relative < 0.2,
+            "empirical {} vs exact ensemble mean {exact_mean}",
+            est.sum_p_squared
+        );
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //!   exact position distribution of a report started at a chosen origin is
 //!   evolved round by round, giving the exact `Σ_i P_i(t)²` and support
 //!   ratio `ρ*` used by Theorems 5.4 and 5.6 and plotted in Figure 5.
+//! * **Exact scenario** (any ergodic graph): *every* origin's position
+//!   distribution is evolved through the batched
+//!   [`ns_graph::ensemble`] kernel, giving each user her exact
+//!   `(Σ_i P_i(t)², ρ*)` — and hence a per-user ε — where the spectral
+//!   route can only bound the worst case.  Origins are streamed through
+//!   bounded-memory batches, so the route scales to 100k+-node graphs.
 
 use crate::accountant::closed_form::{
     all_protocol_epsilon, single_protocol_epsilon, AccountantParams,
@@ -19,6 +25,7 @@ use crate::error::{Error, Result};
 use crate::protocol::ProtocolKind;
 use ns_dp::types::PrivacyGuarantee;
 use ns_graph::distribution::PositionDistribution;
+use ns_graph::ensemble::{self, RowStats};
 use ns_graph::mixing::MixingProfile;
 use ns_graph::spectral::SpectralOptions;
 use ns_graph::transition::TransitionMatrix;
@@ -38,6 +45,16 @@ pub enum Scenario {
         /// The user whose report's position distribution is tracked.
         origin: NodeId,
     },
+    /// Any ergodic graph, analysed by exactly evolving the position
+    /// distributions of **all** `n` origins with the batched ensemble
+    /// kernel.  Guarantees quote the worst user, so they hold for every
+    /// user while staying exact.  Pre-mixing this is far tighter than the
+    /// stationary bound; note that on heterogeneous graphs the Eq. 7 bound
+    /// (derived for regular graphs) can even slightly *under*-estimate the
+    /// worst user — at `t = 1` a degree-1 origin's report sits on its only
+    /// neighbour with probability 1 — which is exactly why the exact route
+    /// exists.
+    Exact,
 }
 
 /// Privacy accountant bound to a specific communication graph.
@@ -108,6 +125,11 @@ impl NetworkShuffleAccountant {
         &self.mixing
     }
 
+    /// The transition matrix the accountant evolves distributions under.
+    pub fn transition(&self) -> &TransitionMatrix {
+        &self.transition
+    }
+
     /// The paper's stopping rule `t = ⌊α⁻¹ log n⌉`.
     pub fn mixing_time(&self) -> usize {
         self.mixing.mixing_time
@@ -116,23 +138,122 @@ impl NetworkShuffleAccountant {
     /// `Σ_i P_i(t)²` (and the support ratio `ρ*`) after `rounds` rounds
     /// under the given scenario.
     ///
+    /// For [`Scenario::Exact`] the returned pair is the component-wise
+    /// worst over all origins (largest `Σ_i P_i²`, largest `ρ*`), which is
+    /// a valid — if slightly conservative — input for a guarantee covering
+    /// every user; use [`NetworkShuffleAccountant::exact_moments`] for the
+    /// full per-origin breakdown.
+    ///
     /// # Errors
     ///
     /// [`Error::Graph`] if the symmetric origin is out of range.
     pub fn sum_p_squared(&self, scenario: Scenario, rounds: usize) -> Result<(f64, f64)> {
         match scenario {
-            Scenario::Stationary => Ok((self.mixing.sum_p_squared_bound(rounds).min(1.0), 1.0)),
+            Scenario::Stationary => Ok((self.mixing.sum_p_squared_bound_clamped(rounds), 1.0)),
             Scenario::Symmetric { origin } => {
                 let mut dist = PositionDistribution::point_mass(self.node_count, origin)?;
                 dist.advance(&self.transition, rounds);
                 let ratio = dist.support_ratio().unwrap_or(1.0);
                 Ok((dist.sum_of_squares(), ratio))
             }
+            Scenario::Exact => {
+                let moments = self.exact_moments(rounds)?;
+                let mut worst_sum_sq = 0.0f64;
+                let mut worst_ratio = 1.0f64;
+                for stats in &moments {
+                    worst_sum_sq = worst_sum_sq.max(stats.sum_of_squares);
+                    worst_ratio = worst_ratio.max(stats.support_ratio);
+                }
+                Ok((worst_sum_sq, worst_ratio))
+            }
         }
+    }
+
+    /// The exact accounting moments `(Σ_i P_i(t)², ρ*)` of **every** origin
+    /// after `rounds` rounds, computed by the batched ensemble kernel in
+    /// bounded-memory batches (entry `o` belongs to user `o`'s report).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Graph`] on degenerate graphs (cannot happen for a
+    /// successfully constructed accountant).
+    pub fn exact_moments(&self, rounds: usize) -> Result<Vec<RowStats>> {
+        ensemble::all_origin_moments(&self.transition, rounds).map_err(Into::into)
+    }
+
+    /// The per-origin central guarantees of the exact scenario: entry `o`
+    /// is the `(ε, δ)` enjoyed by user `o`'s report after `rounds` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Parameter validation errors from the closed forms.
+    pub fn per_origin_guarantees(
+        &self,
+        protocol: ProtocolKind,
+        params: &AccountantParams,
+        rounds: usize,
+    ) -> Result<Vec<PrivacyGuarantee>> {
+        self.check_population(params)?;
+        self.exact_moments(rounds)?
+            .iter()
+            .map(|stats| Self::guarantee_from_stats(protocol, params, stats))
+            .collect()
+    }
+
+    /// The worst user's exact guarantee after `rounds` rounds: the origin
+    /// whose report is hardest to hide and its `(ε, δ)`.  This is what
+    /// [`Scenario::Exact`] quotes through
+    /// [`NetworkShuffleAccountant::central_guarantee`].
+    ///
+    /// # Errors
+    ///
+    /// Parameter validation errors from the closed forms.
+    pub fn worst_user_guarantee(
+        &self,
+        protocol: ProtocolKind,
+        params: &AccountantParams,
+        rounds: usize,
+    ) -> Result<(NodeId, PrivacyGuarantee)> {
+        let guarantees = self.per_origin_guarantees(protocol, params, rounds)?;
+        let worst = guarantees
+            .into_iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.epsilon.total_cmp(&b.epsilon))
+            .expect("accountants require n >= 2");
+        Ok(worst)
+    }
+
+    /// Evaluates the closed form for one origin's moments.
+    fn guarantee_from_stats(
+        protocol: ProtocolKind,
+        params: &AccountantParams,
+        stats: &RowStats,
+    ) -> Result<PrivacyGuarantee> {
+        match protocol {
+            ProtocolKind::All => {
+                all_protocol_epsilon(params, stats.sum_of_squares, stats.support_ratio)
+            }
+            ProtocolKind::Single => single_protocol_epsilon(params, stats.sum_of_squares),
+        }
+    }
+
+    /// Shared `params.n == node_count` validation.
+    fn check_population(&self, params: &AccountantParams) -> Result<()> {
+        if params.n != self.node_count {
+            return Err(Error::InvalidConfiguration(format!(
+                "accountant graph has {} users but params.n = {}",
+                self.node_count, params.n
+            )));
+        }
+        Ok(())
     }
 
     /// The central `(ε, δ)` guarantee after `rounds` rounds for the given
     /// protocol and scenario.
+    ///
+    /// Under [`Scenario::Exact`] this is the worst user's exact guarantee
+    /// (each origin's ε is evaluated from its own moments, then maximized),
+    /// so it holds for the entire population.
     ///
     /// # Errors
     ///
@@ -144,11 +265,11 @@ impl NetworkShuffleAccountant {
         params: &AccountantParams,
         rounds: usize,
     ) -> Result<PrivacyGuarantee> {
-        if params.n != self.node_count {
-            return Err(Error::InvalidConfiguration(format!(
-                "accountant graph has {} users but params.n = {}",
-                self.node_count, params.n
-            )));
+        self.check_population(params)?;
+        if scenario == Scenario::Exact {
+            return self
+                .worst_user_guarantee(protocol, params, rounds)
+                .map(|(_, guarantee)| guarantee);
         }
         let (sum_sq, rho) = self.sum_p_squared(scenario, rounds)?;
         match protocol {
@@ -182,7 +303,10 @@ impl NetworkShuffleAccountant {
     /// privacy-vs-communication trade-off curves of Figures 4 and 5.
     ///
     /// The symmetric scenario is evolved incrementally, so the sweep costs
-    /// `O(max_rounds · m)` rather than `O(max_rounds² · m)`.
+    /// `O(max_rounds · m)` rather than `O(max_rounds² · m)`.  The exact
+    /// scenario likewise reuses **one** tracked ensemble pass over all
+    /// origins: every round's worst-user ε comes from the same evolution,
+    /// at `O(n · max_rounds · m)` total instead of per sweep point.
     ///
     /// # Errors
     ///
@@ -194,17 +318,12 @@ impl NetworkShuffleAccountant {
         params: &AccountantParams,
         max_rounds: usize,
     ) -> Result<Vec<(usize, f64)>> {
-        if params.n != self.node_count {
-            return Err(Error::InvalidConfiguration(format!(
-                "accountant graph has {} users but params.n = {}",
-                self.node_count, params.n
-            )));
-        }
+        self.check_population(params)?;
         let mut out = Vec::with_capacity(max_rounds);
         match scenario {
             Scenario::Stationary => {
                 for t in 1..=max_rounds {
-                    let sum_sq = self.mixing.sum_p_squared_bound(t).min(1.0);
+                    let sum_sq = self.mixing.sum_p_squared_bound_clamped(t);
                     let guarantee = match protocol {
                         ProtocolKind::All => all_protocol_epsilon(params, sum_sq, 1.0)?,
                         ProtocolKind::Single => single_protocol_epsilon(params, sum_sq)?,
@@ -224,6 +343,26 @@ impl NetworkShuffleAccountant {
                     };
                     out.push((t, guarantee.epsilon));
                 }
+            }
+            Scenario::Exact => {
+                let mut worst = vec![f64::NEG_INFINITY; max_rounds];
+                ensemble::all_origin_trajectories(
+                    &self.transition,
+                    max_rounds,
+                    |_, trajectory| -> Result<()> {
+                        for row in 0..trajectory.sources() {
+                            for (t, stats) in trajectory.row(row).iter().enumerate() {
+                                let epsilon =
+                                    Self::guarantee_from_stats(protocol, params, stats)?.epsilon;
+                                if epsilon > worst[t] {
+                                    worst[t] = epsilon;
+                                }
+                            }
+                        }
+                        Ok(())
+                    },
+                )?;
+                out.extend(worst.into_iter().enumerate().map(|(t, eps)| (t + 1, eps)));
             }
         }
         Ok(out)
@@ -374,12 +513,84 @@ mod tests {
         let g = regular_graph(100, 4, 8);
         let accountant = NetworkShuffleAccountant::new(&g).unwrap();
         let params = AccountantParams::with_defaults(200, 1.0).unwrap();
+        for scenario in [Scenario::Stationary, Scenario::Exact] {
+            assert!(accountant
+                .central_guarantee(ProtocolKind::All, scenario, &params, 10)
+                .is_err());
+            assert!(accountant
+                .epsilon_vs_rounds(ProtocolKind::All, scenario, &params, 10)
+                .is_err());
+        }
         assert!(accountant
-            .central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, 10)
+            .per_origin_guarantees(ProtocolKind::All, &params, 10)
             .is_err());
-        assert!(accountant
-            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Stationary, &params, 10)
-            .is_err());
+    }
+
+    #[test]
+    fn exact_scenario_agrees_with_symmetric_per_origin() {
+        // The exact ensemble restricted to one origin must reproduce the
+        // symmetric route bit for bit; the worst-user pair dominates every
+        // single origin.
+        let g = regular_graph(120, 6, 11);
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let rounds = 15;
+        let moments = accountant.exact_moments(rounds).unwrap();
+        assert_eq!(moments.len(), 120);
+        let (worst_sum_sq, worst_rho) = accountant.sum_p_squared(Scenario::Exact, rounds).unwrap();
+        for (origin, stats) in moments.iter().enumerate() {
+            let (sum_sq, rho) = accountant
+                .sum_p_squared(Scenario::Symmetric { origin }, rounds)
+                .unwrap();
+            assert_eq!(stats.sum_of_squares, sum_sq, "origin {origin}");
+            assert_eq!(stats.support_ratio, rho, "origin {origin}");
+            assert!(worst_sum_sq >= sum_sq);
+            assert!(worst_rho >= rho);
+        }
+    }
+
+    #[test]
+    fn worst_user_guarantee_is_the_maximum_per_origin_epsilon() {
+        // A two-degree-class graph has genuinely different per-origin
+        // guarantees, so the worst user is a real maximum, not a tie.
+        let g = ns_graph::generators::two_degree_class(40, 4, 12).unwrap();
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let params = AccountantParams::with_defaults(accountant.node_count(), 1.0).unwrap();
+        let rounds = 10;
+        let per_origin = accountant
+            .per_origin_guarantees(ProtocolKind::Single, &params, rounds)
+            .unwrap();
+        let (worst_origin, worst) = accountant
+            .worst_user_guarantee(ProtocolKind::Single, &params, rounds)
+            .unwrap();
+        assert_eq!(per_origin.len(), accountant.node_count());
+        for (origin, guarantee) in per_origin.iter().enumerate() {
+            assert!(
+                guarantee.epsilon <= worst.epsilon,
+                "origin {origin} exceeds the quoted worst user"
+            );
+        }
+        assert_eq!(per_origin[worst_origin].epsilon, worst.epsilon);
+        let via_scenario = accountant
+            .central_guarantee(ProtocolKind::Single, Scenario::Exact, &params, rounds)
+            .unwrap();
+        assert_eq!(via_scenario.epsilon, worst.epsilon);
+    }
+
+    #[test]
+    fn exact_sweep_reuses_one_pass_and_matches_pointwise_evaluation() {
+        let g = regular_graph(90, 4, 13);
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let params = AccountantParams::with_defaults(90, 1.0).unwrap();
+        let sweep = accountant
+            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Exact, &params, 12)
+            .unwrap();
+        assert_eq!(sweep.len(), 12);
+        for &(t, eps) in &[sweep[0], sweep[5], sweep[11]] {
+            let direct = accountant
+                .central_guarantee(ProtocolKind::All, Scenario::Exact, &params, t)
+                .unwrap();
+            assert_eq!(eps, direct.epsilon, "sweep diverges at t = {t}");
+        }
     }
 
     #[test]

@@ -5,17 +5,33 @@
 //! exchanged for `t` rounds on graph `G`, what `(ε, δ)` guarantee does the
 //! collection enjoy in the central model?*
 //!
-//! The theorems consume the graph only through `Σ_i P_i^G(t)²` (and, for the
-//! symmetric analysis, the support ratio `ρ*`), so the module is split into:
+//! The theorems consume the graph only through `Σ_i P_i^G(t)²` (and, for
+//! the `A_all` analysis, the support ratio `ρ*`).  Four routes derive those
+//! quantities, from cheapest to most informative:
+//!
+//! | route | scenario | applies to | cost | what you get |
+//! |-------|----------|------------|------|--------------|
+//! | spectral bound (Eq. 7) | [`Scenario::Stationary`] | any ergodic graph | `O(1)` per `t` after one spectral analysis | worst-case bound, can be loose pre-mixing |
+//! | exact single origin | [`Scenario::Symmetric`] | (near-)regular graphs, or one chosen user | `O(t·m)` | exact `Σ P²`/`ρ*` for that origin |
+//! | exact ensemble | [`Scenario::Exact`] | any ergodic graph | `O(n·t·m)` via the batched [`ns_graph::ensemble`] kernel | exact per-user moments and the worst user's ε |
+//! | empirical | [`estimate_mixing`] | black-box / dynamic transition structures | `trials · O(t·(n+m))` on the batched walker engine | unbiased Monte-Carlo estimate, averaged over origins |
+//!
+//! The routes cross-validate each other: the ensemble restricted to one row
+//! reproduces the symmetric route bit for bit, the exact values sit clearly
+//! below the spectral bound through the pre-mixing regime (and within a
+//! fraction of a percent of it at stationarity), and the empirical
+//! estimator converges to the ensemble's origin-average.  On heterogeneous
+//! graphs the worst origin can even exceed the regular-graph-derived Eq. 7
+//! bound — at `t = 1` a degree-1 user's report sits on her only neighbour
+//! with probability 1 — which is why per-user guarantees need the exact
+//! ensemble route rather than the bound.
+//!
+//! Module map:
 //!
 //! * [`closed_form`] — the raw formulas, taking `Σ_i P_i²` as an input;
-//! * [`graph_accountant`] — a convenience layer that derives `Σ_i P_i²`
-//!   from a graph, either through the spectral bound of Eq. 7 (stationary
-//!   scenario) or by exact evolution of the position distribution
-//!   (symmetric scenario), and exposes ε-vs-rounds sweeps for the figures;
-//! * [`empirical`] — Monte-Carlo estimation of `Σ_i P_i²` from simulated
-//!   walks, as an independent cross-check and for black-box transition
-//!   models (dynamic graphs);
+//! * [`graph_accountant`] — the graph-bound layer implementing the first
+//!   three routes and the ε-vs-rounds sweeps for the figures;
+//! * [`empirical`] — the Monte-Carlo route;
 //! * [`planning`] — the inverse questions a deployment asks: how many rounds
 //!   are enough, and how large an ε₀ still meets a central target.
 
@@ -30,4 +46,5 @@ pub use closed_form::{
 };
 pub use empirical::{estimate_mixing, EmpiricalMixing};
 pub use graph_accountant::{NetworkShuffleAccountant, Scenario};
+pub use ns_graph::ensemble::RowStats;
 pub use planning::{epsilon_0_for_central_target, rounds_for_target_epsilon};

@@ -28,6 +28,20 @@ const EPSILON_0_SEARCH_MAX: f64 = 16.0;
 /// drops to within `tolerance` (relative) of its asymptotic value, i.e. the
 /// point where extra communication stops buying privacy.
 ///
+/// The knee is searched along the curve of the given `scenario`, so the
+/// same planner answers the worst-case question (`Scenario::Stationary`)
+/// and the exact per-user one (`Scenario::Exact`, whose whole curve costs a
+/// single tracked ensemble pass).
+///
+/// The asymptote the knee is measured against is scenario-specific.  For
+/// the stationary bound it is evaluated in closed form far past the mixing
+/// time.  The exact scenarios do *not* generally converge to the
+/// `ρ* = 1` stationary value (on an irregular graph the `A_all` worst-user
+/// ε stays inflated by the stationary support ratio forever), so their
+/// asymptote is the tail of the sweep itself — callers should pass a
+/// `max_rounds` comfortably past the mixing time for the knee to be
+/// meaningful.
+///
 /// Returns `(rounds, epsilon_at_rounds)`.  The search is capped at
 /// `max_rounds`; if even `max_rounds` rounds do not reach the tolerance the
 /// cap and its ε are returned.
@@ -38,6 +52,7 @@ const EPSILON_0_SEARCH_MAX: f64 = 16.0;
 pub fn rounds_for_target_epsilon(
     accountant: &NetworkShuffleAccountant,
     protocol: ProtocolKind,
+    scenario: Scenario,
     params: &AccountantParams,
     tolerance: f64,
     max_rounds: usize,
@@ -48,21 +63,31 @@ pub fn rounds_for_target_epsilon(
         )));
     }
     let max_rounds = max_rounds.max(1);
-    // Asymptotic value: evaluate at a round count far past the mixing time.
-    let horizon = accountant
-        .mixing_time()
-        .saturating_mul(4)
-        .clamp(max_rounds, usize::MAX);
-    let asymptote = accountant
-        .central_guarantee(
-            protocol,
-            Scenario::Stationary,
-            params,
-            horizon.min(1_000_000),
-        )?
-        .epsilon;
+    let sweep = accountant.epsilon_vs_rounds(protocol, scenario, params, max_rounds)?;
+    let asymptote = match scenario {
+        Scenario::Stationary => {
+            // Evaluate the closed form at a round count far past the
+            // mixing time.
+            let horizon = accountant
+                .mixing_time()
+                .saturating_mul(4)
+                .clamp(max_rounds, usize::MAX);
+            accountant
+                .central_guarantee(
+                    protocol,
+                    Scenario::Stationary,
+                    params,
+                    horizon.min(1_000_000),
+                )?
+                .epsilon
+        }
+        // The exact curves settle wherever their own tail settles; reuse
+        // the pass instead of paying another ensemble evolution.
+        Scenario::Symmetric { .. } | Scenario::Exact => {
+            sweep.last().map(|&(_, eps)| eps).unwrap_or(f64::NAN)
+        }
+    };
 
-    let sweep = accountant.epsilon_vs_rounds(protocol, Scenario::Stationary, params, max_rounds)?;
     for (t, eps) in &sweep {
         if (eps - asymptote) / asymptote <= tolerance {
             return Ok((*t, *eps));
@@ -132,7 +157,17 @@ pub fn epsilon_0_for_central_target(
 }
 
 /// Convenience wrapper of [`epsilon_0_for_central_target`] that reads the
-/// mixing quantities from a graph-bound accountant at its mixing time.
+/// mixing quantities from a graph-bound accountant at its mixing time under
+/// the given scenario.
+///
+/// With [`Scenario::Exact`], one ensemble pass supplies every origin's
+/// moments and the calibration targets the actual worst user's pair — the
+/// origin maximizing the protocol's ε (for `A_single` that is the largest
+/// `Σ P²`; for `A_all` the largest `ρ*² · Σ P²`, the quantity `ε₁` is
+/// monotone in — both orderings independent of ε₀).  The result is
+/// consistent with `central_guarantee(protocol, Scenario::Exact, …)`:
+/// running at the returned ε₀ meets the target exactly, with no hidden
+/// slack from mixing moments of different origins.
 ///
 /// # Errors
 ///
@@ -141,6 +176,7 @@ pub fn epsilon_0_for_central_target_on_graph(
     accountant: &NetworkShuffleAccountant,
     template: &AccountantParams,
     protocol: ProtocolKind,
+    scenario: Scenario,
     target_epsilon: f64,
 ) -> Result<Option<f64>> {
     let t = accountant.mixing_time();
@@ -149,7 +185,23 @@ pub fn epsilon_0_for_central_target_on_graph(
             "the walk does not mix (zero spectral gap); add laziness".into(),
         ));
     }
-    let (sum_sq, rho) = accountant.sum_p_squared(Scenario::Stationary, t)?;
+    let (sum_sq, rho) = match scenario {
+        Scenario::Exact => {
+            let moments = accountant.exact_moments(t)?;
+            let worst = moments
+                .iter()
+                .max_by(|a, b| {
+                    let key = |m: &ns_graph::ensemble::RowStats| match protocol {
+                        ProtocolKind::All => m.support_ratio * m.support_ratio * m.sum_of_squares,
+                        ProtocolKind::Single => m.sum_of_squares,
+                    };
+                    key(a).total_cmp(&key(b))
+                })
+                .expect("accountants require n >= 2");
+            (worst.sum_of_squares, worst.support_ratio)
+        }
+        _ => accountant.sum_p_squared(scenario, t)?,
+    };
     epsilon_0_for_central_target(template, protocol, sum_sq, rho, target_epsilon)
 }
 
@@ -168,8 +220,15 @@ mod tests {
     fn rounds_search_finds_the_knee() {
         let acc = accountant(2_000, 8);
         let params = AccountantParams::with_defaults(2_000, 1.0).unwrap();
-        let (rounds, eps) =
-            rounds_for_target_epsilon(&acc, ProtocolKind::Single, &params, 0.01, 500).unwrap();
+        let (rounds, eps) = rounds_for_target_epsilon(
+            &acc,
+            ProtocolKind::Single,
+            Scenario::Stationary,
+            &params,
+            0.01,
+            500,
+        )
+        .unwrap();
         // The knee should be in the same ballpark as the mixing time, and
         // never after it.
         assert!(rounds <= acc.mixing_time());
@@ -185,10 +244,56 @@ mod tests {
     fn rounds_search_respects_the_cap_and_validates_tolerance() {
         let acc = accountant(2_000, 8);
         let params = AccountantParams::with_defaults(2_000, 1.0).unwrap();
-        let (rounds, _) =
-            rounds_for_target_epsilon(&acc, ProtocolKind::All, &params, 1e-9, 3).unwrap();
+        let (rounds, _) = rounds_for_target_epsilon(
+            &acc,
+            ProtocolKind::All,
+            Scenario::Stationary,
+            &params,
+            1e-9,
+            3,
+        )
+        .unwrap();
         assert_eq!(rounds, 3);
-        assert!(rounds_for_target_epsilon(&acc, ProtocolKind::All, &params, 0.0, 10).is_err());
+        assert!(rounds_for_target_epsilon(
+            &acc,
+            ProtocolKind::All,
+            Scenario::Stationary,
+            &params,
+            0.0,
+            10
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn exact_scenario_knee_is_no_later_than_the_stationary_one() {
+        // The exact worst-user curve sits at or below the worst-case bound
+        // once the walk mixes, so its knee cannot come later.
+        let acc = accountant(400, 8);
+        let params = AccountantParams::with_defaults(400, 1.0).unwrap();
+        let (exact_rounds, exact_eps) = rounds_for_target_epsilon(
+            &acc,
+            ProtocolKind::Single,
+            Scenario::Exact,
+            &params,
+            0.02,
+            300,
+        )
+        .unwrap();
+        let (bound_rounds, bound_eps) = rounds_for_target_epsilon(
+            &acc,
+            ProtocolKind::Single,
+            Scenario::Stationary,
+            &params,
+            0.02,
+            300,
+        )
+        .unwrap();
+        assert!(
+            exact_rounds <= bound_rounds,
+            "exact knee {exact_rounds} after stationary knee {bound_rounds}"
+        );
+        assert!(exact_eps <= bound_eps * 1.05);
     }
 
     #[test]
@@ -242,10 +347,15 @@ mod tests {
     fn calibration_on_graph_matches_manual_route() {
         let acc = accountant(3_000, 10);
         let template = AccountantParams::with_defaults(3_000, 1.0).unwrap();
-        let via_graph =
-            epsilon_0_for_central_target_on_graph(&acc, &template, ProtocolKind::Single, 0.5)
-                .unwrap()
-                .expect("reachable");
+        let via_graph = epsilon_0_for_central_target_on_graph(
+            &acc,
+            &template,
+            ProtocolKind::Single,
+            Scenario::Stationary,
+            0.5,
+        )
+        .unwrap()
+        .expect("reachable");
         let (sum_sq, rho) = acc
             .sum_p_squared(Scenario::Stationary, acc.mixing_time())
             .unwrap();
@@ -258,6 +368,95 @@ mod tests {
             via_graph > 0.5,
             "amplification should allow eps0 above the central target"
         );
+    }
+
+    #[test]
+    fn exact_all_knee_is_found_on_irregular_graphs() {
+        // Regression: the A_all worst-user epsilon on an irregular graph
+        // converges to a rho*-inflated value strictly above the rho* = 1
+        // stationary asymptote, so measuring the exact sweep against the
+        // stationary value never terminated and the search returned the
+        // cap.  With the scenario-consistent (sweep-tail) asymptote the
+        // knee lands near the mixing time.
+        let weights: Vec<f64> = (0..400).map(|i| 3.0 + (i % 7) as f64).collect();
+        let graph = ns_graph::connectivity::largest_connected_component(
+            &ns_graph::generators::chung_lu(&weights, &mut seeded_rng(5)).unwrap(),
+        )
+        .0;
+        let acc = NetworkShuffleAccountant::new(&graph).unwrap();
+        let params = AccountantParams::with_defaults(acc.node_count(), 1.0).unwrap();
+        let max_rounds = 20 * acc.mixing_time();
+        let (rounds, eps) = rounds_for_target_epsilon(
+            &acc,
+            ProtocolKind::All,
+            Scenario::Exact,
+            &params,
+            0.01,
+            max_rounds,
+        )
+        .unwrap();
+        assert!(
+            rounds < max_rounds,
+            "knee search hit the cap ({rounds} rounds, eps {eps})"
+        );
+        assert!(
+            rounds <= 2 * acc.mixing_time(),
+            "knee {rounds} far beyond the mixing time {}",
+            acc.mixing_time()
+        );
+        assert!(eps.is_finite() && eps > 0.0);
+    }
+
+    #[test]
+    fn exact_calibration_is_consistent_with_the_exact_guarantee() {
+        // Calibrating under Scenario::Exact must target the true worst
+        // user: running at the returned eps0 meets the target through
+        // central_guarantee(Exact) with no hidden slack, and 5% more local
+        // budget overshoots.
+        let graph = ns_graph::generators::two_degree_class(60, 6, 10).unwrap();
+        let acc = NetworkShuffleAccountant::new(&graph).unwrap();
+        let n = acc.node_count();
+        let template = AccountantParams::with_defaults(n, 1.0).unwrap();
+        let target = 0.8;
+        for protocol in [ProtocolKind::All, ProtocolKind::Single] {
+            let eps0 = epsilon_0_for_central_target_on_graph(
+                &acc,
+                &template,
+                protocol,
+                Scenario::Exact,
+                target,
+            )
+            .unwrap()
+            .expect("reachable");
+            let t = acc.mixing_time();
+            let achieved = acc
+                .central_guarantee(
+                    protocol,
+                    Scenario::Exact,
+                    &AccountantParams::new(n, eps0, template.delta, template.delta_2).unwrap(),
+                    t,
+                )
+                .unwrap()
+                .epsilon;
+            assert!(
+                achieved <= target * (1.0 + 1e-6),
+                "{protocol:?}: achieved {achieved} above target {target}"
+            );
+            let over = acc
+                .central_guarantee(
+                    protocol,
+                    Scenario::Exact,
+                    &AccountantParams::new(n, eps0 * 1.05, template.delta, template.delta_2)
+                        .unwrap(),
+                    t,
+                )
+                .unwrap()
+                .epsilon;
+            assert!(
+                over > target,
+                "{protocol:?}: calibration not tight ({over} <= {target})"
+            );
+        }
     }
 
     #[test]

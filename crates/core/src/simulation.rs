@@ -20,8 +20,9 @@
 //! routing, and the Table 3 traffic metrics stream out of the engine's
 //! [`RoundObserver`](ns_graph::mixing_engine::RoundObserver) hook instead of
 //! being collected per client afterwards.  The historical per-client
-//! message-passing loop — one [`Client`] object per user, with per-hop
-//! end-to-end envelopes — is preserved verbatim in [`reference`]; it is the
+//! message-passing loop — one [`Client`](crate::protocol::client::Client) object per user, with
+//! per-hop end-to-end envelopes — is preserved verbatim in
+//! [`mod@reference`]; it is the
 //! semantic baseline the engine is tested against (same seed, identical
 //! submissions and metrics) and the comparison subject for the engine
 //! benchmarks.
@@ -277,7 +278,7 @@ pub fn expected_empty_holders(
 
 /// The historical per-client simulation, preserved as the semantic baseline.
 ///
-/// One [`Client`] object per user, a fresh `in_flight` vector of doubly-
+/// One [`Client`](crate::protocol::client::Client) object per user, a fresh `in_flight` vector of doubly-
 /// enveloped messages per round, and per-message routing — exactly the wire
 /// protocol of Section 4.4, at the cost of an allocation-heavy hot loop.
 /// The batched engine path in [`run_protocol`] is required (and tested) to

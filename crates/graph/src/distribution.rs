@@ -6,6 +6,7 @@
 //! k-regular analysis, and through the spectral bound of Eq. 7 for general
 //! ergodic graphs) and the graph total-variation distance of Definition 4.4.
 
+use crate::ensemble::DistributionEnsemble;
 use crate::error::{GraphError, Result};
 use crate::graph::{Graph, NodeId};
 use crate::transition::TransitionMatrix;
@@ -105,13 +106,20 @@ impl PositionDistribution {
 
     /// Advances the distribution by one round under `transition`.
     pub fn step(&mut self, transition: &TransitionMatrix) {
-        self.probabilities = transition.propagate(&self.probabilities);
-        self.time += 1;
+        self.advance(transition, 1);
     }
 
     /// Advances the distribution by `rounds` rounds.
+    ///
+    /// A `PositionDistribution` is a 1-row view over the batched
+    /// [`DistributionEnsemble`]: the update delegates to the shared kernel,
+    /// whose single-lane path reproduces the historical
+    /// `TransitionMatrix::evolve` route bit for bit.
     pub fn advance(&mut self, transition: &TransitionMatrix, rounds: usize) {
-        self.probabilities = transition.evolve(&self.probabilities, rounds);
+        let flat = std::mem::take(&mut self.probabilities);
+        let mut ensemble = DistributionEnsemble::from_rows_unchecked(1, flat);
+        ensemble.advance(transition, rounds);
+        self.probabilities = ensemble.into_flat();
         self.time += rounds;
     }
 
@@ -196,13 +204,11 @@ pub fn sum_of_squares_trajectory(
     laziness: f64,
 ) -> Result<Vec<f64>> {
     let transition = TransitionMatrix::with_laziness(graph, laziness)?;
-    let mut dist = PositionDistribution::point_mass(graph.node_count(), origin)?;
+    let mut ensemble = DistributionEnsemble::point_masses(graph.node_count(), &[origin])?;
     let mut out = Vec::with_capacity(rounds + 1);
-    out.push(dist.sum_of_squares());
-    for _ in 0..rounds {
-        dist.step(&transition);
-        out.push(dist.sum_of_squares());
-    }
+    out.push(ensemble.row_stats(0).sum_of_squares);
+    let trajectory = ensemble.advance_tracked(&transition, rounds);
+    out.extend(trajectory.row(0).iter().map(|stats| stats.sum_of_squares));
     Ok(out)
 }
 

@@ -1,0 +1,880 @@
+//! Batched evolution of *ensembles* of position distributions.
+//!
+//! The paper's theorems consume the graph only through `Σ_i P_i^G(t)²` (and
+//! the support ratio `ρ*`) of the position distribution of a report.  On
+//! vertex-transitive graphs one origin stands for all of them, but on the
+//! irregular topologies this repository generates (Chung–Lu, Barabási–Albert,
+//! SBM) every origin has its *own* distribution, and answering the per-user
+//! question — "what guarantee does user `o` actually get?" — requires
+//! evolving many distributions at once.
+//!
+//! [`DistributionEnsemble`] stores `sources` distributions as one flat
+//! row-major `sources × n` buffer and advances all of them with a blocked
+//! kernel: rows are processed [`LANES`] at a time, transposed into an
+//! interleaved `n × lanes` scratch block, and evolved by
+//! [`TransitionModel::propagate_interleaved`] with two scratch buffers
+//! swapped per round — no per-step allocation.  For the CSR-backed
+//! [`crate::transition::TransitionMatrix`] this streams the offsets/neighbour
+//! arrays once per block instead of once per origin and turns the scattered
+//! per-edge updates into contiguous `lanes`-wide ones, which is where the
+//! multi-× speedup over a naive per-origin `propagate` loop comes from
+//! (`crates/bench/benches/ensemble.rs`).
+//!
+//! Every lane reproduces the single-distribution update **bit for bit** (see
+//! `TransitionModel::propagate_interleaved`'s contract), so
+//! [`crate::distribution::PositionDistribution`] is a thin view over a 1-row
+//! ensemble and exact multi-origin accounting agrees with the historical
+//! single-origin route exactly.  With the `parallel` cargo feature, blocks
+//! are dealt to threads (`DistributionEnsemble::advance_parallel`); blocks
+//! never interact, so the parallel results are bitwise identical to the
+//! sequential ones regardless of thread count.
+//!
+//! The module also provides bounded-memory drivers over *all* `n` origins
+//! ([`all_origin_moments`], [`all_origin_trajectories`]): the full ensemble
+//! would be an `n × n` matrix (80 GB at `n = 100 000`), so origins are
+//! streamed through in batches of [`batch capacity`](DistributionEnsemble)
+//! rows and reduced to their accounting moments on the fly.
+
+use crate::error::{GraphError, Result};
+use crate::graph::NodeId;
+use crate::transition::TransitionModel;
+use serde::{Deserialize, Serialize};
+
+/// Rows per kernel block: 8 lanes × 8-byte f64 = one 64-byte cache line per
+/// delivered share.
+pub const LANES: usize = 8;
+
+/// Per-buffer memory target of the streaming all-origin drivers, in bytes.
+const BATCH_TARGET_BYTES: usize = 64 << 20;
+
+/// The accounting moments of one position distribution: exactly the two
+/// quantities Theorems 5.3–5.6 consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RowStats {
+    /// `Σ_i P_i²` — the collision probability of the distribution.
+    pub sum_of_squares: f64,
+    /// Support ratio `ρ* = max_i P_i / min_{i: P_i > 0} P_i`, with the
+    /// accountant's convention of `1.0` when undefined.
+    pub support_ratio: f64,
+}
+
+impl Default for RowStats {
+    fn default() -> Self {
+        RowStats {
+            sum_of_squares: 0.0,
+            support_ratio: 1.0,
+        }
+    }
+}
+
+/// Computes [`RowStats`] from a distribution's entries in index order.
+///
+/// The fold orders replicate `degree::sum_of_squares` and
+/// `PositionDistribution::support_ratio` element for element, so the stats
+/// of an ensemble row are bitwise equal to the single-distribution routes.
+fn stats_of(values: impl Iterator<Item = f64>) -> RowStats {
+    let mut sum_of_squares = 0.0f64;
+    let mut max = f64::NAN;
+    let mut min_nonzero = f64::INFINITY;
+    for x in values {
+        sum_of_squares += x * x;
+        max = max.max(x);
+        if x > 0.0 {
+            min_nonzero = min_nonzero.min(x);
+        }
+    }
+    let support_ratio = if !max.is_finite() || !min_nonzero.is_finite() || min_nonzero == 0.0 {
+        1.0
+    } else {
+        max / min_nonzero
+    };
+    RowStats {
+        sum_of_squares,
+        support_ratio,
+    }
+}
+
+/// Per-round, per-row statistics recorded by
+/// [`DistributionEnsemble::advance_tracked`].
+///
+/// Entry `(row, t)` (with `t` counted `1..=rounds` from the state the
+/// ensemble was in when the advance started) is the [`RowStats`] of row
+/// `row` *after* `t` of the tracked rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleTrajectory {
+    sources: usize,
+    rounds: usize,
+    /// Row-major `[row * rounds + (t - 1)]`.
+    stats: Vec<RowStats>,
+}
+
+impl EnsembleTrajectory {
+    /// Number of tracked rows.
+    pub fn sources(&self) -> usize {
+        self.sources
+    }
+
+    /// Number of tracked rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Stats of `row` after `t` rounds (`t` in `1..=rounds`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `t` is out of range.
+    pub fn after(&self, row: usize, t: usize) -> RowStats {
+        assert!(
+            (1..=self.rounds).contains(&t),
+            "round {t} outside 1..={}",
+            self.rounds
+        );
+        self.stats[row * self.rounds + (t - 1)]
+    }
+
+    /// The per-round stats of one row, index `t - 1` holding round `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> &[RowStats] {
+        &self.stats[row * self.rounds..(row + 1) * self.rounds]
+    }
+}
+
+/// A batch of position distributions evolved in lockstep under one
+/// transition model.
+///
+/// Rows are stored contiguously (`sources × n`, row-major); row `r` is the
+/// distribution of source `r`'s report.  See the [module docs](self) for the
+/// kernel design.  Deliberately not (de)serializable: deserialization would
+/// bypass the shape/probability invariants the constructors enforce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionEnsemble {
+    sources: usize,
+    nodes: usize,
+    /// Row-major `sources × nodes` probability buffer.
+    data: Vec<f64>,
+    /// Rounds applied so far.
+    time: usize,
+}
+
+impl DistributionEnsemble {
+    /// An ensemble of point masses: row `r` starts with all mass on
+    /// `origins[r]`, the state of report `r` at `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EmptyGraph`] if `n == 0` or no origins are given;
+    /// [`GraphError::NodeOutOfRange`] if an origin is `>= n`.
+    pub fn point_masses(n: usize, origins: &[NodeId]) -> Result<Self> {
+        if n == 0 || origins.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        if let Some(&bad) = origins.iter().find(|&&o| o >= n) {
+            return Err(GraphError::NodeOutOfRange {
+                node: bad,
+                node_count: n,
+            });
+        }
+        let mut data = vec![0.0; origins.len() * n];
+        for (row, &origin) in origins.iter().enumerate() {
+            data[row * n + origin] = 1.0;
+        }
+        Ok(DistributionEnsemble {
+            sources: origins.len(),
+            nodes: n,
+            data,
+            time: 0,
+        })
+    }
+
+    /// The full identity ensemble: one point-mass row per node.
+    ///
+    /// This materializes an `n × n` buffer — fine for analysis-sized graphs,
+    /// but for large `n` prefer the streaming [`all_origin_moments`] /
+    /// [`all_origin_trajectories`] drivers, which never hold more than a
+    /// bounded batch of rows.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EmptyGraph`] if `n == 0`.
+    pub fn all_origins(n: usize) -> Result<Self> {
+        let origins: Vec<NodeId> = (0..n).collect();
+        Self::point_masses(n, &origins)
+    }
+
+    /// Wraps `sources` explicit distributions given as one flat row-major
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameters`] if the buffer shape is inconsistent
+    /// or some row is not a probability distribution (finite, non-negative,
+    /// summing to 1 within `1e-9`).
+    pub fn from_rows(sources: usize, flat: Vec<f64>) -> Result<Self> {
+        if sources == 0 || flat.is_empty() || !flat.len().is_multiple_of(sources) {
+            return Err(GraphError::InvalidParameters(format!(
+                "cannot split a buffer of {} entries into {sources} rows",
+                flat.len()
+            )));
+        }
+        let n = flat.len() / sources;
+        for (row, chunk) in flat.chunks_exact(n).enumerate() {
+            if chunk.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+                return Err(GraphError::InvalidParameters(format!(
+                    "row {row} has a negative or non-finite entry"
+                )));
+            }
+            let total: f64 = chunk.iter().sum();
+            if (total - 1.0).abs() > 1e-9 {
+                return Err(GraphError::InvalidParameters(format!(
+                    "row {row} sums to {total}, expected 1"
+                )));
+            }
+        }
+        Ok(DistributionEnsemble {
+            sources,
+            nodes: n,
+            data: flat,
+            time: 0,
+        })
+    }
+
+    /// Wraps distributions whose invariants the caller already guarantees
+    /// (used by [`crate::distribution::PositionDistribution`] to avoid
+    /// re-validating on every delegated step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer cannot be split into `sources` non-empty rows.
+    pub fn from_rows_unchecked(sources: usize, flat: Vec<f64>) -> Self {
+        assert!(
+            sources > 0 && !flat.is_empty() && flat.len().is_multiple_of(sources),
+            "cannot split a buffer of {} entries into {sources} rows",
+            flat.len()
+        );
+        let nodes = flat.len() / sources;
+        DistributionEnsemble {
+            sources,
+            nodes,
+            data: flat,
+            time: 0,
+        }
+    }
+
+    /// Number of tracked distributions.
+    pub fn sources(&self) -> usize {
+        self.sources
+    }
+
+    /// Number of nodes each distribution ranges over.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Rounds applied so far.
+    pub fn time(&self) -> usize {
+        self.time
+    }
+
+    /// The distribution of source `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= sources`.
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.nodes..(row + 1) * self.nodes]
+    }
+
+    /// Consumes the ensemble, returning the flat row-major buffer.
+    pub fn into_flat(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// The accounting moments (`Σ_i P_i²`, support ratio) of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= sources`.
+    pub fn row_stats(&self, row: usize) -> RowStats {
+        stats_of(self.row(row).iter().copied())
+    }
+
+    /// The component-wise worst (largest) moments over all rows — a valid
+    /// input for a guarantee that must cover every source at once.
+    pub fn worst_stats(&self) -> RowStats {
+        let mut worst = RowStats {
+            sum_of_squares: 0.0,
+            support_ratio: 1.0,
+        };
+        for row in 0..self.sources {
+            let stats = self.row_stats(row);
+            worst.sum_of_squares = worst.sum_of_squares.max(stats.sum_of_squares);
+            worst.support_ratio = worst.support_ratio.max(stats.support_ratio);
+        }
+        worst
+    }
+
+    /// Advances every row by `rounds` rounds under `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model.node_count()` differs from the ensemble's.
+    pub fn advance<M: TransitionModel + ?Sized>(&mut self, model: &M, rounds: usize) {
+        self.advance_seq(model, rounds, None);
+    }
+
+    /// Advances every row by `rounds` rounds, recording the [`RowStats`] of
+    /// every row after every round — the incremental form behind
+    /// ε-vs-rounds sweeps, which cost one ensemble pass instead of one pass
+    /// per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model.node_count()` differs from the ensemble's.
+    pub fn advance_tracked<M: TransitionModel + ?Sized>(
+        &mut self,
+        model: &M,
+        rounds: usize,
+    ) -> EnsembleTrajectory {
+        let mut stats = vec![RowStats::default(); self.sources * rounds];
+        self.advance_seq(model, rounds, Some(&mut stats));
+        EnsembleTrajectory {
+            sources: self.sources,
+            rounds,
+            stats,
+        }
+    }
+
+    /// [`DistributionEnsemble::advance`], but with the row blocks dealt to
+    /// threads when the `parallel` feature is enabled.  Falls back to the
+    /// sequential path otherwise; the results are bitwise identical either
+    /// way (blocks never interact).
+    pub fn advance_auto<M: TransitionModel + Sync + ?Sized>(&mut self, model: &M, rounds: usize) {
+        #[cfg(feature = "parallel")]
+        self.advance_parallel(model, rounds);
+        #[cfg(not(feature = "parallel"))]
+        self.advance(model, rounds);
+    }
+
+    /// [`DistributionEnsemble::advance_tracked`] with the `parallel`-aware
+    /// dispatch of [`DistributionEnsemble::advance_auto`].
+    pub fn advance_tracked_auto<M: TransitionModel + Sync + ?Sized>(
+        &mut self,
+        model: &M,
+        rounds: usize,
+    ) -> EnsembleTrajectory {
+        #[cfg(feature = "parallel")]
+        {
+            self.advance_tracked_parallel(model, rounds)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            self.advance_tracked(model, rounds)
+        }
+    }
+
+    /// Sequential blocked advance; `stats`, when given, has length
+    /// `sources * rounds` laid out `[row * rounds + (t - 1)]`.
+    fn advance_seq<M: TransitionModel + ?Sized>(
+        &mut self,
+        model: &M,
+        rounds: usize,
+        stats: Option<&mut [RowStats]>,
+    ) {
+        assert_eq!(
+            model.node_count(),
+            self.nodes,
+            "transition model and ensemble disagree on the node count"
+        );
+        self.time += rounds;
+        if rounds == 0 {
+            return;
+        }
+        let n = self.nodes;
+        let mut scratch_a = vec![0.0; LANES.min(self.sources) * n];
+        // The second scratch is only needed for multi-lane blocks; 1-row
+        // ensembles (the PositionDistribution view) skip it entirely.
+        let mut scratch_b = vec![
+            0.0;
+            if self.sources > 1 {
+                LANES.min(self.sources) * n
+            } else {
+                0
+            }
+        ];
+        match stats {
+            Some(stats) => {
+                for (rows, block_stats) in self
+                    .data
+                    .chunks_mut(LANES * n)
+                    .zip(stats.chunks_mut(LANES * rounds))
+                {
+                    let lanes = rows.len() / n;
+                    let b_len = if lanes == 1 { 0 } else { lanes * n };
+                    advance_block(
+                        model,
+                        n,
+                        rounds,
+                        rows,
+                        &mut scratch_a[..lanes * n],
+                        &mut scratch_b[..b_len],
+                        Some(block_stats),
+                    );
+                }
+            }
+            None => {
+                for rows in self.data.chunks_mut(LANES * n) {
+                    let lanes = rows.len() / n;
+                    let b_len = if lanes == 1 { 0 } else { lanes * n };
+                    advance_block(
+                        model,
+                        n,
+                        rounds,
+                        rows,
+                        &mut scratch_a[..lanes * n],
+                        &mut scratch_b[..b_len],
+                        None,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Advances one block of `rows.len() / n` rows by `rounds` rounds through
+/// the interleaved double-buffered kernel.  `block_stats`, when given, has
+/// length `lanes * rounds` laid out `[lane * rounds + (t - 1)]`.
+fn advance_block<M: TransitionModel + ?Sized>(
+    model: &M,
+    n: usize,
+    rounds: usize,
+    rows: &mut [f64],
+    scratch_a: &mut [f64],
+    scratch_b: &mut [f64],
+    mut block_stats: Option<&mut [RowStats]>,
+) {
+    let lanes = rows.len() / n;
+    debug_assert_eq!(scratch_a.len(), lanes * n);
+    if lanes == 1 {
+        // Single-row fast path: the row *is* the "interleaved" buffer, so
+        // double-buffer against one scratch directly — no gather/scatter
+        // copies, no second scratch.  This keeps `PositionDistribution`'s
+        // per-step cost at the historical `propagate` level.
+        let mut current: &mut [f64] = rows;
+        let mut next: &mut [f64] = scratch_a;
+        for t in 0..rounds {
+            model.propagate_into(current, next);
+            std::mem::swap(&mut current, &mut next);
+            if let Some(stats) = block_stats.as_deref_mut() {
+                stats[t] = stats_of(current.iter().copied());
+            }
+        }
+        if !rounds.is_multiple_of(2) {
+            // The result landed in the scratch buffer; move it home.
+            next.copy_from_slice(current);
+        }
+        return;
+    }
+    debug_assert_eq!(scratch_b.len(), lanes * n);
+    // Gather the block into the interleaved layout.
+    for lane in 0..lanes {
+        let row = &rows[lane * n..(lane + 1) * n];
+        for (i, &x) in row.iter().enumerate() {
+            scratch_a[i * lanes + lane] = x;
+        }
+    }
+    let mut current: &mut [f64] = scratch_a;
+    let mut next: &mut [f64] = scratch_b;
+    for t in 0..rounds {
+        model.propagate_interleaved(lanes, current, next);
+        std::mem::swap(&mut current, &mut next);
+        if let Some(stats) = block_stats.as_deref_mut() {
+            for lane in 0..lanes {
+                stats[lane * rounds + t] = stats_of((0..n).map(|i| current[i * lanes + lane]));
+            }
+        }
+    }
+    // Scatter the block back into row-major order.
+    for lane in 0..lanes {
+        let row = &mut rows[lane * n..(lane + 1) * n];
+        for (i, x) in row.iter_mut().enumerate() {
+            *x = current[i * lanes + lane];
+        }
+    }
+}
+
+/// Data-parallel block dispatch (enabled by the `parallel` feature).
+///
+/// As in the mixing engine, rayon is unavailable in this build environment,
+/// so blocks are dealt round-robin to `std::thread::scope` workers.  Unlike
+/// the RNG-driven engine, the kernel is deterministic arithmetic: each block
+/// is computed exactly as in the sequential path, so parallel results are
+/// **bitwise equal** to sequential ones for any thread count.
+#[cfg(feature = "parallel")]
+mod parallel {
+    use super::{advance_block, DistributionEnsemble, EnsembleTrajectory, RowStats, LANES};
+    use crate::transition::TransitionModel;
+
+    /// One block of ensemble rows plus its optional stats window.
+    type Block<'a> = (&'a mut [f64], Option<&'a mut [RowStats]>);
+
+    impl DistributionEnsemble {
+        /// Multi-threaded [`DistributionEnsemble::advance`]; bitwise
+        /// identical results.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `model.node_count()` differs from the ensemble's.
+        pub fn advance_parallel<M: TransitionModel + Sync + ?Sized>(
+            &mut self,
+            model: &M,
+            rounds: usize,
+        ) {
+            self.advance_par(model, rounds, None);
+        }
+
+        /// Multi-threaded [`DistributionEnsemble::advance_tracked`]; bitwise
+        /// identical results.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `model.node_count()` differs from the ensemble's.
+        pub fn advance_tracked_parallel<M: TransitionModel + Sync + ?Sized>(
+            &mut self,
+            model: &M,
+            rounds: usize,
+        ) -> EnsembleTrajectory {
+            let mut stats = vec![RowStats::default(); self.sources * rounds];
+            self.advance_par(model, rounds, Some(&mut stats));
+            EnsembleTrajectory {
+                sources: self.sources,
+                rounds,
+                stats,
+            }
+        }
+
+        fn advance_par<M: TransitionModel + Sync + ?Sized>(
+            &mut self,
+            model: &M,
+            rounds: usize,
+            stats: Option<&mut [RowStats]>,
+        ) {
+            assert_eq!(
+                model.node_count(),
+                self.nodes,
+                "transition model and ensemble disagree on the node count"
+            );
+            self.time += rounds;
+            if rounds == 0 || self.sources == 0 {
+                return;
+            }
+            let n = self.nodes;
+            let blocks: Vec<Block<'_>> = match stats {
+                Some(stats) => self
+                    .data
+                    .chunks_mut(LANES * n)
+                    .zip(stats.chunks_mut(LANES * rounds).map(Some))
+                    .collect(),
+                None => self
+                    .data
+                    .chunks_mut(LANES * n)
+                    .map(|rows| (rows, None))
+                    .collect(),
+            };
+            let threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(blocks.len())
+                .max(1);
+            let mut per_thread: Vec<Vec<Block<'_>>> = (0..threads).map(|_| Vec::new()).collect();
+            for (index, block) in blocks.into_iter().enumerate() {
+                per_thread[index % threads].push(block);
+            }
+            std::thread::scope(|scope| {
+                for assignment in per_thread {
+                    scope.spawn(move || {
+                        let mut scratch_a = vec![0.0; LANES * n];
+                        let mut scratch_b = vec![0.0; LANES * n];
+                        for (rows, block_stats) in assignment {
+                            let lanes = rows.len() / n;
+                            advance_block(
+                                model,
+                                n,
+                                rounds,
+                                rows,
+                                &mut scratch_a[..lanes * n],
+                                &mut scratch_b[..lanes * n],
+                                block_stats,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Rows per streaming batch: targets [`BATCH_TARGET_BYTES`] of buffer per
+/// batch, rounded to whole [`LANES`] blocks.
+fn batch_rows(n: usize) -> usize {
+    let rows = BATCH_TARGET_BYTES / (std::mem::size_of::<f64>() * n.max(1));
+    let rows = rows.clamp(LANES, 4096);
+    (rows / LANES) * LANES
+}
+
+/// Evolves a point mass from **every** origin `0..n` for `rounds` rounds and
+/// returns each origin's final accounting moments, streaming origins through
+/// bounded-memory batches: a batch targets 64 MiB of rows but never shrinks
+/// below one [`LANES`]-row block, so per-batch memory is tens of MB up to
+/// `n ≈ 1M` and grows as `O(LANES · n)` beyond that (plus the same again in
+/// kernel scratch).
+///
+/// This is the exact multi-origin route of the accountant: entry `o` is the
+/// exact `(Σ_i P_i^o(t)², ρ*_o)` of user `o`'s report on an arbitrary graph,
+/// where the spectral route can only bound the worst case.  Uses the
+/// parallel block dispatch when the `parallel` feature is enabled (bitwise
+/// identical results).
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraph`] if the model has no nodes.
+pub fn all_origin_moments<M: TransitionModel + Sync + ?Sized>(
+    model: &M,
+    rounds: usize,
+) -> Result<Vec<RowStats>> {
+    let n = model.node_count();
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let batch = batch_rows(n);
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch).min(n);
+        let origins: Vec<NodeId> = (start..end).collect();
+        let mut ensemble = DistributionEnsemble::point_masses(n, &origins)?;
+        ensemble.advance_auto(model, rounds);
+        for row in 0..ensemble.sources() {
+            out.push(ensemble.row_stats(row));
+        }
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Like [`all_origin_moments`], but tracks the moments after **every** round
+/// and hands each batch's [`EnsembleTrajectory`] (with the index of its
+/// first origin) to `visit` — the one-pass engine behind incremental
+/// ε-vs-rounds sweeps over all origins.
+///
+/// `visit` may fail; its error aborts the sweep and is returned (any error
+/// type convertible from [`GraphError`] works, so callers can propagate
+/// their own error enums directly).
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraph`] (converted into `E`) if the model has no
+/// nodes, or the first error returned by `visit`.
+pub fn all_origin_trajectories<M, E, F>(
+    model: &M,
+    rounds: usize,
+    mut visit: F,
+) -> std::result::Result<(), E>
+where
+    M: TransitionModel + Sync + ?Sized,
+    E: From<GraphError>,
+    F: FnMut(usize, &EnsembleTrajectory) -> std::result::Result<(), E>,
+{
+    let n = model.node_count();
+    if n == 0 {
+        return Err(GraphError::EmptyGraph.into());
+    }
+    let batch = batch_rows(n);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch).min(n);
+        let origins: Vec<NodeId> = (start..end).collect();
+        let mut ensemble = DistributionEnsemble::point_masses(n, &origins)?;
+        let trajectory = ensemble.advance_tracked_auto(model, rounds);
+        visit(start, &trajectory)?;
+        start = end;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::PositionDistribution;
+    use crate::generators;
+    use crate::rng::seeded_rng;
+    use crate::transition::{BlackBoxModel, TransitionMatrix};
+    use crate::Graph;
+
+    fn irregular_graph(seed: u64) -> Graph {
+        generators::barabasi_albert(150, 3, &mut seeded_rng(seed)).unwrap()
+    }
+
+    /// Reference: evolve each origin independently through the historical
+    /// single-distribution route.
+    fn naive_rows(t: &TransitionMatrix, origins: &[usize], rounds: usize) -> Vec<Vec<f64>> {
+        origins
+            .iter()
+            .map(|&o| {
+                let mut d = PositionDistribution::point_mass(t.node_count(), o).unwrap();
+                d.advance(t, rounds);
+                d.probabilities().to_vec()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(DistributionEnsemble::point_masses(0, &[]).is_err());
+        assert!(DistributionEnsemble::point_masses(4, &[]).is_err());
+        assert!(DistributionEnsemble::point_masses(4, &[4]).is_err());
+        assert!(DistributionEnsemble::from_rows(0, vec![]).is_err());
+        assert!(DistributionEnsemble::from_rows(2, vec![1.0, 0.0, 0.5]).is_err());
+        assert!(DistributionEnsemble::from_rows(1, vec![0.5, 0.6]).is_err());
+        assert!(DistributionEnsemble::from_rows(1, vec![-0.5, 1.5]).is_err());
+        let ok = DistributionEnsemble::from_rows(2, vec![1.0, 0.0, 0.25, 0.75]).unwrap();
+        assert_eq!(ok.sources(), 2);
+        assert_eq!(ok.node_count(), 2);
+        assert_eq!(ok.row(1), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn ensemble_rows_match_single_distribution_evolution_bitwise() {
+        let g = irregular_graph(1);
+        let t = TransitionMatrix::with_laziness(&g, 0.2).unwrap();
+        // 11 origins: one full block of 8 lanes plus a ragged tail of 3.
+        let origins: Vec<usize> = (0..11).map(|i| i * 7 % 150).collect();
+        let mut ensemble = DistributionEnsemble::point_masses(150, &origins).unwrap();
+        ensemble.advance(&t, 13);
+        assert_eq!(ensemble.time(), 13);
+        let expected = naive_rows(&t, &origins, 13);
+        for (row, exp) in expected.iter().enumerate() {
+            assert_eq!(ensemble.row(row), exp.as_slice(), "row {row} diverged");
+        }
+    }
+
+    #[test]
+    fn tracked_stats_match_row_stats_after_each_round() {
+        let g = irregular_graph(2);
+        let t = TransitionMatrix::new(&g).unwrap();
+        let origins = [0usize, 5, 9];
+        let rounds = 6;
+        let mut tracked = DistributionEnsemble::point_masses(150, &origins).unwrap();
+        let trajectory = tracked.advance_tracked(&t, rounds);
+        assert_eq!(trajectory.sources(), 3);
+        assert_eq!(trajectory.rounds(), rounds);
+        for t_round in 1..=rounds {
+            let mut stepped = DistributionEnsemble::point_masses(150, &origins).unwrap();
+            stepped.advance(&t, t_round);
+            for row in 0..3 {
+                assert_eq!(trajectory.after(row, t_round), stepped.row_stats(row));
+            }
+        }
+        assert_eq!(trajectory.row(1).len(), rounds);
+        assert_eq!(trajectory.row(2)[rounds - 1], trajectory.after(2, rounds));
+    }
+
+    #[test]
+    fn black_box_model_agrees_with_the_matrix_backend() {
+        let g = irregular_graph(3);
+        let t = TransitionMatrix::new(&g).unwrap();
+        let t_for_closure = t.clone();
+        let black_box = BlackBoxModel::new(150, move |p: &[f64], out: &mut [f64]| {
+            t_for_closure.propagate_into(p, out)
+        })
+        .unwrap();
+        let origins: Vec<usize> = (0..10).collect();
+        let mut via_matrix = DistributionEnsemble::point_masses(150, &origins).unwrap();
+        via_matrix.advance(&t, 9);
+        let mut via_black_box = DistributionEnsemble::point_masses(150, &origins).unwrap();
+        via_black_box.advance(&black_box, 9);
+        for row in 0..origins.len() {
+            assert_eq!(via_matrix.row(row), via_black_box.row(row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn rows_stay_probability_distributions() {
+        let g = generators::stochastic_block_model(120, 4, 0.2, 0.02, &mut seeded_rng(4)).unwrap();
+        let g = crate::connectivity::largest_connected_component(&g).0;
+        let n = g.node_count();
+        let t = TransitionMatrix::with_laziness(&g, 0.1).unwrap();
+        let mut ensemble = DistributionEnsemble::all_origins(n).unwrap();
+        ensemble.advance(&t, 25);
+        for row in 0..n {
+            let sum: f64 = ensemble.row(row).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {row} sums to {sum}");
+            assert!(ensemble.row(row).iter().all(|&x| x >= 0.0));
+        }
+        let worst = ensemble.worst_stats();
+        let best = (0..n).map(|r| ensemble.row_stats(r).sum_of_squares);
+        assert!(worst.sum_of_squares >= best.fold(0.0, f64::max) - 1e-15);
+    }
+
+    #[test]
+    fn all_origin_moments_match_materialized_ensemble() {
+        let g = irregular_graph(5);
+        let t = TransitionMatrix::new(&g).unwrap();
+        let moments = all_origin_moments(&t, 8).unwrap();
+        assert_eq!(moments.len(), 150);
+        let mut full = DistributionEnsemble::all_origins(150).unwrap();
+        full.advance(&t, 8);
+        for (origin, stats) in moments.iter().enumerate() {
+            assert_eq!(*stats, full.row_stats(origin), "origin {origin}");
+        }
+    }
+
+    #[test]
+    fn all_origin_trajectories_cover_every_origin_and_propagate_errors() {
+        let g = irregular_graph(6);
+        let t = TransitionMatrix::new(&g).unwrap();
+        let mut seen = [false; 150];
+        all_origin_trajectories(&t, 3, |first, trajectory| {
+            for row in 0..trajectory.sources() {
+                assert!(!seen[first + row]);
+                seen[first + row] = true;
+                assert!(trajectory.after(row, 3).sum_of_squares > 0.0);
+            }
+            Ok::<(), GraphError>(())
+        })
+        .unwrap();
+        assert!(seen.iter().all(|&s| s));
+        let err = all_origin_trajectories(&t, 1, |_, _| {
+            Err(GraphError::InvalidParameters("stop".into()))
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn stats_of_matches_the_historical_helpers() {
+        let p = [0.0, 0.2, 0.5, 0.3, 0.0];
+        let stats = stats_of(p.iter().copied());
+        assert_eq!(stats.sum_of_squares, crate::degree::sum_of_squares(&p));
+        let dist = PositionDistribution::from_probabilities(p.to_vec()).unwrap();
+        assert_eq!(stats.support_ratio, dist.support_ratio().unwrap());
+        // Degenerate all-zero input falls back to ratio 1.
+        assert_eq!(stats_of([0.0, 0.0].into_iter()).support_ratio, 1.0);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_advance_is_bitwise_equal_to_sequential() {
+        let g = irregular_graph(7);
+        let t = TransitionMatrix::with_laziness(&g, 0.15).unwrap();
+        let origins: Vec<usize> = (0..150).collect();
+        let mut sequential = DistributionEnsemble::point_masses(150, &origins).unwrap();
+        let seq_trajectory = sequential.advance_tracked(&t, 10);
+        let mut parallel = DistributionEnsemble::point_masses(150, &origins).unwrap();
+        let par_trajectory = parallel.advance_tracked_parallel(&t, 10);
+        assert_eq!(sequential, parallel);
+        assert_eq!(seq_trajectory, par_trajectory);
+    }
+}

@@ -6,11 +6,11 @@
 //! * [`regular`] — random k-regular graphs (the "symmetric distribution"
 //!   scenario of Section 4.2 / Figure 5).
 //! * [`erdos_renyi`] — `G(n, p)` and `G(n, m)` random graphs.
-//! * [`barabasi_albert`] — preferential-attachment graphs with heavy-tailed
+//! * [`barabasi_albert`](mod@barabasi_albert) — preferential-attachment graphs with heavy-tailed
 //!   degrees (high `Γ_G`, like the paper's web graphs).
-//! * [`watts_strogatz`] — small-world graphs interpolating between a ring
+//! * [`watts_strogatz`](mod@watts_strogatz) — small-world graphs interpolating between a ring
 //!   lattice and a random graph.
-//! * [`chung_lu`] — configuration-model style graphs with a prescribed
+//! * [`chung_lu`](mod@chung_lu) — configuration-model style graphs with a prescribed
 //!   expected-degree sequence; the dataset stand-ins in `ns-datasets` are
 //!   built on this generator.
 //! * [`sbm`] — stochastic block models (planted communities), the stress

@@ -15,6 +15,10 @@
 //! * the transition matrix `M = A B⁻¹` and the evolution of the position
 //!   probability distribution `P(t+1) = Mᵀ P(t)` ([`transition`],
 //!   [`distribution`]),
+//! * batched evolution of whole *ensembles* of position distributions — one
+//!   per report origin — through a blocked, lane-interleaved kernel behind
+//!   the [`transition::TransitionModel`] trait, enabling exact multi-origin
+//!   accounting on irregular graphs ([`ensemble`]),
 //! * the stationary distribution `k / 2m` and the irregularity measure
 //!   `Γ_G = n · Σ_i π_i²` ([`stationary`], [`degree`]),
 //! * spectral-gap estimation via deflated power iteration ([`spectral`]) and
@@ -40,13 +44,20 @@
 //! assert!(t_mix > 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the distribution-ensemble gather kernels in
+// `transition.rs` (`TransitionMatrix::propagate_fixed` and its AVX2
+// instantiation `propagate_gather8_avx2`) carry audited
+// `allow(unsafe_code)` blocks — unchecked CSR/neighbour indexing and
+// raw-pointer lane loads justified by construction invariants, plus an
+// x86-64 prefetch hint.  Everything else in the crate stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
 pub mod connectivity;
 pub mod degree;
 pub mod distribution;
+pub mod ensemble;
 pub mod error;
 pub mod generators;
 pub mod graph;
@@ -71,12 +82,13 @@ pub mod prelude {
     };
     pub use crate::degree::DegreeStats;
     pub use crate::distribution::PositionDistribution;
+    pub use crate::ensemble::{DistributionEnsemble, EnsembleTrajectory, RowStats};
     pub use crate::error::{GraphError, Result};
     pub use crate::graph::{Graph, NodeId};
     pub use crate::mixing::{mixing_time, sum_p_squared_bound, tv_bound};
     pub use crate::mixing_engine::{MixingEngine, RoundObserver, RoundStats};
     pub use crate::spectral::{SpectralAnalysis, SpectralOptions};
     pub use crate::stationary::stationary_distribution;
-    pub use crate::transition::TransitionMatrix;
+    pub use crate::transition::{BlackBoxModel, TransitionMatrix, TransitionModel};
     pub use crate::walk::{LazyWalk, WalkConfig, WalkEngine};
 }

@@ -93,6 +93,13 @@ impl MixingProfile {
         sum_p_squared_bound(self.stationary_sum_of_squares, self.spectral_gap, t)
     }
 
+    /// The Eq. 7 bound clamped to its trivial ceiling of 1 (a sum of squared
+    /// probabilities never exceeds 1) — the form the accountant consumes, and
+    /// the bound the exact ensemble route is measured against.
+    pub fn sum_p_squared_bound_clamped(&self, t: usize) -> f64 {
+        self.sum_p_squared_bound(t).min(1.0)
+    }
+
     /// The Eq. 5 bound on `TV_G(P(t), π)` after `t` rounds.
     pub fn tv_bound(&self, t: usize) -> f64 {
         tv_bound(self.spectral_gap, self.node_count, t)

@@ -25,7 +25,7 @@
 //!
 //! Per-round statistics stream through [`RoundObserver`], so traffic metrics
 //! are computed incrementally instead of post-hoc per client.  With the
-//! `parallel` cargo feature, [`MixingEngine::run_parallel`] executes
+//! `parallel` cargo feature, `MixingEngine::run_parallel` executes
 //! walker-order rounds across threads in fixed-size chunks with per-chunk
 //! deterministic RNG streams (results depend only on the seed, never on the
 //! number of threads).

@@ -9,6 +9,97 @@
 use crate::error::{GraphError, Result};
 use crate::graph::Graph;
 
+/// A backend that can evolve position distributions by one round.
+///
+/// The distribution-ensemble kernel ([`crate::ensemble`]) consumes the walk
+/// only through this trait, so the concrete [`TransitionMatrix`] and
+/// black-box backends (dynamic graphs, availability-dependent routing, …)
+/// plug in interchangeably.  Implementors only have to provide the
+/// single-distribution update; the batched interleaved form has a default
+/// implementation that routes each lane through [`TransitionModel::propagate_into`],
+/// and backends with structure to exploit (like the CSR matrix) override it
+/// with a fused kernel.
+pub trait TransitionModel {
+    /// Number of nodes the distributions range over.
+    fn node_count(&self) -> usize;
+
+    /// One step of the distribution update, writing `P(t+1) = Mᵀ P(t)` into
+    /// `out`.  Both slices have length [`TransitionModel::node_count`].
+    fn propagate_into(&self, p: &[f64], out: &mut [f64]);
+
+    /// One step applied to `lanes` distributions stored interleaved:
+    /// `input[i * lanes + l]` is entry `i` of distribution `l`.
+    ///
+    /// The contract mirrors [`TransitionModel::propagate_into`] lane by lane:
+    /// each lane's output must be exactly what `propagate_into` would have
+    /// produced for that lane alone (the ensemble kernel's parity guarantees
+    /// rest on this).  The default implementation gathers each lane into a
+    /// scratch row and delegates; override it when the backend can fuse the
+    /// lanes (see [`TransitionMatrix::propagate_interleaved`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `output` do not have length `lanes * n`.
+    fn propagate_interleaved(&self, lanes: usize, input: &[f64], output: &mut [f64]) {
+        let n = self.node_count();
+        assert_eq!(input.len(), lanes * n, "interleaved input has wrong length");
+        assert_eq!(
+            output.len(),
+            lanes * n,
+            "interleaved output has wrong length"
+        );
+        let mut row_in = vec![0.0; n];
+        let mut row_out = vec![0.0; n];
+        for lane in 0..lanes {
+            for i in 0..n {
+                row_in[i] = input[i * lanes + lane];
+            }
+            self.propagate_into(&row_in, &mut row_out);
+            for i in 0..n {
+                output[i * lanes + lane] = row_out[i];
+            }
+        }
+    }
+}
+
+/// A black-box transition backend defined by a closure.
+///
+/// This is the escape hatch for transition structures that are only
+/// available as a simulator — time-varying graphs, availability-dependent
+/// routing — which the paper lists as future work.  The closure receives the
+/// current distribution and must write the next one; it is used through
+/// [`TransitionModel`], so everything built on the ensemble kernel (exact
+/// accounting, trajectory sweeps) works unchanged.
+#[derive(Debug, Clone)]
+pub struct BlackBoxModel<F> {
+    node_count: usize,
+    update: F,
+}
+
+impl<F: Fn(&[f64], &mut [f64])> BlackBoxModel<F> {
+    /// Wraps `update` as a transition model over `node_count` nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EmptyGraph`] if `node_count == 0`.
+    pub fn new(node_count: usize, update: F) -> Result<Self> {
+        if node_count == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        Ok(BlackBoxModel { node_count, update })
+    }
+}
+
+impl<F: Fn(&[f64], &mut [f64])> TransitionModel for BlackBoxModel<F> {
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn propagate_into(&self, p: &[f64], out: &mut [f64]) {
+        (self.update)(p, out);
+    }
+}
+
 /// A sparse, implicit representation of the transition matrix of the simple
 /// (optionally lazy) random walk on a graph.
 #[derive(Debug, Clone)]
@@ -138,6 +229,220 @@ impl TransitionMatrix {
         }
     }
 
+    /// One step applied to `lanes` interleaved distributions
+    /// (`input[i * lanes + l]` is entry `i` of lane `l`) in a single fused
+    /// sweep of the CSR structure.
+    ///
+    /// This is the hot kernel behind [`crate::ensemble::DistributionEnsemble`]:
+    /// the offsets/neighbour arrays — the dominant memory traffic of
+    /// [`TransitionMatrix::propagate_into`] — are streamed once per *block*
+    /// of lanes instead of once per distribution, and every delivered share
+    /// updates `lanes` adjacent f64s (one cache line for 8 lanes) instead of
+    /// a single scattered one.  Lane `l`'s result is bit-for-bit identical to
+    /// `propagate_into` applied to lane `l` alone: the per-node and
+    /// per-neighbour iteration order, and the rounding of every intermediate,
+    /// are the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `output` do not have length `lanes * n`.
+    pub fn propagate_interleaved(&self, lanes: usize, input: &[f64], output: &mut [f64]) {
+        let n = self.node_count();
+        assert_eq!(input.len(), lanes * n, "interleaved input has wrong length");
+        assert_eq!(
+            output.len(),
+            lanes * n,
+            "interleaved output has wrong length"
+        );
+        // Dispatch to a compile-time lane width where possible: the per-edge
+        // inner loop is the hottest code in the crate, and a fixed trip
+        // count lets the compiler unroll and vectorize it (8 lanes of f64 =
+        // one cache line per delivered share).  The arithmetic is identical
+        // in every arm.
+        match lanes {
+            // Degenerate block: the interleaved layout *is* the row layout.
+            1 => self.propagate_into(input, output),
+            2 => self.propagate_fixed::<2>(input, output),
+            4 => self.propagate_fixed::<4>(input, output),
+            8 => {
+                #[cfg(target_arch = "x86_64")]
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: the AVX2 requirement was just checked.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        self.propagate_gather8_avx2(input, output);
+                    }
+                    return;
+                }
+                self.propagate_fixed::<8>(input, output)
+            }
+            _ => self.propagate_dyn(lanes, input, output),
+        }
+    }
+
+    /// AVX2 instantiation of the 8-lane gather kernel.
+    ///
+    /// Emits exactly the scalar kernel's arithmetic — per lane, each edge
+    /// contributes `(move_factor · mass) · inv_degree` via two `vmulpd`s
+    /// and one `vaddpd`, never an FMA — so results stay bitwise identical
+    /// to [`TransitionMatrix::propagate_fixed`] and hence to
+    /// [`TransitionMatrix::propagate_into`]; only the instruction-level
+    /// parallelism changes (two independent 4-lane accumulator chains).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn propagate_gather8_avx2(&self, input: &[f64], output: &mut [f64]) {
+        use std::arch::x86_64::*;
+        const L: usize = 8;
+        const PREFETCH_DISTANCE: usize = 8;
+        let n = self.node_count();
+        let move_factor = _mm256_set1_pd(1.0 - self.laziness);
+        let laziness = _mm256_set1_pd(self.laziness);
+        let in_ptr = input.as_ptr();
+        let out_ptr = output.as_mut_ptr();
+        let edge_count = self.neighbors.len();
+        for j in 0..n {
+            let base = j * L;
+            let in_j0 = _mm256_loadu_pd(in_ptr.add(base));
+            let in_j1 = _mm256_loadu_pd(in_ptr.add(base + 4));
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            let mut lazy_pending = true;
+            for idx in *self.offsets.get_unchecked(j)..*self.offsets.get_unchecked(j + 1) {
+                if idx + PREFETCH_DISTANCE < edge_count {
+                    let ahead = *self.neighbors.get_unchecked(idx + PREFETCH_DISTANCE);
+                    _mm_prefetch(in_ptr.add(ahead * L) as *const i8, _MM_HINT_T0);
+                }
+                let i = *self.neighbors.get_unchecked(idx);
+                if lazy_pending && i > j {
+                    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(laziness, in_j0));
+                    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(laziness, in_j1));
+                    lazy_pending = false;
+                }
+                let inv_degree = _mm256_set1_pd(*self.inv_degree.get_unchecked(i));
+                let ib = i * L;
+                let v0 = _mm256_loadu_pd(in_ptr.add(ib));
+                let v1 = _mm256_loadu_pd(in_ptr.add(ib + 4));
+                acc0 = _mm256_add_pd(
+                    acc0,
+                    _mm256_mul_pd(_mm256_mul_pd(move_factor, v0), inv_degree),
+                );
+                acc1 = _mm256_add_pd(
+                    acc1,
+                    _mm256_mul_pd(_mm256_mul_pd(move_factor, v1), inv_degree),
+                );
+            }
+            if lazy_pending {
+                acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(laziness, in_j0));
+                acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(laziness, in_j1));
+            }
+            _mm256_storeu_pd(out_ptr.add(base), acc0);
+            _mm256_storeu_pd(out_ptr.add(base + 4), acc1);
+        }
+    }
+
+    /// Fixed-lane-width body of [`TransitionMatrix::propagate_interleaved`].
+    ///
+    /// The kernel is *pull*-based: instead of scattering each node's share
+    /// to its neighbours (a random read-for-ownership per edge, whose miss
+    /// latency serializes the loop), each destination row gathers
+    /// `move_factor · mass_i · inv_deg_i` from its sorted neighbour list
+    /// and accumulates in registers, writing each output line exactly once.
+    /// Random memory traffic becomes plain reads, which the core can keep
+    /// many of in flight (helped along by an explicit prefetch a few edges
+    /// ahead).
+    ///
+    /// Bit parity with [`TransitionMatrix::propagate_into`] per lane:
+    /// the push form accumulates `out[j]` in ascending source order over
+    /// one sweep (`i = 0..n`), the lazy self-term landing when the sweep
+    /// passes `i = j`.  Neighbour lists are sorted ascending, so gathering
+    /// in list order and folding the self-term in at the first neighbour
+    /// `> j` reproduces that sequence of adds — and its roundings — exactly
+    /// (contributions from zero-mass sources, which the push form skips,
+    /// add `±0.0`, which never changes a non-negative accumulation).
+    ///
+    /// This is the one stretch of `unsafe` in the crate: the per-edge loads
+    /// go through raw pointers because checked indexing costs more than the
+    /// arithmetic.  It relies on construction invariants — every neighbour
+    /// id is `< n`, `inv_degree` has `n` entries, and the dispatcher
+    /// asserted both buffers hold `n * L` f64s.
+    #[allow(unsafe_code)]
+    fn propagate_fixed<const L: usize>(&self, input: &[f64], output: &mut [f64]) {
+        /// How many edges ahead source lines are prefetched.
+        const PREFETCH_DISTANCE: usize = 8;
+        let n = self.node_count();
+        let move_factor = 1.0 - self.laziness;
+        let in_ptr = input.as_ptr();
+        let edge_count = self.neighbors.len();
+        for j in 0..n {
+            let base = j * L;
+            let in_j: &[f64; L] = input[base..base + L].try_into().expect("lane width");
+            let mut acc = [0.0f64; L];
+            let mut lazy_pending = true;
+            for idx in self.offsets[j]..self.offsets[j + 1] {
+                // SAFETY: see the function docs; `idx` stays inside node
+                // `j`'s CSR window, every neighbour id is `< n`, and the
+                // prefetch look-ahead is bounds-checked explicitly.
+                unsafe {
+                    #[cfg(target_arch = "x86_64")]
+                    if idx + PREFETCH_DISTANCE < edge_count {
+                        let ahead = *self.neighbors.get_unchecked(idx + PREFETCH_DISTANCE);
+                        std::arch::x86_64::_mm_prefetch(
+                            in_ptr.add(ahead * L) as *const i8,
+                            std::arch::x86_64::_MM_HINT_T0,
+                        );
+                    }
+                    let i = *self.neighbors.get_unchecked(idx);
+                    if lazy_pending && i > j {
+                        for lane in 0..L {
+                            acc[lane] += self.laziness * in_j[lane];
+                        }
+                        lazy_pending = false;
+                    }
+                    let inv_degree = *self.inv_degree.get_unchecked(i);
+                    let in_i = in_ptr.add(i * L);
+                    for (lane, acc_lane) in acc.iter_mut().enumerate() {
+                        *acc_lane += move_factor * *in_i.add(lane) * inv_degree;
+                    }
+                }
+            }
+            if lazy_pending {
+                for lane in 0..L {
+                    acc[lane] += self.laziness * in_j[lane];
+                }
+            }
+            let out_j: &mut [f64; L] = (&mut output[base..base + L]).try_into().expect("lane");
+            *out_j = acc;
+        }
+    }
+
+    /// Runtime-lane-width fallback (ragged tail blocks).
+    fn propagate_dyn(&self, lanes: usize, input: &[f64], output: &mut [f64]) {
+        let n = self.node_count();
+        let move_factor = 1.0 - self.laziness;
+        output.fill(0.0);
+        let mut share = vec![0.0f64; lanes];
+        for i in 0..n {
+            let base = i * lanes;
+            let inv_degree = self.inv_degree[i];
+            {
+                let in_i = &input[base..base + lanes];
+                let out_i = &mut output[base..base + lanes];
+                for lane in 0..lanes {
+                    let mass = in_i[lane];
+                    out_i[lane] += self.laziness * mass;
+                    share[lane] = move_factor * mass * inv_degree;
+                }
+            }
+            for &j in &self.neighbors[self.offsets[i]..self.offsets[i + 1]] {
+                let out_j = &mut output[j * lanes..j * lanes + lanes];
+                for (out, &s) in out_j.iter_mut().zip(share.iter()) {
+                    *out += s;
+                }
+            }
+        }
+    }
+
     /// Evolves a distribution for `steps` rounds, returning `P(t)`.
     pub fn evolve(&self, p0: &[f64], steps: usize) -> Vec<f64> {
         let mut current = p0.to_vec();
@@ -147,6 +452,20 @@ impl TransitionMatrix {
             std::mem::swap(&mut current, &mut scratch);
         }
         current
+    }
+}
+
+impl TransitionModel for TransitionMatrix {
+    fn node_count(&self) -> usize {
+        TransitionMatrix::node_count(self)
+    }
+
+    fn propagate_into(&self, p: &[f64], out: &mut [f64]) {
+        TransitionMatrix::propagate_into(self, p, out);
+    }
+
+    fn propagate_interleaved(&self, lanes: usize, input: &[f64], output: &mut [f64]) {
+        TransitionMatrix::propagate_interleaved(self, lanes, input, output);
     }
 }
 

@@ -45,6 +45,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let (rounds, eps_at_rounds) = rounds_for_target_epsilon(
         &accountant,
         ProtocolKind::Single,
+        Scenario::Stationary,
         &probe,
         0.01,
         4 * accountant.mixing_time(),
@@ -59,6 +60,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         &accountant,
         &probe,
         ProtocolKind::Single,
+        Scenario::Stationary,
         target_central_epsilon,
     )?;
     match calibrated {

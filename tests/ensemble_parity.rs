@@ -1,0 +1,215 @@
+//! Parity, dominance and determinism tests for the distribution-ensemble
+//! kernel.
+//!
+//! The refactor's contract: the blocked multi-origin kernel must agree with
+//! the historical single-distribution route bit for bit, the exact route
+//! must relate to the spectral bound the way the theory says, and the
+//! `parallel` feature must never change a single bit of any result.
+
+use network_shuffle::prelude::*;
+use ns_graph::connectivity::largest_connected_component;
+use ns_graph::distribution::PositionDistribution;
+use ns_graph::ensemble::{self, DistributionEnsemble};
+use ns_graph::rng::seeded_rng;
+use ns_graph::transition::TransitionMatrix;
+use ns_graph::Graph;
+use proptest::prelude::*;
+
+/// A small zoo of connected, non-bipartite irregular graphs.
+fn irregular_zoo() -> Vec<(&'static str, Graph)> {
+    let mut rng = seeded_rng(20220408);
+    let weights: Vec<f64> = (0..600)
+        .map(|i| 3.0 + 9.0 * ((i % 10) as f64) / 9.0)
+        .collect();
+    let chung_lu =
+        largest_connected_component(&ns_graph::generators::chung_lu(&weights, &mut rng).unwrap()).0;
+    let ba = ns_graph::generators::barabasi_albert(600, 3, &mut rng).unwrap();
+    let sbm = largest_connected_component(
+        &ns_graph::generators::stochastic_block_model(600, 6, 0.05, 0.005, &mut rng).unwrap(),
+    )
+    .0;
+    vec![
+        ("chung-lu", chung_lu),
+        ("barabasi-albert", ba),
+        ("sbm", sbm),
+    ]
+}
+
+/// `Scenario::Exact` restricted to one row reproduces
+/// `PositionDistribution::advance` bit for bit — including rows that sit in
+/// the middle of a multi-lane block.
+#[test]
+fn exact_ensemble_rows_match_position_distribution_bitwise() {
+    for (name, graph) in irregular_zoo() {
+        let n = graph.node_count();
+        let transition = TransitionMatrix::with_laziness(&graph, 0.1).unwrap();
+        let mut full = DistributionEnsemble::all_origins(n).unwrap();
+        full.advance(&transition, 12);
+        // Spot-check a spread of origins, including block boundaries.
+        for origin in [0usize, 1, 7, 8, 9, n / 2, n - 2, n - 1] {
+            let mut single = PositionDistribution::point_mass(n, origin).unwrap();
+            single.advance(&transition, 12);
+            assert_eq!(
+                full.row(origin),
+                single.probabilities(),
+                "{name}: origin {origin} diverged from the single-origin route"
+            );
+            assert_eq!(
+                full.row_stats(origin).sum_of_squares,
+                single.sum_of_squares(),
+                "{name}: origin {origin} stats diverged"
+            );
+        }
+    }
+}
+
+/// The accountant's exact scenario agrees with the symmetric scenario
+/// origin by origin (same kernel underneath), and the worst-user pair
+/// dominates every origin.
+#[test]
+fn accountant_exact_scenario_is_the_worst_symmetric_origin() {
+    let (_, graph) = irregular_zoo().remove(1);
+    let accountant = NetworkShuffleAccountant::new(&graph).unwrap();
+    let rounds = 9;
+    let moments = accountant.exact_moments(rounds).unwrap();
+    let (worst_sum_sq, _) = accountant.sum_p_squared(Scenario::Exact, rounds).unwrap();
+    let mut max_seen = 0.0f64;
+    for origin in (0..graph.node_count()).step_by(41) {
+        let (sum_sq, rho) = accountant
+            .sum_p_squared(Scenario::Symmetric { origin }, rounds)
+            .unwrap();
+        assert_eq!(moments[origin].sum_of_squares, sum_sq);
+        assert_eq!(moments[origin].support_ratio, rho);
+        max_seen = max_seen.max(sum_sq);
+    }
+    assert!(worst_sum_sq >= max_seen);
+}
+
+/// Relationship between the exact route and the Eq. 7 spectral bound on
+/// irregular graphs:
+///
+/// * by the paper's stopping time `t_mix` the worst origin's exact `Σ P²`
+///   has dropped to the (clamped) bound and stays there (1% slack for the
+///   asymptotic residuals), and both settle at the stationary `Σ π²`;
+/// * **pre**-mixing, the bound is not trustworthy per user: low-degree
+///   origins concentrate mass (a degree-1 origin's report sits on its only
+///   neighbour with probability 1 at `t = 1`) and can exceed the
+///   regular-graph-derived bound outright, while well-connected origins sit
+///   far below it.  The exact ensemble is the only route that sees this
+///   per-user spread — that is its payoff.
+#[test]
+fn exact_route_vs_spectral_bound_on_irregular_graphs() {
+    for (name, graph) in irregular_zoo() {
+        let accountant = NetworkShuffleAccountant::new(&graph).unwrap();
+        let profile = accountant.mixing_profile();
+        let t_mix = accountant.mixing_time();
+        let rounds = 2 * t_mix;
+        let mut worst = vec![0.0f64; rounds];
+        let mut best = vec![f64::INFINITY; rounds];
+        ensemble::all_origin_trajectories(accountant.transition(), rounds, |_, trajectory| {
+            for row in 0..trajectory.sources() {
+                for (index, stats) in trajectory.row(row).iter().enumerate() {
+                    worst[index] = worst[index].max(stats.sum_of_squares);
+                    best[index] = best[index].min(stats.sum_of_squares);
+                }
+            }
+            Ok::<(), ns_graph::GraphError>(())
+        })
+        .unwrap();
+        // Dominance from the stopping time onwards.
+        let dominated_from = (1..=rounds)
+            .find(|&t0| {
+                (t0..=rounds)
+                    .all(|t| worst[t - 1] <= profile.sum_p_squared_bound_clamped(t) * 1.01 + 1e-12)
+            })
+            .unwrap_or(rounds + 1);
+        assert!(
+            dominated_from <= t_mix,
+            "{name}: bound only dominates from t = {dominated_from}, mixing time {t_mix}"
+        );
+        // Pre-mixing the exact route resolves a real per-user spread: the
+        // best-connected origin is already well below the bound while the
+        // worst origin is still far above the stationary value.
+        let probe_t = 3.min(t_mix);
+        let bound_at_probe = profile.sum_p_squared_bound_clamped(probe_t);
+        assert!(
+            best[probe_t - 1] < bound_at_probe,
+            "{name}: even the best origin ({}) is above the bound {bound_at_probe} at t = {probe_t}",
+            best[probe_t - 1]
+        );
+        assert!(
+            worst[probe_t - 1] > best[probe_t - 1] * 1.05,
+            "{name}: no per-origin spread at t = {probe_t}"
+        );
+        // Both settle at the stationary collision probability.
+        let stationary = profile.stationary_sum_of_squares;
+        assert!(
+            (worst[rounds - 1] - stationary).abs() / stationary < 0.01,
+            "{name}: exact tail {} far from stationary {stationary}",
+            worst[rounds - 1]
+        );
+    }
+}
+
+/// The streaming all-origin driver, which the accountant uses for large
+/// graphs, matches the materialized `n × n` ensemble.
+#[test]
+fn streaming_moments_match_materialized_ensemble() {
+    let (_, graph) = irregular_zoo().remove(0);
+    let n = graph.node_count();
+    let transition = TransitionMatrix::new(&graph).unwrap();
+    let moments = ensemble::all_origin_moments(&transition, 7).unwrap();
+    let mut full = DistributionEnsemble::all_origins(n).unwrap();
+    full.advance(&transition, 7);
+    assert_eq!(moments.len(), n);
+    for (origin, stats) in moments.iter().enumerate() {
+        assert_eq!(*stats, full.row_stats(origin), "origin {origin}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel-vs-sequential determinism across generator families: the
+    /// block-parallel ensemble advance must produce bitwise-identical rows
+    /// and trajectories for any graph, origin set, laziness and round
+    /// count.  (The root test target enables the `parallel` feature of
+    /// ns-graph, so both paths are available in one build.)
+    #[test]
+    fn parallel_ensemble_is_bitwise_deterministic(
+        seed in 0u64..1_000,
+        n in 60usize..220,
+        kind in 0usize..3,
+        rounds in 1usize..12,
+        laziness_pct in 0usize..60,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let graph = match kind {
+            0 => ns_graph::generators::random_regular(n - (n % 2), 4, &mut rng).unwrap(),
+            1 => ns_graph::generators::barabasi_albert(n, 2, &mut rng).unwrap(),
+            _ => {
+                let weights: Vec<f64> = (0..n).map(|i| 2.0 + (i % 7) as f64).collect();
+                largest_connected_component(
+                    &ns_graph::generators::chung_lu(&weights, &mut rng).unwrap(),
+                ).0
+            }
+        };
+        let nodes = graph.node_count();
+        prop_assume!(nodes >= 8);
+        let laziness = laziness_pct as f64 / 100.0;
+        let transition = TransitionMatrix::with_laziness(&graph, laziness).unwrap();
+        let origins: Vec<usize> = (0..nodes).step_by(3).collect();
+
+        let mut sequential = DistributionEnsemble::point_masses(nodes, &origins).unwrap();
+        let seq_trajectory = sequential.advance_tracked(&transition, rounds);
+        let mut parallel = DistributionEnsemble::point_masses(nodes, &origins).unwrap();
+        let par_trajectory = parallel.advance_tracked_parallel(&transition, rounds);
+        prop_assert_eq!(&sequential, &parallel);
+        prop_assert_eq!(&seq_trajectory, &par_trajectory);
+
+        // And the untracked parallel path agrees with both.
+        let mut untracked = DistributionEnsemble::point_masses(nodes, &origins).unwrap();
+        untracked.advance_parallel(&transition, rounds);
+        prop_assert_eq!(&sequential, &untracked);
+    }
+}
