@@ -5,72 +5,27 @@
 //! of Eq. 7 as the number of exchange rounds grows, showing convergence to
 //! the asymptotic (stationary) value around `t ≈ α⁻¹ log n`.
 //!
+//! The computation lives in [`ns_bench::fig4_table`], shared with the
+//! golden regression test that pins a small-n variant bit for bit.
+//!
 //! ```text
 //! cargo run --release -p ns-bench --bin fig4
 //! ```
 
-use network_shuffle::prelude::*;
-use ns_bench::{dataset_accountants, fmt, print_table, write_csv, DELTA};
-use ns_datasets::Dataset;
+use ns_bench::{fig4_table, print_table, write_csv, FigScale};
 
 fn main() {
-    let epsilon_0 = 2.0;
-    let datasets = [Dataset::Facebook, Dataset::Twitch, Dataset::Deezer];
-
-    // Sweep points: log-spaced rounds up to ~2x the largest mixing time.
-    let sweeps = dataset_accountants(datasets);
-    let max_mixing = sweeps
-        .iter()
-        .map(|da| da.accountant.mixing_time())
-        .max()
-        .unwrap_or(0);
-    let max_rounds = (2 * max_mixing).max(10);
-    let checkpoints: Vec<usize> = {
-        let mut t = 1usize;
-        let mut out = Vec::new();
-        while t <= max_rounds {
-            out.push(t);
-            t = ((t as f64) * 1.6).ceil() as usize;
-        }
-        out.push(max_rounds);
-        out.dedup();
-        out
-    };
-
-    let headers: Vec<&str> = vec!["rounds t", "Facebook eps", "Twitch eps", "Deezer eps"];
-    let mut rows = Vec::new();
-    let mut columns: Vec<Vec<(usize, f64)>> = Vec::new();
-    for da in &sweeps {
-        let accountant = &da.accountant;
-        let params = AccountantParams::new(accountant.node_count(), epsilon_0, DELTA, DELTA)
-            .expect("valid params");
-        let sweep = accountant
-            .epsilon_vs_rounds(ProtocolKind::All, Scenario::Stationary, &params, max_rounds)
-            .expect("sweep");
-        println!(
-            "{}: n = {}, spectral gap = {:.4}, mixing time = {}",
-            da.name(),
-            accountant.node_count(),
-            accountant.mixing_profile().spectral_gap,
-            accountant.mixing_time()
-        );
-        columns.push(sweep);
+    let table = fig4_table(FigScale::Default);
+    for note in &table.notes {
+        println!("{note}");
     }
-
-    for &t in &checkpoints {
-        let mut row = vec![t.to_string()];
-        for column in &columns {
-            row.push(fmt(column[t - 1].1));
-        }
-        rows.push(row);
-    }
-
+    let header_refs: Vec<&str> = table.headers.iter().map(|s| s.as_str()).collect();
     print_table(
         "Figure 4: central epsilon (A_all, stationary bound) vs. communication rounds, eps0 = 2",
-        &headers,
-        &rows,
+        &header_refs,
+        &table.rows,
     );
-    write_csv("fig4", &headers, &rows);
+    write_csv("fig4", &header_refs, &table.rows);
     println!(
         "\nshape check: epsilon decreases monotonically with t and flattens near the mixing time\n\
          alpha^-1 log n of each graph, matching Figure 4."

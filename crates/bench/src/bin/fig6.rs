@@ -4,56 +4,27 @@
 //! its own mixing time; the amplified ε is reported for ε₀ from 0.1 to 1.2.
 //! The Google graph (largest `n`) shows the strongest amplification.
 //!
+//! The computation lives in [`ns_bench::fig6_table`], shared with the
+//! golden regression test that pins a small-n variant bit for bit.
+//!
 //! ```text
 //! cargo run --release -p ns-bench --bin fig6
 //! ```
 
-use network_shuffle::prelude::*;
-use ns_bench::{dataset_accountant, epsilon_at_mixing_time, fmt, linspace, print_table, write_csv};
-use ns_datasets::Dataset;
+use ns_bench::{fig6_table, print_table, write_csv, FigScale};
 
 fn main() {
-    let epsilon_grid = linspace(0.1, 1.2, 12);
-
-    let accountants: Vec<_> = Dataset::ALL
-        .into_iter()
-        .map(|dataset| {
-            let da = dataset_accountant(dataset);
-            println!(
-                "{}: n = {}, Gamma = {:.3}, mixing time = {}",
-                da.name(),
-                da.accountant.node_count(),
-                da.generated.achieved.irregularity,
-                da.accountant.mixing_time()
-            );
-            da
-        })
-        .collect();
-
-    let headers: Vec<String> = std::iter::once("eps0".to_string())
-        .chain(accountants.iter().map(|da| format!("{} eps", da.name())))
-        .collect();
-    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-
-    let mut rows = Vec::new();
-    for &eps0 in &epsilon_grid {
-        let mut row = vec![fmt(eps0)];
-        for da in &accountants {
-            row.push(fmt(epsilon_at_mixing_time(
-                &da.accountant,
-                ProtocolKind::All,
-                eps0,
-            )));
-        }
-        rows.push(row);
+    let table = fig6_table(FigScale::Default);
+    for note in &table.notes {
+        println!("{note}");
     }
-
+    let header_refs: Vec<&str> = table.headers.iter().map(|s| s.as_str()).collect();
     print_table(
         "Figure 6: amplified central epsilon vs. eps0 per dataset (A_all, stationary bound, t = mixing time)",
         &header_refs,
-        &rows,
+        &table.rows,
     );
-    write_csv("fig6", &header_refs, &rows);
+    write_csv("fig6", &header_refs, &table.rows);
     println!(
         "\nshape check: at every eps0 the Google stand-in (largest n) achieves the smallest central\n\
          epsilon, and smaller graphs amplify less, matching Figure 6."

@@ -22,18 +22,24 @@ pub const DELTA: f64 = 1e-6;
 /// Seed used by all experiment binaries so results are reproducible.
 pub const SEED: u64 = 20220408; // arXiv submission date of the paper.
 
-/// Returns the scale divisor to apply to a dataset.
-///
-/// Defaults: the four smaller graphs are generated at full scale; the Google
-/// web graph is scaled down 10× (full scale is supported but takes several
-/// minutes of spectral analysis).  Set `NS_BENCH_SCALE` to an integer `k` to
-/// further divide every dataset by `k` (useful for smoke tests), or to `full`
-/// to force full scale everywhere.
-pub fn scale_divisor(dataset: Dataset) -> usize {
-    let base = match dataset {
+/// The environment-independent base divisor of a dataset: the four smaller
+/// graphs are generated at full scale; the Google web graph is scaled down
+/// 10× (full scale is supported but takes several minutes of spectral
+/// analysis).
+pub fn base_scale_divisor(dataset: Dataset) -> usize {
+    match dataset {
         Dataset::Google => 10,
         _ => 1,
-    };
+    }
+}
+
+/// Returns the scale divisor to apply to a dataset.
+///
+/// Defaults to [`base_scale_divisor`].  Set `NS_BENCH_SCALE` to an integer
+/// `k` to further divide every dataset by `k` (useful for smoke tests), or
+/// to `full` to force full scale everywhere.
+pub fn scale_divisor(dataset: Dataset) -> usize {
+    let base = base_scale_divisor(dataset);
     match std::env::var("NS_BENCH_SCALE") {
         Ok(v) if v.eq_ignore_ascii_case("full") => 1,
         Ok(v) => base * v.parse::<usize>().unwrap_or(1).max(1),
@@ -87,6 +93,40 @@ pub fn dataset_accountant(dataset: Dataset) -> DatasetAccountant {
     }
 }
 
+/// The largest extra divisor at which each dataset's Chung–Lu calibration
+/// still hits its Table 4 irregularity target: high-Γ degree sequences
+/// (Enron especially) are not realizable at small `n`, so the reproducible
+/// small-scale variants clamp here instead of failing.
+pub fn max_reduced_divisor(dataset: Dataset) -> usize {
+    match dataset {
+        Dataset::Facebook | Dataset::Deezer => 40,
+        Dataset::Twitch | Dataset::Google => 20,
+        Dataset::Enron => 2,
+    }
+}
+
+/// [`dataset_accountant`] at an explicit, environment-independent scale:
+/// the dataset is divided by `base_scale_divisor(dataset) * extra_divisor`
+/// (clamped to [`max_reduced_divisor`]) regardless of `NS_BENCH_SCALE`.
+/// This is the entry point of the golden figure-regression tests, which
+/// need bit-reproducible small-n variants.
+///
+/// # Panics
+///
+/// See [`dataset_accountant`].
+pub fn dataset_accountant_scaled(dataset: Dataset, extra_divisor: usize) -> DatasetAccountant {
+    let divisor =
+        base_scale_divisor(dataset) * extra_divisor.clamp(1, max_reduced_divisor(dataset));
+    let generated = dataset.generate_scaled(divisor, SEED).unwrap_or_else(|e| {
+        panic!("failed to generate {dataset} stand-in (divisor {divisor}): {e}")
+    });
+    let accountant = NetworkShuffleAccountant::new(&generated.graph).expect("ergodic graph");
+    DatasetAccountant {
+        generated,
+        accountant,
+    }
+}
+
 /// [`dataset_accountant`] over a list of datasets.
 ///
 /// # Panics
@@ -94,6 +134,172 @@ pub fn dataset_accountant(dataset: Dataset) -> DatasetAccountant {
 /// See [`dataset_accountant`].
 pub fn dataset_accountants(datasets: impl IntoIterator<Item = Dataset>) -> Vec<DatasetAccountant> {
     datasets.into_iter().map(dataset_accountant).collect()
+}
+
+/// A figure's tabular output: headers, rows and the per-dataset diagnostic
+/// lines the binaries print above the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigTable {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows (stringified cells, one inner vec per row).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form diagnostic lines (dataset sizes, spectral gaps, …).
+    pub notes: Vec<String>,
+}
+
+impl FigTable {
+    /// The exact CSV serialization [`write_csv`] would produce — the
+    /// bit-for-bit comparison unit of the golden regression tests.
+    pub fn csv_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// How a figure computation scales its datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigScale {
+    /// The environment-aware default ([`scale_divisor`]).
+    Default,
+    /// `base_scale_divisor * k`, ignoring the environment — the
+    /// reproducible small-n variant used by the golden tests.
+    Reduced(usize),
+}
+
+impl FigScale {
+    fn accountant(self, dataset: Dataset) -> DatasetAccountant {
+        match self {
+            FigScale::Default => dataset_accountant(dataset),
+            FigScale::Reduced(extra) => dataset_accountant_scaled(dataset, extra),
+        }
+    }
+}
+
+/// The Figure 4 computation (central ε of `A_all` under the stationary
+/// bound vs. communication rounds, ε₀ = 2, Facebook/Twitch/Deezer) as a
+/// reusable table — the `fig4` binary prints and persists it, the golden
+/// regression test pins its small-scale variant bit for bit.
+pub fn fig4_table(scale: FigScale) -> FigTable {
+    let epsilon_0 = 2.0;
+    let datasets = [Dataset::Facebook, Dataset::Twitch, Dataset::Deezer];
+
+    // Sweep points: log-spaced rounds up to ~2x the largest mixing time.
+    let sweeps: Vec<DatasetAccountant> = datasets
+        .into_iter()
+        .map(|dataset| scale.accountant(dataset))
+        .collect();
+    let max_mixing = sweeps
+        .iter()
+        .map(|da| da.accountant.mixing_time())
+        .max()
+        .unwrap_or(0);
+    let max_rounds = (2 * max_mixing).max(10);
+    let checkpoints: Vec<usize> = {
+        let mut t = 1usize;
+        let mut out = Vec::new();
+        while t <= max_rounds {
+            out.push(t);
+            t = ((t as f64) * 1.6).ceil() as usize;
+        }
+        out.push(max_rounds);
+        out.dedup();
+        out
+    };
+
+    let mut notes = Vec::new();
+    let mut columns: Vec<Vec<(usize, f64)>> = Vec::new();
+    for da in &sweeps {
+        let accountant = &da.accountant;
+        let params = AccountantParams::new(accountant.node_count(), epsilon_0, DELTA, DELTA)
+            .expect("valid params");
+        let sweep = accountant
+            .epsilon_vs_rounds(
+                network_shuffle::protocol::ProtocolKind::All,
+                network_shuffle::accountant::Scenario::Stationary,
+                &params,
+                max_rounds,
+            )
+            .expect("sweep");
+        notes.push(format!(
+            "{}: n = {}, spectral gap = {:.4}, mixing time = {}",
+            da.name(),
+            accountant.node_count(),
+            accountant.mixing_profile().spectral_gap,
+            accountant.mixing_time()
+        ));
+        columns.push(sweep);
+    }
+
+    let mut rows = Vec::new();
+    for &t in &checkpoints {
+        let mut row = vec![t.to_string()];
+        for column in &columns {
+            row.push(fmt(column[t - 1].1));
+        }
+        rows.push(row);
+    }
+
+    FigTable {
+        headers: std::iter::once("rounds t".to_string())
+            .chain(sweeps.iter().map(|da| format!("{} eps", da.name())))
+            .collect(),
+        rows,
+        notes,
+    }
+}
+
+/// The Figure 6 computation (amplified ε vs. ε₀ for the five datasets,
+/// `A_all` at each graph's mixing time) as a reusable table; see
+/// [`fig4_table`] for the split between binary and golden test.
+pub fn fig6_table(scale: FigScale) -> FigTable {
+    let epsilon_grid = linspace(0.1, 1.2, 12);
+
+    let accountants: Vec<DatasetAccountant> = Dataset::ALL
+        .into_iter()
+        .map(|dataset| scale.accountant(dataset))
+        .collect();
+    let notes = accountants
+        .iter()
+        .map(|da| {
+            format!(
+                "{}: n = {}, Gamma = {:.3}, mixing time = {}",
+                da.name(),
+                da.accountant.node_count(),
+                da.generated.achieved.irregularity,
+                da.accountant.mixing_time()
+            )
+        })
+        .collect();
+
+    let headers: Vec<String> = std::iter::once("eps0".to_string())
+        .chain(accountants.iter().map(|da| format!("{} eps", da.name())))
+        .collect();
+
+    let mut rows = Vec::new();
+    for &eps0 in &epsilon_grid {
+        let mut row = vec![fmt(eps0)];
+        for da in &accountants {
+            row.push(fmt(epsilon_at_mixing_time(
+                &da.accountant,
+                network_shuffle::protocol::ProtocolKind::All,
+                eps0,
+            )));
+        }
+        rows.push(row);
+    }
+
+    FigTable {
+        headers,
+        rows,
+        notes,
+    }
 }
 
 /// Central ε at the graph's mixing time under the stationary bound with the

@@ -24,8 +24,8 @@ use crate::accountant::closed_form::{
 use crate::error::{Error, Result};
 use crate::protocol::ProtocolKind;
 use ns_dp::types::PrivacyGuarantee;
-use ns_graph::distribution::PositionDistribution;
-use ns_graph::ensemble::{self, RowStats};
+use ns_graph::dynamic::TimeVaryingModel;
+use ns_graph::ensemble::{self, DistributionEnsemble, EnsembleTrajectory, RowStats};
 use ns_graph::mixing::MixingProfile;
 use ns_graph::spectral::SpectralOptions;
 use ns_graph::transition::TransitionMatrix;
@@ -48,7 +48,11 @@ pub enum Scenario {
     /// Any ergodic graph, analysed by exactly evolving the position
     /// distributions of **all** `n` origins with the batched ensemble
     /// kernel.  Guarantees quote the worst user, so they hold for every
-    /// user while staying exact.  Pre-mixing this is far tighter than the
+    /// user while staying exact.  When the accountant carries a
+    /// [`TimeVaryingModel`] (see
+    /// [`NetworkShuffleAccountant::with_schedule`]) the evolution follows
+    /// the realized per-round operator schedule — churn-aware exact
+    /// accounting.  Pre-mixing this is far tighter than the
     /// stationary bound; note that on heterogeneous graphs the Eq. 7 bound
     /// (derived for regular graphs) can even slightly *under*-estimate the
     /// worst user — at `t = 1` a degree-1 origin's report sits on its only
@@ -58,12 +62,24 @@ pub enum Scenario {
 }
 
 /// Privacy accountant bound to a specific communication graph.
+///
+/// Optionally carries a [`TimeVaryingModel`] — the realized per-round
+/// operator schedule of a churning deployment (see
+/// [`NetworkShuffleAccountant::with_schedule`]).  When attached, the exact
+/// routes ([`Scenario::Exact`], [`Scenario::Symmetric`],
+/// [`NetworkShuffleAccountant::exact_moments`] and friends) evolve origins
+/// through the schedule's product of
+/// per-round transitions instead of powers of the static matrix; the
+/// spectral/stationary route keeps quoting the static worst case, which is
+/// precisely the gap the churn experiments measure.
 #[derive(Debug, Clone)]
 pub struct NetworkShuffleAccountant {
     node_count: usize,
     mixing: MixingProfile,
     transition: TransitionMatrix,
     laziness: f64,
+    /// Realized round schedule for the exact routes; `None` = static walk.
+    schedule: Option<TimeVaryingModel>,
 }
 
 impl NetworkShuffleAccountant {
@@ -107,7 +123,61 @@ impl NetworkShuffleAccountant {
             mixing,
             transition,
             laziness,
+            schedule: None,
         })
+    }
+
+    /// Attaches the realized round schedule of a time-varying deployment:
+    /// every exact route — [`Scenario::Exact`] *and* the single-origin
+    /// [`Scenario::Symmetric`] — then accounts on `schedule`'s per-round
+    /// operators (round `t` of the walk applies `schedule.operator(t)`), so
+    /// per-user guarantees reflect the churn that actually happened rather
+    /// than the static worst case.  Only [`Scenario::Stationary`] keeps
+    /// quoting the static spectral bound (by design: it is the planning-time
+    /// reference the churn experiments measure against).  A constant schedule of the accountant's own
+    /// transition matrix reproduces the static exact results bitwise (the
+    /// degeneracy pinned down by `tests/churn.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if the schedule's node count differs
+    /// from the graph's.
+    pub fn with_schedule(mut self, schedule: TimeVaryingModel) -> Result<Self> {
+        use ns_graph::transition::TransitionModel as _;
+        if schedule.node_count() != self.node_count {
+            return Err(Error::InvalidConfiguration(format!(
+                "schedule covers {} users but the accountant graph has {}",
+                schedule.node_count(),
+                self.node_count
+            )));
+        }
+        self.schedule = Some(schedule);
+        Ok(self)
+    }
+
+    /// The attached round schedule, if any.
+    pub fn schedule(&self) -> Option<&TimeVaryingModel> {
+        self.schedule.as_ref()
+    }
+
+    /// Drops the attached schedule, reverting the exact routes to the
+    /// static walk.
+    pub fn without_schedule(mut self) -> Self {
+        self.schedule = None;
+        self
+    }
+
+    /// Streams all-origin trajectories from the model the exact routes are
+    /// bound to: the attached schedule when present, the static matrix
+    /// otherwise.
+    fn exact_trajectories<F>(&self, rounds: usize, visit: F) -> Result<()>
+    where
+        F: FnMut(usize, &EnsembleTrajectory) -> Result<()>,
+    {
+        match &self.schedule {
+            Some(model) => ensemble::all_origin_trajectories(model, rounds, visit),
+            None => ensemble::all_origin_trajectories(&self.transition, rounds, visit),
+        }
     }
 
     /// Number of users `n`.
@@ -151,10 +221,13 @@ impl NetworkShuffleAccountant {
         match scenario {
             Scenario::Stationary => Ok((self.mixing.sum_p_squared_bound_clamped(rounds), 1.0)),
             Scenario::Symmetric { origin } => {
-                let mut dist = PositionDistribution::point_mass(self.node_count, origin)?;
-                dist.advance(&self.transition, rounds);
-                let ratio = dist.support_ratio().unwrap_or(1.0);
-                Ok((dist.sum_of_squares(), ratio))
+                let mut ensemble = DistributionEnsemble::point_masses(self.node_count, &[origin])?;
+                match &self.schedule {
+                    Some(model) => ensemble.advance(model, rounds),
+                    None => ensemble.advance(&self.transition, rounds),
+                }
+                let stats = ensemble.row_stats(0);
+                Ok((stats.sum_of_squares, stats.support_ratio))
             }
             Scenario::Exact => {
                 let moments = self.exact_moments(rounds)?;
@@ -178,7 +251,10 @@ impl NetworkShuffleAccountant {
     /// [`Error::Graph`] on degenerate graphs (cannot happen for a
     /// successfully constructed accountant).
     pub fn exact_moments(&self, rounds: usize) -> Result<Vec<RowStats>> {
-        ensemble::all_origin_moments(&self.transition, rounds).map_err(Into::into)
+        match &self.schedule {
+            Some(model) => ensemble::all_origin_moments(model, rounds).map_err(Into::into),
+            None => ensemble::all_origin_moments(&self.transition, rounds).map_err(Into::into),
+        }
     }
 
     /// The per-origin central guarantees of the exact scenario: entry `o`
@@ -332,36 +408,30 @@ impl NetworkShuffleAccountant {
                 }
             }
             Scenario::Symmetric { origin } => {
-                let mut dist = PositionDistribution::point_mass(self.node_count, origin)?;
-                for t in 1..=max_rounds {
-                    dist.step(&self.transition);
-                    let sum_sq = dist.sum_of_squares();
-                    let rho = dist.support_ratio().unwrap_or(1.0);
-                    let guarantee = match protocol {
-                        ProtocolKind::All => all_protocol_epsilon(params, sum_sq, rho)?,
-                        ProtocolKind::Single => single_protocol_epsilon(params, sum_sq)?,
-                    };
-                    out.push((t, guarantee.epsilon));
+                let mut ensemble = DistributionEnsemble::point_masses(self.node_count, &[origin])?;
+                let trajectory = match &self.schedule {
+                    Some(model) => ensemble.advance_tracked(model, max_rounds),
+                    None => ensemble.advance_tracked(&self.transition, max_rounds),
+                };
+                for (t, stats) in trajectory.row(0).iter().enumerate() {
+                    let guarantee = Self::guarantee_from_stats(protocol, params, stats)?;
+                    out.push((t + 1, guarantee.epsilon));
                 }
             }
             Scenario::Exact => {
                 let mut worst = vec![f64::NEG_INFINITY; max_rounds];
-                ensemble::all_origin_trajectories(
-                    &self.transition,
-                    max_rounds,
-                    |_, trajectory| -> Result<()> {
-                        for row in 0..trajectory.sources() {
-                            for (t, stats) in trajectory.row(row).iter().enumerate() {
-                                let epsilon =
-                                    Self::guarantee_from_stats(protocol, params, stats)?.epsilon;
-                                if epsilon > worst[t] {
-                                    worst[t] = epsilon;
-                                }
+                self.exact_trajectories(max_rounds, |_, trajectory| -> Result<()> {
+                    for row in 0..trajectory.sources() {
+                        for (t, stats) in trajectory.row(row).iter().enumerate() {
+                            let epsilon =
+                                Self::guarantee_from_stats(protocol, params, stats)?.epsilon;
+                            if epsilon > worst[t] {
+                                worst[t] = epsilon;
                             }
                         }
-                        Ok(())
-                    },
-                )?;
+                    }
+                    Ok(())
+                })?;
                 out.extend(worst.into_iter().enumerate().map(|(t, eps)| (t + 1, eps)));
             }
         }
@@ -591,6 +661,143 @@ mod tests {
                 .unwrap();
             assert_eq!(eps, direct.epsilon, "sweep diverges at t = {t}");
         }
+    }
+
+    #[test]
+    fn constant_schedule_reproduces_static_exact_accounting_bitwise() {
+        let g = ns_graph::generators::two_degree_class(30, 4, 14).unwrap();
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let schedule =
+            TimeVaryingModel::constant(std::sync::Arc::new(accountant.transition().clone()))
+                .unwrap();
+        let scheduled = accountant.clone().with_schedule(schedule).unwrap();
+        let rounds = 8;
+        assert_eq!(
+            accountant.exact_moments(rounds).unwrap(),
+            scheduled.exact_moments(rounds).unwrap()
+        );
+        let params = AccountantParams::with_defaults(accountant.node_count(), 1.0).unwrap();
+        for protocol in [ProtocolKind::All, ProtocolKind::Single] {
+            assert_eq!(
+                accountant
+                    .epsilon_vs_rounds(protocol, Scenario::Exact, &params, rounds)
+                    .unwrap(),
+                scheduled
+                    .epsilon_vs_rounds(protocol, Scenario::Exact, &params, rounds)
+                    .unwrap()
+            );
+            assert_eq!(
+                accountant
+                    .worst_user_guarantee(protocol, &params, rounds)
+                    .unwrap(),
+                scheduled
+                    .worst_user_guarantee(protocol, &params, rounds)
+                    .unwrap()
+            );
+            // The symmetric (single-origin) route is schedule-aware too and
+            // degenerates identically.
+            assert_eq!(
+                accountant
+                    .epsilon_vs_rounds(protocol, Scenario::Symmetric { origin: 3 }, &params, rounds)
+                    .unwrap(),
+                scheduled
+                    .epsilon_vs_rounds(protocol, Scenario::Symmetric { origin: 3 }, &params, rounds)
+                    .unwrap()
+            );
+        }
+        assert_eq!(
+            accountant
+                .sum_p_squared(Scenario::Symmetric { origin: 7 }, rounds)
+                .unwrap(),
+            scheduled
+                .sum_p_squared(Scenario::Symmetric { origin: 7 }, rounds)
+                .unwrap()
+        );
+        // Detaching restores the static route object.
+        let detached = scheduled.without_schedule();
+        assert!(detached.schedule().is_none());
+    }
+
+    #[test]
+    fn blackout_schedule_worsens_the_exact_guarantee() {
+        // A third of the network dark for the first rounds: the realized
+        // schedule mixes slower than the static walk, so the worst user's
+        // exact epsilon after the same budget must be at least the static
+        // one (strictly greater here).
+        let g = regular_graph(120, 4, 15);
+        let n = g.node_count();
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let rounds = 8;
+        let mut dark = vec![true; n];
+        for slot in dark.iter_mut().take(n / 3) {
+            *slot = false;
+        }
+        let masks: Vec<Vec<bool>> = (0..rounds)
+            .map(|t| if t < 5 { dark.clone() } else { vec![true; n] })
+            .collect();
+        let schedule = TimeVaryingModel::from_availability(&g, 0.0, &masks).unwrap();
+        let churned = accountant.clone().with_schedule(schedule).unwrap();
+        let params = AccountantParams::with_defaults(n, 1.0).unwrap();
+        let static_eps = accountant
+            .central_guarantee(ProtocolKind::Single, Scenario::Exact, &params, rounds)
+            .unwrap()
+            .epsilon;
+        let churn_eps = churned
+            .central_guarantee(ProtocolKind::Single, Scenario::Exact, &params, rounds)
+            .unwrap()
+            .epsilon;
+        assert!(
+            churn_eps > static_eps,
+            "blackout epsilon {churn_eps} not above static {static_eps}"
+        );
+        // The symmetric route sees the schedule as well: a dark origin's
+        // report mixes slower than the static walk says.
+        let dark_origin = 0;
+        let (static_sum_sq, _) = accountant
+            .sum_p_squared(
+                Scenario::Symmetric {
+                    origin: dark_origin,
+                },
+                rounds,
+            )
+            .unwrap();
+        let (churn_sum_sq, _) = churned
+            .sum_p_squared(
+                Scenario::Symmetric {
+                    origin: dark_origin,
+                },
+                rounds,
+            )
+            .unwrap();
+        assert!(
+            churn_sum_sq > static_sum_sq,
+            "blackout sum P^2 {churn_sum_sq} not above static {static_sum_sq}"
+        );
+        // The stationary route is oblivious to the schedule.
+        assert_eq!(
+            accountant
+                .central_guarantee(ProtocolKind::Single, Scenario::Stationary, &params, rounds)
+                .unwrap()
+                .epsilon,
+            churned
+                .central_guarantee(ProtocolKind::Single, Scenario::Stationary, &params, rounds)
+                .unwrap()
+                .epsilon
+        );
+    }
+
+    #[test]
+    fn schedule_node_count_mismatch_is_rejected() {
+        let g = regular_graph(50, 4, 16);
+        let accountant = NetworkShuffleAccountant::new(&g).unwrap();
+        let other = regular_graph(20, 4, 17);
+        let schedule =
+            TimeVaryingModel::from_matrices(vec![ns_graph::transition::TransitionMatrix::new(
+                &other,
+            )
+            .unwrap()])
+            .unwrap();
+        assert!(accountant.with_schedule(schedule).is_err());
     }
 
     #[test]

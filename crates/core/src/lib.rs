@@ -27,7 +27,10 @@
 //!   measurements (Section 3.3);
 //! * [`accountant`] — the central-DP guarantees of Theorems 5.3–5.6 and 6.1,
 //!   both as raw closed forms and bound to a concrete graph;
-//! * [`faults`] — lazy-walk fault-tolerance modelling (Section 4.5);
+//! * [`faults`] — fault tolerance under churn (Section 4.5): the lazy-walk
+//!   dropout reduction plus realized outage schedules (i.i.d., bursty
+//!   Markov on-off, adversarial region blackout) for the time-varying
+//!   runtime;
 //! * [`estimation`] — the private mean-estimation utility study of
 //!   Section 5.6 (Figure 9).
 //!
@@ -97,13 +100,13 @@ pub mod prelude {
     pub use crate::adversary::AdversaryView;
     pub use crate::error::{Error, Result};
     pub use crate::estimation::{run_mean_estimation, MeanEstimationConfig, MeanEstimationResult};
-    pub use crate::faults::DropoutModel;
+    pub use crate::faults::{DropoutModel, OutageModel, OutageSchedule};
     pub use crate::metrics::{TrafficMetrics, TrafficRecorder};
     pub use crate::protocol::ProtocolKind;
     pub use crate::report::{Report, Submission};
     pub use crate::server::{CollectedReports, Curator};
     pub use crate::simulation::{
-        expected_empty_holders, run_protocol, run_protocol_with_randomizer, SimulationConfig,
-        SimulationOutcome,
+        expected_empty_holders, run_protocol, run_protocol_under_outages,
+        run_protocol_with_randomizer, SimulationConfig, SimulationOutcome,
     };
 }

@@ -151,6 +151,44 @@ pub fn run_protocol<P: Clone>(
     graph: &Graph,
     payloads: Vec<P>,
     config: SimulationConfig,
+    make_dummy: impl FnMut(&mut SimRng) -> P,
+) -> Result<SimulationOutcome<P>> {
+    run_protocol_inner(graph, payloads, config, None, make_dummy)
+}
+
+/// [`run_protocol`] under a realized outage schedule: round `t` of the
+/// exchange phase runs with `outages.mask(t)` — a report whose chosen
+/// recipient is unavailable stays put, and the failed delivery is not
+/// counted as traffic.  With a fully-available schedule this reproduces
+/// [`run_protocol`] bit for bit (same RNG stream, same submissions, same
+/// metrics); see `tests/churn.rs`.
+///
+/// # Errors
+///
+/// Same as [`run_protocol`], plus [`Error::InvalidConfiguration`] if the
+/// schedule's node count differs from the graph's.
+pub fn run_protocol_under_outages<P: Clone>(
+    graph: &Graph,
+    payloads: Vec<P>,
+    config: SimulationConfig,
+    outages: &crate::faults::OutageSchedule,
+    make_dummy: impl FnMut(&mut SimRng) -> P,
+) -> Result<SimulationOutcome<P>> {
+    if outages.node_count() != graph.node_count() {
+        return Err(Error::InvalidConfiguration(format!(
+            "outage schedule covers {} users but the graph has {}",
+            outages.node_count(),
+            graph.node_count()
+        )));
+    }
+    run_protocol_inner(graph, payloads, config, Some(outages), make_dummy)
+}
+
+fn run_protocol_inner<P: Clone>(
+    graph: &Graph,
+    payloads: Vec<P>,
+    config: SimulationConfig,
+    outages: Option<&crate::faults::OutageSchedule>,
     mut make_dummy: impl FnMut(&mut SimRng) -> P,
 ) -> Result<SimulationOutcome<P>> {
     let n = validate_run_inputs(graph, &payloads, &config)?;
@@ -176,7 +214,19 @@ pub fn run_protocol<P: Clone>(
     // Exchange phase: batched holder-order rounds, metrics streamed.
     let mut engine = MixingEngine::one_walker_per_node(graph)?;
     let mut recorder = TrafficRecorder::new(n);
-    engine.run_holder_observed(config.walk(), &mut rng, &mut recorder)?;
+    match outages {
+        None => engine.run_holder_observed(config.walk(), &mut rng, &mut recorder)?,
+        Some(schedule) => {
+            for t in 0..config.rounds {
+                engine.step_holder_masked(
+                    config.laziness,
+                    schedule.mask(t),
+                    &mut rng,
+                    &mut recorder,
+                );
+            }
+        }
+    }
 
     // Final round: submissions stream to the curator, holders in user order
     // (no intermediate submission buffer).

@@ -389,6 +389,7 @@ impl DistributionEnsemble {
             self.nodes,
             "transition model and ensemble disagree on the node count"
         );
+        let base_round = self.time;
         self.time += rounds;
         if rounds == 0 {
             return;
@@ -417,6 +418,7 @@ impl DistributionEnsemble {
                     advance_block(
                         model,
                         n,
+                        base_round,
                         rounds,
                         rows,
                         &mut scratch_a[..lanes * n],
@@ -432,6 +434,7 @@ impl DistributionEnsemble {
                     advance_block(
                         model,
                         n,
+                        base_round,
                         rounds,
                         rows,
                         &mut scratch_a[..lanes * n],
@@ -445,11 +448,17 @@ impl DistributionEnsemble {
 }
 
 /// Advances one block of `rows.len() / n` rows by `rounds` rounds through
-/// the interleaved double-buffered kernel.  `block_stats`, when given, has
-/// length `lanes * rounds` laid out `[lane * rounds + (t - 1)]`.
+/// the interleaved double-buffered kernel, starting from absolute round
+/// `base_round` (the ensemble's clock before the advance; step `t` of the
+/// block is executed as `propagate_round_*(base_round + t, …)`, which is
+/// what lets time-varying models schedule a distinct operator per round).
+/// `block_stats`, when given, has length `lanes * rounds` laid out
+/// `[lane * rounds + (t - 1)]`.
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing: both drivers pass the same 8 pieces
 fn advance_block<M: TransitionModel + ?Sized>(
     model: &M,
     n: usize,
+    base_round: usize,
     rounds: usize,
     rows: &mut [f64],
     scratch_a: &mut [f64],
@@ -466,7 +475,7 @@ fn advance_block<M: TransitionModel + ?Sized>(
         let mut current: &mut [f64] = rows;
         let mut next: &mut [f64] = scratch_a;
         for t in 0..rounds {
-            model.propagate_into(current, next);
+            model.propagate_round_into(base_round + t, current, next);
             std::mem::swap(&mut current, &mut next);
             if let Some(stats) = block_stats.as_deref_mut() {
                 stats[t] = stats_of(current.iter().copied());
@@ -489,7 +498,7 @@ fn advance_block<M: TransitionModel + ?Sized>(
     let mut current: &mut [f64] = scratch_a;
     let mut next: &mut [f64] = scratch_b;
     for t in 0..rounds {
-        model.propagate_interleaved(lanes, current, next);
+        model.propagate_round_interleaved(base_round + t, lanes, current, next);
         std::mem::swap(&mut current, &mut next);
         if let Some(stats) = block_stats.as_deref_mut() {
             for lane in 0..lanes {
@@ -567,6 +576,7 @@ mod parallel {
                 self.nodes,
                 "transition model and ensemble disagree on the node count"
             );
+            let base_round = self.time;
             self.time += rounds;
             if rounds == 0 || self.sources == 0 {
                 return;
@@ -603,6 +613,7 @@ mod parallel {
                             advance_block(
                                 model,
                                 n,
+                                base_round,
                                 rounds,
                                 rows,
                                 &mut scratch_a[..lanes * n],

@@ -57,6 +57,13 @@ impl Graph {
         Graph { offsets, neighbors }
     }
 
+    /// The raw CSR arrays `(offsets, neighbors)` — used by the dynamic-graph
+    /// delta layer to splice unchanged row spans with bulk copies instead of
+    /// re-walking per-node adjacency.
+    pub(crate) fn csr_parts(&self) -> (&[usize], &[NodeId]) {
+        (&self.offsets, &self.neighbors)
+    }
+
     /// Number of nodes `n` in the graph.
     #[inline]
     pub fn node_count(&self) -> usize {

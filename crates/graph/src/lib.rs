@@ -24,8 +24,13 @@
 //! * spectral-gap estimation via deflated power iteration ([`spectral`]) and
 //!   the mixing-time rule `t ≈ α⁻¹ log n` ([`mixing`]),
 //! * a batched, struct-of-arrays round-execution core shared by the walk
-//!   engine and the protocol simulation, with streaming per-round metrics
-//!   and optional data-parallel rounds ([`mixing_engine`]),
+//!   engine and the protocol simulation, with streaming per-round metrics,
+//!   per-round availability masks and optional data-parallel rounds
+//!   ([`mixing_engine`]),
+//! * time-varying topologies: a dynamic-graph delta layer with incremental
+//!   CSR snapshots, availability-masked transition operators and per-round
+//!   operator schedules that drive the ensemble kernel through products of
+//!   distinct per-round transitions ([`dynamic`]),
 //! * a discrete random-walk engine that moves actual reports between nodes,
 //!   including the lazy walk used for fault-tolerance modelling ([`walk`]),
 //! * simple edge-list I/O ([`io`]).
@@ -57,6 +62,7 @@ pub mod builder;
 pub mod connectivity;
 pub mod degree;
 pub mod distribution;
+pub mod dynamic;
 pub mod ensemble;
 pub mod error;
 pub mod generators;
@@ -82,6 +88,7 @@ pub mod prelude {
     };
     pub use crate::degree::DegreeStats;
     pub use crate::distribution::PositionDistribution;
+    pub use crate::dynamic::{DynTransition, DynamicGraph, MaskedTransition, TimeVaryingModel};
     pub use crate::ensemble::{DistributionEnsemble, EnsembleTrajectory, RowStats};
     pub use crate::error::{GraphError, Result};
     pub use crate::graph::{Graph, NodeId};

@@ -93,6 +93,27 @@ fn sample_move<R: Rng + ?Sized>(
     Some(nbrs[rng.gen_range(0..nbrs.len())])
 }
 
+/// [`sample_move`] under an optional availability mask: the draw sequence
+/// is identical (one lazy `f64`, then one uniform index), but a chosen
+/// recipient that is unavailable turns the move into a stay — the report
+/// could not be delivered this round.  With `None` (or an all-available
+/// mask) this is exactly [`sample_move`], so masked rounds degenerate to
+/// the static forms bit for bit, RNG stream included.
+#[inline]
+fn sample_move_masked<R: Rng + ?Sized>(
+    graph: &Graph,
+    at: NodeId,
+    laziness: f64,
+    available: Option<&[bool]>,
+    rng: &mut R,
+) -> Option<NodeId> {
+    let dest = sample_move(graph, at, laziness, rng)?;
+    match available {
+        Some(mask) if !mask[dest] => None,
+        _ => Some(dest),
+    }
+}
+
 /// Shared, batched executor of exchange rounds over struct-of-arrays state.
 ///
 /// Walker `w` is identified by its index in the position array; callers
@@ -187,6 +208,32 @@ impl<'g> MixingEngine<'g> {
     /// The graph the walkers move on.
     pub fn graph(&self) -> &'g Graph {
         self.graph
+    }
+
+    /// Swaps in a new topology for subsequent rounds — the per-round
+    /// topology hook of the churn runtime.  Walker positions, buckets and
+    /// the round counter carry over unchanged; only where walkers can move
+    /// *next* changes.  The new graph must have the same node count (users
+    /// are stable; churn removes availability, not identity) and no
+    /// isolated nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameters`] on a node-count mismatch,
+    /// [`GraphError::IsolatedNode`] if the new topology has one.
+    pub fn retarget(&mut self, graph: &'g Graph) -> Result<()> {
+        if graph.node_count() != self.graph.node_count() {
+            return Err(GraphError::InvalidParameters(format!(
+                "cannot retarget an engine on {} nodes to a graph with {}",
+                self.graph.node_count(),
+                graph.node_count()
+            )));
+        }
+        if let Some(u) = graph.find_isolated_node() {
+            return Err(GraphError::IsolatedNode(u));
+        }
+        self.graph = graph;
+        Ok(())
     }
 
     /// Number of walkers being tracked.
@@ -286,8 +333,34 @@ impl<'g> MixingEngine<'g> {
     /// This is the fastest round form; it does not maintain holder buckets or
     /// per-round statistics.
     pub fn step<R: Rng + ?Sized>(&mut self, laziness: f64, rng: &mut R) {
+        self.step_inner(laziness, None, rng);
+    }
+
+    /// Executes one walker-order round under an availability mask: a walker
+    /// whose chosen recipient is unavailable stays put for the round (the
+    /// send never happens).  With an all-available mask this consumes the
+    /// RNG and moves walkers exactly like [`MixingEngine::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available.len()` differs from the node count.
+    pub fn step_masked<R: Rng + ?Sized>(&mut self, laziness: f64, available: &[bool], rng: &mut R) {
+        assert_eq!(
+            available.len(),
+            self.graph.node_count(),
+            "availability mask has the wrong length"
+        );
+        self.step_inner(laziness, Some(available), rng);
+    }
+
+    fn step_inner<R: Rng + ?Sized>(
+        &mut self,
+        laziness: f64,
+        available: Option<&[bool]>,
+        rng: &mut R,
+    ) {
         for pos in &mut self.positions {
-            if let Some(dest) = sample_move(self.graph, *pos, laziness, rng) {
+            if let Some(dest) = sample_move_masked(self.graph, *pos, laziness, available, rng) {
                 *pos = dest;
             }
         }
@@ -338,6 +411,40 @@ impl<'g> MixingEngine<'g> {
         rng: &mut R,
         observer: &mut O,
     ) {
+        self.step_holder_inner(laziness, None, rng, observer);
+    }
+
+    /// [`MixingEngine::step_holder`] under an availability mask: a walker
+    /// whose chosen recipient is unavailable stays put (it counts as a
+    /// survivor, not a sent message — the delivery never happened).  With an
+    /// all-available mask the round is bit-for-bit [`MixingEngine::step_holder`],
+    /// RNG stream, bucket order and statistics included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available.len()` differs from the node count.
+    pub fn step_holder_masked<R: Rng + ?Sized, O: RoundObserver>(
+        &mut self,
+        laziness: f64,
+        available: &[bool],
+        rng: &mut R,
+        observer: &mut O,
+    ) {
+        assert_eq!(
+            available.len(),
+            self.graph.node_count(),
+            "availability mask has the wrong length"
+        );
+        self.step_holder_inner(laziness, Some(available), rng, observer);
+    }
+
+    fn step_holder_inner<R: Rng + ?Sized, O: RoundObserver>(
+        &mut self,
+        laziness: f64,
+        available: Option<&[bool]>,
+        rng: &mut R,
+        observer: &mut O,
+    ) {
         self.ensure_buckets();
         let n = self.graph.node_count();
         // Phase 1: decide every walker's move, bucketing survivors and movers.
@@ -362,7 +469,7 @@ impl<'g> MixingEngine<'g> {
             for u in 0..n {
                 let held = &bucket_walkers[bucket_starts[u]..bucket_starts[u + 1]];
                 for &w in held {
-                    match sample_move(graph, u, laziness, rng) {
+                    match sample_move_masked(graph, u, laziness, available, rng) {
                         None => {
                             kept_nodes.push(u as u32);
                             kept_walkers.push(w);
@@ -654,6 +761,87 @@ mod tests {
         let mut engine2 = MixingEngine::one_walker_per_node(&g).unwrap();
         engine2.step_observed(0.0, &mut rng, &mut walker_checker);
         assert_eq!(walker_checker.rounds_seen, 1);
+    }
+
+    #[test]
+    fn masked_rounds_with_everyone_available_are_bitwise_static() {
+        let g = generators::random_regular(150, 6, &mut seeded_rng(9)).unwrap();
+        let mask = vec![true; 150];
+        for laziness in [0.0, 0.25] {
+            let mut plain = MixingEngine::one_walker_per_node(&g).unwrap();
+            let mut masked = MixingEngine::one_walker_per_node(&g).unwrap();
+            let mut rng_a = seeded_rng(77);
+            let mut rng_b = seeded_rng(77);
+            for round in 0..20 {
+                if round % 2 == 0 {
+                    plain.step(laziness, &mut rng_a);
+                    masked.step_masked(laziness, &mask, &mut rng_b);
+                } else {
+                    plain.step_holder(laziness, &mut rng_a, &mut ());
+                    masked.step_holder_masked(laziness, &mask, &mut rng_b, &mut ());
+                }
+            }
+            assert_eq!(plain.positions(), masked.positions());
+            assert_eq!(plain.walkers_by_holder(), masked.walkers_by_holder());
+        }
+    }
+
+    #[test]
+    fn unavailable_recipients_keep_reports_in_place() {
+        let g = generators::random_regular(100, 4, &mut seeded_rng(10)).unwrap();
+        // Blackout: only node 0..10 available; walkers can never land on an
+        // unavailable node, and walkers already there can only leave toward
+        // available nodes (or stay).
+        let mut mask = vec![false; 100];
+        for slot in mask.iter_mut().take(10) {
+            *slot = true;
+        }
+        let mut engine = MixingEngine::one_walker_per_node(&g).unwrap();
+        let before = engine.positions().to_vec();
+        let mut rng = seeded_rng(11);
+        engine.step_masked(0.0, &mask, &mut rng);
+        for (walker, (&now, &was)) in engine.positions().iter().zip(&before).enumerate() {
+            assert!(
+                mask[now] || now == was,
+                "walker {walker} was delivered to unavailable node {now}"
+            );
+        }
+        // The totally-dark network freezes everyone.
+        let dark = vec![false; 100];
+        let frozen = engine.positions().to_vec();
+        engine.step_holder_masked(0.3, &dark, &mut rng, &mut ());
+        assert_eq!(engine.positions(), frozen.as_slice());
+        // The failed sends were not counted as traffic.
+        struct NoTraffic;
+        impl RoundObserver for NoTraffic {
+            fn on_round(&mut self, stats: &RoundStats<'_>) {
+                assert_eq!(stats.sent.iter().sum::<u32>(), 0);
+            }
+        }
+        engine.step_holder_masked(0.3, &dark, &mut rng, &mut NoTraffic);
+    }
+
+    #[test]
+    fn retarget_switches_topology_between_rounds() {
+        let ring = generators::cycle(12).unwrap();
+        let full = generators::complete(12).unwrap();
+        let mut engine = MixingEngine::one_walker_per_node(&ring).unwrap();
+        let mut rng = seeded_rng(12);
+        engine.step(0.0, &mut rng);
+        // On the ring every walker is adjacent to its origin.
+        for (walker, &pos) in engine.positions().iter().enumerate() {
+            assert!(ring.neighbors(walker).contains(&pos));
+        }
+        engine.retarget(&full).unwrap();
+        assert_eq!(engine.round(), 1);
+        engine.step(0.0, &mut rng);
+        assert_eq!(engine.round(), 2);
+        assert!(engine.positions().iter().all(|&p| p < 12));
+        // Mismatched node counts and isolated nodes are rejected.
+        let small = generators::cycle(5).unwrap();
+        assert!(engine.retarget(&small).is_err());
+        let isolated = Graph::from_edges(12, &[(0, 1)]).unwrap();
+        assert!(engine.retarget(&isolated).is_err());
     }
 
     #[test]

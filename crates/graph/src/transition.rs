@@ -60,6 +60,41 @@ pub trait TransitionModel {
             }
         }
     }
+
+    /// [`TransitionModel::propagate_into`] for the step taken at absolute
+    /// round `round` (0-based: the step evolving `P(round)` to
+    /// `P(round + 1)`).
+    ///
+    /// Static backends ignore `round` — the default delegates to
+    /// [`TransitionModel::propagate_into`], so every existing implementor is
+    /// unchanged bit for bit.  Time-varying backends (see
+    /// [`crate::dynamic::TimeVaryingModel`]) override this to dispatch to
+    /// the operator scheduled for that round.  The ensemble kernel drives
+    /// models exclusively through the round-aware entry points, threading
+    /// its own absolute clock through, which is what lets one kernel serve
+    /// static and dynamic topologies alike.
+    fn propagate_round_into(&self, round: usize, p: &[f64], out: &mut [f64]) {
+        let _ = round;
+        self.propagate_into(p, out);
+    }
+
+    /// [`TransitionModel::propagate_interleaved`] for the step taken at
+    /// absolute round `round`; same contract and default-delegation rules as
+    /// [`TransitionModel::propagate_round_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `output` do not have length `lanes * n`.
+    fn propagate_round_interleaved(
+        &self,
+        round: usize,
+        lanes: usize,
+        input: &[f64],
+        output: &mut [f64],
+    ) {
+        let _ = round;
+        self.propagate_interleaved(lanes, input, output);
+    }
 }
 
 /// A black-box transition backend defined by a closure.

@@ -1,0 +1,163 @@
+//! Shared test infrastructure for the workspace integration tests.
+//!
+//! The random-graph builders that used to be duplicated (and subtly
+//! diverging) across the `tests/` binaries live here as reusable
+//! [`proptest`] strategies.  Each strategy draws a whole [`Graph`] from the
+//! per-property deterministic RNG, so failing cases reproduce from the
+//! property name alone, like every other shim strategy.
+//!
+//! Not every test binary uses every helper, hence the module-wide
+//! `allow(dead_code)`.
+
+#![allow(dead_code)]
+
+pub mod strategies {
+    use ns_graph::connectivity::largest_connected_component;
+    use ns_graph::{generators, Graph};
+    use proptest::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for connected Erdős–Rényi graphs: draws `G(n, p)` and keeps
+    /// the largest connected component (callers needing a minimum size
+    /// should `prop_assume!` on `node_count`).
+    #[derive(Debug, Clone)]
+    pub struct ConnectedGnp {
+        /// Range of the *pre-pruning* node count.
+        pub nodes: Range<usize>,
+        /// Range of the edge probability.
+        pub edge_probability: Range<f64>,
+    }
+
+    /// Connected-graph strategy over `G(n, p)` largest components.
+    pub fn connected_gnp(nodes: Range<usize>, edge_probability: Range<f64>) -> ConnectedGnp {
+        ConnectedGnp {
+            nodes,
+            edge_probability,
+        }
+    }
+
+    impl Strategy for ConnectedGnp {
+        type Value = Graph;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Graph {
+            let n = rng.gen_range(self.nodes.clone());
+            let p = rng.gen_range(self.edge_probability.clone());
+            let raw = generators::gnp(n, p, rng).expect("gnp parameters are valid");
+            largest_connected_component(&raw).0
+        }
+    }
+
+    /// Strategy for degree-bounded (k-regular) connected graphs: every node
+    /// has the same degree `k`, clamped and parity-adjusted so the pairing
+    /// model is realizable.
+    #[derive(Debug, Clone)]
+    pub struct DegreeBounded {
+        /// Range of the node count.
+        pub nodes: Range<usize>,
+        /// Range of the (uniform) degree.
+        pub degree: Range<usize>,
+    }
+
+    /// Degree-bounded strategy: `k`-regular graphs with `k` in `degree`.
+    pub fn degree_bounded(nodes: Range<usize>, degree: Range<usize>) -> DegreeBounded {
+        DegreeBounded { nodes, degree }
+    }
+
+    impl Strategy for DegreeBounded {
+        type Value = Graph;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Graph {
+            let n = rng.gen_range(self.nodes.clone());
+            let k = rng.gen_range(self.degree.clone());
+            // The historical `test_graph` adjustment: keep n*k even and
+            // 3 <= k < n so the configuration model always succeeds.
+            let k = k.min(n - 1);
+            let k = if (n * k) % 2 == 1 { k + 1 } else { k };
+            let k = k.clamp(3, n - 1);
+            generators::random_regular(n, k, rng).expect("regular graph parameters are valid")
+        }
+    }
+
+    /// Strategy for stochastic-block-model community graphs (largest
+    /// connected component of a planted-partition draw).
+    #[derive(Debug, Clone)]
+    pub struct Sbm {
+        /// Range of the *pre-pruning* node count.
+        pub nodes: Range<usize>,
+        /// Range of the community count.
+        pub blocks: Range<usize>,
+        /// Range of the within-community edge probability.
+        pub p_within: Range<f64>,
+        /// Range of the across-community edge probability.
+        pub p_across: Range<f64>,
+    }
+
+    /// SBM strategy with the given parameter ranges.
+    pub fn sbm(
+        nodes: Range<usize>,
+        blocks: Range<usize>,
+        p_within: Range<f64>,
+        p_across: Range<f64>,
+    ) -> Sbm {
+        Sbm {
+            nodes,
+            blocks,
+            p_within,
+            p_across,
+        }
+    }
+
+    impl Strategy for Sbm {
+        type Value = Graph;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Graph {
+            let n = rng.gen_range(self.nodes.clone());
+            let blocks = rng.gen_range(self.blocks.clone());
+            let p_in = rng.gen_range(self.p_within.clone());
+            let p_out = rng.gen_range(self.p_across.clone());
+            let raw = generators::stochastic_block_model(n, blocks, p_in, p_out, rng)
+                .expect("sbm parameters are valid");
+            largest_connected_component(&raw).0
+        }
+    }
+
+    /// A mixed-family strategy: each draw picks one of five families
+    /// uniformly — degree-bounded regular, connected G(n, p), SBM, and the
+    /// heavy-tailed pair (Barabási–Albert, Chung–Lu), whose hub degrees are
+    /// exactly what stresses the blocked kernel's remainder lanes and the
+    /// exact accountant.  This is the "any reasonable communication graph"
+    /// input of the determinism and conservation properties.
+    #[derive(Debug, Clone)]
+    pub struct GraphZoo {
+        /// Range of the (pre-pruning) node count for every family.
+        pub nodes: Range<usize>,
+    }
+
+    /// Mixed-family graph strategy over the given node-count range.
+    pub fn graph_zoo(nodes: Range<usize>) -> GraphZoo {
+        GraphZoo { nodes }
+    }
+
+    impl Strategy for GraphZoo {
+        type Value = Graph;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Graph {
+            match rng.gen_range(0usize..5) {
+                0 => degree_bounded(self.nodes.clone(), 3..8).sample_value(rng),
+                1 => connected_gnp(self.nodes.clone(), 0.04..0.3).sample_value(rng),
+                2 => sbm(self.nodes.clone(), 3..7, 0.1..0.3, 0.005..0.05).sample_value(rng),
+                3 => {
+                    let n = rng.gen_range(self.nodes.clone()).max(5);
+                    generators::barabasi_albert(n, 2, rng).expect("ba parameters are valid")
+                }
+                _ => {
+                    let n = rng.gen_range(self.nodes.clone());
+                    let weights: Vec<f64> = (0..n).map(|i| 2.0 + (i % 7) as f64).collect();
+                    let raw = generators::chung_lu(&weights, rng).expect("chung-lu weights");
+                    largest_connected_component(&raw).0
+                }
+            }
+        }
+    }
+}

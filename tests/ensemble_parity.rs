@@ -6,6 +6,9 @@
 //! must relate to the spectral bound the way the theory says, and the
 //! `parallel` feature must never change a single bit of any result.
 
+mod common;
+
+use common::strategies;
 use network_shuffle::prelude::*;
 use ns_graph::connectivity::largest_connected_component;
 use ns_graph::distribution::PositionDistribution;
@@ -170,30 +173,19 @@ fn streaming_moments_match_materialized_ensemble() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Parallel-vs-sequential determinism across generator families: the
-    /// block-parallel ensemble advance must produce bitwise-identical rows
-    /// and trajectories for any graph, origin set, laziness and round
-    /// count.  (The root test target enables the `parallel` feature of
-    /// ns-graph, so both paths are available in one build.)
+    /// Parallel-vs-sequential determinism across generator families (the
+    /// shared mixed-family strategy: degree-bounded, connected G(n, p) and
+    /// SBM draws): the block-parallel ensemble advance must produce
+    /// bitwise-identical rows and trajectories for any graph, origin set,
+    /// laziness and round count.  (The root test target enables the
+    /// `parallel` feature of ns-graph, so both paths are available in one
+    /// build.)
     #[test]
     fn parallel_ensemble_is_bitwise_deterministic(
-        seed in 0u64..1_000,
-        n in 60usize..220,
-        kind in 0usize..3,
+        graph in strategies::graph_zoo(60..220),
         rounds in 1usize..12,
         laziness_pct in 0usize..60,
     ) {
-        let mut rng = seeded_rng(seed);
-        let graph = match kind {
-            0 => ns_graph::generators::random_regular(n - (n % 2), 4, &mut rng).unwrap(),
-            1 => ns_graph::generators::barabasi_albert(n, 2, &mut rng).unwrap(),
-            _ => {
-                let weights: Vec<f64> = (0..n).map(|i| 2.0 + (i % 7) as f64).collect();
-                largest_connected_component(
-                    &ns_graph::generators::chung_lu(&weights, &mut rng).unwrap(),
-                ).0
-            }
-        };
         let nodes = graph.node_count();
         prop_assume!(nodes >= 8);
         let laziness = laziness_pct as f64 / 100.0;

@@ -1,19 +1,18 @@
 //! Property-based tests of the protocol and walk invariants.
+//!
+//! Random graphs are drawn through the shared strategy module
+//! (`tests/common`): degree-bounded regular graphs for the protocol
+//! properties, connected G(n, p) components for the transition-matrix
+//! invariants.
 
+mod common;
+
+use common::strategies;
 use network_shuffle::prelude::*;
 use ns_graph::distribution::PositionDistribution;
-use ns_graph::generators::{gnp, random_regular};
+use ns_graph::generators::random_regular;
 use ns_graph::transition::TransitionMatrix;
-use ns_graph::Graph;
 use proptest::prelude::*;
-
-/// Builds a connected, non-bipartite test graph from proptest parameters.
-fn test_graph(n: usize, k: usize, seed: u64) -> Graph {
-    let k = k.min(n - 1);
-    let k = if (n * k) % 2 == 1 { k + 1 } else { k };
-    let k = k.clamp(3, n - 1);
-    random_regular(n, k, &mut ns_graph::rng::seeded_rng(seed)).expect("regular graph")
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -22,13 +21,11 @@ proptest! {
     /// curator, regardless of graph, rounds, laziness or seed.
     #[test]
     fn a_all_conserves_reports(
-        n in 10usize..120,
-        k in 3usize..8,
+        graph in strategies::degree_bounded(10..120, 3..8),
         rounds in 0usize..25,
         laziness in 0.0f64..0.9,
         seed in 0u64..1_000,
     ) {
-        let graph = test_graph(n, k, seed);
         let n = graph.node_count();
         let payloads: Vec<u32> = (0..n as u32).collect();
         let config = SimulationConfig { rounds, laziness, protocol: ProtocolKind::All, seed };
@@ -48,12 +45,10 @@ proptest! {
     /// no genuine origin is duplicated.
     #[test]
     fn a_single_sends_exactly_one_report_each(
-        n in 10usize..120,
-        k in 3usize..8,
+        graph in strategies::degree_bounded(10..120, 3..8),
         rounds in 1usize..25,
         seed in 0u64..1_000,
     ) {
-        let graph = test_graph(n, k, seed);
         let n = graph.node_count();
         let payloads: Vec<u32> = (0..n as u32).collect();
         let outcome =
@@ -80,12 +75,10 @@ proptest! {
     /// reports.
     #[test]
     fn traffic_metrics_match_conservation_laws(
-        n in 10usize..100,
-        k in 3usize..6,
+        graph in strategies::degree_bounded(10..100, 3..6),
         rounds in 0usize..20,
         seed in 0u64..500,
     ) {
-        let graph = test_graph(n, k, seed);
         let n = graph.node_count();
         let outcome = run_protocol(
             &graph,
@@ -103,14 +96,10 @@ proptest! {
     /// entry non-negative, for arbitrary connected graphs and laziness.
     #[test]
     fn transition_preserves_probability(
-        n in 5usize..200,
-        p_edge in 0.05f64..0.5,
+        graph in strategies::connected_gnp(5..200, 0.05..0.5),
         laziness in 0.0f64..0.95,
-        seed in 0u64..1_000,
         origin_choice in 0usize..10_000,
     ) {
-        let raw = gnp(n, p_edge, &mut ns_graph::rng::seeded_rng(seed)).unwrap();
-        let (graph, _) = ns_graph::connectivity::largest_connected_component(&raw);
         prop_assume!(graph.node_count() >= 2);
         let transition = TransitionMatrix::with_laziness(&graph, laziness).unwrap();
         let origin = origin_choice % graph.node_count();
@@ -129,13 +118,11 @@ proptest! {
     /// always sums to the number of walkers.
     #[test]
     fn walk_engine_invariants(
-        n in 10usize..150,
-        k in 3usize..8,
+        graph in strategies::degree_bounded(10..150, 3..8),
         rounds in 1usize..30,
         laziness in 0.0f64..0.9,
         seed in 0u64..1_000,
     ) {
-        let graph = test_graph(n, k, seed);
         let n = graph.node_count();
         let mut engine = ns_graph::walk::WalkEngine::one_walker_per_node(&graph).unwrap();
         let mut rng = ns_graph::rng::seeded_rng(seed);
@@ -148,12 +135,10 @@ proptest! {
     /// Determinism: identical seeds produce identical curator views.
     #[test]
     fn simulation_is_deterministic(
-        n in 10usize..80,
-        k in 3usize..6,
+        graph in strategies::degree_bounded(10..80, 3..6),
         rounds in 1usize..15,
         seed in 0u64..300,
     ) {
-        let graph = test_graph(n, k, seed);
         let n = graph.node_count();
         let run = || {
             let outcome = run_protocol(
