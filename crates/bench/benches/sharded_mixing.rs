@@ -1,0 +1,46 @@
+//! Shard-count sweep of the sharded mixing engine at fixed population.
+//!
+//! Measures the cost of one exchange-round budget (engine construction plus
+//! `ROUNDS` holder-order rounds) as the shard count grows at `n = 100_000`:
+//! the sequential sweep isolates the overhead of the per-shard sampling
+//! phase plus the counting-sort exchange versus the monolithic engine
+//! (`k = 1` is bit-for-bit the single-engine path).  With
+//! `--features parallel` the same sweep exercises the threaded sampling
+//! phase instead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ns_graph::generators::random_regular;
+use ns_graph::partition::Partition;
+use ns_graph::rng::seeded_rng;
+use ns_graph::sharded_engine::ShardedMixingEngine;
+
+const USERS: usize = 100_000;
+const DEGREE: usize = 8;
+const ROUNDS: usize = 10;
+
+fn bench_shard_count_sweep(c: &mut Criterion) {
+    let graph = random_regular(USERS, DEGREE, &mut seeded_rng(1)).expect("graph");
+    let mut group = c.benchmark_group("sharded_mixing_100k");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        let partition = Partition::new(&graph, shards).expect("partition");
+        group.bench_with_input(
+            BenchmarkId::new("rounds", shards),
+            &partition,
+            |b, partition| {
+                b.iter(|| {
+                    let mut engine = ShardedMixingEngine::one_walker_per_node(&graph, partition, 7)
+                        .expect("engine");
+                    for _ in 0..ROUNDS {
+                        engine.step_auto(0.0, &mut ());
+                    }
+                    black_box(engine.position(0))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_count_sweep);
+criterion_main!(benches);

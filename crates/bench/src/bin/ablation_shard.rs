@@ -1,0 +1,141 @@
+//! Sharding ablation — what the edge cut costs, in throughput and in ε.
+//!
+//! On the Twitch stand-in, the shard count is swept and three things are
+//! measured per `k`:
+//!
+//! * **partition quality** — edge-cut fraction and shard imbalance of the
+//!   deterministic degree-balanced partitioner;
+//! * **engine throughput** — rounds/s of the multi-shard engine (the full
+//!   walk: cross-shard deliveries are routed through the exchange phase);
+//! * **privacy of the cut-restricted deployment** — the worst user's
+//!   **exact** central ε (`A_single`) when cross-shard exchange is
+//!   *disabled* (a cut-crossing delivery bounces back), computed by
+//!   evolving **all** origins through the batched ensemble kernel under
+//!   [`IntraShardTransition`].  The `k = 1` row is the ordinary full-graph
+//!   walk, so the column directly prices the edge cut in ε: mass confined
+//!   to a shard floors at the shard-local collision probability and the
+//!   mixing-time budget buys correspondingly less.
+//!
+//! ```text
+//! cargo run --release -p ns-bench --bin ablation_shard
+//! ```
+
+use network_shuffle::prelude::*;
+use ns_bench::{fmt, print_table, scale_divisor, write_csv, DELTA, SEED};
+use ns_datasets::Dataset;
+use ns_graph::ensemble::DistributionEnsemble;
+use ns_graph::partition::{IntraShardTransition, Partition};
+use ns_graph::sharded_engine::ShardedMixingEngine;
+use std::time::Instant;
+
+fn main() {
+    let epsilon_0 = 2.0;
+    // Exact all-origin accounting is O(n · t · (n + m)) here (the
+    // cut-restricted operator uses the generic lane path): run on a
+    // quarter-scale Twitch stand-in like the churn ablation.
+    let divisor = scale_divisor(Dataset::Twitch).max(4);
+    let generated = Dataset::Twitch
+        .generate_scaled(divisor, SEED)
+        .expect("twitch stand-in");
+    let graph = &generated.graph;
+    let n = graph.node_count();
+
+    let accountant = NetworkShuffleAccountant::new(graph).expect("ergodic graph");
+    let t_mix = accountant.mixing_time();
+    let params =
+        AccountantParams::new(n, epsilon_0, DELTA, DELTA).expect("valid accountant params");
+    let throughput_rounds = 100usize;
+    println!(
+        "Twitch stand-in: n = {n}, m = {} edges, mixing time = {t_mix}; \
+         worst-user exact eps (A_single, eps0 = {epsilon_0}) at t_mix and 2 t_mix",
+        graph.edge_count()
+    );
+
+    // Exact (worst, mean) epsilon of the cut-restricted walk at a horizon:
+    // evolve every origin under the intra-shard operator and fold.
+    let epsilon_profile = |ensemble: &DistributionEnsemble| -> (f64, f64) {
+        let mut worst = f64::NEG_INFINITY;
+        let mut total = 0.0;
+        for row in 0..ensemble.sources() {
+            let eps = single_protocol_epsilon(&params, ensemble.row_stats(row).sum_of_squares)
+                .expect("moments in domain")
+                .epsilon;
+            worst = worst.max(eps);
+            total += eps;
+        }
+        (worst, total / ensemble.sources() as f64)
+    };
+
+    let headers = [
+        "shards",
+        "edge_cut_fraction",
+        "max_shard_imbalance",
+        "cut_isolated_users",
+        "rounds_per_s",
+        "worst_eps_intra_tmix",
+        "mean_eps_intra_tmix",
+        "mean_eps_intra_2tmix",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut baseline_tmix = f64::NAN;
+    for k in [1usize, 2, 4, 8, 16] {
+        if k > n {
+            continue;
+        }
+        let partition = Partition::new(graph, k).expect("partition");
+
+        // Throughput of the full sharded walk (cross-shard routing on).
+        let mut engine =
+            ShardedMixingEngine::one_walker_per_node(graph, &partition, SEED).expect("engine");
+        let start = Instant::now();
+        for _ in 0..throughput_rounds {
+            engine.step(0.0, &mut ());
+        }
+        let rounds_per_s = throughput_rounds as f64 / start.elapsed().as_secs_f64();
+
+        // Exact accounting of the cut-restricted walk, one pass per horizon.
+        let model = IntraShardTransition::new(graph, &partition, 0.0).expect("operator");
+        let mut ensemble = DistributionEnsemble::all_origins(n).expect("ensemble");
+        ensemble.advance(&model, t_mix);
+        let (worst_tmix, mean_tmix) = epsilon_profile(&ensemble);
+        ensemble.advance(&model, t_mix);
+        let (_, mean_2tmix) = epsilon_profile(&ensemble);
+        if k == 1 {
+            baseline_tmix = mean_tmix;
+        }
+
+        println!(
+            "k = {k:>2}: cut {:>5.1}%, imbalance {:.3}, {:>3} cut-isolated, {rounds_per_s:.0} \
+             rounds/s, mean eps(t_mix) = {} ({:.2}x the full-graph walk), worst = {}",
+            100.0 * partition.edge_cut_fraction(),
+            partition.max_shard_imbalance(),
+            partition.cut_isolated_count(),
+            fmt(mean_tmix),
+            mean_tmix / baseline_tmix,
+            fmt(worst_tmix)
+        );
+        rows.push(vec![
+            k.to_string(),
+            fmt(partition.edge_cut_fraction()),
+            fmt(partition.max_shard_imbalance()),
+            partition.cut_isolated_count().to_string(),
+            fmt(rounds_per_s),
+            fmt(worst_tmix),
+            fmt(mean_tmix),
+            fmt(mean_2tmix),
+        ]);
+    }
+
+    print_table(
+        "Sharding ablation: partition quality, throughput, and the exact price of never crossing the cut",
+        &headers,
+        &rows,
+    );
+    write_csv("ablation_shard", &headers, &rows);
+    println!(
+        "\nreading the table: the engine pays nothing for sharding (the walk is identical, only\n\
+         execution is split), but a deployment that *refuses* to cross the cut pays in epsilon —\n\
+         confined reports floor at their shard's collision probability, and the floor rises\n\
+         with the cut fraction. The exact accountant prices that trade directly."
+    );
+}

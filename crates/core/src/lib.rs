@@ -31,6 +31,10 @@
 //!   dropout reduction plus realized outage schedules (i.i.d., bursty
 //!   Markov on-off, adversarial region blackout) for the time-varying
 //!   runtime;
+//! * [`service`] — the sharded shuffle runtime: a coordinator that admits
+//!   report batches, runs multi-shard exchange rounds and quotes live
+//!   worst-user `(ε, δ)` mid-run through a streaming online accountant, so
+//!   uploads can be gated on a privacy budget;
 //! * [`estimation`] — the private mean-estimation utility study of
 //!   Section 5.6 (Figure 9).
 //!
@@ -86,6 +90,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod report;
 pub mod server;
+pub mod service;
 pub mod simulation;
 
 pub use error::{Error, Result};
@@ -105,6 +110,7 @@ pub mod prelude {
     pub use crate::protocol::ProtocolKind;
     pub use crate::report::{Report, Submission};
     pub use crate::server::{CollectedReports, Curator};
+    pub use crate::service::{CoordinatorConfig, ShuffleCoordinator, StreamingAccountant};
     pub use crate::simulation::{
         expected_empty_holders, run_protocol, run_protocol_under_outages,
         run_protocol_with_randomizer, SimulationConfig, SimulationOutcome,

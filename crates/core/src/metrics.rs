@@ -94,6 +94,18 @@ impl TrafficRecorder {
         }
     }
 
+    /// A recorder whose per-user peaks start from an explicit initial load —
+    /// used by the service layer, where batch admission can leave some users
+    /// holding zero (or several) reports before the first round.  With one
+    /// report per user this is exactly [`TrafficRecorder::new`].
+    pub fn with_initial_load(initial_load: &[usize]) -> Self {
+        TrafficRecorder {
+            rounds: 0,
+            messages_per_user: vec![0; initial_load.len()],
+            peak_reports_per_user: initial_load.to_vec(),
+        }
+    }
+
     /// Finishes the recording, attaching the curator-side report count.
     pub fn into_metrics(self, server_reports: usize) -> TrafficMetrics {
         TrafficMetrics {

@@ -1,0 +1,736 @@
+//! The sharded shuffle service: a coordinator with a streaming online
+//! accountant.
+//!
+//! Everything below the service layer answers *offline* questions — run a
+//! whole protocol, then account for it.  A deployment asks the *online*
+//! form: reports arrive in batches, rounds execute shard by shard, and an
+//! operator wants to know, **mid-run**, "what is the current worst user's
+//! `(ε, δ)` if uploads happened right now?" so uploads can be gated on a
+//! target budget instead of a precomputed round count.
+//!
+//! [`ShuffleCoordinator`] owns that loop:
+//!
+//! 1. **Admission** — reports are admitted in batches
+//!    ([`ShuffleCoordinator::admit`] /
+//!    [`ShuffleCoordinator::admit_population`]), sealed once for the curator
+//!    in a flat arena, and released into the exchange phase together
+//!    ([`ShuffleCoordinator::begin_exchange`]).
+//! 2. **Rounds** — each round is executed by the multi-shard engine
+//!    ([`ns_graph::sharded_engine::ShardedMixingEngine`]) with per-shard
+//!    deterministic streams, traffic metrics streaming into a
+//!    [`TrafficRecorder`], and — in lockstep — the streaming accountant
+//!    advancing its tracked distributions by one round.
+//! 3. **Quotes & gating** — [`ShuffleCoordinator::live_quote`] returns the
+//!    worst tracked user's current guarantee without stopping the run;
+//!    [`ShuffleCoordinator::run_until_epsilon`] keeps exchanging until a
+//!    target ε is met (or a round budget runs out).
+//! 4. **Finalization** — [`ShuffleCoordinator::finalize`] applies the
+//!    protocol's submission rule per user, drawing each user's choice from
+//!    her *shard's* stream, and hands the curator's collection plus metrics
+//!    back.
+//!
+//! The streaming accountant ([`StreamingAccountant`]) keeps, per shard, a
+//! [`DistributionEnsemble`] over that shard's tracked origins (all of them,
+//! or the lowest-degree ones — the slowest mixers and therefore the worst-ε
+//! candidates) and advances it one round per protocol round through the
+//! exact batched kernel.  With every origin tracked, the live quote equals
+//! [`crate::accountant::NetworkShuffleAccountant::worst_user_guarantee`] at
+//! the same round — the offline and online accountants cannot drift
+//! (`tests/sharded_engine.rs`).
+//!
+//! **Degeneracy contract.**  Under the canonical 1-shard partition with a
+//! full population, the coordinator reproduces
+//! [`crate::simulation::run_protocol`] bit for bit — same walk, same
+//! submissions, same [`TrafficMetrics`] — because shard 0's stream *is* the
+//! protocol RNG and finalization draws continue it in submitter order.
+
+use crate::accountant::closed_form::{
+    all_protocol_epsilon, single_protocol_epsilon, AccountantParams,
+};
+use crate::crypto::Envelope;
+use crate::error::{Error, Result};
+use crate::metrics::{TrafficMetrics, TrafficRecorder};
+use crate::protocol::client::{FinalizeChoice, FinalizePolicy, SealedSubmission};
+use crate::protocol::ProtocolKind;
+use crate::report::Report;
+use crate::server::Curator;
+use crate::simulation::SimulationOutcome;
+use ns_dp::types::PrivacyGuarantee;
+use ns_graph::ensemble::{DistributionEnsemble, RowStats};
+use ns_graph::partition::Partition;
+use ns_graph::rng::SimRng;
+use ns_graph::sharded_engine::ShardedMixingEngine;
+use ns_graph::transition::TransitionMatrix;
+use ns_graph::walk::validate_laziness;
+use ns_graph::{Graph, NodeId};
+
+/// Configuration of a sharded shuffle deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoordinatorConfig {
+    /// Base seed; shard `s` draws from
+    /// [`ns_graph::sharded_engine::shard_stream`]`(seed, s)`.
+    pub seed: u64,
+    /// Per-round stay probability of the exchange walk (0 for the plain
+    /// protocol).
+    pub laziness: f64,
+    /// The reporting protocol users run at finalization.
+    pub protocol: ProtocolKind,
+    /// How many origins per shard the streaming accountant tracks exactly
+    /// (`usize::MAX` tracks every origin).  Tracked origins are each shard's
+    /// lowest-degree users — the slowest mixers.
+    pub tracked_per_shard: usize,
+}
+
+impl CoordinatorConfig {
+    /// A plain `A_all` deployment tracking `tracked_per_shard` origins.
+    pub fn all(seed: u64, tracked_per_shard: usize) -> Self {
+        CoordinatorConfig {
+            seed,
+            laziness: 0.0,
+            protocol: ProtocolKind::All,
+            tracked_per_shard,
+        }
+    }
+
+    /// A plain `A_single` deployment tracking `tracked_per_shard` origins.
+    pub fn single(seed: u64, tracked_per_shard: usize) -> Self {
+        CoordinatorConfig {
+            seed,
+            laziness: 0.0,
+            protocol: ProtocolKind::Single,
+            tracked_per_shard,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if `laziness ∉ [0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        validate_laziness(self.laziness).map_err(Error::InvalidConfiguration)
+    }
+}
+
+/// One shard's tracked origins and their evolving distributions.
+#[derive(Debug, Clone)]
+struct TrackedShard {
+    /// Global ids of the tracked origins, in tracking order (degree
+    /// ascending, ties by id).
+    origins: Vec<NodeId>,
+    /// Row `r` is the exact position distribution of `origins[r]`'s report.
+    ensemble: DistributionEnsemble,
+}
+
+/// Streaming exact accounting over per-shard tracked origins.
+///
+/// The accountant evolves the tracked origins' position distributions under
+/// the static (lazy) walk operator, one round per call to
+/// [`StreamingAccountant::advance_round`], through the batched ensemble
+/// kernel — so a quote is always available at the engine's current round
+/// for the cost of a [`RowStats`] fold, and the evolution is bitwise the
+/// offline ensemble route restricted to the tracked rows.
+#[derive(Debug, Clone)]
+pub struct StreamingAccountant {
+    transition: TransitionMatrix,
+    shards: Vec<TrackedShard>,
+    round: usize,
+}
+
+impl StreamingAccountant {
+    /// Builds the accountant for `graph` under `partition`, tracking up to
+    /// `tracked_per_shard` of each shard's lowest-degree origins (ties by
+    /// id; `usize::MAX` tracks everyone).
+    ///
+    /// # Errors
+    ///
+    /// Graph/laziness validation errors from the transition matrix.
+    pub fn new(
+        graph: &Graph,
+        partition: &Partition,
+        laziness: f64,
+        tracked_per_shard: usize,
+    ) -> Result<Self> {
+        if partition.node_count() != graph.node_count() {
+            return Err(Error::InvalidConfiguration(format!(
+                "partition covers {} users but the graph has {}",
+                partition.node_count(),
+                graph.node_count()
+            )));
+        }
+        if tracked_per_shard == 0 {
+            return Err(Error::InvalidConfiguration(
+                "the streaming accountant needs at least one tracked origin per shard".into(),
+            ));
+        }
+        let transition = TransitionMatrix::with_laziness(graph, laziness)?;
+        let n = graph.node_count();
+        let mut shards = Vec::with_capacity(partition.shard_count());
+        for shard in partition.shards() {
+            let mut origins: Vec<NodeId> = shard.nodes().to_vec();
+            origins.sort_by_key(|&u| (graph.degree(u), u));
+            origins.truncate(tracked_per_shard.min(origins.len()));
+            let ensemble = DistributionEnsemble::point_masses(n, &origins)?;
+            shards.push(TrackedShard { origins, ensemble });
+        }
+        Ok(StreamingAccountant {
+            transition,
+            shards,
+            round: 0,
+        })
+    }
+
+    /// Rounds the tracked distributions have been advanced by.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Total tracked origins across all shards.
+    pub fn tracked_count(&self) -> usize {
+        self.shards.iter().map(|s| s.origins.len()).sum()
+    }
+
+    /// Advances every tracked distribution by one round.
+    pub fn advance_round(&mut self) {
+        for shard in self.shards.iter_mut() {
+            shard.ensemble.advance_auto(&self.transition, 1);
+        }
+        self.round += 1;
+    }
+
+    /// The component-wise worst accounting moments over all tracked origins.
+    pub fn worst_stats(&self) -> RowStats {
+        let mut worst = RowStats::default();
+        for shard in &self.shards {
+            for row in 0..shard.ensemble.sources() {
+                let stats = shard.ensemble.row_stats(row);
+                worst.sum_of_squares = worst.sum_of_squares.max(stats.sum_of_squares);
+                worst.support_ratio = worst.support_ratio.max(stats.support_ratio);
+            }
+        }
+        worst
+    }
+
+    /// The worst tracked user's current guarantee: each tracked origin's ε
+    /// is evaluated from its own exact moments and the maximum is returned
+    /// with its origin.
+    ///
+    /// # Errors
+    ///
+    /// Parameter validation errors from the closed forms.
+    pub fn worst_quote(
+        &self,
+        protocol: ProtocolKind,
+        params: &AccountantParams,
+    ) -> Result<(NodeId, PrivacyGuarantee)> {
+        let mut worst: Option<(NodeId, PrivacyGuarantee)> = None;
+        for shard in &self.shards {
+            let candidate = Self::shard_worst(shard, protocol, params)?;
+            let beats = worst
+                .as_ref()
+                .is_none_or(|(_, current)| candidate.1.epsilon > current.epsilon);
+            if beats {
+                worst = Some(candidate);
+            }
+        }
+        worst.ok_or_else(|| {
+            Error::InvalidConfiguration("the streaming accountant tracks no origins".into())
+        })
+    }
+
+    /// Per-shard worst quotes, in shard-id order — the operator's view of
+    /// which shard is currently limiting the deployment.
+    ///
+    /// # Errors
+    ///
+    /// Parameter validation errors from the closed forms.
+    pub fn shard_quotes(
+        &self,
+        protocol: ProtocolKind,
+        params: &AccountantParams,
+    ) -> Result<Vec<(NodeId, PrivacyGuarantee)>> {
+        self.shards
+            .iter()
+            .map(|shard| Self::shard_worst(shard, protocol, params))
+            .collect()
+    }
+
+    /// The single per-origin fold both quote forms share: evaluate every
+    /// tracked origin of one shard and keep the strictly-largest ε (ties
+    /// keep the earliest tracked origin).
+    fn shard_worst(
+        shard: &TrackedShard,
+        protocol: ProtocolKind,
+        params: &AccountantParams,
+    ) -> Result<(NodeId, PrivacyGuarantee)> {
+        let mut worst: Option<(NodeId, PrivacyGuarantee)> = None;
+        for (row, &origin) in shard.origins.iter().enumerate() {
+            let stats = shard.ensemble.row_stats(row);
+            let guarantee = guarantee_from_stats(protocol, params, &stats)?;
+            let beats = worst
+                .as_ref()
+                .is_none_or(|(_, current)| guarantee.epsilon > current.epsilon);
+            if beats {
+                worst = Some((origin, guarantee));
+            }
+        }
+        worst.ok_or_else(|| Error::InvalidConfiguration("a shard tracks no origins".into()))
+    }
+}
+
+/// Evaluates the closed form for one origin's moments (the same rule the
+/// offline accountant applies).
+fn guarantee_from_stats(
+    protocol: ProtocolKind,
+    params: &AccountantParams,
+    stats: &RowStats,
+) -> Result<PrivacyGuarantee> {
+    match protocol {
+        ProtocolKind::All => {
+            all_protocol_epsilon(params, stats.sum_of_squares, stats.support_ratio)
+        }
+        ProtocolKind::Single => single_protocol_epsilon(params, stats.sum_of_squares),
+    }
+}
+
+/// The sharded shuffle coordinator: admission, rounds, live quotes,
+/// finalization.  See the [module docs](self).
+#[derive(Debug)]
+pub struct ShuffleCoordinator<'g, P> {
+    graph: &'g Graph,
+    partition: &'g Partition,
+    config: CoordinatorConfig,
+    curator: Curator,
+    /// Sealed report of walker `w` (taken on submission).
+    arena: Vec<Option<Envelope<Report<P>>>>,
+    /// Origin of walker `w` (where its report starts, and who produced it).
+    origins: Vec<NodeId>,
+    /// The exchange engine; `None` until [`ShuffleCoordinator::begin_exchange`].
+    engine: Option<ShardedMixingEngine<'g>>,
+    recorder: TrafficRecorder,
+    accountant: StreamingAccountant,
+}
+
+impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
+    /// Creates an idle coordinator: reports can be admitted, no rounds have
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation errors; graph/partition mismatch errors from
+    /// the streaming accountant.
+    pub fn new(
+        graph: &'g Graph,
+        partition: &'g Partition,
+        config: CoordinatorConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        if let Some(u) = graph.find_isolated_node() {
+            return Err(ns_graph::GraphError::IsolatedNode(u).into());
+        }
+        let accountant =
+            StreamingAccountant::new(graph, partition, config.laziness, config.tracked_per_shard)?;
+        Ok(ShuffleCoordinator {
+            graph,
+            partition,
+            config,
+            curator: Curator::new(),
+            arena: Vec::new(),
+            origins: Vec::new(),
+            engine: None,
+            recorder: TrafficRecorder::new(0),
+            accountant,
+        })
+    }
+
+    /// The coordinator's configuration.
+    pub fn config(&self) -> &CoordinatorConfig {
+        &self.config
+    }
+
+    /// The streaming accountant (for direct inspection of tracked moments).
+    pub fn accountant(&self) -> &StreamingAccountant {
+        &self.accountant
+    }
+
+    /// Number of reports admitted so far.
+    pub fn report_count(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.engine.as_ref().map_or(0, ShardedMixingEngine::round)
+    }
+
+    /// Admits one batch of reports: `batch[i] = (origin, payload)` seals
+    /// `payload` for the curator and stages it at `origin`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if the exchange phase has already
+    /// started or an origin is out of range.
+    pub fn admit(&mut self, batch: Vec<(NodeId, P)>) -> Result<()> {
+        if self.engine.is_some() {
+            return Err(Error::InvalidConfiguration(
+                "cannot admit reports after the exchange phase started".into(),
+            ));
+        }
+        let n = self.graph.node_count();
+        // Validate the whole batch before staging anything: admission is
+        // all-or-nothing, so a failed batch can be fixed and re-admitted
+        // without duplicating its valid prefix.
+        if let Some(entry) = batch.iter().find(|entry| entry.0 >= n) {
+            return Err(ns_graph::GraphError::NodeOutOfRange {
+                node: entry.0,
+                node_count: n,
+            }
+            .into());
+        }
+        for (origin, payload) in batch {
+            self.arena.push(Some(Envelope::seal(
+                self.curator.public_key(),
+                Report::genuine(origin, payload),
+            )));
+            self.origins.push(origin);
+        }
+        Ok(())
+    }
+
+    /// Admits the canonical full population: `payloads[i]` is user `i`'s
+    /// locally randomized report.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if the payload count differs from the
+    /// user count or admission is closed.
+    pub fn admit_population(&mut self, payloads: Vec<P>) -> Result<()> {
+        let n = self.graph.node_count();
+        if payloads.len() != n {
+            return Err(Error::InvalidConfiguration(format!(
+                "expected {n} payloads (one per user), got {}",
+                payloads.len()
+            )));
+        }
+        self.admit(payloads.into_iter().enumerate().collect())
+    }
+
+    /// Closes admission and builds the sharded engine over the admitted
+    /// reports.  Idempotent once started is *not* supported: admission is a
+    /// phase, not a stream (run a new coordinator per collection epoch).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if no reports were admitted or the
+    /// exchange already started; engine construction errors otherwise.
+    pub fn begin_exchange(&mut self) -> Result<()> {
+        if self.engine.is_some() {
+            return Err(Error::InvalidConfiguration(
+                "the exchange phase already started".into(),
+            ));
+        }
+        if self.origins.is_empty() {
+            return Err(Error::InvalidConfiguration(
+                "no reports admitted; nothing to exchange".into(),
+            ));
+        }
+        let mut initial_load = vec![0usize; self.graph.node_count()];
+        for &origin in &self.origins {
+            initial_load[origin] += 1;
+        }
+        self.recorder = TrafficRecorder::with_initial_load(&initial_load);
+        self.engine = Some(ShardedMixingEngine::with_starts(
+            self.graph,
+            self.partition,
+            self.origins.clone(),
+            self.config.seed,
+        )?);
+        Ok(())
+    }
+
+    /// Executes `rounds` exchange rounds (threaded under the `parallel`
+    /// feature), advancing the streaming accountant in lockstep.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if [`ShuffleCoordinator::begin_exchange`]
+    /// has not been called.
+    pub fn run_rounds(&mut self, rounds: usize) -> Result<()> {
+        let engine = self.engine.as_mut().ok_or_else(|| {
+            Error::InvalidConfiguration("call begin_exchange() before running rounds".into())
+        })?;
+        for _ in 0..rounds {
+            engine.step_auto(self.config.laziness, &mut self.recorder);
+            self.accountant.advance_round();
+        }
+        Ok(())
+    }
+
+    /// The worst tracked user's guarantee **at the current round** — the
+    /// mid-run operator quote.  Valid before, during and after the exchange
+    /// phase.
+    ///
+    /// # Errors
+    ///
+    /// Parameter validation errors from the closed forms.
+    pub fn live_quote(&self, params: &AccountantParams) -> Result<(NodeId, PrivacyGuarantee)> {
+        self.accountant.worst_quote(self.config.protocol, params)
+    }
+
+    /// Runs rounds until the live worst-user ε drops to `target_epsilon` or
+    /// `max_rounds` total rounds have executed, whichever comes first;
+    /// returns the total rounds executed and the final quote.  This is the
+    /// upload gate: callers release uploads iff the returned quote meets the
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShuffleCoordinator::run_rounds`] and
+    /// [`ShuffleCoordinator::live_quote`].
+    pub fn run_until_epsilon(
+        &mut self,
+        params: &AccountantParams,
+        target_epsilon: f64,
+        max_rounds: usize,
+    ) -> Result<(usize, PrivacyGuarantee)> {
+        loop {
+            let (_, quote) = self.live_quote(params)?;
+            let round = self.round();
+            if quote.epsilon <= target_epsilon || round >= max_rounds {
+                return Ok((round, quote));
+            }
+            self.run_rounds(1)?;
+        }
+    }
+
+    /// Applies the protocol's submission rule for every user and returns the
+    /// curator's collection plus the run's traffic metrics.  Each user's
+    /// final-round randomness is drawn from her **shard's** stream, in
+    /// submitter order — under the 1-shard partition this continues the
+    /// walk stream exactly like [`crate::simulation::run_protocol`].
+    ///
+    /// `make_dummy` produces payloads for `A_single` users who hold nothing
+    /// (ignored under `A_all`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if the exchange phase never started;
+    /// curator decryption errors (a protocol bug) otherwise.
+    pub fn finalize(
+        mut self,
+        mut make_dummy: impl FnMut(&mut SimRng) -> P,
+    ) -> Result<SimulationOutcome<P>> {
+        let engine = self.engine.as_mut().ok_or_else(|| {
+            Error::InvalidConfiguration("call begin_exchange() before finalizing".into())
+        })?;
+        let n = self.graph.node_count();
+        let policy: FinalizePolicy = self.config.protocol.into();
+        let mut submissions = Vec::with_capacity(n);
+        for submitter in 0..n {
+            let held: Vec<u32> = engine.held_by(submitter).to_vec();
+            let shard = self.partition.shard_of(submitter);
+            let rng = engine.shard_rng_mut(shard);
+            let reports = match policy.choose(held.len(), rng) {
+                FinalizeChoice::All => held
+                    .iter()
+                    .map(|&report| {
+                        self.arena[report as usize]
+                            .take()
+                            .expect("a report is submitted once")
+                    })
+                    .collect(),
+                FinalizeChoice::Dummy => {
+                    let dummy = Report::dummy(submitter, make_dummy(rng));
+                    vec![Envelope::seal(self.curator.public_key(), dummy)]
+                }
+                FinalizeChoice::Pick(index) => {
+                    vec![self.arena[held[index] as usize]
+                        .take()
+                        .expect("a report is submitted once")]
+                }
+            };
+            submissions.push(SealedSubmission { submitter, reports });
+        }
+        let collected = self.curator.collect(submissions)?;
+        let metrics: TrafficMetrics = self.recorder.into_metrics(collected.report_count());
+        Ok(SimulationOutcome { collected, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accountant::{NetworkShuffleAccountant, Scenario};
+    use ns_graph::generators;
+    use ns_graph::rng::seeded_rng;
+
+    fn graph(n: usize, k: usize, seed: u64) -> Graph {
+        generators::random_regular(n, k, &mut seeded_rng(seed)).unwrap()
+    }
+
+    #[test]
+    fn lifecycle_is_enforced() {
+        let g = graph(40, 4, 1);
+        let p = Partition::new(&g, 2).unwrap();
+        let config = CoordinatorConfig::all(7, 4);
+        let mut coordinator: ShuffleCoordinator<'_, u32> =
+            ShuffleCoordinator::new(&g, &p, config).unwrap();
+        // No rounds before begin_exchange.
+        assert!(coordinator.run_rounds(1).is_err());
+        assert!(coordinator.begin_exchange().is_err()); // nothing admitted
+        assert!(coordinator.admit(vec![(41, 5u32)]).is_err()); // out of range
+                                                               // Admission is all-or-nothing: a failed batch stages nothing, even
+                                                               // when its prefix was valid.
+        assert!(coordinator.admit(vec![(0, 1u32), (41, 5u32)]).is_err());
+        assert_eq!(coordinator.report_count(), 0);
+        coordinator.admit_population((0..40).collect()).unwrap();
+        coordinator.begin_exchange().unwrap();
+        assert!(coordinator.begin_exchange().is_err());
+        assert!(coordinator.admit(vec![(0, 1u32)]).is_err()); // admission closed
+        coordinator.run_rounds(3).unwrap();
+        assert_eq!(coordinator.round(), 3);
+        assert_eq!(coordinator.accountant().round(), 3);
+        let outcome = coordinator.finalize(|_| 0).unwrap();
+        assert_eq!(outcome.collected.report_count(), 40);
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let g = graph(30, 4, 2);
+        let p = Partition::new(&g, 2).unwrap();
+        let mut config = CoordinatorConfig::all(1, 1);
+        config.laziness = 1.0;
+        assert!(ShuffleCoordinator::<u32>::new(&g, &p, config).is_err());
+        let mut config = CoordinatorConfig::all(1, 1);
+        config.tracked_per_shard = 0;
+        assert!(ShuffleCoordinator::<u32>::new(&g, &p, config).is_err());
+        let other = graph(20, 4, 3);
+        let p_other = Partition::new(&other, 2).unwrap();
+        assert!(
+            ShuffleCoordinator::<u32>::new(&g, &p_other, CoordinatorConfig::all(1, 1)).is_err()
+        );
+    }
+
+    #[test]
+    fn streaming_accountant_with_all_origins_matches_the_offline_route() {
+        let g = ns_graph::generators::two_degree_class(30, 4, 5).unwrap();
+        let p = Partition::new(&g, 3).unwrap();
+        let mut streaming = StreamingAccountant::new(&g, &p, 0.0, usize::MAX).unwrap();
+        assert_eq!(streaming.tracked_count(), g.node_count());
+        let offline = NetworkShuffleAccountant::new(&g).unwrap();
+        let params = AccountantParams::with_defaults(g.node_count(), 1.0).unwrap();
+        for t in 1..=8 {
+            streaming.advance_round();
+            assert_eq!(streaming.round(), t);
+            for protocol in [ProtocolKind::All, ProtocolKind::Single] {
+                let (_, live) = streaming.worst_quote(protocol, &params).unwrap();
+                let (_, exact) = offline.worst_user_guarantee(protocol, &params, t).unwrap();
+                assert_eq!(live.epsilon, exact.epsilon, "t = {t}, {protocol:?}");
+            }
+            let worst = streaming.worst_stats();
+            let (sum_sq, rho) = offline.sum_p_squared(Scenario::Exact, t).unwrap();
+            assert_eq!(worst.sum_of_squares, sum_sq);
+            assert_eq!(worst.support_ratio, rho);
+        }
+    }
+
+    #[test]
+    fn shard_quotes_cover_every_shard_and_bound_the_global_quote() {
+        let g = graph(60, 4, 6);
+        let p = Partition::new(&g, 3).unwrap();
+        let mut accountant = StreamingAccountant::new(&g, &p, 0.0, 5).unwrap();
+        for _ in 0..6 {
+            accountant.advance_round();
+        }
+        let params = AccountantParams::with_defaults(60, 1.0).unwrap();
+        let per_shard = accountant
+            .shard_quotes(ProtocolKind::Single, &params)
+            .unwrap();
+        assert_eq!(per_shard.len(), 3);
+        let (worst_origin, worst) = accountant
+            .worst_quote(ProtocolKind::Single, &params)
+            .unwrap();
+        let max_shard = per_shard
+            .iter()
+            .map(|(_, g)| g.epsilon)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(worst.epsilon, max_shard);
+        assert_eq!(p.shard_of(worst_origin), {
+            per_shard
+                .iter()
+                .position(|(_, g)| g.epsilon == worst.epsilon)
+                .unwrap()
+        });
+    }
+
+    #[test]
+    fn quotes_improve_as_rounds_accumulate() {
+        let g = graph(100, 6, 7);
+        let p = Partition::new(&g, 4).unwrap();
+        let config = CoordinatorConfig::single(11, 8);
+        let mut coordinator: ShuffleCoordinator<'_, u32> =
+            ShuffleCoordinator::new(&g, &p, config).unwrap();
+        coordinator.admit_population((0..100).collect()).unwrap();
+        coordinator.begin_exchange().unwrap();
+        let params = AccountantParams::with_defaults(100, 1.0).unwrap();
+        let (_, at_zero) = coordinator.live_quote(&params).unwrap();
+        coordinator.run_rounds(12).unwrap();
+        let (_, later) = coordinator.live_quote(&params).unwrap();
+        assert!(
+            later.epsilon < at_zero.epsilon,
+            "mixing must improve the quote: {} -> {}",
+            at_zero.epsilon,
+            later.epsilon
+        );
+    }
+
+    #[test]
+    fn run_until_epsilon_gates_on_the_target() {
+        let g = graph(200, 8, 8);
+        let p = Partition::new(&g, 2).unwrap();
+        let config = CoordinatorConfig::single(13, 6);
+        let mut coordinator: ShuffleCoordinator<'_, u32> =
+            ShuffleCoordinator::new(&g, &p, config).unwrap();
+        coordinator.admit_population(vec![0; 200]).unwrap();
+        coordinator.begin_exchange().unwrap();
+        let params = AccountantParams::with_defaults(200, 1.0).unwrap();
+        // A generous target (the A_single quote converges to ~1.79 at this
+        // n and delta) is reached before the budget.
+        let (rounds, quote) = coordinator.run_until_epsilon(&params, 2.5, 200).unwrap();
+        assert!(quote.epsilon <= 2.5);
+        assert!(rounds < 200);
+        assert_eq!(coordinator.round(), rounds);
+        // An unreachable target exhausts the budget instead of looping.
+        let (rounds, quote) = coordinator.run_until_epsilon(&params, 0.5, 30).unwrap();
+        assert_eq!(rounds, 30);
+        assert!(quote.epsilon > 0.5);
+    }
+
+    #[test]
+    fn partial_batches_mix_and_finalize() {
+        let g = graph(50, 4, 9);
+        let p = Partition::new(&g, 2).unwrap();
+        let config = CoordinatorConfig::single(17, 4);
+        let mut coordinator: ShuffleCoordinator<'_, u32> =
+            ShuffleCoordinator::new(&g, &p, config).unwrap();
+        // Two batches covering 30 of 50 users, one user contributing twice.
+        coordinator
+            .admit((0..20).map(|u| (u, u as u32)).collect())
+            .unwrap();
+        coordinator
+            .admit((19..30).map(|u| (u, 100 + u as u32)).collect())
+            .unwrap();
+        assert_eq!(coordinator.report_count(), 31);
+        coordinator.begin_exchange().unwrap();
+        coordinator.run_rounds(10).unwrap();
+        let outcome = coordinator.finalize(|_| 999).unwrap();
+        // Every submitter uploads exactly one report under A_single.
+        assert_eq!(outcome.collected.submissions().len(), 50);
+        assert_eq!(outcome.collected.report_count(), 50);
+        assert!(outcome.collected.dummy_count() >= 19);
+        assert_eq!(outcome.metrics.user_count, 50);
+        assert_eq!(outcome.metrics.rounds, 10);
+        // 31 walkers x 10 rounds is the traffic ceiling (lazy stays excluded).
+        assert!(outcome.metrics.total_messages() <= 310);
+    }
+}

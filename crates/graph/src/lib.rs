@@ -31,6 +31,12 @@
 //!   CSR snapshots, availability-masked transition operators and per-round
 //!   operator schedules that drive the ensemble kernel through products of
 //!   distinct per-round transitions ([`dynamic`]),
+//! * a sharded runtime: a deterministic degree-balanced graph partitioner
+//!   with shard-local CSRs, frontier tables and quality metrics
+//!   ([`partition`]), and a multi-shard round executor with per-shard
+//!   ChaCha8 streams and a counting-sort cross-shard exchange phase that
+//!   degenerates bit for bit to the single engine under a 1-shard
+//!   partition ([`sharded_engine`]),
 //! * a discrete random-walk engine that moves actual reports between nodes,
 //!   including the lazy walk used for fault-tolerance modelling ([`walk`]),
 //! * simple edge-list I/O ([`io`]).
@@ -70,7 +76,9 @@ pub mod graph;
 pub mod io;
 pub mod mixing;
 pub mod mixing_engine;
+pub mod partition;
 pub mod rng;
+pub mod sharded_engine;
 pub mod spectral;
 pub mod stationary;
 pub mod transition;
@@ -94,6 +102,8 @@ pub mod prelude {
     pub use crate::graph::{Graph, NodeId};
     pub use crate::mixing::{mixing_time, sum_p_squared_bound, tv_bound};
     pub use crate::mixing_engine::{MixingEngine, RoundObserver, RoundStats};
+    pub use crate::partition::{FrontierEdge, IntraShardTransition, Partition, Shard};
+    pub use crate::sharded_engine::{shard_stream, ShardedMixingEngine};
     pub use crate::spectral::{SpectralAnalysis, SpectralOptions};
     pub use crate::stationary::stationary_distribution;
     pub use crate::transition::{BlackBoxModel, TransitionMatrix, TransitionModel};

@@ -76,7 +76,7 @@ impl<O: RoundObserver + ?Sized> RoundObserver for &mut O {
 /// `laziness > 0`), then one uniform index — which is what keeps the
 /// draw-for-draw parity contract with the historical loops in one place.
 #[inline]
-fn sample_move<R: Rng + ?Sized>(
+pub(crate) fn sample_move<R: Rng + ?Sized>(
     graph: &Graph,
     at: NodeId,
     laziness: f64,
@@ -568,13 +568,7 @@ mod parallel {
     /// Walkers per deterministic RNG chunk.
     pub const CHUNK_WALKERS: usize = 1 << 16;
 
-    /// SplitMix64 finalizer for deriving per-chunk seeds.
-    fn mix64(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
+    use crate::rng::mix64;
 
     fn chunk_rng(seed: u64, round: usize, chunk: usize) -> SimRng {
         SimRng::seed_from_u64(mix64(mix64(seed ^ round as u64) ^ chunk as u64))

@@ -1,0 +1,787 @@
+//! Deterministic graph partitioning for the sharded shuffle runtime.
+//!
+//! A single monolithic CSR bounds the whole deployment by one shard's memory
+//! and one thread pool's reach.  This module splits the communication graph
+//! into `k` shards so that the round loop can run one engine per shard (see
+//! [`crate::sharded_engine`]) and a coordinator can account per shard:
+//!
+//! * every node is assigned to exactly one shard by a **degree-balanced
+//!   BFS growth** pass (shards grow from high-degree seeds until they reach
+//!   their share of the total degree mass) followed by a few deterministic
+//!   **label-propagation refinement** sweeps that pull nodes toward the
+//!   shard holding most of their neighbours without violating the balance
+//!   tolerance;
+//! * each shard gets a **local node remapping** (global ids ↔ dense local
+//!   ids), a **shard-local CSR** over its intra-shard edges, and a
+//!   **frontier table** of its cut edges — one entry per (local node,
+//!   peer shard, peer local node) incidence, mirrored exactly on the peer
+//!   shard.  The shard CSRs plus the frontier tables reconstruct the input
+//!   graph bit for bit (`tests/partition_properties.rs` proves this on the
+//!   proptest graph zoo);
+//! * quality is quantified by [`Partition::edge_cut_fraction`] (fraction of
+//!   edges whose endpoints land in different shards — every such edge costs
+//!   a cross-shard delivery per traversal) and
+//!   [`Partition::max_shard_imbalance`] (largest shard node count relative
+//!   to the perfectly balanced `n / k`).
+//!
+//! Everything is deterministic in `(graph, shard_count)`: no RNG is drawn,
+//! ties break toward smaller ids, and refinement sweeps nodes in id order —
+//! so a partition can be recomputed anywhere and the sharded engine's
+//! seed-only determinism contract extends through it.
+//!
+//! [`IntraShardTransition`] models the privacy cost of *not* crossing the
+//! cut: the walk operator of a deployment whose cross-shard exchange is
+//! disabled (a chosen cut-crossing delivery bounces back to the holder).
+//! Evolving it through the ensemble kernel prices the edge-cut fraction in
+//! ε directly — the `ablation_shard` experiment.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::{Graph, NodeId};
+use crate::transition::TransitionModel;
+
+/// How many label-propagation refinement sweeps [`Partition::new`] runs.
+const REFINEMENT_SWEEPS: usize = 12;
+
+/// Balance tolerance of refinement: a move is rejected if it would push the
+/// receiving shard's degree load above `(1 + tolerance) ×` the ideal share.
+const BALANCE_TOLERANCE: f64 = 0.15;
+
+/// One cut-edge incidence in a shard's frontier table.
+///
+/// The tables are symmetric: if shard `s` records `(u_local, t, v_local)`
+/// then shard `t` records `(v_local, s, u_local)` for the same underlying
+/// edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierEdge {
+    /// Local id (within the owning shard) of the endpoint on this side.
+    pub local_node: usize,
+    /// Shard holding the other endpoint.
+    pub peer_shard: usize,
+    /// Local id of the other endpoint within `peer_shard`.
+    pub peer_local: usize,
+}
+
+/// One shard of a [`Partition`]: remapping, local CSR and frontier table.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Global ids of this shard's nodes, ascending; local id = index.
+    nodes: Vec<NodeId>,
+    /// CSR over the shard's intra-shard edges, in local ids.  Nodes whose
+    /// neighbours all live elsewhere are isolated here — the frontier table
+    /// carries their incident edges.
+    local_graph: Graph,
+    /// Cut-edge incidences, sorted by `(local_node, peer_shard, peer_local)`.
+    frontier: Vec<FrontierEdge>,
+}
+
+impl Shard {
+    /// Global ids of the shard's nodes, ascending (local id = index).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of nodes in the shard.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the shard is empty (never true for a built [`Partition`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The shard-local CSR over intra-shard edges (local ids).
+    pub fn local_graph(&self) -> &Graph {
+        &self.local_graph
+    }
+
+    /// The shard's frontier table, sorted by
+    /// `(local_node, peer_shard, peer_local)`.
+    pub fn frontier(&self) -> &[FrontierEdge] {
+        &self.frontier
+    }
+
+    /// Maps a local id back to its global node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn global_of(&self, local: usize) -> NodeId {
+        self.nodes[local]
+    }
+}
+
+/// A deterministic `k`-way partition of a communication graph.
+///
+/// Built by [`Partition::new`]; consumed by
+/// [`crate::sharded_engine::ShardedMixingEngine`] (which routes walkers by
+/// [`Partition::shard_of`]) and by the service-layer coordinator (which
+/// accounts per shard).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    node_count: usize,
+    edge_count: usize,
+    cut_edge_count: usize,
+    /// `shard_of[u]` is the shard holding global node `u`.
+    shard_of: Vec<u32>,
+    /// `local_of[u]` is `u`'s dense local id within its shard.
+    local_of: Vec<u32>,
+    shards: Vec<Shard>,
+}
+
+impl Partition {
+    /// Partitions `graph` into `shard_count` shards: degree-balanced greedy
+    /// growth from high-degree seeds, then a bounded number of deterministic
+    /// label-propagation refinement sweeps.
+    ///
+    /// Deterministic in `(graph, shard_count)`; no randomness is used.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EmptyGraph`] for the empty graph,
+    /// [`GraphError::InvalidParameters`] if `shard_count` is zero or exceeds
+    /// the node count.
+    pub fn new(graph: &Graph, shard_count: usize) -> Result<Self> {
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if shard_count == 0 || shard_count > n {
+            return Err(GraphError::InvalidParameters(format!(
+                "shard count must be in 1..={n}, got {shard_count}"
+            )));
+        }
+        let mut shard_of = grow_shards(graph, shard_count);
+        refine(graph, shard_count, &mut shard_of);
+        Ok(Self::from_assignment_internal(graph, shard_count, shard_of))
+    }
+
+    /// The canonical 1-shard partition: identity remapping, the whole graph
+    /// as the single shard CSR, an empty frontier.  Under this partition the
+    /// sharded engine degenerates bit for bit to the single
+    /// [`crate::mixing_engine::MixingEngine`] path.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EmptyGraph`] for the empty graph.
+    pub fn single_shard(graph: &Graph) -> Result<Self> {
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        Ok(Self::from_assignment_internal(graph, 1, vec![0; n]))
+    }
+
+    /// Builds a partition from an explicit node → shard assignment — the
+    /// escape hatch for externally computed partitions (METIS files, tests).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EmptyGraph`] for the empty graph;
+    /// [`GraphError::InvalidParameters`] if the assignment length differs
+    /// from the node count, a label is `>= shard_count`, or some shard ends
+    /// up empty.
+    pub fn from_assignment(graph: &Graph, shard_count: usize, shard_of: Vec<u32>) -> Result<Self> {
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if shard_of.len() != n {
+            return Err(GraphError::InvalidParameters(format!(
+                "assignment covers {} nodes but the graph has {n}",
+                shard_of.len()
+            )));
+        }
+        if let Some(&bad) = shard_of.iter().find(|&&s| s as usize >= shard_count) {
+            return Err(GraphError::InvalidParameters(format!(
+                "assignment label {bad} out of range for {shard_count} shards"
+            )));
+        }
+        let mut seen = vec![false; shard_count];
+        for &s in &shard_of {
+            seen[s as usize] = true;
+        }
+        if let Some(empty) = seen.iter().position(|&s| !s) {
+            return Err(GraphError::InvalidParameters(format!(
+                "shard {empty} would be empty"
+            )));
+        }
+        Ok(Self::from_assignment_internal(graph, shard_count, shard_of))
+    }
+
+    /// Materializes remappings, shard CSRs and frontier tables from a
+    /// validated assignment.
+    fn from_assignment_internal(graph: &Graph, shard_count: usize, shard_of: Vec<u32>) -> Self {
+        let n = graph.node_count();
+        let mut nodes_per_shard: Vec<Vec<NodeId>> = vec![Vec::new(); shard_count];
+        let mut local_of = vec![0u32; n];
+        for u in 0..n {
+            let s = shard_of[u] as usize;
+            local_of[u] = nodes_per_shard[s].len() as u32;
+            nodes_per_shard[s].push(u);
+        }
+        let mut cut_edge_count = 0usize;
+        let mut shards = Vec::with_capacity(shard_count);
+        for (s, nodes) in nodes_per_shard.into_iter().enumerate() {
+            let mut builder = GraphBuilder::new(nodes.len());
+            let mut frontier = Vec::new();
+            for (lu, &u) in nodes.iter().enumerate() {
+                for &v in graph.neighbors(u) {
+                    let t = shard_of[v] as usize;
+                    if t == s {
+                        // Add each intra-shard edge once (from its lower
+                        // endpoint; local order follows global order).
+                        if u < v {
+                            builder
+                                .add_edge(lu, local_of[v] as usize)
+                                .expect("intra-shard edge indices are in range");
+                        }
+                    } else {
+                        frontier.push(FrontierEdge {
+                            local_node: lu,
+                            peer_shard: t,
+                            peer_local: local_of[v] as usize,
+                        });
+                        if u < v {
+                            cut_edge_count += 1;
+                        }
+                    }
+                }
+            }
+            frontier.sort_unstable_by_key(|e| (e.local_node, e.peer_shard, e.peer_local));
+            shards.push(Shard {
+                nodes,
+                local_graph: builder.build(),
+                frontier,
+            });
+        }
+        Partition {
+            node_count: n,
+            edge_count: graph.edge_count(),
+            cut_edge_count,
+            shard_of,
+            local_of,
+            shards,
+        }
+    }
+
+    /// Number of nodes in the partitioned graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of shards `k`.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding global node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn shard_of(&self, u: NodeId) -> usize {
+        self.shard_of[u] as usize
+    }
+
+    /// `u`'s dense local id within [`Partition::shard_of`]`(u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn local_of(&self, u: NodeId) -> usize {
+        self.local_of[u] as usize
+    }
+
+    /// The shards, in shard-id order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// One shard by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &Shard {
+        &self.shards[shard]
+    }
+
+    /// Number of undirected edges crossing the cut.
+    pub fn cut_edge_count(&self) -> usize {
+        self.cut_edge_count
+    }
+
+    /// Fraction of the graph's edges that cross the cut — each one costs a
+    /// cross-shard delivery whenever a walker traverses it.  `0.0` for a
+    /// single shard (or an edgeless graph).
+    pub fn edge_cut_fraction(&self) -> f64 {
+        if self.edge_count == 0 {
+            0.0
+        } else {
+            self.cut_edge_count as f64 / self.edge_count as f64
+        }
+    }
+
+    /// Largest shard size relative to the balanced ideal `n / k`; `1.0` is
+    /// perfect balance, `2.0` means some shard holds twice its share.
+    pub fn max_shard_imbalance(&self) -> f64 {
+        let ideal = self.node_count as f64 / self.shards.len() as f64;
+        self.shards
+            .iter()
+            .map(|s| s.len() as f64 / ideal)
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-shard node counts, in shard-id order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(Shard::len).collect()
+    }
+
+    /// Number of nodes whose **entire** neighbourhood lies across the cut
+    /// (shard-local degree zero).  Under a cut-restricted deployment such
+    /// users can never relay, so their reports stay put forever; the
+    /// refinement pass rescues them whenever a neighbouring shard exists,
+    /// and `ablation_shard` reports the residue.
+    pub fn cut_isolated_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                (0..s.len())
+                    .filter(|&lu| s.local_graph.degree(lu) == 0)
+                    .count()
+            })
+            .sum()
+    }
+}
+
+/// Degree-balanced greedy graph growing: shard `s` grows from the
+/// highest-degree unassigned node until it holds its share of the total
+/// degree mass (`(2m + n) / k`), always absorbing the frontier node with
+/// the most edges already inside the shard (ties: smallest id) — the
+/// BFS-with-gain-priority variant that follows community structure instead
+/// of hop distance.  Growth re-seeds when its frontier empties and stops
+/// early when exactly enough nodes remain to seed the shards still to come,
+/// so no shard ends up empty.
+fn grow_shards(graph: &Graph, shard_count: usize) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = graph.node_count();
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut shard_of = vec![UNASSIGNED; n];
+    let total_weight: usize = (0..n).map(|u| graph.degree(u) + 1).sum();
+    let target = total_weight as f64 / shard_count as f64;
+    // Seeds are tried in descending degree (ties: ascending id); a cursor
+    // walks this order so each re-seed scan is amortized O(n) overall.
+    let mut by_degree: Vec<NodeId> = (0..n).collect();
+    by_degree.sort_by_key(|&u| (Reverse(graph.degree(u)), u));
+    let mut seed_cursor = 0usize;
+    let mut unassigned = n;
+    // Gain of an unassigned frontier node = edges into the growing shard;
+    // the heap carries lazy (gain, node) entries, stale ones are skipped.
+    let mut gain = vec![0u32; n];
+    let mut frontier: BinaryHeap<(u32, Reverse<u32>)> = BinaryHeap::new();
+    for s in 0..shard_count as u32 {
+        let shards_after = shard_count as u32 - s - 1;
+        let mut load = 0.0;
+        frontier.clear();
+        // The last shard absorbs everything left.
+        while unassigned > shards_after as usize && (load < target || shards_after == 0) {
+            let u = match frontier.pop() {
+                Some((g, Reverse(u)))
+                    if shard_of[u as usize] == UNASSIGNED && gain[u as usize] == g =>
+                {
+                    u
+                }
+                Some(_) => continue, // stale entry
+                None => {
+                    while seed_cursor < n && shard_of[by_degree[seed_cursor]] != UNASSIGNED {
+                        seed_cursor += 1;
+                    }
+                    if seed_cursor == n {
+                        break;
+                    }
+                    by_degree[seed_cursor] as u32
+                }
+            };
+            shard_of[u as usize] = s;
+            gain[u as usize] = 0;
+            unassigned -= 1;
+            load += (graph.degree(u as usize) + 1) as f64;
+            for &v in graph.neighbors(u as usize) {
+                if shard_of[v] == UNASSIGNED {
+                    gain[v] += 1;
+                    frontier.push((gain[v], Reverse(v as u32)));
+                }
+            }
+        }
+        // Reset the gains touched by this shard's (now abandoned) frontier.
+        for (_, Reverse(v)) in frontier.drain() {
+            gain[v as usize] = 0;
+        }
+    }
+    debug_assert!(shard_of.iter().all(|&s| s != UNASSIGNED));
+    shard_of
+}
+
+/// Deterministic label-propagation refinement: sweep nodes in id order and
+/// move each to the neighbouring shard with the strongest adjacency if that
+/// strictly reduces the local cut, respects the balance tolerance and does
+/// not empty the source shard.  Moves apply immediately within a sweep.
+///
+/// One exemption: a node with **zero** intra-shard neighbours (its whole
+/// neighbourhood is across the cut — under a cut-restricted deployment such
+/// a user would be frozen forever) is rescued into its strongest
+/// neighbouring shard even when that shard is at its balance limit.
+fn refine(graph: &Graph, shard_count: usize, shard_of: &mut [u32]) {
+    if shard_count == 1 {
+        return;
+    }
+    let n = graph.node_count();
+    let total_weight: usize = (0..n).map(|u| graph.degree(u) + 1).sum();
+    let load_limit = (total_weight as f64 / shard_count as f64) * (1.0 + BALANCE_TOLERANCE);
+    let mut loads = vec![0.0f64; shard_count];
+    let mut members = vec![0usize; shard_count];
+    for (u, &s) in shard_of.iter().enumerate() {
+        loads[s as usize] += (graph.degree(u) + 1) as f64;
+        members[s as usize] += 1;
+    }
+    // Sparse per-node adjacency histogram, reset per node via a touched list.
+    let mut adjacency = vec![0usize; shard_count];
+    let mut touched: Vec<usize> = Vec::with_capacity(shard_count);
+    for _ in 0..REFINEMENT_SWEEPS {
+        let mut moved = false;
+        for u in 0..n {
+            let cur = shard_of[u] as usize;
+            if members[cur] == 1 {
+                continue;
+            }
+            touched.clear();
+            for &v in graph.neighbors(u) {
+                let t = shard_of[v] as usize;
+                if adjacency[t] == 0 {
+                    touched.push(t);
+                }
+                adjacency[t] += 1;
+            }
+            let mut best = cur;
+            let mut best_count = adjacency[cur];
+            for &t in &touched {
+                if adjacency[t] > best_count || (adjacency[t] == best_count && t < best) {
+                    best = t;
+                    best_count = adjacency[t];
+                }
+            }
+            let weight = (graph.degree(u) + 1) as f64;
+            let improves = adjacency[best] > adjacency[cur];
+            let fits = loads[best] + weight <= load_limit || adjacency[cur] == 0;
+            if best != cur && improves && fits {
+                shard_of[u] = best as u32;
+                loads[cur] -= weight;
+                loads[best] += weight;
+                members[cur] -= 1;
+                members[best] += 1;
+                moved = true;
+            }
+            for &t in &touched {
+                adjacency[t] = 0;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// The random-walk operator of a deployment whose cross-shard exchange is
+/// disabled: a report at `u` draws a uniform neighbour as usual, but a draw
+/// that crosses the cut bounces back to the holder (the delivery is never
+/// attempted).  Entry-wise: `stay(u) = laziness + (1 − laziness) ·
+/// cut_deg(u)/deg(u)`, and each intra-shard neighbour receives
+/// `(1 − laziness)/deg(u)`.
+///
+/// This operator is generally **not** ergodic across shards — mass started
+/// in a shard never leaves it, so `Σ_i P_i(t)²` floors at the shard-local
+/// stationary collision probability instead of the global one.  Evolving it
+/// with [`crate::ensemble`] therefore prices the partition's edge cut in ε:
+/// the gap to the full-graph walk at the same `t` is exactly what
+/// cross-shard traffic buys (`ablation_shard`).
+#[derive(Debug, Clone)]
+pub struct IntraShardTransition {
+    /// CSR copied from the graph (same rationale as
+    /// [`crate::transition::TransitionMatrix`]).
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    inv_degree: Vec<f64>,
+    shard_of: Vec<u32>,
+    laziness: f64,
+}
+
+impl IntraShardTransition {
+    /// Builds the cut-restricted operator for `graph` under `partition`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameters`] if the partition does not cover the
+    /// graph or `laziness ∉ [0, 1)`; [`GraphError::IsolatedNode`] /
+    /// [`GraphError::EmptyGraph`] for degenerate graphs.
+    pub fn new(graph: &Graph, partition: &Partition, laziness: f64) -> Result<Self> {
+        if partition.node_count() != graph.node_count() {
+            return Err(GraphError::InvalidParameters(format!(
+                "partition covers {} nodes but the graph has {}",
+                partition.node_count(),
+                graph.node_count()
+            )));
+        }
+        crate::walk::validate_laziness(laziness).map_err(GraphError::InvalidParameters)?;
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if let Some(u) = graph.find_isolated_node() {
+            return Err(GraphError::IsolatedNode(u));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0usize);
+        for u in graph.nodes() {
+            neighbors.extend_from_slice(graph.neighbors(u));
+            offsets.push(neighbors.len());
+        }
+        let inv_degree = graph
+            .nodes()
+            .map(|u| 1.0 / graph.degree(u) as f64)
+            .collect();
+        Ok(IntraShardTransition {
+            offsets,
+            neighbors,
+            inv_degree,
+            shard_of: partition.shard_of.clone(),
+            laziness,
+        })
+    }
+}
+
+impl TransitionModel for IntraShardTransition {
+    fn node_count(&self) -> usize {
+        self.inv_degree.len()
+    }
+
+    fn propagate_into(&self, p: &[f64], out: &mut [f64]) {
+        let n = self.node_count();
+        assert_eq!(p.len(), n, "input distribution has wrong length");
+        assert_eq!(out.len(), n, "output buffer has wrong length");
+        let move_factor = 1.0 - self.laziness;
+        out.fill(0.0);
+        for i in 0..n {
+            let mass = p[i];
+            if mass == 0.0 {
+                continue;
+            }
+            out[i] += self.laziness * mass;
+            let share = move_factor * mass * self.inv_degree[i];
+            let home = self.shard_of[i];
+            for &j in &self.neighbors[self.offsets[i]..self.offsets[i + 1]] {
+                // A cut-crossing draw bounces back to the holder.
+                if self.shard_of[j] == home {
+                    out[j] += share;
+                } else {
+                    out[i] += share;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::rng::seeded_rng;
+
+    fn test_graph(n: usize, k: usize, seed: u64) -> Graph {
+        generators::random_regular(n, k, &mut seeded_rng(seed)).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        assert!(Partition::new(&empty, 1).is_err());
+        assert!(Partition::single_shard(&empty).is_err());
+        let g = test_graph(40, 4, 1);
+        assert!(Partition::new(&g, 0).is_err());
+        assert!(Partition::new(&g, 41).is_err());
+        assert!(Partition::from_assignment(&g, 2, vec![0; 39]).is_err());
+        assert!(Partition::from_assignment(&g, 2, vec![2; 40]).is_err());
+        // A shard may not be empty.
+        assert!(Partition::from_assignment(&g, 2, vec![0; 40]).is_err());
+    }
+
+    #[test]
+    fn every_node_lands_in_exactly_one_shard() {
+        let g = test_graph(200, 6, 2);
+        for k in [1, 2, 3, 7] {
+            let p = Partition::new(&g, k).unwrap();
+            assert_eq!(p.shard_count(), k);
+            let mut seen = [false; 200];
+            for (s, shard) in p.shards().iter().enumerate() {
+                for (local, &u) in shard.nodes().iter().enumerate() {
+                    assert!(!seen[u], "node {u} appears twice");
+                    seen[u] = true;
+                    assert_eq!(p.shard_of(u), s);
+                    assert_eq!(p.local_of(u), local);
+                    assert_eq!(shard.global_of(local), u);
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+            assert_eq!(p.shard_sizes().iter().sum::<usize>(), 200);
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_identity_partition() {
+        let g = test_graph(60, 4, 3);
+        let p = Partition::single_shard(&g).unwrap();
+        assert_eq!(p.shard_count(), 1);
+        assert_eq!(p.cut_edge_count(), 0);
+        assert_eq!(p.edge_cut_fraction(), 0.0);
+        assert_eq!(p.max_shard_imbalance(), 1.0);
+        let shard = p.shard(0);
+        assert_eq!(shard.nodes(), (0..60).collect::<Vec<_>>().as_slice());
+        assert!(shard.frontier().is_empty());
+        assert_eq!(shard.local_graph(), &g);
+    }
+
+    #[test]
+    fn frontier_tables_are_symmetric_and_count_the_cut() {
+        let g = test_graph(150, 6, 4);
+        let p = Partition::new(&g, 4).unwrap();
+        let mut incidences = 0usize;
+        for (s, shard) in p.shards().iter().enumerate() {
+            for e in shard.frontier() {
+                incidences += 1;
+                assert_ne!(e.peer_shard, s);
+                let mirror = FrontierEdge {
+                    local_node: e.peer_local,
+                    peer_shard: s,
+                    peer_local: e.local_node,
+                };
+                assert!(
+                    p.shard(e.peer_shard).frontier().contains(&mirror),
+                    "missing mirror of {e:?} in shard {}",
+                    e.peer_shard
+                );
+                // The underlying global edge exists.
+                let u = shard.global_of(e.local_node);
+                let v = p.shard(e.peer_shard).global_of(e.peer_local);
+                assert!(g.has_edge(u, v));
+            }
+        }
+        // Each cut edge contributes one incidence per side.
+        assert_eq!(incidences, 2 * p.cut_edge_count());
+        assert!(p.edge_cut_fraction() > 0.0 && p.edge_cut_fraction() < 1.0);
+    }
+
+    #[test]
+    fn shard_csrs_and_frontiers_reassemble_the_graph() {
+        let g = generators::barabasi_albert(120, 3, &mut seeded_rng(5)).unwrap();
+        let p = Partition::new(&g, 3).unwrap();
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for shard in p.shards() {
+            for (lu, lv) in shard.local_graph().edges() {
+                edges.push((shard.global_of(lu), shard.global_of(lv)));
+            }
+            for e in shard.frontier() {
+                let u = shard.global_of(e.local_node);
+                let v = p.shard(e.peer_shard).global_of(e.peer_local);
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let rebuilt = Graph::from_edges(g.node_count(), &edges).unwrap();
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn partitioning_is_deterministic_and_reasonably_balanced() {
+        let g = test_graph(400, 8, 6);
+        let a = Partition::new(&g, 5).unwrap();
+        let b = Partition::new(&g, 5).unwrap();
+        assert_eq!(a.shard_of, b.shard_of);
+        assert!(
+            a.max_shard_imbalance() < 1.8,
+            "imbalance = {}",
+            a.max_shard_imbalance()
+        );
+        for shard in a.shards() {
+            assert!(!shard.is_empty());
+        }
+    }
+
+    #[test]
+    fn refinement_does_not_beat_communities_apart() {
+        // A planted 4-community graph: the partitioner should recover a cut
+        // far below the random-assignment expectation of 1 - 1/k.
+        let g = generators::stochastic_block_model(240, 4, 0.25, 0.01, &mut seeded_rng(7)).unwrap();
+        let g = crate::connectivity::largest_connected_component(&g).0;
+        let p = Partition::new(&g, 4).unwrap();
+        assert!(
+            p.edge_cut_fraction() < 0.4,
+            "cut fraction = {}",
+            p.edge_cut_fraction()
+        );
+    }
+
+    #[test]
+    fn intra_shard_transition_conserves_mass_and_respects_the_cut() {
+        let g = test_graph(100, 6, 8);
+        let p = Partition::new(&g, 4).unwrap();
+        let model = IntraShardTransition::new(&g, &p, 0.1).unwrap();
+        let origin = 17;
+        let mut dist = vec![0.0; 100];
+        dist[origin] = 1.0;
+        let mut out = vec![0.0; 100];
+        for _ in 0..25 {
+            model.propagate_into(&dist, &mut out);
+            std::mem::swap(&mut dist, &mut out);
+        }
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Mass never escapes the origin's shard.
+        let home = p.shard_of(origin);
+        for (u, &mass) in dist.iter().enumerate() {
+            if p.shard_of(u) != home {
+                assert_eq!(mass, 0.0, "mass leaked to node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_shard_transition_with_one_shard_matches_the_matrix() {
+        let g = test_graph(80, 4, 9);
+        let p = Partition::single_shard(&g).unwrap();
+        let restricted = IntraShardTransition::new(&g, &p, 0.2).unwrap();
+        let full = crate::transition::TransitionMatrix::with_laziness(&g, 0.2).unwrap();
+        let mut dist = vec![1.0 / 80.0; 80];
+        dist[0] += 0.5;
+        dist[1] -= 0.5;
+        let mut a = vec![0.0; 80];
+        let mut b = vec![0.0; 80];
+        restricted.propagate_into(&dist, &mut a);
+        full.propagate_into(&dist, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intra_shard_transition_validates() {
+        let g = test_graph(50, 4, 10);
+        let other = test_graph(40, 4, 11);
+        let p = Partition::new(&g, 2).unwrap();
+        assert!(IntraShardTransition::new(&other, &p, 0.0).is_err());
+        assert!(IntraShardTransition::new(&g, &p, 1.0).is_err());
+    }
+}

@@ -1,0 +1,665 @@
+//! Multi-shard execution of exchange rounds with deterministic RNG splitting.
+//!
+//! [`ShardedMixingEngine`] runs the holder-order round of
+//! [`crate::mixing_engine::MixingEngine`] independently per shard of a
+//! [`crate::partition::Partition`], then routes cross-shard deliveries
+//! through per-shard outboxes with one counting-sort exchange phase per
+//! round.  The design contracts:
+//!
+//! * **Seed-only determinism.**  Shard `s` draws from its own ChaCha8 stream
+//!   ([`shard_stream`]), and a round's result depends only on
+//!   `(seed, partition, starts)` — never on the order shards were executed
+//!   in ([`ShardedMixingEngine::step_in_order`] is the audit hook) nor, under
+//!   the `parallel` feature, on how many threads ran them
+//!   (`ShardedMixingEngine::step_threaded`).
+//! * **Canonical merge order.**  After the per-shard sampling phase, each
+//!   node's next-round bucket lists its survivors first (in previous bucket
+//!   order) and then its arrivals grouped by *source shard id* in ascending
+//!   order, each group in that shard's send order.  This is a fixed function
+//!   of the per-shard draws, which is what makes the exchange phase
+//!   execution-order-free.
+//! * **1-shard degeneracy.**  Under [`crate::partition::Partition::single_shard`]
+//!   the engine is **bit for bit** the single
+//!   [`MixingEngine`](crate::mixing_engine::MixingEngine) holder-order
+//!   path: [`shard_stream`]`(seed, 0)` is exactly
+//!   `SimRng::seed_from_u64(seed)`, the sampling sweep visits the same
+//!   nodes and walkers in the same order drawing through the same
+//!   [`crate::mixing_engine`] sampling rule, and the merge degenerates to the
+//!   engine's counting sort — positions, bucket orders, per-round
+//!   sent/load statistics and the RNG stream itself all coincide
+//!   (`tests/sharded_engine.rs`).  For `k > 1` the split streams are a
+//!   *different but equally distributed* realization of the same walk.
+//!
+//! Shards share the one immutable global CSR for neighbour sampling — this
+//! is a single-box, multi-core runtime; the per-shard CSRs and frontier
+//! tables carried by the [`Partition`] describe what each shard would have
+//! to hold in a distributed deployment.
+
+use crate::error::{GraphError, Result};
+use crate::graph::{Graph, NodeId};
+use crate::mixing_engine::{sample_move, RoundObserver, RoundStats};
+use crate::partition::Partition;
+use crate::rng::{mix64, SimRng};
+use crate::walk::WalkConfig;
+use rand_chacha::rand_core::SeedableRng;
+
+/// The deterministic RNG stream of shard `shard` under `seed`.
+///
+/// Shard 0 inherits the base stream `SimRng::seed_from_u64(seed)` — so the
+/// canonical 1-shard engine consumes exactly the stream the single-engine
+/// path would — and every further shard gets a SplitMix64-decorrelated
+/// stream of its own.
+pub fn shard_stream(seed: u64, shard: usize) -> SimRng {
+    if shard == 0 {
+        SimRng::seed_from_u64(seed)
+    } else {
+        SimRng::seed_from_u64(mix64(mix64(seed) ^ shard as u64))
+    }
+}
+
+/// Per-shard mutable state: the shard's walker buckets, RNG stream and
+/// round scratch.  Walker ids are global; node ids inside the buckets are
+/// shard-local.
+#[derive(Debug, Clone)]
+struct ShardState {
+    rng: SimRng,
+    /// CSR buckets over local nodes: walkers held by local node `lu` are
+    /// `bucket_walkers[bucket_starts[lu]..bucket_starts[lu + 1]]`.
+    bucket_starts: Vec<usize>,
+    bucket_walkers: Vec<u32>,
+    /// Scratch reused across rounds.
+    kept_nodes: Vec<u32>,
+    kept_walkers: Vec<u32>,
+    sent_local: Vec<u32>,
+    load_local: Vec<u32>,
+    next_walkers: Vec<u32>,
+    cursor: Vec<usize>,
+}
+
+/// Multi-shard executor of holder-order exchange rounds.
+///
+/// See the [module docs](self) for the determinism and degeneracy contracts.
+#[derive(Debug, Clone)]
+pub struct ShardedMixingEngine<'g> {
+    graph: &'g Graph,
+    partition: &'g Partition,
+    /// `positions[w]` is the global node currently holding walker `w`.
+    positions: Vec<NodeId>,
+    round: usize,
+    shards: Vec<ShardState>,
+    /// `outboxes[s][d]` holds shard `s`'s cross-(and intra-)shard sends to
+    /// shard `d` this round, as `(destination global node, walker)` in send
+    /// order.
+    outboxes: Vec<Vec<Vec<(u32, u32)>>>,
+    /// Whole-population per-round statistics (global node order).
+    sent: Vec<u32>,
+    load: Vec<u32>,
+}
+
+impl<'g> ShardedMixingEngine<'g> {
+    /// Creates a sharded engine with one walker per node, walker `i`
+    /// starting at node `i` — the initial condition of network shuffling.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedMixingEngine::with_starts`].
+    pub fn one_walker_per_node(
+        graph: &'g Graph,
+        partition: &'g Partition,
+        seed: u64,
+    ) -> Result<Self> {
+        let starts: Vec<NodeId> = graph.nodes().collect();
+        Self::with_starts(graph, partition, starts, seed)
+    }
+
+    /// Creates a sharded engine with walkers at the given starting nodes.
+    ///
+    /// Initial buckets group walkers by holder in walker-id order, exactly
+    /// like [`crate::mixing_engine::MixingEngine::ensure_buckets`].
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EmptyGraph`] / [`GraphError::IsolatedNode`] for graphs
+    /// the walk cannot run on, [`GraphError::InvalidParameters`] if the
+    /// partition does not cover the graph or the id space overflows `u32`,
+    /// [`GraphError::NodeOutOfRange`] for a bad start.
+    pub fn with_starts(
+        graph: &'g Graph,
+        partition: &'g Partition,
+        starts: Vec<NodeId>,
+        seed: u64,
+    ) -> Result<Self> {
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if partition.node_count() != n {
+            return Err(GraphError::InvalidParameters(format!(
+                "partition covers {} nodes but the graph has {n}",
+                partition.node_count()
+            )));
+        }
+        if let Some(u) = graph.find_isolated_node() {
+            return Err(GraphError::IsolatedNode(u));
+        }
+        if let Some(&bad) = starts.iter().find(|&&s| s >= n) {
+            return Err(GraphError::NodeOutOfRange {
+                node: bad,
+                node_count: n,
+            });
+        }
+        if starts.len() > u32::MAX as usize || n > u32::MAX as usize {
+            return Err(GraphError::InvalidParameters(format!(
+                "sharded engine supports at most 2^32 - 1 walkers and nodes, got {} walkers on {n} nodes",
+                starts.len()
+            )));
+        }
+        let k = partition.shard_count();
+        let mut shards: Vec<ShardState> = (0..k)
+            .map(|s| {
+                let local_n = partition.shard(s).len();
+                ShardState {
+                    rng: shard_stream(seed, s),
+                    bucket_starts: vec![0; local_n + 1],
+                    bucket_walkers: Vec::new(),
+                    kept_nodes: Vec::new(),
+                    kept_walkers: Vec::new(),
+                    sent_local: vec![0; local_n],
+                    load_local: vec![0; local_n],
+                    next_walkers: Vec::new(),
+                    cursor: vec![0; local_n],
+                }
+            })
+            .collect();
+        // Initial buckets: counting sort by holder in walker-id order,
+        // shard by shard.
+        for state in shards.iter_mut() {
+            state.load_local.fill(0);
+        }
+        for &node in &starts {
+            let s = partition.shard_of(node);
+            shards[s].load_local[partition.local_of(node)] += 1;
+        }
+        for (s, state) in shards.iter_mut().enumerate() {
+            let local_n = partition.shard(s).len();
+            state.bucket_starts[0] = 0;
+            for lu in 0..local_n {
+                state.bucket_starts[lu + 1] =
+                    state.bucket_starts[lu] + state.load_local[lu] as usize;
+            }
+            state
+                .cursor
+                .copy_from_slice(&state.bucket_starts[..local_n]);
+            state.bucket_walkers.resize(state.bucket_starts[local_n], 0);
+        }
+        for (walker, &node) in starts.iter().enumerate() {
+            let s = partition.shard_of(node);
+            let lu = partition.local_of(node);
+            let state = &mut shards[s];
+            state.bucket_walkers[state.cursor[lu]] = walker as u32;
+            state.cursor[lu] += 1;
+        }
+        Ok(ShardedMixingEngine {
+            graph,
+            partition,
+            positions: starts,
+            round: 0,
+            shards,
+            outboxes: vec![vec![Vec::new(); k]; k],
+            sent: vec![0; n],
+            load: vec![0; n],
+        })
+    }
+
+    /// The graph the walkers move on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The partition the engine shards by.
+    pub fn partition(&self) -> &'g Partition {
+        self.partition
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of walkers being tracked.
+    pub fn walker_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Current position (global node) of walker `w`.
+    pub fn position(&self, walker: usize) -> NodeId {
+        self.positions[walker]
+    }
+
+    /// Current positions of all walkers (`positions[w] = holder of w`).
+    pub fn positions(&self) -> &[NodeId] {
+        &self.positions
+    }
+
+    /// Histogram of walkers per global node.
+    pub fn load_vector(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.graph.node_count()];
+        for &node in &self.positions {
+            load[node] += 1;
+        }
+        load
+    }
+
+    /// The walkers currently held by global node `u`, in bucket order
+    /// (survivors first, then arrivals grouped by source shard).
+    pub fn held_by(&self, u: NodeId) -> &[u32] {
+        let state = &self.shards[self.partition.shard_of(u)];
+        let lu = self.partition.local_of(u);
+        &state.bucket_walkers[state.bucket_starts[lu]..state.bucket_starts[lu + 1]]
+    }
+
+    /// Groups walkers by their current holder, in bucket order.
+    pub fn walkers_by_holder(&self) -> Vec<Vec<usize>> {
+        self.graph
+            .nodes()
+            .map(|u| self.held_by(u).iter().map(|&w| w as usize).collect())
+            .collect()
+    }
+
+    /// Mutable access to shard `shard`'s RNG stream.
+    ///
+    /// The service layer draws its final-round submission choices from the
+    /// submitter's shard stream, so a 1-shard deployment consumes the walk
+    /// *and* finalization draws exactly like the single-engine protocol
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_rng_mut(&mut self, shard: usize) -> &mut SimRng {
+        &mut self.shards[shard].rng
+    }
+
+    /// Executes one holder-order round across all shards (shard sampling in
+    /// ascending shard order, which — by the determinism contract — yields
+    /// the same result as any other order), streaming whole-population
+    /// statistics to `observer` (pass `&mut ()` to skip).
+    pub fn step<O: RoundObserver>(&mut self, laziness: f64, observer: &mut O) {
+        let graph = self.graph;
+        let partition = self.partition;
+        for (s, (state, outbox)) in self
+            .shards
+            .iter_mut()
+            .zip(self.outboxes.iter_mut())
+            .enumerate()
+        {
+            sample_shard_round(graph, partition, s, state, outbox, laziness);
+        }
+        self.merge_round(observer);
+    }
+
+    /// [`ShardedMixingEngine::step`] with the per-shard sampling phase run
+    /// in an explicit shard order — the determinism audit hook: any
+    /// permutation of `0..shard_count` must produce bitwise identical
+    /// results, because shards only touch their own stream and outboxes and
+    /// the merge order is canonical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..shard_count`.
+    pub fn step_in_order<O: RoundObserver>(
+        &mut self,
+        laziness: f64,
+        order: &[usize],
+        observer: &mut O,
+    ) {
+        let k = self.shards.len();
+        let mut seen = vec![false; k];
+        assert_eq!(order.len(), k, "order must cover every shard exactly once");
+        for &s in order {
+            assert!(s < k && !seen[s], "order must be a permutation of 0..{k}");
+            seen[s] = true;
+        }
+        let graph = self.graph;
+        let partition = self.partition;
+        for &s in order {
+            sample_shard_round(
+                graph,
+                partition,
+                s,
+                &mut self.shards[s],
+                &mut self.outboxes[s],
+                laziness,
+            );
+        }
+        self.merge_round(observer);
+    }
+
+    /// Runs a full walk of holder-order rounds, streaming statistics to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WalkConfig::validate`] errors.
+    pub fn run<O: RoundObserver>(&mut self, config: WalkConfig, observer: &mut O) -> Result<()> {
+        config.validate()?;
+        for _ in 0..config.rounds {
+            self.step(config.laziness, observer);
+        }
+        Ok(())
+    }
+
+    /// [`ShardedMixingEngine::step`] with the sampling phase on scoped
+    /// threads when the `parallel` feature is enabled, the plain sequential
+    /// step otherwise — bitwise identical either way.
+    pub fn step_auto<O: RoundObserver>(&mut self, laziness: f64, observer: &mut O) {
+        #[cfg(feature = "parallel")]
+        self.step_threaded(laziness, observer);
+        #[cfg(not(feature = "parallel"))]
+        self.step(laziness, observer);
+    }
+
+    /// The canonical exchange phase: merges survivors and (per source
+    /// shard, in ascending shard order) deliveries into each shard's
+    /// next-round buckets via one counting sort per shard, updates walker
+    /// positions, folds the per-shard statistics into the global vectors
+    /// and reports the round.
+    fn merge_round<O: RoundObserver>(&mut self, observer: &mut O) {
+        let partition = self.partition;
+        let k = self.shards.len();
+        for d in 0..k {
+            let nodes = partition.shard(d).nodes();
+            let local_n = nodes.len();
+            let state = &mut self.shards[d];
+            // Next-round load: survivors plus arrivals from every source.
+            state.load_local.fill(0);
+            for &lu in &state.kept_nodes {
+                state.load_local[lu as usize] += 1;
+            }
+            for source in self.outboxes.iter() {
+                for &(dest, _) in &source[d] {
+                    state.load_local[partition.local_of(dest as usize)] += 1;
+                }
+            }
+            state.bucket_starts[0] = 0;
+            for lu in 0..local_n {
+                state.bucket_starts[lu + 1] =
+                    state.bucket_starts[lu] + state.load_local[lu] as usize;
+            }
+            // Scatter: survivors first (kept_nodes is grouped by local node
+            // in ascending order), then arrivals by source shard in send
+            // order.
+            state
+                .cursor
+                .copy_from_slice(&state.bucket_starts[..local_n]);
+            state.next_walkers.resize(state.bucket_starts[local_n], 0);
+            for (&lu, &w) in state.kept_nodes.iter().zip(&state.kept_walkers) {
+                state.next_walkers[state.cursor[lu as usize]] = w;
+                state.cursor[lu as usize] += 1;
+            }
+            for source in self.outboxes.iter() {
+                for &(dest, w) in &source[d] {
+                    let lu = partition.local_of(dest as usize);
+                    state.next_walkers[state.cursor[lu]] = w;
+                    state.cursor[lu] += 1;
+                    self.positions[w as usize] = dest as usize;
+                }
+            }
+            std::mem::swap(&mut state.bucket_walkers, &mut state.next_walkers);
+            // Fold this shard's statistics into the global vectors.
+            for (lu, &u) in nodes.iter().enumerate() {
+                self.sent[u] = state.sent_local[lu];
+                self.load[u] = state.load_local[lu];
+            }
+        }
+        self.round += 1;
+        observer.on_round(&RoundStats {
+            round: self.round,
+            sent: &self.sent,
+            load: &self.load,
+        });
+    }
+}
+
+/// Phase 1 for one shard: sweep the shard's nodes in ascending local (=
+/// global) order and each node's held walkers in bucket order, drawing every
+/// move from the shard's own stream through the engine-wide sampling rule.
+/// Survivors stay in `kept_*`; every delivery — intra- or cross-shard — is
+/// appended to the outbox row of its destination shard in send order.
+fn sample_shard_round(
+    graph: &Graph,
+    partition: &Partition,
+    shard: usize,
+    state: &mut ShardState,
+    outbox: &mut [Vec<(u32, u32)>],
+    laziness: f64,
+) {
+    state.kept_nodes.clear();
+    state.kept_walkers.clear();
+    state.sent_local.fill(0);
+    for row in outbox.iter_mut() {
+        row.clear();
+    }
+    let nodes = partition.shard(shard).nodes();
+    for (lu, &u) in nodes.iter().enumerate() {
+        let held = &state.bucket_walkers[state.bucket_starts[lu]..state.bucket_starts[lu + 1]];
+        for &w in held {
+            match sample_move(graph, u, laziness, &mut state.rng) {
+                None => {
+                    state.kept_nodes.push(lu as u32);
+                    state.kept_walkers.push(w);
+                }
+                Some(dest) => {
+                    state.sent_local[lu] += 1;
+                    outbox[partition.shard_of(dest)].push((dest as u32, w));
+                }
+            }
+        }
+    }
+}
+
+/// Data-parallel shard sampling (enabled by the `parallel` feature).
+///
+/// As elsewhere in the workspace, rayon is unavailable, so shards are dealt
+/// round-robin to `std::thread::scope` workers.  Each shard samples from its
+/// own stream into its own outbox row, and the merge phase is a fixed
+/// function of those outputs, so threaded rounds are **bitwise equal** to
+/// sequential ones for any thread count.
+#[cfg(feature = "parallel")]
+mod parallel {
+    use super::{sample_shard_round, ShardState, ShardedMixingEngine};
+    use crate::mixing_engine::RoundObserver;
+
+    /// One shard's sampling-phase work item: shard id, state and outbox row.
+    type ShardWork<'a> = (usize, (&'a mut ShardState, &'a mut Vec<Vec<(u32, u32)>>));
+
+    impl ShardedMixingEngine<'_> {
+        /// Multi-threaded [`ShardedMixingEngine::step`]; bitwise identical
+        /// results.
+        pub fn step_threaded<O: RoundObserver>(&mut self, laziness: f64, observer: &mut O) {
+            let graph = self.graph;
+            let partition = self.partition;
+            let work: Vec<ShardWork<'_>> = self
+                .shards
+                .iter_mut()
+                .zip(self.outboxes.iter_mut())
+                .enumerate()
+                .collect();
+            let threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(work.len())
+                .max(1);
+            let mut per_thread: Vec<Vec<_>> = (0..threads).map(|_| Vec::new()).collect();
+            for (index, item) in work.into_iter().enumerate() {
+                per_thread[index % threads].push(item);
+            }
+            std::thread::scope(|scope| {
+                for assignment in per_thread {
+                    scope.spawn(move || {
+                        for (s, (state, outbox)) in assignment {
+                            sample_shard_round(graph, partition, s, state, outbox, laziness);
+                        }
+                    });
+                }
+            });
+            self.merge_round(observer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::mixing_engine::MixingEngine;
+    use crate::rng::seeded_rng;
+
+    fn graph(n: usize, k: usize, seed: u64) -> Graph {
+        generators::random_regular(n, k, &mut seeded_rng(seed)).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let g = graph(40, 4, 1);
+        let p = Partition::new(&g, 4).unwrap();
+        let other = graph(30, 4, 2);
+        assert!(ShardedMixingEngine::one_walker_per_node(&other, &p, 7).is_err());
+        assert!(ShardedMixingEngine::with_starts(&g, &p, vec![0, 41], 7).is_err());
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        let p1 = Partition::single_shard(&g).unwrap();
+        assert!(ShardedMixingEngine::one_walker_per_node(&empty, &p1, 7).is_err());
+        let isolated = Graph::from_edges(40, &[(0, 1)]).unwrap();
+        let pi = Partition::single_shard(&isolated).unwrap();
+        assert!(ShardedMixingEngine::one_walker_per_node(&isolated, &pi, 7).is_err());
+    }
+
+    #[test]
+    fn one_shard_is_bitwise_the_single_engine() {
+        let g = graph(160, 6, 3);
+        let p = Partition::single_shard(&g).unwrap();
+        for laziness in [0.0, 0.3] {
+            let mut sharded = ShardedMixingEngine::one_walker_per_node(&g, &p, 99).unwrap();
+            let mut single = MixingEngine::one_walker_per_node(&g).unwrap();
+            let mut rng = shard_stream(99, 0);
+            for _ in 0..20 {
+                sharded.step(laziness, &mut ());
+                single.step_holder(laziness, &mut rng, &mut ());
+            }
+            assert_eq!(sharded.positions(), single.positions());
+            assert_eq!(sharded.walkers_by_holder(), single.walkers_by_holder());
+            // The engine consumed exactly the same stream: the next draws
+            // coincide.
+            use rand::Rng;
+            let a: u64 = sharded.shard_rng_mut(0).gen();
+            let b: u64 = rng.gen();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn walkers_are_conserved_and_buckets_track_positions() {
+        let g = graph(120, 4, 4);
+        let p = Partition::new(&g, 3).unwrap();
+        let mut engine = ShardedMixingEngine::one_walker_per_node(&g, &p, 5).unwrap();
+        for _ in 0..25 {
+            engine.step(0.2, &mut ());
+        }
+        assert_eq!(engine.round(), 25);
+        let load = engine.load_vector();
+        assert_eq!(load.iter().sum::<usize>(), 120);
+        for u in g.nodes() {
+            assert_eq!(engine.held_by(u).len(), load[u]);
+            for &w in engine.held_by(u) {
+                assert_eq!(engine.position(w as usize), u);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sampling_order_does_not_change_the_result() {
+        let g = graph(90, 6, 5);
+        let p = Partition::new(&g, 4).unwrap();
+        let mut forward = ShardedMixingEngine::one_walker_per_node(&g, &p, 11).unwrap();
+        let mut backward = ShardedMixingEngine::one_walker_per_node(&g, &p, 11).unwrap();
+        let mut rotated = ShardedMixingEngine::one_walker_per_node(&g, &p, 11).unwrap();
+        for _ in 0..15 {
+            forward.step(0.1, &mut ());
+            backward.step_in_order(0.1, &[3, 2, 1, 0], &mut ());
+            rotated.step_in_order(0.1, &[2, 3, 0, 1], &mut ());
+        }
+        assert_eq!(forward.positions(), backward.positions());
+        assert_eq!(forward.positions(), rotated.positions());
+        assert_eq!(forward.walkers_by_holder(), backward.walkers_by_holder());
+        assert_eq!(forward.walkers_by_holder(), rotated.walkers_by_holder());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn step_in_order_rejects_non_permutations() {
+        let g = graph(30, 4, 6);
+        let p = Partition::new(&g, 2).unwrap();
+        let mut engine = ShardedMixingEngine::one_walker_per_node(&g, &p, 1).unwrap();
+        engine.step_in_order(0.0, &[0, 0], &mut ());
+    }
+
+    #[test]
+    fn runs_depend_on_seed_but_not_on_anything_else() {
+        let g = graph(100, 6, 7);
+        let p = Partition::new(&g, 5).unwrap();
+        let run = |seed: u64| {
+            let mut engine = ShardedMixingEngine::one_walker_per_node(&g, &p, seed).unwrap();
+            engine.run(WalkConfig::lazy(12, 0.15), &mut ()).unwrap();
+            engine.positions().to_vec()
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21), run(22));
+    }
+
+    #[test]
+    fn observer_sees_conserved_load_and_round_indices() {
+        struct Checker {
+            walkers: usize,
+            rounds_seen: usize,
+        }
+        impl RoundObserver for Checker {
+            fn on_round(&mut self, stats: &RoundStats<'_>) {
+                self.rounds_seen += 1;
+                assert_eq!(stats.round, self.rounds_seen);
+                let total: u64 = stats.load.iter().map(|&l| l as u64).sum();
+                assert_eq!(total as usize, self.walkers);
+                let sent: u64 = stats.sent.iter().map(|&s| s as u64).sum();
+                assert!(sent as usize <= self.walkers);
+            }
+        }
+        let g = graph(80, 4, 8);
+        let p = Partition::new(&g, 3).unwrap();
+        let mut engine = ShardedMixingEngine::one_walker_per_node(&g, &p, 9).unwrap();
+        let mut checker = Checker {
+            walkers: 80,
+            rounds_seen: 0,
+        };
+        engine.run(WalkConfig::lazy(10, 0.1), &mut checker).unwrap();
+        assert_eq!(checker.rounds_seen, 10);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn threaded_step_is_bitwise_equal_to_sequential() {
+        let g = graph(400, 8, 9);
+        let p = Partition::new(&g, 6).unwrap();
+        let mut sequential = ShardedMixingEngine::one_walker_per_node(&g, &p, 33).unwrap();
+        let mut threaded = ShardedMixingEngine::one_walker_per_node(&g, &p, 33).unwrap();
+        for _ in 0..12 {
+            sequential.step(0.2, &mut ());
+            threaded.step_threaded(0.2, &mut ());
+        }
+        assert_eq!(sequential.positions(), threaded.positions());
+        assert_eq!(sequential.walkers_by_holder(), threaded.walkers_by_holder());
+    }
+}

@@ -4,6 +4,8 @@
 //! cargo run --release --example mixing_engine_scale
 //! # with data-parallel rounds:
 //! cargo run --release --features parallel --example mixing_engine_scale
+//! # CI smoke run at a small population:
+//! NS_SCALE_N=20000 cargo run --release --example mixing_engine_scale
 //! ```
 //!
 //! Where the quickstart example runs the full protocol (crypto envelopes,
@@ -44,7 +46,12 @@ impl RoundObserver for LoadWatcher {
 }
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
-    let n = 1_000_000;
+    // `NS_SCALE_N` overrides the population (mirroring `NS_EXACT_N` in
+    // `exact_accounting_scale.rs`) so CI can smoke-run this at small n.
+    let n: usize = std::env::var("NS_SCALE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
     let rounds = 30;
     println!("generating a {n}-node 8-regular communication graph ...");
     let mut rng = seeded_rng(7);

@@ -1,0 +1,247 @@
+//! Determinism, degeneracy and equivalence tests for the sharded runtime.
+//!
+//! The sharded engine's contract, at integration level:
+//!
+//! * under the canonical 1-shard partition the engine — and the whole
+//!   service path on top of it — is **bit for bit** the single
+//!   [`MixingEngine`] / [`run_protocol`] path: positions, bucket orders,
+//!   RNG stream, submissions and [`TrafficMetrics`];
+//! * for `k > 1` the result is a pure function of `(seed, partition)`:
+//!   invariant to the order shards are sampled in and (with the `parallel`
+//!   feature, which the root test target enables) to threaded execution;
+//! * the k-shard stream split is a *different but equally distributed*
+//!   realization of the same walk: aggregate mixing statistics agree with
+//!   the single-engine run within Monte-Carlo tolerance.
+
+mod common;
+
+use common::strategies;
+use network_shuffle::prelude::*;
+use network_shuffle::service::{CoordinatorConfig, ShuffleCoordinator};
+use network_shuffle::simulation::{run_protocol, SimulationConfig, SimulationOutcome};
+use ns_graph::mixing_engine::MixingEngine;
+use ns_graph::partition::Partition;
+use ns_graph::rng::seeded_rng;
+use ns_graph::sharded_engine::{shard_stream, ShardedMixingEngine};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// 1-shard degeneracy at the engine layer: positions, bucket orders, the
+/// per-round statistics stream (via [`TrafficRecorder`]) and the RNG stream
+/// itself all coincide with the single engine.
+#[test]
+fn one_shard_engine_is_bitwise_the_single_engine_path() {
+    let graph = ns_graph::generators::barabasi_albert(400, 4, &mut seeded_rng(1)).unwrap();
+    let partition = Partition::single_shard(&graph).unwrap();
+    for (seed, laziness, rounds) in [(7u64, 0.0, 30), (8, 0.25, 25), (9, 0.6, 15)] {
+        let mut sharded =
+            ShardedMixingEngine::one_walker_per_node(&graph, &partition, seed).unwrap();
+        let mut sharded_recorder = TrafficRecorder::new(400);
+        for _ in 0..rounds {
+            sharded.step(laziness, &mut sharded_recorder);
+        }
+
+        let mut single = MixingEngine::one_walker_per_node(&graph).unwrap();
+        let mut rng = shard_stream(seed, 0);
+        let mut single_recorder = TrafficRecorder::new(400);
+        for _ in 0..rounds {
+            single.step_holder(laziness, &mut rng, &mut single_recorder);
+        }
+
+        assert_eq!(sharded.positions(), single.positions(), "seed {seed}");
+        assert_eq!(sharded.walkers_by_holder(), single.walkers_by_holder());
+        assert_eq!(
+            sharded_recorder.clone().into_metrics(400),
+            single_recorder.clone().into_metrics(400),
+            "traffic metrics diverged at seed {seed}"
+        );
+        // The RNG streams are in the same state: the next draw coincides.
+        let a: u64 = sharded.shard_rng_mut(0).gen();
+        let b: u64 = rng.gen();
+        assert_eq!(a, b, "RNG stream diverged at seed {seed}");
+    }
+}
+
+fn curator_view<P: Copy>(outcome: &SimulationOutcome<P>) -> Vec<(usize, usize, bool, P)> {
+    outcome
+        .collected
+        .reports_with_submitter()
+        .map(|(s, r)| (s, r.origin, r.is_dummy, r.payload))
+        .collect()
+}
+
+/// 1-shard degeneracy at the service layer: the coordinator reproduces
+/// `run_protocol` bit for bit — walk, submissions (including `A_single`
+/// picks and dummies) and traffic metrics.
+#[test]
+fn one_shard_coordinator_is_bitwise_run_protocol() {
+    let graph = {
+        let mut rng = seeded_rng(2);
+        ns_graph::generators::random_regular(300, 6, &mut rng).unwrap()
+    };
+    let partition = Partition::single_shard(&graph).unwrap();
+    for (protocol, laziness) in [
+        (ProtocolKind::All, 0.0),
+        (ProtocolKind::All, 0.2),
+        (ProtocolKind::Single, 0.0),
+        (ProtocolKind::Single, 0.2),
+    ] {
+        let seed = 20220408;
+        let rounds = 18;
+        let payloads: Vec<u32> = (0..300).collect();
+
+        let config = SimulationConfig {
+            rounds,
+            laziness,
+            protocol,
+            seed,
+        };
+        let reference = run_protocol(&graph, payloads.clone(), config, |rng| rng.gen_range(0..7))
+            .expect("reference run");
+
+        let coordinator_config = CoordinatorConfig {
+            seed,
+            laziness,
+            protocol,
+            tracked_per_shard: 4,
+        };
+        let mut coordinator: ShuffleCoordinator<'_, u32> =
+            ShuffleCoordinator::new(&graph, &partition, coordinator_config).unwrap();
+        coordinator.admit_population(payloads).unwrap();
+        coordinator.begin_exchange().unwrap();
+        coordinator.run_rounds(rounds).unwrap();
+        let service = coordinator
+            .finalize(|rng| rng.gen_range(0..7))
+            .expect("service run");
+
+        assert_eq!(
+            curator_view(&service),
+            curator_view(&reference),
+            "submissions diverged for {protocol:?} at laziness {laziness}"
+        );
+        assert_eq!(service.metrics, reference.metrics);
+    }
+}
+
+/// A_all through a k-shard coordinator delivers every genuine report to the
+/// curator exactly once — conservation across the cross-shard exchange.
+#[test]
+fn multi_shard_coordinator_conserves_reports() {
+    let graph = {
+        let mut rng = seeded_rng(3);
+        ns_graph::generators::random_regular(240, 6, &mut rng).unwrap()
+    };
+    let partition = Partition::new(&graph, 5).unwrap();
+    let mut coordinator: ShuffleCoordinator<'_, u32> =
+        ShuffleCoordinator::new(&graph, &partition, CoordinatorConfig::all(21, 3)).unwrap();
+    coordinator.admit_population((0..240u32).collect()).unwrap();
+    coordinator.begin_exchange().unwrap();
+    coordinator.run_rounds(20).unwrap();
+    let outcome = coordinator.finalize(|_| 0).unwrap();
+    assert_eq!(outcome.collected.report_count(), 240);
+    assert_eq!(outcome.collected.dummy_count(), 0);
+    let mut origins: Vec<usize> = outcome
+        .collected
+        .reports_with_submitter()
+        .map(|(_, r)| r.origin)
+        .collect();
+    origins.sort_unstable();
+    assert_eq!(origins, (0..240).collect::<Vec<_>>());
+    assert_eq!(outcome.metrics.total_messages(), 240 * 20);
+}
+
+/// The k-shard split streams realize the *same walk distribution* as the
+/// single engine: over many seeds, the return-to-origin rate and the
+/// empty-holder fraction after mixing agree within Monte-Carlo tolerance.
+#[test]
+fn multi_shard_runs_are_statistically_equivalent_to_single_engine_runs() {
+    let graph = {
+        let mut rng = seeded_rng(4);
+        ns_graph::generators::random_regular(400, 8, &mut rng).unwrap()
+    };
+    let partition = Partition::new(&graph, 4).unwrap();
+    let rounds = 12;
+    let trials = 60u64;
+    let stats = |sharded: bool| -> (f64, f64) {
+        let (mut returned, mut empty) = (0usize, 0usize);
+        for trial in 0..trials {
+            let positions: Vec<usize> = if sharded {
+                let mut engine =
+                    ShardedMixingEngine::one_walker_per_node(&graph, &partition, 1000 + trial)
+                        .unwrap();
+                for _ in 0..rounds {
+                    engine.step(0.0, &mut ());
+                }
+                engine.positions().to_vec()
+            } else {
+                let mut engine = MixingEngine::one_walker_per_node(&graph).unwrap();
+                let mut rng = seeded_rng(1000 + trial);
+                for _ in 0..rounds {
+                    engine.step_holder(0.0, &mut rng, &mut ());
+                }
+                engine.positions().to_vec()
+            };
+            returned += positions
+                .iter()
+                .enumerate()
+                .filter(|&(w, &p)| w == p)
+                .count();
+            let mut load = vec![0usize; 400];
+            for &p in &positions {
+                load[p] += 1;
+            }
+            empty += load.iter().filter(|&&l| l == 0).count();
+        }
+        let denom = (400 * trials as usize) as f64;
+        (returned as f64 / denom, empty as f64 / denom)
+    };
+    let (return_sharded, empty_sharded) = stats(true);
+    let (return_single, empty_single) = stats(false);
+    // Both should sit near 1/n ≈ 0.0025 and e^{-1} ≈ 0.368 respectively.
+    assert!(
+        (return_sharded - return_single).abs() < 0.01,
+        "return rates diverged: sharded {return_sharded}, single {return_single}"
+    );
+    assert!(
+        (empty_sharded - empty_single).abs() < 0.01,
+        "empty fractions diverged: sharded {empty_sharded}, single {empty_single}"
+    );
+    assert!((empty_sharded - (-1.0f64).exp()).abs() < 0.02);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Cross-shard determinism on the graph zoo: a k-shard round sequence
+    /// is bitwise invariant to the shard sampling order and to threaded
+    /// execution, for any graph family, shard count, laziness and round
+    /// budget.
+    #[test]
+    fn sharded_rounds_are_invariant_to_execution_order(
+        graph in strategies::graph_zoo(40..160),
+        shards in 1usize..7,
+        rounds in 1usize..10,
+        laziness_pct in 0usize..60,
+    ) {
+        let n = graph.node_count();
+        prop_assume!(n >= 16);
+        let k = shards.min(n);
+        let laziness = laziness_pct as f64 / 100.0;
+        let partition = Partition::new(&graph, k).unwrap();
+        let seed = 0xC0FFEE;
+
+        let mut forward = ShardedMixingEngine::one_walker_per_node(&graph, &partition, seed).unwrap();
+        let mut backward = ShardedMixingEngine::one_walker_per_node(&graph, &partition, seed).unwrap();
+        let mut threaded = ShardedMixingEngine::one_walker_per_node(&graph, &partition, seed).unwrap();
+        let reversed: Vec<usize> = (0..k).rev().collect();
+        for _ in 0..rounds {
+            forward.step(laziness, &mut ());
+            backward.step_in_order(laziness, &reversed, &mut ());
+            threaded.step_threaded(laziness, &mut ());
+        }
+        prop_assert_eq!(forward.positions(), backward.positions());
+        prop_assert_eq!(forward.positions(), threaded.positions());
+        prop_assert_eq!(forward.walkers_by_holder(), backward.walkers_by_holder());
+        prop_assert_eq!(forward.walkers_by_holder(), threaded.walkers_by_holder());
+    }
+}
