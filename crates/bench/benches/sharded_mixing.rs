@@ -1,4 +1,5 @@
-//! Shard-count sweep of the sharded mixing engine at fixed population.
+//! Shard-count sweep of the sharded mixing engine at fixed population,
+//! plus a steady-state allocation audit of the unified round kernel.
 //!
 //! Measures the cost of one exchange-round budget (engine construction plus
 //! `ROUNDS` holder-order rounds) as the shard count grows at `n = 100_000`:
@@ -7,16 +8,129 @@
 //! (`k = 1` is bit-for-bit the single-engine path).  With
 //! `--features parallel` the same sweep exercises the threaded sampling
 //! phase instead.
+//!
+//! Before the criterion sweep, a counting global allocator audits the
+//! kernel's arena contract: after a short warm-up, monolithic, sharded and
+//! masked-sharded rounds must perform **zero** heap allocations per round —
+//! all counting-sort and outbox scratch lives in reusable arenas owned by
+//! the plan executors.  (The audit runs on the benchmark binary only; the
+//! engines themselves are allocator-agnostic.)
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use ns_graph::generators::random_regular;
+use ns_graph::mixing_engine::MixingEngine;
 use ns_graph::partition::Partition;
 use ns_graph::rng::seeded_rng;
 use ns_graph::sharded_engine::ShardedMixingEngine;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 const USERS: usize = 100_000;
 const DEGREE: usize = 8;
 const ROUNDS: usize = 10;
+
+/// A pass-through allocator that counts allocations, for the steady-state
+/// audit.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// Audited pass-through to the system allocator: the only added behaviour
+// is the relaxed counter bump.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// Warms an engine until a whole block of rounds allocates nothing, then
+/// returns the allocation count of a final audited block (which the caller
+/// asserts is zero).  The kernel's arenas and the exchange outboxes grow
+/// monotonically to their high-water marks — bounded by the walker count,
+/// so the number of growth events is finite — and a later round can only
+/// allocate if it breaks a high-water mark; warm-up length is therefore
+/// workload-dependent, and the audit warms adaptively instead of guessing.
+fn settle_then_audit(label: &str, mut round: impl FnMut()) -> usize {
+    const BLOCK: usize = 10;
+    const MAX_BLOCKS: usize = 50;
+    for _ in 0..MAX_BLOCKS {
+        let during_warmup = allocations_during(|| {
+            for _ in 0..BLOCK {
+                round();
+            }
+        });
+        if during_warmup == 0 {
+            break;
+        }
+    }
+    let audited = allocations_during(|| {
+        for _ in 0..BLOCK {
+            round();
+        }
+    });
+    println!("steady-state allocations over {BLOCK} rounds [{label}]: {audited}");
+    audited
+}
+
+/// Steady-state rounds must allocate nothing: all counting-sort and outbox
+/// scratch lives in the executors' reusable arenas.
+fn audit_steady_state_allocations() {
+    let n = 20_000;
+    let graph = random_regular(n, DEGREE, &mut seeded_rng(3)).expect("graph");
+
+    let mut engine = MixingEngine::one_walker_per_node(&graph).expect("engine");
+    let mut rng = seeded_rng(4);
+    let single = settle_then_audit("monolithic", || {
+        engine.step_holder(0.2, &mut rng, &mut ());
+    });
+
+    let partition = Partition::new(&graph, 4).expect("partition");
+    let mut sharded =
+        ShardedMixingEngine::one_walker_per_node(&graph, &partition, 5).expect("engine");
+    let multi = settle_then_audit("sharded k=4", || {
+        sharded.step(0.2, &mut ());
+    });
+
+    let mask: Vec<bool> = (0..n).map(|u| u % 5 != 0).collect();
+    let masked = settle_then_audit("sharded k=4 + mask", || {
+        sharded.step_masked(0.2, &mask, &mut ());
+    });
+
+    // The arena contract of ns_graph::round: settled rounds allocate
+    // nothing.  (Threaded rounds spawn scoped threads per step; thread
+    // stacks are runtime plumbing, not per-round engine allocations, so
+    // the audit runs the sequential forms.)
+    assert_eq!(
+        single, 0,
+        "monolithic steady-state rounds must not allocate"
+    );
+    assert_eq!(multi, 0, "sharded steady-state rounds must not allocate");
+    assert_eq!(
+        masked, 0,
+        "masked sharded steady-state rounds must not allocate"
+    );
+    black_box(sharded.position(0));
+}
 
 fn bench_shard_count_sweep(c: &mut Criterion) {
     let graph = random_regular(USERS, DEGREE, &mut seeded_rng(1)).expect("graph");
@@ -43,4 +157,8 @@ fn bench_shard_count_sweep(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_shard_count_sweep);
-criterion_main!(benches);
+
+fn main() {
+    audit_steady_state_allocations();
+    benches();
+}

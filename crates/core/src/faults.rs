@@ -393,6 +393,13 @@ impl OutageSchedule {
         &self.masks[round.min(self.masks.len() - 1)]
     }
 
+    /// All per-round masks, in round order — the raw history for lifting
+    /// onto other operators (e.g.
+    /// [`ns_graph::partition::IntraShardTransition::availability_schedule`]).
+    pub fn masks(&self) -> &[Vec<bool>] {
+        &self.masks
+    }
+
     /// Fraction of users available in round `t`.
     pub fn available_fraction(&self, round: usize) -> f64 {
         let mask = self.mask(round);

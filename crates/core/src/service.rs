@@ -38,17 +38,33 @@
 //! the same round — the offline and online accountants cannot drift
 //! (`tests/sharded_engine.rs`).
 //!
+//! **Churn composes.**  Attaching a realized [`OutageSchedule`]
+//! ([`ShuffleCoordinator::with_outages`] /
+//! [`ShuffleCoordinator::sample_outages`]) switches every exchange round to
+//! the engine's masked form (an unavailable recipient bounces the delivery
+//! back through the return exchange; the walker stays, uncounted) *and*
+//! rebuilds the streaming accountant around the same per-round masked
+//! operators — so batch admission, live quotes and
+//! [`ShuffleCoordinator::run_until_epsilon`] upload gating all run against
+//! the schedule the deployment actually realized.  Both runtimes execute
+//! the one round kernel of [`ns_graph::round`], which is what makes the
+//! composition exact rather than approximate.
+//!
 //! **Degeneracy contract.**  Under the canonical 1-shard partition with a
 //! full population, the coordinator reproduces
 //! [`crate::simulation::run_protocol`] bit for bit — same walk, same
 //! submissions, same [`TrafficMetrics`] — because shard 0's stream *is* the
 //! protocol RNG and finalization draws continue it in submitter order.
+//! With an outage schedule attached, the same 1-shard path is bit for bit
+//! [`crate::simulation::run_protocol_under_outages`] on that schedule, and
+//! a fully-available schedule degenerates to the static path.
 
 use crate::accountant::closed_form::{
     all_protocol_epsilon, single_protocol_epsilon, AccountantParams,
 };
 use crate::crypto::Envelope;
 use crate::error::{Error, Result};
+use crate::faults::{OutageModel, OutageSchedule};
 use crate::metrics::{TrafficMetrics, TrafficRecorder};
 use crate::protocol::client::{FinalizeChoice, FinalizePolicy, SealedSubmission};
 use crate::protocol::ProtocolKind;
@@ -56,6 +72,7 @@ use crate::report::Report;
 use crate::server::Curator;
 use crate::simulation::SimulationOutcome;
 use ns_dp::types::PrivacyGuarantee;
+use ns_graph::dynamic::TimeVaryingModel;
 use ns_graph::ensemble::{DistributionEnsemble, RowStats};
 use ns_graph::partition::Partition;
 use ns_graph::rng::SimRng;
@@ -122,17 +139,35 @@ struct TrackedShard {
     ensemble: DistributionEnsemble,
 }
 
+/// The per-round operator the streaming accountant evolves through: the
+/// static lazy walk, or the realized per-round schedule of a churning
+/// deployment.
+#[derive(Debug, Clone)]
+enum StreamingOperator {
+    /// The static lazy-walk matrix — every round applies the same operator.
+    Static(TransitionMatrix),
+    /// A realized per-round operator schedule (availability-masked rounds);
+    /// round `t` of the walk applies `schedule.operator(t)`, exactly like
+    /// the offline [`crate::accountant::NetworkShuffleAccountant::with_schedule`]
+    /// route.
+    Scheduled(TimeVaryingModel),
+}
+
 /// Streaming exact accounting over per-shard tracked origins.
 ///
 /// The accountant evolves the tracked origins' position distributions under
-/// the static (lazy) walk operator, one round per call to
-/// [`StreamingAccountant::advance_round`], through the batched ensemble
-/// kernel — so a quote is always available at the engine's current round
-/// for the cost of a [`RowStats`] fold, and the evolution is bitwise the
-/// offline ensemble route restricted to the tracked rows.
+/// the deployment's *realized* per-round operator — the static (lazy) walk,
+/// or, under churn, the round's actual masked operator — one round per call
+/// to [`StreamingAccountant::advance_round`], through the batched ensemble
+/// kernel.  A quote is always available at the engine's current round for
+/// the cost of a [`RowStats`] fold, and the evolution is bitwise the
+/// offline ensemble route (static or
+/// [`crate::accountant::NetworkShuffleAccountant::with_schedule`])
+/// restricted to the tracked rows — so with every origin tracked the live
+/// quote is **exact under churn**, not a static approximation.
 #[derive(Debug, Clone)]
 pub struct StreamingAccountant {
-    transition: TransitionMatrix,
+    operator: StreamingOperator,
     shards: Vec<TrackedShard>,
     round: usize,
 }
@@ -151,6 +186,52 @@ impl StreamingAccountant {
         laziness: f64,
         tracked_per_shard: usize,
     ) -> Result<Self> {
+        let transition = TransitionMatrix::with_laziness(graph, laziness)?;
+        Self::with_operator(
+            graph,
+            partition,
+            StreamingOperator::Static(transition),
+            tracked_per_shard,
+        )
+    }
+
+    /// Builds the accountant for a deployment under a realized per-round
+    /// operator schedule: the tracked distributions evolve through
+    /// `schedule.operator(t)` at round `t` — the online mirror of the
+    /// offline `with_schedule` route.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] on graph/partition/schedule
+    /// node-count mismatches or `tracked_per_shard == 0`.
+    pub fn with_schedule(
+        graph: &Graph,
+        partition: &Partition,
+        schedule: TimeVaryingModel,
+        tracked_per_shard: usize,
+    ) -> Result<Self> {
+        use ns_graph::transition::TransitionModel as _;
+        if schedule.node_count() != graph.node_count() {
+            return Err(Error::InvalidConfiguration(format!(
+                "operator schedule covers {} users but the graph has {}",
+                schedule.node_count(),
+                graph.node_count()
+            )));
+        }
+        Self::with_operator(
+            graph,
+            partition,
+            StreamingOperator::Scheduled(schedule),
+            tracked_per_shard,
+        )
+    }
+
+    fn with_operator(
+        graph: &Graph,
+        partition: &Partition,
+        operator: StreamingOperator,
+        tracked_per_shard: usize,
+    ) -> Result<Self> {
         if partition.node_count() != graph.node_count() {
             return Err(Error::InvalidConfiguration(format!(
                 "partition covers {} users but the graph has {}",
@@ -163,7 +244,6 @@ impl StreamingAccountant {
                 "the streaming accountant needs at least one tracked origin per shard".into(),
             ));
         }
-        let transition = TransitionMatrix::with_laziness(graph, laziness)?;
         let n = graph.node_count();
         let mut shards = Vec::with_capacity(partition.shard_count());
         for shard in partition.shards() {
@@ -174,10 +254,40 @@ impl StreamingAccountant {
             shards.push(TrackedShard { origins, ensemble });
         }
         Ok(StreamingAccountant {
-            transition,
+            operator,
             shards,
             round: 0,
         })
+    }
+
+    /// Swaps the accountant onto a realized operator schedule **without
+    /// rebuilding the tracked ensembles** — at round 0 they are the same
+    /// point masses regardless of operator, so only the operator needs to
+    /// change (this is what lets the coordinator attach an outage schedule
+    /// after construction without paying the ensemble build twice).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if any round has already been
+    /// advanced or the schedule's node count differs from the ensembles'.
+    fn reschedule(&mut self, schedule: TimeVaryingModel) -> Result<()> {
+        use ns_graph::transition::TransitionModel as _;
+        if self.round != 0 {
+            return Err(Error::InvalidConfiguration(
+                "cannot attach an operator schedule after rounds have advanced".into(),
+            ));
+        }
+        if let Some(shard) = self.shards.first() {
+            if schedule.node_count() != shard.ensemble.node_count() {
+                return Err(Error::InvalidConfiguration(format!(
+                    "operator schedule covers {} users but the accountant tracks {}",
+                    schedule.node_count(),
+                    shard.ensemble.node_count()
+                )));
+            }
+        }
+        self.operator = StreamingOperator::Scheduled(schedule);
+        Ok(())
     }
 
     /// Rounds the tracked distributions have been advanced by.
@@ -185,15 +295,29 @@ impl StreamingAccountant {
         self.round
     }
 
+    /// Whether the accountant evolves through a realized operator schedule
+    /// (vs. the static lazy walk).
+    pub fn is_scheduled(&self) -> bool {
+        matches!(self.operator, StreamingOperator::Scheduled(_))
+    }
+
     /// Total tracked origins across all shards.
     pub fn tracked_count(&self) -> usize {
         self.shards.iter().map(|s| s.origins.len()).sum()
     }
 
-    /// Advances every tracked distribution by one round.
+    /// Advances every tracked distribution by one round through the
+    /// deployment's realized operator (the ensembles carry the absolute
+    /// round clock, so a scheduled accountant applies `operator(t)` at
+    /// round `t`).
     pub fn advance_round(&mut self) {
         for shard in self.shards.iter_mut() {
-            shard.ensemble.advance_auto(&self.transition, 1);
+            match &self.operator {
+                StreamingOperator::Static(matrix) => shard.ensemble.advance_auto(matrix, 1),
+                StreamingOperator::Scheduled(schedule) => {
+                    shard.ensemble.advance_auto(schedule, 1);
+                }
+            }
         }
         self.round += 1;
     }
@@ -309,6 +433,9 @@ pub struct ShuffleCoordinator<'g, P> {
     engine: Option<ShardedMixingEngine<'g>>,
     recorder: TrafficRecorder,
     accountant: StreamingAccountant,
+    /// Realized availability schedule; round `t` of the exchange runs with
+    /// `outages.mask(t)` when present.
+    outages: Option<OutageSchedule>,
 }
 
 impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
@@ -340,7 +467,66 @@ impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
             engine: None,
             recorder: TrafficRecorder::new(0),
             accountant,
+            outages: None,
         })
+    }
+
+    /// Attaches a realized outage schedule: every subsequent exchange round
+    /// `t` runs the **masked** sharded round with `schedule.mask(t)` (held
+    /// past the schedule's end, matching the schedule's own semantics), and
+    /// the streaming accountant is rebuilt to evolve its tracked
+    /// distributions through the round's actual masked operator — so
+    /// [`ShuffleCoordinator::live_quote`] and
+    /// [`ShuffleCoordinator::run_until_epsilon`] gate uploads against the
+    /// schedule you *realized*, not the network you planned.  With every
+    /// origin tracked the live quote equals the offline
+    /// [`crate::accountant::NetworkShuffleAccountant::with_schedule`] route
+    /// exactly; with a fully-available schedule everything stays bitwise
+    /// the static path.  The accountant keeps its round-0 point-mass
+    /// ensembles — only the per-round operator is swapped.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if the exchange phase already
+    /// started (the accountant's clock must start at round 0) or the
+    /// schedule's node count differs from the graph's; operator
+    /// construction errors otherwise.
+    pub fn with_outages(&mut self, schedule: OutageSchedule) -> Result<()> {
+        if self.engine.is_some() {
+            return Err(Error::InvalidConfiguration(
+                "attach the outage schedule before the exchange phase starts".into(),
+            ));
+        }
+        let model = schedule.time_varying_model(self.graph, self.config.laziness)?;
+        self.accountant.reschedule(model)?;
+        self.outages = Some(schedule);
+        Ok(())
+    }
+
+    /// Samples a realized schedule from an [`OutageModel`] over `rounds`
+    /// rounds (deterministic in `seed`) and attaches it via
+    /// [`ShuffleCoordinator::with_outages`].  Returns a reference to the
+    /// attached schedule so callers can hand the *same* realization to the
+    /// offline accountant for cross-checks.
+    ///
+    /// # Errors
+    ///
+    /// Model validation/sampling errors, plus the
+    /// [`ShuffleCoordinator::with_outages`] errors.
+    pub fn sample_outages(
+        &mut self,
+        model: &OutageModel,
+        rounds: usize,
+        seed: u64,
+    ) -> Result<&OutageSchedule> {
+        let schedule = model.sample_schedule(self.graph.node_count(), rounds, seed)?;
+        self.with_outages(schedule)?;
+        Ok(self.outages.as_ref().expect("schedule was just attached"))
+    }
+
+    /// The attached outage schedule, if any.
+    pub fn outages(&self) -> Option<&OutageSchedule> {
+        self.outages.as_ref()
     }
 
     /// The coordinator's configuration.
@@ -460,7 +646,16 @@ impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
             Error::InvalidConfiguration("call begin_exchange() before running rounds".into())
         })?;
         for _ in 0..rounds {
-            engine.step_auto(self.config.laziness, &mut self.recorder);
+            match &self.outages {
+                None => engine.step_auto(self.config.laziness, &mut self.recorder),
+                Some(schedule) => {
+                    // Round t (0-based) runs under mask(t); the accountant's
+                    // scheduled operator applies the same mask at the same
+                    // clock, so quotes track the realized walk exactly.
+                    let mask = schedule.mask(engine.round());
+                    engine.step_masked_auto(self.config.laziness, mask, &mut self.recorder);
+                }
+            }
             self.accountant.advance_round();
         }
         Ok(())
@@ -704,6 +899,130 @@ mod tests {
         let (rounds, quote) = coordinator.run_until_epsilon(&params, 0.5, 30).unwrap();
         assert_eq!(rounds, 30);
         assert!(quote.epsilon > 0.5);
+    }
+
+    #[test]
+    fn scheduled_accountant_with_all_origins_matches_the_offline_schedule_route() {
+        let g = ns_graph::generators::two_degree_class(30, 4, 5).unwrap();
+        let n = g.node_count();
+        let p = Partition::new(&g, 3).unwrap();
+        let rounds = 8;
+        let model = OutageModel::MarkovOnOff {
+            fail: 0.1,
+            recover: 0.3,
+        };
+        let schedule = model.sample_schedule(n, rounds, 17).unwrap();
+        let time_varying = schedule.time_varying_model(&g, 0.0).unwrap();
+        let mut streaming =
+            StreamingAccountant::with_schedule(&g, &p, time_varying.clone(), usize::MAX).unwrap();
+        assert!(streaming.is_scheduled());
+        assert_eq!(streaming.tracked_count(), n);
+        let offline = NetworkShuffleAccountant::new(&g)
+            .unwrap()
+            .with_schedule(time_varying)
+            .unwrap();
+        let params = AccountantParams::with_defaults(n, 1.0).unwrap();
+        for t in 1..=rounds {
+            streaming.advance_round();
+            for protocol in [ProtocolKind::All, ProtocolKind::Single] {
+                let (_, live) = streaming.worst_quote(protocol, &params).unwrap();
+                let (_, exact) = offline.worst_user_guarantee(protocol, &params, t).unwrap();
+                assert_eq!(live.epsilon, exact.epsilon, "t = {t}, {protocol:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn outage_lifecycle_is_enforced() {
+        let g = graph(40, 4, 21);
+        let p = Partition::new(&g, 2).unwrap();
+        let config = CoordinatorConfig::all(7, 4);
+        let mut coordinator: ShuffleCoordinator<'_, u32> =
+            ShuffleCoordinator::new(&g, &p, config).unwrap();
+        // A schedule with the wrong node count is rejected.
+        let bad = OutageSchedule::fully_available(10, 3).unwrap();
+        assert!(coordinator.with_outages(bad).is_err());
+        // Attaching after the exchange started is rejected.
+        let ok = OutageSchedule::fully_available(40, 3).unwrap();
+        coordinator.admit_population((0..40).collect()).unwrap();
+        coordinator.begin_exchange().unwrap();
+        assert!(coordinator.with_outages(ok).is_err());
+    }
+
+    #[test]
+    fn fully_available_schedule_is_bitwise_the_static_coordinator() {
+        let g = graph(60, 4, 22);
+        let p = Partition::new(&g, 3).unwrap();
+        let rounds = 10;
+        let run = |outages: bool| {
+            let config = CoordinatorConfig::single(23, 4);
+            let mut coordinator: ShuffleCoordinator<'_, u32> =
+                ShuffleCoordinator::new(&g, &p, config).unwrap();
+            if outages {
+                coordinator
+                    .with_outages(OutageSchedule::fully_available(60, rounds).unwrap())
+                    .unwrap();
+            }
+            coordinator.admit_population((0..60).collect()).unwrap();
+            coordinator.begin_exchange().unwrap();
+            coordinator.run_rounds(rounds).unwrap();
+            let params = AccountantParams::with_defaults(60, 1.0).unwrap();
+            let (origin, quote) = coordinator.live_quote(&params).unwrap();
+            let outcome = coordinator.finalize(|_| 9).unwrap();
+            let view: Vec<_> = outcome
+                .collected
+                .reports_with_submitter()
+                .map(|(s, r)| (s, r.origin, r.is_dummy, r.payload))
+                .collect();
+            (origin, quote.epsilon, view, outcome.metrics)
+        };
+        let static_run = run(false);
+        let scheduled_run = run(true);
+        assert_eq!(static_run.0, scheduled_run.0);
+        assert_eq!(static_run.1, scheduled_run.1);
+        assert_eq!(static_run.2, scheduled_run.2);
+        assert_eq!(static_run.3, scheduled_run.3);
+    }
+
+    #[test]
+    fn blackout_rounds_suppress_traffic_and_degrade_the_quote() {
+        let g = graph(80, 4, 24);
+        let p = Partition::new(&g, 2).unwrap();
+        let rounds = 12;
+        let run = |blackout: bool| {
+            let config = CoordinatorConfig::single(29, usize::MAX);
+            let mut coordinator: ShuffleCoordinator<'_, u32> =
+                ShuffleCoordinator::new(&g, &p, config).unwrap();
+            if blackout {
+                coordinator
+                    .sample_outages(
+                        &OutageModel::RegionBlackout {
+                            region: (0..40).collect(),
+                            from_round: 0,
+                            until_round: rounds,
+                        },
+                        rounds,
+                        5,
+                    )
+                    .unwrap();
+            }
+            coordinator.admit_population(vec![0u32; 80]).unwrap();
+            coordinator.begin_exchange().unwrap();
+            coordinator.run_rounds(rounds).unwrap();
+            let params = AccountantParams::with_defaults(80, 1.0).unwrap();
+            let quote = coordinator.live_quote(&params).unwrap().1.epsilon;
+            let outcome = coordinator.finalize(|_| 0).unwrap();
+            (quote, outcome.metrics.total_messages())
+        };
+        let (clear_eps, clear_messages) = run(false);
+        let (dark_eps, dark_messages) = run(true);
+        // Failed deliveries are never counted as traffic, and half the
+        // network being dark slows mixing, so the live quote is worse.
+        assert!(dark_messages < clear_messages);
+        assert!(
+            dark_eps > clear_eps,
+            "blackout must degrade the live quote: {clear_eps} -> {dark_eps}"
+        );
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub mod mixing;
 pub mod mixing_engine;
 pub mod partition;
 pub mod rng;
+pub mod round;
 pub mod sharded_engine;
 pub mod spectral;
 pub mod stationary;

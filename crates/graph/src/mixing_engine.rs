@@ -29,11 +29,22 @@
 //! walker-order rounds across threads in fixed-size chunks with per-chunk
 //! deterministic RNG streams (results depend only on the seed, never on the
 //! number of threads).
+//!
+//! Since the unified-kernel refactor, every round form is a thin plan
+//! builder over [`crate::round`]: `step_holder` / `step_holder_masked`
+//! build a [`RoundPlan`] and hand it to the shared decide/merge routines,
+//! and `step` / `step_masked` use the shared walker-order sweep — the same
+//! routines the sharded engine executes per shard, which is what makes
+//! masked, dynamic (retarget) and sharded rounds compose instead of
+//! multiplying loop copies.
 
 use crate::error::{GraphError, Result};
 use crate::graph::{Graph, NodeId};
+use crate::round::{self, RoundArena, RoundPlan};
 use crate::walk::WalkConfig;
 use rand::Rng;
+
+pub(crate) use crate::round::sample_move;
 
 /// Per-round measurements streamed to a [`RoundObserver`].
 #[derive(Debug)]
@@ -67,53 +78,6 @@ impl<O: RoundObserver + ?Sized> RoundObserver for &mut O {
     }
 }
 
-/// Samples one walker's move at node `at`: `None` to stay (lazy draw), else
-/// the uniformly chosen neighbour.
-///
-/// This is the single definition of the per-walker sampling rule.  Every
-/// round form (walker order, holder order, data-parallel) draws through it,
-/// in the same order — one `f64` for the lazy decision (only when
-/// `laziness > 0`), then one uniform index — which is what keeps the
-/// draw-for-draw parity contract with the historical loops in one place.
-#[inline]
-pub(crate) fn sample_move<R: Rng + ?Sized>(
-    graph: &Graph,
-    at: NodeId,
-    laziness: f64,
-    rng: &mut R,
-) -> Option<NodeId> {
-    if laziness > 0.0 && rng.gen::<f64>() < laziness {
-        return None;
-    }
-    let nbrs = graph.neighbors(at);
-    debug_assert!(
-        !nbrs.is_empty(),
-        "isolated nodes are rejected at construction"
-    );
-    Some(nbrs[rng.gen_range(0..nbrs.len())])
-}
-
-/// [`sample_move`] under an optional availability mask: the draw sequence
-/// is identical (one lazy `f64`, then one uniform index), but a chosen
-/// recipient that is unavailable turns the move into a stay — the report
-/// could not be delivered this round.  With `None` (or an all-available
-/// mask) this is exactly [`sample_move`], so masked rounds degenerate to
-/// the static forms bit for bit, RNG stream included.
-#[inline]
-fn sample_move_masked<R: Rng + ?Sized>(
-    graph: &Graph,
-    at: NodeId,
-    laziness: f64,
-    available: Option<&[bool]>,
-    rng: &mut R,
-) -> Option<NodeId> {
-    let dest = sample_move(graph, at, laziness, rng)?;
-    match available {
-        Some(mask) if !mask[dest] => None,
-        _ => Some(dest),
-    }
-}
-
 /// Shared, batched executor of exchange rounds over struct-of-arrays state.
 ///
 /// Walker `w` is identified by its index in the position array; callers
@@ -135,13 +99,13 @@ pub struct MixingEngine<'g> {
     /// Per-round statistics, valid after an observed round.
     sent: Vec<u32>,
     load: Vec<u32>,
-    /// Scratch buffers reused across rounds (no per-round allocation).
-    kept_nodes: Vec<u32>,
-    kept_walkers: Vec<u32>,
+    /// Counting-sort scratch owned by the plan executor, reused across
+    /// rounds (no steady-state allocation).
+    arena: RoundArena,
+    /// The engine's arrival list: this round's deliveries in send order —
+    /// the single "outbox" of the monolithic engine.
     moved_dests: Vec<u32>,
     moved_walkers: Vec<u32>,
-    next_walkers: Vec<u32>,
-    cursor: Vec<usize>,
 }
 
 impl<'g> MixingEngine<'g> {
@@ -196,12 +160,9 @@ impl<'g> MixingEngine<'g> {
             buckets_valid: false,
             sent: vec![0; n],
             load: vec![0; n],
-            kept_nodes: Vec::new(),
-            kept_walkers: Vec::new(),
+            arena: RoundArena::new(),
             moved_dests: Vec::new(),
             moved_walkers: Vec::new(),
-            next_walkers: Vec::new(),
-            cursor: vec![0; n],
         })
     }
 
@@ -303,26 +264,29 @@ impl<'g> MixingEngine<'g> {
     }
 
     /// (Re)builds the holder buckets from the position array, grouping
-    /// walkers by node in walker-id order via a counting sort.
+    /// walkers by node in walker-id order — the kernel's counting-sort
+    /// merge with no survivors and the position array as the arrival
+    /// stream.
     pub fn ensure_buckets(&mut self) {
         if self.buckets_valid {
             return;
         }
         let n = self.graph.node_count();
-        self.load.fill(0);
-        for &node in &self.positions {
-            self.load[node] += 1;
-        }
-        self.bucket_starts[0] = 0;
-        for u in 0..n {
-            self.bucket_starts[u + 1] = self.bucket_starts[u] + self.load[u] as usize;
-        }
-        self.cursor.copy_from_slice(&self.bucket_starts[..n]);
-        self.bucket_walkers.resize(self.positions.len(), 0);
-        for (walker, &node) in self.positions.iter().enumerate() {
-            self.bucket_walkers[self.cursor[node]] = walker as u32;
-            self.cursor[node] += 1;
-        }
+        let MixingEngine {
+            positions,
+            bucket_starts,
+            bucket_walkers,
+            load,
+            arena,
+            ..
+        } = self;
+        arena.kept_nodes.clear();
+        arena.kept_walkers.clear();
+        round::merge_round_buckets(n, arena, load, bucket_starts, bucket_walkers, |sink| {
+            for (walker, &node) in positions.iter().enumerate() {
+                sink(node, walker as u32);
+            }
+        });
         self.buckets_valid = true;
     }
 
@@ -359,11 +323,12 @@ impl<'g> MixingEngine<'g> {
         available: Option<&[bool]>,
         rng: &mut R,
     ) {
-        for pos in &mut self.positions {
-            if let Some(dest) = sample_move_masked(self.graph, *pos, laziness, available, rng) {
-                *pos = dest;
-            }
-        }
+        let plan = RoundPlan {
+            graph: self.graph,
+            laziness,
+            available,
+        };
+        round::sweep_walker_order(&plan, &mut self.positions, rng);
         self.round += 1;
         self.buckets_valid = false;
     }
@@ -447,68 +412,54 @@ impl<'g> MixingEngine<'g> {
     ) {
         self.ensure_buckets();
         let n = self.graph.node_count();
-        // Phase 1: decide every walker's move, bucketing survivors and movers.
-        {
-            let MixingEngine {
-                graph,
-                positions,
-                bucket_starts,
-                bucket_walkers,
-                sent,
-                kept_nodes,
-                kept_walkers,
-                moved_dests,
-                moved_walkers,
-                ..
-            } = self;
-            sent.fill(0);
-            kept_nodes.clear();
-            kept_walkers.clear();
-            moved_dests.clear();
-            moved_walkers.clear();
-            for u in 0..n {
-                let held = &bucket_walkers[bucket_starts[u]..bucket_starts[u + 1]];
-                for &w in held {
-                    match sample_move_masked(graph, u, laziness, available, rng) {
-                        None => {
-                            kept_nodes.push(u as u32);
-                            kept_walkers.push(w);
-                        }
-                        Some(dest) => {
-                            positions[w as usize] = dest;
-                            moved_dests.push(dest as u32);
-                            moved_walkers.push(w);
-                            sent[u] += 1;
-                        }
-                    }
-                }
+        let MixingEngine {
+            graph,
+            positions,
+            bucket_starts,
+            bucket_walkers,
+            sent,
+            load,
+            arena,
+            moved_dests,
+            moved_walkers,
+            ..
+        } = self;
+        let plan = RoundPlan {
+            graph,
+            laziness,
+            available,
+        };
+        // Decide: survivors into the arena, deliveries into the arrival
+        // list in send order.
+        moved_dests.clear();
+        moved_walkers.clear();
+        round::decide_holder_moves(
+            &plan,
+            (0..n).map(|u| (u, u)),
+            round::HolderBuckets {
+                starts: bucket_starts,
+                walkers: bucket_walkers,
+            },
+            sent,
+            arena,
+            rng,
+            |dest, w| {
+                positions[w as usize] = dest;
+                moved_dests.push(dest as u32);
+                moved_walkers.push(w);
+            },
+        );
+        // Merge: survivors first, then arrivals in global send order.
+        round::merge_round_buckets(n, arena, load, bucket_starts, bucket_walkers, |sink| {
+            for (&d, &w) in moved_dests.iter().zip(moved_walkers.iter()) {
+                sink(d as usize, w);
             }
-        }
-        // Phase 2: next-round load and CSR offsets.
-        self.load.fill(0);
-        for &u in &self.kept_nodes {
-            self.load[u as usize] += 1;
-        }
-        for &d in &self.moved_dests {
-            self.load[d as usize] += 1;
-        }
-        self.bucket_starts[0] = 0;
-        for u in 0..n {
-            self.bucket_starts[u + 1] = self.bucket_starts[u] + self.load[u] as usize;
-        }
-        // Phase 3: scatter — survivors first (kept_* is grouped by node in
-        // ascending order), then arrivals in global send order.
-        self.cursor.copy_from_slice(&self.bucket_starts[..n]);
-        self.next_walkers.resize(self.positions.len(), 0);
-        for (&u, &w) in self.kept_nodes.iter().zip(&self.kept_walkers) {
-            self.next_walkers[self.cursor[u as usize]] = w;
-            self.cursor[u as usize] += 1;
-        }
-        for (&d, &w) in self.moved_dests.iter().zip(&self.moved_walkers) {
-            self.next_walkers[self.cursor[d as usize]] = w;
-            self.cursor[d as usize] += 1;
-        }
-        std::mem::swap(&mut self.bucket_walkers, &mut self.next_walkers);
+        });
+        debug_assert_eq!(
+            self.bucket_starts[n],
+            self.positions.len(),
+            "round conservation violated: survivors + arrivals + bounces must equal the walkers"
+        );
         self.round += 1;
         observer.on_round(&RoundStats {
             round: self.round,

@@ -36,6 +36,7 @@
 //! ε directly — the `ablation_shard` experiment.
 
 use crate::builder::GraphBuilder;
+use crate::dynamic::{DynTransition, TimeVaryingModel};
 use crate::error::{GraphError, Result};
 use crate::graph::{Graph, NodeId};
 use crate::transition::TransitionModel;
@@ -565,12 +566,59 @@ impl IntraShardTransition {
     }
 }
 
+impl IntraShardTransition {
+    /// Lifts the cut-restricted operator onto a realized availability
+    /// history: one [`MaskedIntraShard`] per round, all sharing this one
+    /// CSR copy behind an [`std::sync::Arc`].  Round `t` of the resulting
+    /// [`TimeVaryingModel`] bounces a draw back to its holder when it
+    /// crosses the cut **or** its recipient is dark in `masks[t]` — the
+    /// exact operator of a sharded deployment that refuses to cross the
+    /// cut *and* suffers churn, which is how `ablation_shard` prices the
+    /// edge cut under 20% Markov churn.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameters`] on an empty mask sequence or a
+    /// mask whose length differs from the node count.
+    pub fn availability_schedule(self, masks: &[Vec<bool>]) -> Result<TimeVaryingModel> {
+        let n = self.node_count();
+        let shared = std::sync::Arc::new(self);
+        let schedule: Vec<DynTransition> = masks
+            .iter()
+            .map(|mask| {
+                if mask.len() != n {
+                    return Err(GraphError::InvalidParameters(format!(
+                        "availability mask has {} entries for {n} nodes",
+                        mask.len()
+                    )));
+                }
+                Ok(std::sync::Arc::new(MaskedIntraShard {
+                    shared: std::sync::Arc::clone(&shared),
+                    available: mask.clone(),
+                }) as DynTransition)
+            })
+            .collect::<Result<_>>()?;
+        TimeVaryingModel::new(schedule)
+    }
+}
+
 impl TransitionModel for IntraShardTransition {
     fn node_count(&self) -> usize {
         self.inv_degree.len()
     }
 
     fn propagate_into(&self, p: &[f64], out: &mut [f64]) {
+        self.propagate_masked_into(None, p, out);
+    }
+}
+
+impl IntraShardTransition {
+    /// The shared sweep of the cut-restricted operator, with an optional
+    /// availability mask: the accumulation order is identical with and
+    /// without a mask (an all-available mask is bitwise the unmasked
+    /// operator); a draw bounces back to the holder when it crosses the
+    /// cut or its recipient is dark.
+    fn propagate_masked_into(&self, available: Option<&[bool]>, p: &[f64], out: &mut [f64]) {
         let n = self.node_count();
         assert_eq!(p.len(), n, "input distribution has wrong length");
         assert_eq!(out.len(), n, "output buffer has wrong length");
@@ -585,14 +633,36 @@ impl TransitionModel for IntraShardTransition {
             let share = move_factor * mass * self.inv_degree[i];
             let home = self.shard_of[i];
             for &j in &self.neighbors[self.offsets[i]..self.offsets[i + 1]] {
-                // A cut-crossing draw bounces back to the holder.
-                if self.shard_of[j] == home {
+                // A cut-crossing draw — or one aimed at a dark recipient —
+                // bounces back to the holder.
+                let deliverable = self.shard_of[j] == home && available.is_none_or(|mask| mask[j]);
+                if deliverable {
                     out[j] += share;
                 } else {
                     out[i] += share;
                 }
             }
         }
+    }
+}
+
+/// One round of the cut-restricted walk under an availability mask: built
+/// by [`IntraShardTransition::availability_schedule`], sharing the base
+/// operator's CSR across the whole schedule.
+#[derive(Debug, Clone)]
+pub struct MaskedIntraShard {
+    shared: std::sync::Arc<IntraShardTransition>,
+    available: Vec<bool>,
+}
+
+impl TransitionModel for MaskedIntraShard {
+    fn node_count(&self) -> usize {
+        self.shared.node_count()
+    }
+
+    fn propagate_into(&self, p: &[f64], out: &mut [f64]) {
+        self.shared
+            .propagate_masked_into(Some(&self.available), p, out);
     }
 }
 
@@ -604,6 +674,47 @@ mod tests {
 
     fn test_graph(n: usize, k: usize, seed: u64) -> Graph {
         generators::random_regular(n, k, &mut seeded_rng(seed)).unwrap()
+    }
+
+    #[test]
+    fn masked_intra_shard_schedule_degenerates_and_conserves() {
+        let g = test_graph(60, 4, 30);
+        let p = Partition::new(&g, 3).unwrap();
+        let base = IntraShardTransition::new(&g, &p, 0.1).unwrap();
+        // All-available schedule: bitwise the unmasked operator per round.
+        let all_up = vec![vec![true; 60]; 4];
+        let schedule = base.clone().availability_schedule(&all_up).unwrap();
+        let mut plain = crate::ensemble::DistributionEnsemble::point_masses(60, &[0, 7]).unwrap();
+        let mut masked = crate::ensemble::DistributionEnsemble::point_masses(60, &[0, 7]).unwrap();
+        plain.advance(&base, 4);
+        masked.advance(&schedule, 4);
+        assert_eq!(plain, masked);
+        // A real mask conserves mass, never delivers to dark nodes and
+        // never crosses the cut.
+        let mask: Vec<bool> = (0..60).map(|u| u % 3 != 1).collect();
+        let schedule = base
+            .clone()
+            .availability_schedule(std::slice::from_ref(&mask))
+            .unwrap();
+        let origin = 5;
+        let mut p0 = vec![0.0; 60];
+        p0[origin] = 1.0;
+        let mut out = vec![0.0; 60];
+        TransitionModel::propagate_into(schedule.operator(0), &p0, &mut out);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let home = p.shard_of(origin);
+        for (j, &mass) in out.iter().enumerate() {
+            if j != origin && mass > 0.0 {
+                assert!(mask[j], "delivered to dark node {j}");
+                assert_eq!(p.shard_of(j), home, "crossed the cut to {j}");
+            }
+        }
+        // Ragged masks are rejected.
+        assert!(base
+            .clone()
+            .availability_schedule(&[vec![true; 59]])
+            .is_err());
+        assert!(base.availability_schedule(&[]).is_err());
     }
 
     #[test]

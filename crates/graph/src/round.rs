@@ -1,0 +1,407 @@
+//! The unified round-execution kernel: one holder-order step routine for
+//! every engine.
+//!
+//! Historically the holder-order exchange round existed in four divergent
+//! copies — `MixingEngine::step_holder`, `MixingEngine::step_holder_masked`,
+//! the dynamic retarget path and the per-shard loop in
+//! [`crate::sharded_engine`] — so every new scenario axis (masking, churn,
+//! sharding) multiplied loop variants instead of composing.  This module is
+//! the merge point: the *update stream* (which topology, which availability
+//! mask, which RNG stream) is described by a [`RoundPlan`], and a single
+//! pair of phase routines executes it for every engine:
+//!
+//! * [`decide_holder_moves`] — the **decide phase**: sweep a holder range in
+//!   id order, each holder's bucket in insertion order, drawing every
+//!   walker's move through the one sampling rule (`sample_move_masked`).
+//!   Survivors (lazy stays *and* masked bounces) are appended to the
+//!   caller's [`RoundArena`]; every delivery is handed to a caller-supplied
+//!   sink — a flat arrival list for the monolithic engine, per-destination
+//!   shard outboxes for the sharded engine.
+//! * [`merge_round_buckets`] — the **merge phase**: one counting sort that
+//!   rebuilds the next round's holder buckets from survivors (first, in
+//!   previous bucket order) and an ordered arrival stream (second, in the
+//!   order the caller replays it).  The monolithic engine replays its own
+//!   send order; the sharded engine replays arrivals grouped by source
+//!   shard in ascending id — which is exactly what makes its exchange phase
+//!   execution-order-free.
+//!
+//! [`sweep_walker_order`] is the degenerate walker-order form (no buckets,
+//! no statistics) behind `MixingEngine::step` / `step_masked`.
+//!
+//! # The `RoundPlan` contract
+//!
+//! A plan is a *view*: the topology may be a static CSR [`Graph`], a
+//! [`crate::dynamic::DynamicGraph`] snapshot (engines re-read their graph
+//! reference every round, so `retarget` composes with every plan), or the
+//! shared global CSR that a shard samples its local holder range against.
+//! The mask, when present, must cover every node of that topology.  The
+//! kernel guarantees:
+//!
+//! * **One sampling rule.**  Every walker consumes the stream identically —
+//!   one lazy `f64` (only when `laziness > 0`), then one uniform neighbour
+//!   index — regardless of masking or sharding.  A plan with
+//!   `available: None` is bit-for-bit a plan with an all-available mask.
+//! * **Exact compositions.**  Masked × static, masked × dynamic
+//!   (retarget), and masked × sharded rounds are all executions of this one
+//!   routine, so their degeneracies are exact: all-available masks
+//!   reproduce the unmasked round bitwise (RNG stream included), and a
+//!   1-shard plan reproduces the monolithic engine bitwise.  Multi-shard
+//!   plans split the RNG into per-shard streams, so *across* shard counts
+//!   the walk is statistically equivalent, never bitwise — the one
+//!   composition that is statistical rather than exact.
+//! * **Conservation.**  In debug builds the merge asserts that the
+//!   counting-sort cursors land exactly on their bucket boundaries (the
+//!   two arrival replays agree), and each engine asserts after the merge
+//!   that survivors + arrivals (bounced walkers are survivors) equal its
+//!   walker count — one shared discipline instead of per-engine ad hoc
+//!   checks.
+//! * **No steady-state allocation.**  All counting-sort scratch lives in
+//!   the caller's [`RoundArena`] and is reused; after warm-up, rounds
+//!   allocate nothing (measured in `crates/bench/benches/sharded_mixing.rs`).
+
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Samples one walker's move at node `at`: `None` to stay (lazy draw), else
+/// the uniformly chosen neighbour.
+///
+/// This is the single definition of the per-walker sampling rule.  Every
+/// round form (walker order, holder order, sharded, data-parallel) draws
+/// through it, in the same order — one `f64` for the lazy decision (only
+/// when `laziness > 0`), then one uniform index — which is what keeps the
+/// draw-for-draw parity contract with the historical loops in one place.
+#[inline]
+pub(crate) fn sample_move<R: Rng + ?Sized>(
+    graph: &Graph,
+    at: NodeId,
+    laziness: f64,
+    rng: &mut R,
+) -> Option<NodeId> {
+    if laziness > 0.0 && rng.gen::<f64>() < laziness {
+        return None;
+    }
+    let nbrs = graph.neighbors(at);
+    debug_assert!(
+        !nbrs.is_empty(),
+        "isolated nodes are rejected at construction"
+    );
+    Some(nbrs[rng.gen_range(0..nbrs.len())])
+}
+
+/// [`sample_move`] under an optional availability mask: the draw sequence
+/// is identical (one lazy `f64`, then one uniform index), but a chosen
+/// recipient that is unavailable turns the move into a stay — the report
+/// could not be delivered this round.  With `None` (or an all-available
+/// mask) this is exactly [`sample_move`], so masked rounds degenerate to
+/// the static forms bit for bit, RNG stream included.
+#[inline]
+pub(crate) fn sample_move_masked<R: Rng + ?Sized>(
+    graph: &Graph,
+    at: NodeId,
+    laziness: f64,
+    available: Option<&[bool]>,
+    rng: &mut R,
+) -> Option<NodeId> {
+    let dest = sample_move(graph, at, laziness, rng)?;
+    match available {
+        Some(mask) if !mask[dest] => None,
+        _ => Some(dest),
+    }
+}
+
+/// One round's execution inputs: the topology view, the walk's laziness and
+/// an optional availability mask.  See the [module docs](self) for the
+/// contract.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundPlan<'a> {
+    /// The topology walkers move on this round — a static CSR, a
+    /// [`crate::dynamic::DynamicGraph`] snapshot, or the shared global CSR
+    /// a shard samples against.
+    pub graph: &'a Graph,
+    /// Per-round stay probability of the lazy walk.
+    pub laziness: f64,
+    /// Availability mask (`available[u]` = can node `u` receive this
+    /// round?); `None` is bit-for-bit an all-available mask.
+    pub available: Option<&'a [bool]>,
+}
+
+impl<'a> RoundPlan<'a> {
+    /// The fully-available plan.
+    pub fn new(graph: &'a Graph, laziness: f64) -> Self {
+        RoundPlan {
+            graph,
+            laziness,
+            available: None,
+        }
+    }
+
+    /// A plan under an availability mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length differs from the node count — the one
+    /// shape error the kernel cannot express as a stay.
+    pub fn masked(graph: &'a Graph, laziness: f64, available: &'a [bool]) -> Self {
+        assert_eq!(
+            available.len(),
+            graph.node_count(),
+            "availability mask has the wrong length"
+        );
+        RoundPlan {
+            graph,
+            laziness,
+            available: Some(available),
+        }
+    }
+}
+
+/// Reusable counting-sort scratch owned by a plan executor — one per
+/// monolithic engine, one per shard.  Buffers grow to their steady-state
+/// capacity during the first rounds and are only ever cleared afterwards,
+/// so warm rounds perform no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct RoundArena {
+    /// Survivors of the decide phase: local holder node of each kept
+    /// walker, grouped by holder in ascending sweep order.
+    pub(crate) kept_nodes: Vec<u32>,
+    /// Walker ids parallel to `kept_nodes`.
+    pub(crate) kept_walkers: Vec<u32>,
+    /// Next-round bucket array under construction (swapped with the live
+    /// buckets at the end of the merge).
+    pub(crate) next_walkers: Vec<u32>,
+    /// Per-node scatter cursors of the counting sort.
+    pub(crate) cursor: Vec<usize>,
+}
+
+impl RoundArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A borrowed view of one holder range's CSR buckets: the walkers held by
+/// local node `lu` are `walkers[starts[lu]..starts[lu + 1]]`, in insertion
+/// order.
+#[derive(Debug, Clone, Copy)]
+pub struct HolderBuckets<'a> {
+    /// CSR offsets, one entry per local node plus the terminator.
+    pub starts: &'a [usize],
+    /// Walker ids, bucketed by local node.
+    pub walkers: &'a [u32],
+}
+
+/// The decide phase of one holder-order round over one holder range.
+///
+/// `holders` enumerates `(local index, global node)` pairs in the order the
+/// range is swept — `(u, u)` for the monolithic engine, the shard's
+/// `(local id, global id)` table for a shard.  Each holder's walkers (its
+/// [`HolderBuckets`] slice) are visited in insertion order and each draws
+/// one move from `rng` through the plan's sampling rule.  Survivors — lazy
+/// stays *and* masked bounces — are appended to `arena`; every delivery is
+/// handed to `deliver(dest, walker)` in send order, and the holder's slot
+/// in `sent_local` is incremented (bounces are *not* sent: the delivery
+/// never happened).
+pub fn decide_holder_moves<R: Rng + ?Sized>(
+    plan: &RoundPlan<'_>,
+    holders: impl Iterator<Item = (usize, NodeId)>,
+    buckets: HolderBuckets<'_>,
+    sent_local: &mut [u32],
+    arena: &mut RoundArena,
+    rng: &mut R,
+    mut deliver: impl FnMut(NodeId, u32),
+) {
+    arena.kept_nodes.clear();
+    arena.kept_walkers.clear();
+    sent_local.fill(0);
+    for (lu, u) in holders {
+        let held = &buckets.walkers[buckets.starts[lu]..buckets.starts[lu + 1]];
+        for &w in held {
+            match sample_move_masked(plan.graph, u, plan.laziness, plan.available, rng) {
+                None => {
+                    arena.kept_nodes.push(lu as u32);
+                    arena.kept_walkers.push(w);
+                }
+                Some(dest) => {
+                    sent_local[lu] += 1;
+                    deliver(dest, w);
+                }
+            }
+        }
+    }
+}
+
+/// The merge phase of one holder-order round over one holder range: a
+/// counting sort that rebuilds `bucket_walkers` (and its `bucket_starts`
+/// offsets and `load_local` histogram) for the next round from the arena's
+/// survivors and an ordered arrival stream.
+///
+/// `for_each_arrival` must replay the round's arrivals — as
+/// `(local destination node, walker)` — in the *canonical* order, and is
+/// called exactly twice (once to count, once to scatter); both passes must
+/// produce the same sequence.  Survivors land first in each bucket (they
+/// are already grouped by node in ascending order, a decide-phase
+/// invariant), then arrivals in replay order — exactly the order in which
+/// a message-passing simulation would have appended them.
+///
+/// Debug builds assert that the two arrival replays agree — every
+/// counting-sort cursor must land exactly on its bucket boundary — and the
+/// engines assert full conservation (survivors + arrivals + bounces =
+/// walkers) against their walker counts after the merge.
+pub fn merge_round_buckets(
+    local_n: usize,
+    arena: &mut RoundArena,
+    load_local: &mut [u32],
+    bucket_starts: &mut [usize],
+    bucket_walkers: &mut Vec<u32>,
+    mut for_each_arrival: impl FnMut(&mut dyn FnMut(usize, u32)),
+) {
+    debug_assert_eq!(load_local.len(), local_n);
+    debug_assert_eq!(bucket_starts.len(), local_n + 1);
+    // Next-round load: survivors plus arrivals.
+    load_local.fill(0);
+    for &lu in &arena.kept_nodes {
+        load_local[lu as usize] += 1;
+    }
+    for_each_arrival(&mut |lu, _w| {
+        load_local[lu] += 1;
+    });
+    bucket_starts[0] = 0;
+    for lu in 0..local_n {
+        bucket_starts[lu + 1] = bucket_starts[lu] + load_local[lu] as usize;
+    }
+    let total = bucket_starts[local_n];
+    // Scatter: survivors first, then arrivals in replay order.
+    arena.cursor.clear();
+    arena.cursor.extend_from_slice(&bucket_starts[..local_n]);
+    arena.next_walkers.resize(total, 0);
+    for (&lu, &w) in arena.kept_nodes.iter().zip(&arena.kept_walkers) {
+        arena.next_walkers[arena.cursor[lu as usize]] = w;
+        arena.cursor[lu as usize] += 1;
+    }
+    {
+        let RoundArena {
+            next_walkers,
+            cursor,
+            ..
+        } = arena;
+        for_each_arrival(&mut |lu, w| {
+            next_walkers[cursor[lu]] = w;
+            cursor[lu] += 1;
+        });
+    }
+    debug_assert!(
+        arena
+            .cursor
+            .iter()
+            .zip(&bucket_starts[1..])
+            .all(|(c, s)| c == s),
+        "round conservation violated: a counting-sort cursor missed its bucket boundary"
+    );
+    std::mem::swap(bucket_walkers, &mut arena.next_walkers);
+}
+
+/// The walker-order round: sweep `positions` once, moving every walker
+/// through the plan's sampling rule (an unavailable chosen recipient means
+/// the walker stays).  No buckets, no statistics — the cheapest round form.
+pub fn sweep_walker_order<R: Rng + ?Sized>(
+    plan: &RoundPlan<'_>,
+    positions: &mut [NodeId],
+    rng: &mut R,
+) {
+    for pos in positions.iter_mut() {
+        if let Some(dest) = sample_move_masked(plan.graph, *pos, plan.laziness, plan.available, rng)
+        {
+            *pos = dest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn masked_plan_rejects_wrong_mask_length() {
+        let g = generators::cycle(6).unwrap();
+        let mask = vec![true; 5];
+        let result = std::panic::catch_unwind(|| RoundPlan::masked(&g, 0.0, &mask));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn decide_and_merge_compose_into_one_round() {
+        // A hand-driven single-shard round: decide into a flat arrival
+        // list, merge, and check positions/buckets agree with a naive
+        // re-derivation.
+        let g = generators::random_regular(24, 4, &mut seeded_rng(1)).unwrap();
+        let n = g.node_count();
+        let plan = RoundPlan::new(&g, 0.2);
+        let mut arena = RoundArena::new();
+        // Initial buckets: walker i at node i.
+        let mut bucket_starts: Vec<usize> = (0..=n).collect();
+        let mut bucket_walkers: Vec<u32> = (0..n as u32).collect();
+        let mut positions: Vec<usize> = (0..n).collect();
+        let mut sent = vec![0u32; n];
+        let mut load = vec![0u32; n];
+        let mut arrivals: Vec<(u32, u32)> = Vec::new();
+        let mut rng = seeded_rng(2);
+        decide_holder_moves(
+            &plan,
+            (0..n).map(|u| (u, u)),
+            HolderBuckets {
+                starts: &bucket_starts,
+                walkers: &bucket_walkers,
+            },
+            &mut sent,
+            &mut arena,
+            &mut rng,
+            |dest, w| {
+                positions[w as usize] = dest;
+                arrivals.push((dest as u32, w));
+            },
+        );
+        assert_eq!(arena.kept_nodes.len() + arrivals.len(), n);
+        assert_eq!(
+            sent.iter().map(|&s| s as usize).sum::<usize>(),
+            arrivals.len()
+        );
+        merge_round_buckets(
+            n,
+            &mut arena,
+            &mut load,
+            &mut bucket_starts,
+            &mut bucket_walkers,
+            |sink| {
+                for &(d, w) in &arrivals {
+                    sink(d as usize, w);
+                }
+            },
+        );
+        assert_eq!(load.iter().map(|&l| l as usize).sum::<usize>(), n);
+        for u in 0..n {
+            for &w in &bucket_walkers[bucket_starts[u]..bucket_starts[u + 1]] {
+                assert_eq!(positions[w as usize], u);
+            }
+        }
+    }
+
+    #[test]
+    fn all_available_mask_is_bitwise_the_unmasked_plan() {
+        let g = generators::random_regular(40, 4, &mut seeded_rng(3)).unwrap();
+        let mask = vec![true; 40];
+        let mut a: Vec<usize> = (0..40).collect();
+        let mut b = a.clone();
+        let mut rng_a = seeded_rng(4);
+        let mut rng_b = seeded_rng(4);
+        for _ in 0..10 {
+            sweep_walker_order(&RoundPlan::new(&g, 0.3), &mut a, &mut rng_a);
+            sweep_walker_order(&RoundPlan::masked(&g, 0.3, &mask), &mut b, &mut rng_b);
+        }
+        assert_eq!(a, b);
+        use rand::Rng;
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+}

@@ -1,10 +1,17 @@
 //! Multi-shard execution of exchange rounds with deterministic RNG splitting.
 //!
-//! [`ShardedMixingEngine`] runs the holder-order round of
-//! [`crate::mixing_engine::MixingEngine`] independently per shard of a
+//! [`ShardedMixingEngine`] runs the unified holder-order round kernel
+//! ([`crate::round`]) independently per shard of a
 //! [`crate::partition::Partition`], then routes cross-shard deliveries
 //! through per-shard outboxes with one counting-sort exchange phase per
-//! round.  The design contracts:
+//! round.  Because the per-shard decide sweep *is* the kernel's
+//! [`crate::round::decide_holder_moves`], every scenario axis the kernel
+//! supports composes here: masked rounds
+//! ([`ShardedMixingEngine::step_masked`] — a delivery to an unavailable
+//! recipient bounces back through the return exchange and rejoins its
+//! holder as a survivor) and live topology churn
+//! ([`ShardedMixingEngine::retarget`]) run through the same loop as the
+//! static rounds, not through divergent copies.  The design contracts:
 //!
 //! * **Seed-only determinism.**  Shard `s` draws from its own ChaCha8 stream
 //!   ([`shard_stream`]), and a round's result depends only on
@@ -37,9 +44,10 @@
 
 use crate::error::{GraphError, Result};
 use crate::graph::{Graph, NodeId};
-use crate::mixing_engine::{sample_move, RoundObserver, RoundStats};
+use crate::mixing_engine::{RoundObserver, RoundStats};
 use crate::partition::Partition;
 use crate::rng::{mix64, SimRng};
+use crate::round::{self, RoundArena, RoundPlan};
 use crate::walk::WalkConfig;
 use rand_chacha::rand_core::SeedableRng;
 
@@ -67,13 +75,10 @@ struct ShardState {
     /// `bucket_walkers[bucket_starts[lu]..bucket_starts[lu + 1]]`.
     bucket_starts: Vec<usize>,
     bucket_walkers: Vec<u32>,
-    /// Scratch reused across rounds.
-    kept_nodes: Vec<u32>,
-    kept_walkers: Vec<u32>,
+    /// The kernel's counting-sort scratch, reused across rounds.
+    arena: RoundArena,
     sent_local: Vec<u32>,
     load_local: Vec<u32>,
-    next_walkers: Vec<u32>,
-    cursor: Vec<usize>,
 }
 
 /// Multi-shard executor of holder-order exchange rounds.
@@ -162,42 +167,36 @@ impl<'g> ShardedMixingEngine<'g> {
                     rng: shard_stream(seed, s),
                     bucket_starts: vec![0; local_n + 1],
                     bucket_walkers: Vec::new(),
-                    kept_nodes: Vec::new(),
-                    kept_walkers: Vec::new(),
+                    arena: RoundArena::new(),
                     sent_local: vec![0; local_n],
                     load_local: vec![0; local_n],
-                    next_walkers: Vec::new(),
-                    cursor: vec![0; local_n],
                 }
             })
             .collect();
-        // Initial buckets: counting sort by holder in walker-id order,
-        // shard by shard.
-        for state in shards.iter_mut() {
-            state.load_local.fill(0);
-        }
-        for &node in &starts {
-            let s = partition.shard_of(node);
-            shards[s].load_local[partition.local_of(node)] += 1;
+        // Initial buckets: route each walker to its shard once, then run
+        // the kernel's counting-sort merge per shard with no survivors and
+        // the shard's arrivals (in walker-id order) as the stream —
+        // exactly like
+        // [`crate::mixing_engine::MixingEngine::ensure_buckets`].
+        let mut initial_arrivals: Vec<Vec<(usize, u32)>> = vec![Vec::new(); k];
+        for (walker, &node) in starts.iter().enumerate() {
+            initial_arrivals[partition.shard_of(node)]
+                .push((partition.local_of(node), walker as u32));
         }
         for (s, state) in shards.iter_mut().enumerate() {
             let local_n = partition.shard(s).len();
-            state.bucket_starts[0] = 0;
-            for lu in 0..local_n {
-                state.bucket_starts[lu + 1] =
-                    state.bucket_starts[lu] + state.load_local[lu] as usize;
-            }
-            state
-                .cursor
-                .copy_from_slice(&state.bucket_starts[..local_n]);
-            state.bucket_walkers.resize(state.bucket_starts[local_n], 0);
-        }
-        for (walker, &node) in starts.iter().enumerate() {
-            let s = partition.shard_of(node);
-            let lu = partition.local_of(node);
-            let state = &mut shards[s];
-            state.bucket_walkers[state.cursor[lu]] = walker as u32;
-            state.cursor[lu] += 1;
+            round::merge_round_buckets(
+                local_n,
+                &mut state.arena,
+                &mut state.load_local,
+                &mut state.bucket_starts,
+                &mut state.bucket_walkers,
+                |sink| {
+                    for &(lu, w) in &initial_arrivals[s] {
+                        sink(lu, w);
+                    }
+                },
+            );
         }
         Ok(ShardedMixingEngine {
             graph,
@@ -285,11 +284,77 @@ impl<'g> ShardedMixingEngine<'g> {
         &mut self.shards[shard].rng
     }
 
+    /// Swaps in a new topology for subsequent rounds — the churn runtime's
+    /// `retarget`/delta-apply hook, mirroring
+    /// [`crate::mixing_engine::MixingEngine::retarget`].  Walker positions,
+    /// per-shard buckets, RNG streams and the round counter carry over
+    /// unchanged; only where walkers can move *next* changes.  The node
+    /// count must match (the partition's shard assignment stays valid:
+    /// users are stable, churn rewires edges and availability, not
+    /// identity) and the new topology must have no isolated nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameters`] on a node-count mismatch,
+    /// [`GraphError::IsolatedNode`] if the new topology has one.
+    pub fn retarget(&mut self, graph: &'g Graph) -> Result<()> {
+        if graph.node_count() != self.graph.node_count() {
+            return Err(GraphError::InvalidParameters(format!(
+                "cannot retarget an engine on {} nodes to a graph with {}",
+                self.graph.node_count(),
+                graph.node_count()
+            )));
+        }
+        if let Some(u) = graph.find_isolated_node() {
+            return Err(GraphError::IsolatedNode(u));
+        }
+        self.graph = graph;
+        Ok(())
+    }
+
     /// Executes one holder-order round across all shards (shard sampling in
     /// ascending shard order, which — by the determinism contract — yields
     /// the same result as any other order), streaming whole-population
     /// statistics to `observer` (pass `&mut ()` to skip).
     pub fn step<O: RoundObserver>(&mut self, laziness: f64, observer: &mut O) {
+        self.step_masked_opt(laziness, None, observer);
+    }
+
+    /// [`ShardedMixingEngine::step`] under an availability mask (global
+    /// node ids): a walker whose chosen recipient is unavailable stays put
+    /// for the round — in a distributed deployment, a cross-shard delivery
+    /// to a dark recipient bounces back to its source shard through the
+    /// return leg of the exchange and rejoins the holder's bucket as a
+    /// survivor, which is exactly how the kernel accounts it (not sent, not
+    /// an arrival).  With an all-available mask the round is bit-for-bit
+    /// [`ShardedMixingEngine::step`], and under a 1-shard partition it is
+    /// bit-for-bit
+    /// [`crate::mixing_engine::MixingEngine::step_holder_masked`] — RNG
+    /// stream, bucket orders and statistics included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available.len()` differs from the node count.
+    pub fn step_masked<O: RoundObserver>(
+        &mut self,
+        laziness: f64,
+        available: &[bool],
+        observer: &mut O,
+    ) {
+        assert_eq!(
+            available.len(),
+            self.graph.node_count(),
+            "availability mask has the wrong length"
+        );
+        self.step_masked_opt(laziness, Some(available), observer);
+    }
+
+    fn step_masked_opt<O: RoundObserver>(
+        &mut self,
+        laziness: f64,
+        available: Option<&[bool]>,
+        observer: &mut O,
+    ) {
         let graph = self.graph;
         let partition = self.partition;
         for (s, (state, outbox)) in self
@@ -298,7 +363,7 @@ impl<'g> ShardedMixingEngine<'g> {
             .zip(self.outboxes.iter_mut())
             .enumerate()
         {
-            sample_shard_round(graph, partition, s, state, outbox, laziness);
+            sample_shard_round(graph, partition, s, state, outbox, laziness, available);
         }
         self.merge_round(observer);
     }
@@ -315,6 +380,38 @@ impl<'g> ShardedMixingEngine<'g> {
     pub fn step_in_order<O: RoundObserver>(
         &mut self,
         laziness: f64,
+        order: &[usize],
+        observer: &mut O,
+    ) {
+        self.step_in_order_masked_opt(laziness, None, order, observer);
+    }
+
+    /// [`ShardedMixingEngine::step_masked`] with an explicit shard order —
+    /// the audit hook extended to masked rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..shard_count` or the
+    /// mask length differs from the node count.
+    pub fn step_masked_in_order<O: RoundObserver>(
+        &mut self,
+        laziness: f64,
+        available: &[bool],
+        order: &[usize],
+        observer: &mut O,
+    ) {
+        assert_eq!(
+            available.len(),
+            self.graph.node_count(),
+            "availability mask has the wrong length"
+        );
+        self.step_in_order_masked_opt(laziness, Some(available), order, observer);
+    }
+
+    fn step_in_order_masked_opt<O: RoundObserver>(
+        &mut self,
+        laziness: f64,
+        available: Option<&[bool]>,
         order: &[usize],
         observer: &mut O,
     ) {
@@ -335,6 +432,7 @@ impl<'g> ShardedMixingEngine<'g> {
                 &mut self.shards[s],
                 &mut self.outboxes[s],
                 laziness,
+                available,
             );
         }
         self.merge_round(observer);
@@ -364,6 +462,25 @@ impl<'g> ShardedMixingEngine<'g> {
         self.step(laziness, observer);
     }
 
+    /// [`ShardedMixingEngine::step_masked`] with the sampling phase on
+    /// scoped threads when the `parallel` feature is enabled, the plain
+    /// sequential masked step otherwise — bitwise identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available.len()` differs from the node count.
+    pub fn step_masked_auto<O: RoundObserver>(
+        &mut self,
+        laziness: f64,
+        available: &[bool],
+        observer: &mut O,
+    ) {
+        #[cfg(feature = "parallel")]
+        self.step_masked_threaded(laziness, available, observer);
+        #[cfg(not(feature = "parallel"))]
+        self.step_masked(laziness, available, observer);
+    }
+
     /// The canonical exchange phase: merges survivors and (per source
     /// shard, in ascending shard order) deliveries into each shard's
     /// next-round buckets via one counting sort per shard, updates walker
@@ -375,48 +492,45 @@ impl<'g> ShardedMixingEngine<'g> {
         for d in 0..k {
             let nodes = partition.shard(d).nodes();
             let local_n = nodes.len();
-            let state = &mut self.shards[d];
-            // Next-round load: survivors plus arrivals from every source.
-            state.load_local.fill(0);
-            for &lu in &state.kept_nodes {
-                state.load_local[lu as usize] += 1;
-            }
-            for source in self.outboxes.iter() {
-                for &(dest, _) in &source[d] {
-                    state.load_local[partition.local_of(dest as usize)] += 1;
-                }
-            }
-            state.bucket_starts[0] = 0;
-            for lu in 0..local_n {
-                state.bucket_starts[lu + 1] =
-                    state.bucket_starts[lu] + state.load_local[lu] as usize;
-            }
-            // Scatter: survivors first (kept_nodes is grouped by local node
-            // in ascending order), then arrivals by source shard in send
-            // order.
-            state
-                .cursor
-                .copy_from_slice(&state.bucket_starts[..local_n]);
-            state.next_walkers.resize(state.bucket_starts[local_n], 0);
-            for (&lu, &w) in state.kept_nodes.iter().zip(&state.kept_walkers) {
-                state.next_walkers[state.cursor[lu as usize]] = w;
-                state.cursor[lu as usize] += 1;
-            }
+            // Record delivered walkers' new positions (send order within a
+            // source row; final values are order-independent — each walker
+            // appears in exactly one outbox entry).
             for source in self.outboxes.iter() {
                 for &(dest, w) in &source[d] {
-                    let lu = partition.local_of(dest as usize);
-                    state.next_walkers[state.cursor[lu]] = w;
-                    state.cursor[lu] += 1;
                     self.positions[w as usize] = dest as usize;
                 }
             }
-            std::mem::swap(&mut state.bucket_walkers, &mut state.next_walkers);
+            // The kernel's counting-sort merge: survivors first (grouped by
+            // local node, a decide-phase invariant), then arrivals by
+            // source shard in ascending id, each row in send order — the
+            // canonical order that makes the exchange execution-order-free.
+            let state = &mut self.shards[d];
+            let outboxes = &self.outboxes;
+            round::merge_round_buckets(
+                local_n,
+                &mut state.arena,
+                &mut state.load_local,
+                &mut state.bucket_starts,
+                &mut state.bucket_walkers,
+                |sink| {
+                    for source in outboxes.iter() {
+                        for &(dest, w) in &source[d] {
+                            sink(partition.local_of(dest as usize), w);
+                        }
+                    }
+                },
+            );
             // Fold this shard's statistics into the global vectors.
             for (lu, &u) in nodes.iter().enumerate() {
                 self.sent[u] = state.sent_local[lu];
                 self.load[u] = state.load_local[lu];
             }
         }
+        debug_assert_eq!(
+            self.load.iter().map(|&l| l as usize).sum::<usize>(),
+            self.positions.len(),
+            "round conservation violated: survivors + arrivals + bounces must equal the walkers"
+        );
         self.round += 1;
         observer.on_round(&RoundStats {
             round: self.round,
@@ -426,11 +540,12 @@ impl<'g> ShardedMixingEngine<'g> {
     }
 }
 
-/// Phase 1 for one shard: sweep the shard's nodes in ascending local (=
-/// global) order and each node's held walkers in bucket order, drawing every
-/// move from the shard's own stream through the engine-wide sampling rule.
-/// Survivors stay in `kept_*`; every delivery — intra- or cross-shard — is
-/// appended to the outbox row of its destination shard in send order.
+/// Phase 1 for one shard: the kernel's decide sweep over the shard's nodes
+/// in ascending local (= global) order, drawing every move from the shard's
+/// own stream through the engine-wide sampling rule.  Survivors — lazy
+/// stays *and* masked bounces — stay in the shard's arena; every delivery,
+/// intra- or cross-shard, is appended to the outbox row of its destination
+/// shard in send order.
 fn sample_shard_round(
     graph: &Graph,
     partition: &Partition,
@@ -438,29 +553,39 @@ fn sample_shard_round(
     state: &mut ShardState,
     outbox: &mut [Vec<(u32, u32)>],
     laziness: f64,
+    available: Option<&[bool]>,
 ) {
-    state.kept_nodes.clear();
-    state.kept_walkers.clear();
-    state.sent_local.fill(0);
     for row in outbox.iter_mut() {
         row.clear();
     }
+    let plan = RoundPlan {
+        graph,
+        laziness,
+        available,
+    };
     let nodes = partition.shard(shard).nodes();
-    for (lu, &u) in nodes.iter().enumerate() {
-        let held = &state.bucket_walkers[state.bucket_starts[lu]..state.bucket_starts[lu + 1]];
-        for &w in held {
-            match sample_move(graph, u, laziness, &mut state.rng) {
-                None => {
-                    state.kept_nodes.push(lu as u32);
-                    state.kept_walkers.push(w);
-                }
-                Some(dest) => {
-                    state.sent_local[lu] += 1;
-                    outbox[partition.shard_of(dest)].push((dest as u32, w));
-                }
-            }
-        }
-    }
+    let ShardState {
+        rng,
+        bucket_starts,
+        bucket_walkers,
+        arena,
+        sent_local,
+        ..
+    } = state;
+    round::decide_holder_moves(
+        &plan,
+        nodes.iter().copied().enumerate(),
+        round::HolderBuckets {
+            starts: bucket_starts,
+            walkers: bucket_walkers,
+        },
+        sent_local,
+        arena,
+        rng,
+        |dest, w| {
+            outbox[partition.shard_of(dest)].push((dest as u32, w));
+        },
+    );
 }
 
 /// Data-parallel shard sampling (enabled by the `parallel` feature).
@@ -482,6 +607,35 @@ mod parallel {
         /// Multi-threaded [`ShardedMixingEngine::step`]; bitwise identical
         /// results.
         pub fn step_threaded<O: RoundObserver>(&mut self, laziness: f64, observer: &mut O) {
+            self.step_threaded_masked_opt(laziness, None, observer);
+        }
+
+        /// Multi-threaded [`ShardedMixingEngine::step_masked`]; bitwise
+        /// identical results.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `available.len()` differs from the node count.
+        pub fn step_masked_threaded<O: RoundObserver>(
+            &mut self,
+            laziness: f64,
+            available: &[bool],
+            observer: &mut O,
+        ) {
+            assert_eq!(
+                available.len(),
+                self.graph().node_count(),
+                "availability mask has the wrong length"
+            );
+            self.step_threaded_masked_opt(laziness, Some(available), observer);
+        }
+
+        fn step_threaded_masked_opt<O: RoundObserver>(
+            &mut self,
+            laziness: f64,
+            available: Option<&[bool]>,
+            observer: &mut O,
+        ) {
             let graph = self.graph;
             let partition = self.partition;
             let work: Vec<ShardWork<'_>> = self
@@ -503,7 +657,9 @@ mod parallel {
                 for assignment in per_thread {
                     scope.spawn(move || {
                         for (s, (state, outbox)) in assignment {
-                            sample_shard_round(graph, partition, s, state, outbox, laziness);
+                            sample_shard_round(
+                                graph, partition, s, state, outbox, laziness, available,
+                            );
                         }
                     });
                 }
@@ -646,6 +802,127 @@ mod tests {
         };
         engine.run(WalkConfig::lazy(10, 0.1), &mut checker).unwrap();
         assert_eq!(checker.rounds_seen, 10);
+    }
+
+    #[test]
+    fn one_shard_masked_is_bitwise_the_single_engine_masked_path() {
+        let g = graph(140, 6, 10);
+        let p = Partition::single_shard(&g).unwrap();
+        let mask: Vec<bool> = (0..140).map(|u| u % 4 != 0).collect();
+        for laziness in [0.0, 0.3] {
+            let mut sharded = ShardedMixingEngine::one_walker_per_node(&g, &p, 55).unwrap();
+            let mut single = MixingEngine::one_walker_per_node(&g).unwrap();
+            let mut rng = shard_stream(55, 0);
+            for _ in 0..18 {
+                sharded.step_masked(laziness, &mask, &mut ());
+                single.step_holder_masked(laziness, &mask, &mut rng, &mut ());
+            }
+            assert_eq!(sharded.positions(), single.positions());
+            assert_eq!(sharded.walkers_by_holder(), single.walkers_by_holder());
+            use rand::Rng;
+            let a: u64 = sharded.shard_rng_mut(0).gen();
+            let b: u64 = rng.gen();
+            assert_eq!(a, b, "RNG stream diverged under the mask");
+        }
+    }
+
+    #[test]
+    fn all_available_mask_is_bitwise_the_unmasked_sharded_round() {
+        let g = graph(120, 4, 11);
+        let p = Partition::new(&g, 4).unwrap();
+        let mask = vec![true; 120];
+        let mut masked = ShardedMixingEngine::one_walker_per_node(&g, &p, 77).unwrap();
+        let mut plain = ShardedMixingEngine::one_walker_per_node(&g, &p, 77).unwrap();
+        for _ in 0..15 {
+            masked.step_masked(0.2, &mask, &mut ());
+            plain.step(0.2, &mut ());
+        }
+        assert_eq!(masked.positions(), plain.positions());
+        assert_eq!(masked.walkers_by_holder(), plain.walkers_by_holder());
+    }
+
+    #[test]
+    fn masked_rounds_never_deliver_to_dark_nodes_and_bounces_are_not_sent() {
+        let g = graph(100, 4, 12);
+        let p = Partition::new(&g, 3).unwrap();
+        let mut mask = vec![true; 100];
+        for slot in mask.iter_mut().skip(10) {
+            *slot = false;
+        }
+        let mut engine = ShardedMixingEngine::one_walker_per_node(&g, &p, 21).unwrap();
+        let before = engine.positions().to_vec();
+        engine.step_masked(0.0, &mask, &mut ());
+        for (walker, (&now, &was)) in engine.positions().iter().zip(&before).enumerate() {
+            assert!(
+                mask[now] || now == was,
+                "walker {walker} was delivered to dark node {now}"
+            );
+        }
+        // The totally-dark network freezes everyone, and no bounced walker
+        // is counted as traffic.
+        let dark = vec![false; 100];
+        let frozen = engine.positions().to_vec();
+        struct NoTraffic;
+        impl RoundObserver for NoTraffic {
+            fn on_round(&mut self, stats: &RoundStats<'_>) {
+                assert_eq!(stats.sent.iter().sum::<u32>(), 0);
+            }
+        }
+        engine.step_masked(0.3, &dark, &mut NoTraffic);
+        assert_eq!(engine.positions(), frozen.as_slice());
+    }
+
+    #[test]
+    fn masked_sampling_order_does_not_change_the_result() {
+        let g = graph(90, 6, 13);
+        let p = Partition::new(&g, 4).unwrap();
+        let mask: Vec<bool> = (0..90).map(|u| u % 5 != 2).collect();
+        let mut forward = ShardedMixingEngine::one_walker_per_node(&g, &p, 31).unwrap();
+        let mut backward = ShardedMixingEngine::one_walker_per_node(&g, &p, 31).unwrap();
+        for _ in 0..12 {
+            forward.step_masked(0.1, &mask, &mut ());
+            backward.step_masked_in_order(0.1, &mask, &[3, 2, 1, 0], &mut ());
+        }
+        assert_eq!(forward.positions(), backward.positions());
+        assert_eq!(forward.walkers_by_holder(), backward.walkers_by_holder());
+    }
+
+    #[test]
+    fn retarget_switches_topology_between_rounds() {
+        let ring = generators::cycle(24).unwrap();
+        let full = generators::complete(24).unwrap();
+        let p = Partition::new(&ring, 3).unwrap();
+        let mut engine = ShardedMixingEngine::one_walker_per_node(&ring, &p, 41).unwrap();
+        engine.step(0.0, &mut ());
+        for (walker, &pos) in engine.positions().iter().enumerate() {
+            assert!(ring.neighbors(walker).contains(&pos));
+        }
+        engine.retarget(&full).unwrap();
+        assert_eq!(engine.round(), 1);
+        engine.step(0.0, &mut ());
+        assert_eq!(engine.round(), 2);
+        assert!(engine.positions().iter().all(|&pos| pos < 24));
+        // Mismatched node counts and isolated nodes are rejected.
+        let small = generators::cycle(5).unwrap();
+        assert!(engine.retarget(&small).is_err());
+        let isolated = Graph::from_edges(24, &[(0, 1)]).unwrap();
+        assert!(engine.retarget(&isolated).is_err());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn threaded_masked_step_is_bitwise_equal_to_sequential() {
+        let g = graph(300, 8, 14);
+        let p = Partition::new(&g, 5).unwrap();
+        let mask: Vec<bool> = (0..300).map(|u| u % 6 != 0).collect();
+        let mut sequential = ShardedMixingEngine::one_walker_per_node(&g, &p, 61).unwrap();
+        let mut threaded = ShardedMixingEngine::one_walker_per_node(&g, &p, 61).unwrap();
+        for _ in 0..10 {
+            sequential.step_masked(0.2, &mask, &mut ());
+            threaded.step_masked_threaded(0.2, &mask, &mut ());
+        }
+        assert_eq!(sequential.positions(), threaded.positions());
+        assert_eq!(sequential.walkers_by_holder(), threaded.walkers_by_holder());
     }
 
     #[cfg(feature = "parallel")]

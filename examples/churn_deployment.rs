@@ -3,9 +3,12 @@
 //!
 //! ```text
 //! cargo run --release --example churn_deployment
+//! # CI smoke run / scaling probe at a custom population:
+//! NS_CHURN_N=300 cargo run --release --example churn_deployment
 //! ```
 //!
-//! A 800-user deployment plans for 25% average unavailability with the
+//! A 800-user deployment (`NS_CHURN_N` overrides the population, mirroring
+//! `NS_SHARD_N`/`NS_SCALE_N`) plans for 25% average unavailability with the
 //! paper's lazy-walk reduction, then experiences three different outage
 //! processes with that *same* average:
 //!
@@ -29,7 +32,10 @@ use ns_graph::mixing_engine::MixingEngine;
 use rand::Rng;
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
-    let n = 800;
+    let n: usize = std::env::var("NS_CHURN_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800);
     let epsilon_0 = 1.0;
     let seed = 20220408;
     let mean_down = 0.25;
