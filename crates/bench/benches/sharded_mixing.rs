@@ -21,6 +21,7 @@ use ns_graph::generators::random_regular;
 use ns_graph::mixing_engine::MixingEngine;
 use ns_graph::partition::Partition;
 use ns_graph::rng::seeded_rng;
+use ns_graph::round::DrawMode;
 use ns_graph::sharded_engine::ShardedMixingEngine;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -92,44 +93,95 @@ fn settle_then_audit(label: &str, mut round: impl FnMut()) -> usize {
     audited
 }
 
-/// Steady-state rounds must allocate nothing: all counting-sort and outbox
-/// scratch lives in the executors' reusable arenas.
+/// Steady-state rounds must allocate nothing — in *both* draw modes: the
+/// `fast` lane buffer is arena scratch like everything else, growing once
+/// to its high-water mark and then recycled.
 fn audit_steady_state_allocations() {
     let n = 20_000;
     let graph = random_regular(n, DEGREE, &mut seeded_rng(3)).expect("graph");
-
-    let mut engine = MixingEngine::one_walker_per_node(&graph).expect("engine");
-    let mut rng = seeded_rng(4);
-    let single = settle_then_audit("monolithic", || {
-        engine.step_holder(0.2, &mut rng, &mut ());
-    });
-
     let partition = Partition::new(&graph, 4).expect("partition");
-    let mut sharded =
-        ShardedMixingEngine::one_walker_per_node(&graph, &partition, 5).expect("engine");
-    let multi = settle_then_audit("sharded k=4", || {
-        sharded.step(0.2, &mut ());
-    });
-
     let mask: Vec<bool> = (0..n).map(|u| u % 5 != 0).collect();
-    let masked = settle_then_audit("sharded k=4 + mask", || {
-        sharded.step_masked(0.2, &mask, &mut ());
-    });
 
-    // The arena contract of ns_graph::round: settled rounds allocate
-    // nothing.  (Threaded rounds spawn scoped threads per step; thread
-    // stacks are runtime plumbing, not per-round engine allocations, so
-    // the audit runs the sequential forms.)
-    assert_eq!(
-        single, 0,
-        "monolithic steady-state rounds must not allocate"
-    );
-    assert_eq!(multi, 0, "sharded steady-state rounds must not allocate");
-    assert_eq!(
-        masked, 0,
-        "masked sharded steady-state rounds must not allocate"
-    );
-    black_box(sharded.position(0));
+    for mode in [DrawMode::Compat, DrawMode::Fast] {
+        let tag = match mode {
+            DrawMode::Compat => "compat",
+            DrawMode::Fast => "fast",
+        };
+        let mut engine = MixingEngine::one_walker_per_node(&graph).expect("engine");
+        engine.set_draw_mode(mode);
+        let mut rng = seeded_rng(4);
+        let single = settle_then_audit(&format!("monolithic {tag}"), || {
+            engine.step_holder(0.2, &mut rng, &mut ());
+        });
+
+        let mut sharded =
+            ShardedMixingEngine::one_walker_per_node(&graph, &partition, 5).expect("engine");
+        sharded.set_draw_mode(mode);
+        let multi = settle_then_audit(&format!("sharded k=4 {tag}"), || {
+            sharded.step(0.2, &mut ());
+        });
+
+        let masked = settle_then_audit(&format!("sharded k=4 + mask {tag}"), || {
+            sharded.step_masked(0.2, &mask, &mut ());
+        });
+
+        // The arena contract of ns_graph::round: settled rounds allocate
+        // nothing.  (Threaded rounds spawn scoped threads per step; thread
+        // stacks are runtime plumbing, not per-round engine allocations, so
+        // the audit runs the sequential forms.)
+        assert_eq!(
+            single, 0,
+            "monolithic {tag} steady-state rounds must not allocate"
+        );
+        assert_eq!(
+            multi, 0,
+            "sharded {tag} steady-state rounds must not allocate"
+        );
+        assert_eq!(
+            masked, 0,
+            "masked sharded {tag} steady-state rounds must not allocate"
+        );
+        black_box(sharded.position(0));
+    }
+
+    #[cfg(feature = "parallel")]
+    audit_pipelined_allocations(&graph, &partition);
+}
+
+/// The pipelined exchange allocates per *call* (the alternate outbox buffer
+/// and the scoped worker threads), never per *round*: doubling the round
+/// count of a settled engine must add zero allocations.
+#[cfg(feature = "parallel")]
+fn audit_pipelined_allocations(graph: &ns_graph::Graph, partition: &Partition) {
+    for mode in [DrawMode::Compat, DrawMode::Fast] {
+        let tag = match mode {
+            DrawMode::Compat => "compat",
+            DrawMode::Fast => "fast",
+        };
+        let mut engine =
+            ShardedMixingEngine::one_walker_per_node(graph, partition, 6).expect("engine");
+        engine.set_draw_mode(mode);
+        // Settle arenas and outboxes to their high-water marks.  The marks
+        // are workload-dependent (walkers redistribute every round), so
+        // settle adaptively like `settle_then_audit` does: keep running
+        // until a longer call stops allocating more than a shorter one.
+        engine.run_pipelined(0.2, 20);
+        let mut marginal = usize::MAX;
+        for _ in 0..50 {
+            let short = allocations_during(|| engine.run_pipelined(0.2, 10));
+            let long = allocations_during(|| engine.run_pipelined(0.2, 20));
+            marginal = long.saturating_sub(short);
+            if marginal == 0 {
+                break;
+            }
+        }
+        println!("pipelined marginal allocations over 10 extra rounds [{tag}]: {marginal}");
+        assert_eq!(
+            marginal, 0,
+            "pipelined {tag} rounds must not allocate beyond the per-call setup"
+        );
+        black_box(engine.position(0));
+    }
 }
 
 fn bench_shard_count_sweep(c: &mut Criterion) {

@@ -105,7 +105,7 @@ pub fn estimate_mixing(
             engine.run(WalkConfig::lazy(rounds, laziness), &mut rng)?;
         }
         for (origin, &holder) in engine.positions().iter().enumerate() {
-            *counts[origin].entry(holder).or_insert(0) += 1;
+            *counts[origin].entry(holder as usize).or_insert(0) += 1;
         }
     }
 

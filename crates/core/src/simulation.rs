@@ -372,7 +372,7 @@ pub mod reference {
                 id,
                 user_keys[id],
                 curator.public_key(),
-                graph.neighbors(id).to_vec(),
+                graph.neighbors(id).iter().map(|&v| v as usize).collect(),
             )?;
             client.submit_own_report(payload);
             clients.push(client);

@@ -101,7 +101,7 @@ impl GraphBuilder {
         for mut nbrs in self.adjacency {
             nbrs.sort_unstable();
             nbrs.dedup();
-            neighbors.extend_from_slice(&nbrs);
+            neighbors.extend(nbrs.iter().map(|&v| v as u32));
             offsets.push(neighbors.len());
         }
         Graph::from_csr(offsets, neighbors)

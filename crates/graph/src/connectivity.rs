@@ -28,6 +28,7 @@ pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
             for &v in graph.neighbors(u) {
+                let v = v as usize;
                 if component[v] == usize::MAX {
                     component[v] = next_component;
                     queue.push_back(v);
@@ -66,6 +67,7 @@ pub fn is_bipartite(graph: &Graph) -> bool {
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
             for &v in graph.neighbors(u) {
+                let v = v as usize;
                 if color[v] == u8::MAX {
                     color[v] = 1 - color[u];
                     queue.push_back(v);

@@ -82,8 +82,10 @@ impl DynamicGraph {
         if n == 0 {
             return Err(GraphError::EmptyGraph);
         }
-        let adjacency: Vec<Vec<NodeId>> =
-            graph.nodes().map(|u| graph.neighbors(u).to_vec()).collect();
+        let adjacency: Vec<Vec<NodeId>> = graph
+            .nodes()
+            .map(|u| graph.neighbors(u).iter().map(|&v| v as NodeId).collect())
+            .collect();
         Ok(DynamicGraph {
             adjacency,
             available: vec![true; n],
@@ -259,7 +261,7 @@ impl DynamicGraph {
         let mut neighbors = Vec::with_capacity(2 * self.edge_count);
         offsets.push(0usize);
         for list in &self.adjacency {
-            neighbors.extend_from_slice(list);
+            neighbors.extend(list.iter().map(|&v| v as u32));
             offsets.push(neighbors.len());
         }
         Graph::from_csr(offsets, neighbors)
@@ -276,7 +278,7 @@ impl DynamicGraph {
         let mut u = 0;
         while u < n {
             if self.dirty_flag[u] {
-                neighbors.extend_from_slice(&self.adjacency[u]);
+                neighbors.extend(self.adjacency[u].iter().map(|&v| v as u32));
                 offsets.push(neighbors.len());
                 u += 1;
             } else {
@@ -370,7 +372,7 @@ impl MaskedCsr {
                 .map(|u| 1.0 / graph.degree(u) as f64)
                 .collect(),
             offsets: offsets.to_vec(),
-            neighbors: neighbors.to_vec(),
+            neighbors: neighbors.iter().map(|&v| v as usize).collect(),
         }))
     }
 }
@@ -798,13 +800,13 @@ mod tests {
         let unavailable_nbrs = g
             .neighbors(origin)
             .iter()
-            .filter(|&&j| !available[j])
+            .filter(|&&j| !available[j as usize])
             .count();
         let expected_stay = 0.2 + 0.8 * unavailable_nbrs as f64 / g.degree(origin) as f64;
         assert!((out[origin] - expected_stay).abs() < 1e-12);
         for &j in g.neighbors(origin) {
-            if !available[j] {
-                assert_eq!(out[j], 0.0);
+            if !available[j as usize] {
+                assert_eq!(out[j as usize], 0.0);
             }
         }
     }

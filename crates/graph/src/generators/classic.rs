@@ -113,6 +113,71 @@ pub fn circulant(n: usize, k: usize) -> Result<Graph> {
     Ok(b.build())
 }
 
+/// A circulant graph over an explicit stride set: node `i` is connected to
+/// `i ± s (mod n)` for every stride `s` in `strides`.
+///
+/// Two differences from [`circulant`] make this the topology of the
+/// memory-bound round-loop benchmark:
+///
+/// * **Far gathers.**  [`circulant`]'s strides are the contiguous
+///   `1..=k/2`, so every neighbour row sits next to its node and the CSR
+///   gather stays cache-local.  Large strides (e.g. primes near `n / 3`)
+///   spread each row across the whole position array, which is what makes
+///   a multi-million-node round genuinely DRAM-bound.
+/// * **Direct CSR construction.**  Rows are written straight into the CSR
+///   arrays in `O(n · k)` with one scratch row — no per-node adjacency
+///   `Vec`s — so 10M-node instances build in seconds instead of fighting
+///   the edge-by-edge builder's allocation storm.
+///
+/// The graph is connected iff `gcd(n, s_1, …, s_k) == 1` (e.g. whenever
+/// stride `1` is included) and k-regular with `k = 2 · strides.len()`
+/// whenever all strides and their complements are distinct mod `n`
+/// (duplicate endpoints are collapsed).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `n < 3`, `n` exceeds the u32 node
+/// cap, `strides` is empty, or a stride is `0 (mod n)` (a self-loop).
+pub fn strided_circulant(n: usize, strides: &[usize]) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameters(format!(
+            "strided_circulant requires n >= 3, got {n}"
+        )));
+    }
+    if n > u32::MAX as usize {
+        return Err(GraphError::InvalidParameters(format!(
+            "graphs are limited to 2^32 - 1 nodes, got {n}"
+        )));
+    }
+    if strides.is_empty() {
+        return Err(GraphError::InvalidParameters(
+            "strided_circulant requires at least one stride".into(),
+        ));
+    }
+    if let Some(&bad) = strides.iter().find(|&&s| s % n == 0) {
+        return Err(GraphError::InvalidParameters(format!(
+            "stride {bad} is 0 mod {n}, which would be a self-loop"
+        )));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut neighbors: Vec<u32> = Vec::with_capacity(2 * strides.len() * n);
+    let mut row: Vec<u32> = Vec::with_capacity(2 * strides.len());
+    offsets.push(0usize);
+    for u in 0..n {
+        row.clear();
+        for &s in strides {
+            let s = s % n;
+            row.push(((u + s) % n) as u32);
+            row.push(((u + n - s) % n) as u32);
+        }
+        row.sort_unstable();
+        row.dedup();
+        neighbors.extend_from_slice(&row);
+        offsets.push(neighbors.len());
+    }
+    Ok(Graph::from_csr(offsets, neighbors))
+}
+
 /// A "two-degree-class" graph: `n_low` nodes of (approximate) degree `k_low`
 /// interleaved with `n_high` hubs of higher degree, wired deterministically.
 ///
@@ -214,6 +279,32 @@ mod tests {
         assert!(circulant(10, 5).is_err());
         assert!(circulant(10, 0).is_err());
         assert!(circulant(4, 6).is_err());
+    }
+
+    #[test]
+    fn strided_circulant_matches_the_builder_circulant() {
+        // Contiguous strides 1..=k/2 are exactly the classic circulant.
+        let direct = strided_circulant(20, &[1, 2, 3]).unwrap();
+        let built = circulant(20, 6).unwrap();
+        assert_eq!(direct.node_count(), built.node_count());
+        assert_eq!(direct.edge_count(), built.edge_count());
+        for u in 0..20 {
+            assert_eq!(direct.neighbors(u), built.neighbors(u), "row {u}");
+        }
+    }
+
+    #[test]
+    fn strided_circulant_with_far_strides_is_regular_and_connected() {
+        let g = strided_circulant(101, &[1, 29, 43]).unwrap();
+        assert!(g.is_regular());
+        assert_eq!(g.degree(0), 6);
+        assert!(g.is_connected());
+        // Coincident endpoints collapse (2s ≡ 0 mod n): still a simple graph.
+        let h = strided_circulant(10, &[5]).unwrap();
+        assert_eq!(h.degree(0), 1);
+        assert!(strided_circulant(2, &[1]).is_err());
+        assert!(strided_circulant(10, &[]).is_err());
+        assert!(strided_circulant(10, &[10]).is_err());
     }
 
     #[test]

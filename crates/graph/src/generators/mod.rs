@@ -29,7 +29,7 @@ pub mod watts_strogatz;
 
 pub use barabasi_albert::barabasi_albert;
 pub use chung_lu::chung_lu;
-pub use classic::{circulant, complete, cycle, path, star, two_degree_class};
+pub use classic::{circulant, complete, cycle, path, star, strided_circulant, two_degree_class};
 pub use erdos_renyi::{gnm, gnp};
 pub use lattice::torus;
 pub use regular::random_regular;

@@ -21,12 +21,18 @@ pub type NodeId = usize;
 ///
 /// Construct one through [`crate::builder::GraphBuilder`], a generator in
 /// [`crate::generators`], or [`Graph::from_edges`].
+///
+/// Neighbour ids are stored as `u32` (checked at construction:
+/// `n < 2^32`), which halves the memory bandwidth of the round kernel's
+/// neighbour gather — the dominant traffic of every walk at scale — while
+/// [`NodeId`] stays `usize` at the API boundaries that deal in single
+/// nodes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
     /// `offsets[i]..offsets[i+1]` indexes the neighbours of node `i`.
     offsets: Vec<usize>,
-    /// Concatenated adjacency lists; length `2m`.
-    neighbors: Vec<NodeId>,
+    /// Concatenated adjacency lists; length `2m`, compressed to u32.
+    neighbors: Vec<u32>,
 }
 
 impl Graph {
@@ -51,16 +57,23 @@ impl Graph {
     ///
     /// `offsets` must have length `n + 1`, be non-decreasing, start at 0 and
     /// end at `neighbors.len()`; callers inside this crate guarantee this.
-    pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
+    /// The u32 compression bound (`n < 2^32`) is enforced here, so every
+    /// construction path — builder, generators, dynamic snapshots — is
+    /// covered by one check.
+    pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<u32>) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        assert!(
+            offsets.len() - 1 <= u32::MAX as usize,
+            "graphs are limited to 2^32 - 1 nodes (u32-compressed CSR)"
+        );
         Graph { offsets, neighbors }
     }
 
     /// The raw CSR arrays `(offsets, neighbors)` — used by the dynamic-graph
-    /// delta layer to splice unchanged row spans with bulk copies instead of
-    /// re-walking per-node adjacency.
-    pub(crate) fn csr_parts(&self) -> (&[usize], &[NodeId]) {
+    /// delta layer to splice unchanged row spans with bulk copies, and by
+    /// the round kernel's prefetched gather.
+    pub(crate) fn csr_parts(&self) -> (&[usize], &[u32]) {
         (&self.offsets, &self.neighbors)
     }
 
@@ -86,13 +99,17 @@ impl Graph {
         self.offsets[u + 1] - self.offsets[u]
     }
 
-    /// The neighbours of node `u` as a slice, in ascending order.
+    /// The neighbours of node `u` as a slice of compressed (u32) node ids,
+    /// in ascending order.
+    ///
+    /// The ids are plain node ids, only stored narrow; widen with
+    /// `as usize` where a [`NodeId`] is needed.
     ///
     /// # Panics
     ///
     /// Panics if `u >= n`.
     #[inline]
-    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+    pub fn neighbors(&self, u: NodeId) -> &[u32] {
         &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
     }
 
@@ -109,7 +126,7 @@ impl Graph {
         } else {
             (v, u)
         };
-        self.neighbors(a).binary_search(&b).is_ok()
+        self.neighbors(a).binary_search(&(b as u32)).is_ok()
     }
 
     /// Iterates over every node id `0..n`.
@@ -123,7 +140,7 @@ impl Graph {
         self.nodes().flat_map(move |u| {
             self.neighbors(u)
                 .iter()
-                .copied()
+                .map(|&v| v as NodeId)
                 .filter(move |&v| u < v)
                 .map(move |v| (u, v))
         })
@@ -204,14 +221,15 @@ impl Graph {
         if nbrs.is_empty() {
             None
         } else {
-            Some(nbrs[rng.gen_range(0..nbrs.len())])
+            Some(nbrs[rng.gen_range(0..nbrs.len())] as NodeId)
         }
     }
 
     /// Total memory used by the CSR arrays in bytes (diagnostic; used by the
     /// Table 3 complexity experiment).
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<usize>() * (self.offsets.len() + self.neighbors.len())
+        std::mem::size_of::<usize>() * self.offsets.len()
+            + std::mem::size_of::<u32>() * self.neighbors.len()
     }
 }
 
@@ -295,7 +313,7 @@ mod tests {
         let mut rng = crate::rng::seeded_rng(1);
         for _ in 0..100 {
             let v = g.random_neighbor(2, &mut rng).unwrap();
-            assert!(g.neighbors(2).contains(&v));
+            assert!(g.neighbors(2).contains(&(v as u32)));
         }
         let isolated = Graph::from_edges(2, &[]).unwrap();
         assert!(isolated.random_neighbor(0, &mut rng).is_none());

@@ -40,7 +40,7 @@
 
 use crate::error::{GraphError, Result};
 use crate::graph::{Graph, NodeId};
-use crate::round::{self, RoundArena, RoundPlan};
+use crate::round::{self, DrawMode, RoundArena, RoundPlan};
 use crate::walk::WalkConfig;
 use rand::Rng;
 
@@ -85,8 +85,12 @@ impl<O: RoundObserver + ?Sized> RoundObserver for &mut O {
 #[derive(Debug, Clone)]
 pub struct MixingEngine<'g> {
     graph: &'g Graph,
-    /// `positions[w]` is the node currently holding walker `w`.
-    positions: Vec<NodeId>,
+    /// `positions[w]` is the node currently holding walker `w`,
+    /// u32-compressed (node ids fit by the graph's `n < 2^32` bound) so the
+    /// position sweep moves half the bytes.
+    positions: Vec<u32>,
+    /// How rounds draw randomness (see [`DrawMode`]); `Compat` by default.
+    draw_mode: DrawMode,
     /// Rounds executed so far.
     round: usize,
     /// CSR bucket structure: walkers held by node `u` are
@@ -100,12 +104,10 @@ pub struct MixingEngine<'g> {
     sent: Vec<u32>,
     load: Vec<u32>,
     /// Counting-sort scratch owned by the plan executor, reused across
-    /// rounds (no steady-state allocation).
+    /// rounds (no steady-state allocation).  Also carries the decide
+    /// phase's delivery buffers — the engine's single "outbox" — and the
+    /// fast draw mode's RNG lane buffer.
     arena: RoundArena,
-    /// The engine's arrival list: this round's deliveries in send order —
-    /// the single "outbox" of the monolithic engine.
-    moved_dests: Vec<u32>,
-    moved_walkers: Vec<u32>,
 }
 
 impl<'g> MixingEngine<'g> {
@@ -153,7 +155,8 @@ impl<'g> MixingEngine<'g> {
         let walkers = starts.len();
         Ok(MixingEngine {
             graph,
-            positions: starts,
+            positions: starts.iter().map(|&s| s as u32).collect(),
+            draw_mode: DrawMode::Compat,
             round: 0,
             bucket_starts: vec![0; n + 1],
             bucket_walkers: Vec::with_capacity(walkers),
@@ -161,9 +164,20 @@ impl<'g> MixingEngine<'g> {
             sent: vec![0; n],
             load: vec![0; n],
             arena: RoundArena::new(),
-            moved_dests: Vec::new(),
-            moved_walkers: Vec::new(),
         })
+    }
+
+    /// The engine's current draw mode.
+    pub fn draw_mode(&self) -> DrawMode {
+        self.draw_mode
+    }
+
+    /// Selects how subsequent rounds draw randomness.  Switching modes
+    /// changes the realization of the walk (fast rounds consume one `u64`
+    /// per walker, compat rounds the historical draw sequence) but not its
+    /// distribution.
+    pub fn set_draw_mode(&mut self, mode: DrawMode) {
+        self.draw_mode = mode;
     }
 
     /// The graph the walkers move on.
@@ -209,11 +223,12 @@ impl<'g> MixingEngine<'g> {
 
     /// Current position of walker `w`.
     pub fn position(&self, walker: usize) -> NodeId {
-        self.positions[walker]
+        self.positions[walker] as NodeId
     }
 
-    /// Current positions of all walkers (`positions[w] = holder of w`).
-    pub fn positions(&self) -> &[NodeId] {
+    /// Current positions of all walkers (`positions[w] = holder of w`),
+    /// u32-compressed; widen with `as usize` where a [`NodeId`] is needed.
+    pub fn positions(&self) -> &[u32] {
         &self.positions
     }
 
@@ -221,7 +236,7 @@ impl<'g> MixingEngine<'g> {
     pub fn load_vector(&self) -> Vec<usize> {
         let mut load = vec![0usize; self.graph.node_count()];
         for &node in &self.positions {
-            load[node] += 1;
+            load[node as usize] += 1;
         }
         load
     }
@@ -241,7 +256,7 @@ impl<'g> MixingEngine<'g> {
             }
         } else {
             for (walker, &node) in self.positions.iter().enumerate() {
-                holders[node].push(walker);
+                holders[node as usize].push(walker);
             }
         }
         holders
@@ -284,7 +299,7 @@ impl<'g> MixingEngine<'g> {
         arena.kept_walkers.clear();
         round::merge_round_buckets(n, arena, load, bucket_starts, bucket_walkers, |sink| {
             for (walker, &node) in positions.iter().enumerate() {
-                sink(node, walker as u32);
+                sink(node as usize, walker as u32);
             }
         });
         self.buckets_valid = true;
@@ -328,12 +343,23 @@ impl<'g> MixingEngine<'g> {
             laziness,
             available,
         };
-        round::sweep_walker_order(&plan, &mut self.positions, rng);
+        match self.draw_mode {
+            DrawMode::Compat => round::sweep_walker_order(&plan, &mut self.positions, rng),
+            DrawMode::Fast => round::sweep_walker_order_fast(
+                &plan,
+                &mut self.positions,
+                &mut self.arena.lane,
+                rng,
+            ),
+        }
         self.round += 1;
         self.buckets_valid = false;
     }
 
     /// Executes one walker-order round and streams statistics to `observer`.
+    ///
+    /// Always draws through the compat rule regardless of the engine's
+    /// [`DrawMode`] — this is a diagnostic path, not a hot loop.
     pub fn step_observed<R: Rng + ?Sized, O: RoundObserver>(
         &mut self,
         laziness: f64,
@@ -342,14 +368,14 @@ impl<'g> MixingEngine<'g> {
     ) {
         self.sent.fill(0);
         for pos in &mut self.positions {
-            if let Some(dest) = sample_move(self.graph, *pos, laziness, rng) {
-                self.sent[*pos] += 1;
-                *pos = dest;
+            if let Some(dest) = sample_move(self.graph, *pos as NodeId, laziness, rng) {
+                self.sent[*pos as usize] += 1;
+                *pos = dest as u32;
             }
         }
         self.load.fill(0);
         for &node in &self.positions {
-            self.load[node] += 1;
+            self.load[node as usize] += 1;
         }
         self.round += 1;
         self.buckets_valid = false;
@@ -412,6 +438,7 @@ impl<'g> MixingEngine<'g> {
     ) {
         self.ensure_buckets();
         let n = self.graph.node_count();
+        let draw_mode = self.draw_mode;
         let MixingEngine {
             graph,
             positions,
@@ -420,8 +447,6 @@ impl<'g> MixingEngine<'g> {
             sent,
             load,
             arena,
-            moved_dests,
-            moved_walkers,
             ..
         } = self;
         let plan = RoundPlan {
@@ -429,32 +454,46 @@ impl<'g> MixingEngine<'g> {
             laziness,
             available,
         };
-        // Decide: survivors into the arena, deliveries into the arrival
-        // list in send order.
-        moved_dests.clear();
-        moved_walkers.clear();
-        round::decide_holder_moves(
-            &plan,
-            (0..n).map(|u| (u, u)),
-            round::HolderBuckets {
-                starts: bucket_starts,
-                walkers: bucket_walkers,
-            },
-            sent,
-            arena,
-            rng,
-            |dest, w| {
-                positions[w as usize] = dest;
-                moved_dests.push(dest as u32);
-                moved_walkers.push(w);
-            },
-        );
-        // Merge: survivors first, then arrivals in global send order.
+        // Decide: survivors into the arena, deliveries into its delivery
+        // buffers in send order.
+        let holders = (0..n).map(|u| (u, u));
+        let buckets = round::HolderBuckets {
+            starts: bucket_starts,
+            walkers: bucket_walkers,
+        };
+        match draw_mode {
+            DrawMode::Compat => {
+                round::decide_holder_moves(&plan, holders, buckets, sent, arena, rng)
+            }
+            DrawMode::Fast => {
+                round::decide_holder_moves_fast(&plan, holders, buckets, sent, arena, rng)
+            }
+        }
+        // Replay the deliveries into the position array (each delivered
+        // walker appears exactly once), prefetching the randomly-indexed
+        // position slots a few entries ahead.
+        {
+            let (dests, walkers) = arena.deliveries();
+            for (i, (&d, &w)) in dests.iter().zip(walkers).enumerate() {
+                if let Some(&wf) = walkers.get(i + 8) {
+                    round::prefetch_read(positions, wf as usize);
+                }
+                positions[w as usize] = d;
+            }
+        }
+        // Merge: survivors first, then arrivals in global send order.  The
+        // delivery buffers are taken out of the arena for the duration of
+        // the merge (a move, not an allocation) because the merge borrows
+        // the arena's counting-sort scratch mutably.
+        let deliver_dests = std::mem::take(&mut arena.deliver_dests);
+        let deliver_walkers = std::mem::take(&mut arena.deliver_walkers);
         round::merge_round_buckets(n, arena, load, bucket_starts, bucket_walkers, |sink| {
-            for (&d, &w) in moved_dests.iter().zip(moved_walkers.iter()) {
+            for (&d, &w) in deliver_dests.iter().zip(deliver_walkers.iter()) {
                 sink(d as usize, w);
             }
         });
+        arena.deliver_dests = deliver_dests;
+        arena.deliver_walkers = deliver_walkers;
         debug_assert_eq!(
             self.bucket_starts[n],
             self.positions.len(),
@@ -511,8 +550,8 @@ impl<'g> MixingEngine<'g> {
 #[cfg(feature = "parallel")]
 mod parallel {
     use super::MixingEngine;
-    use crate::graph::NodeId;
     use crate::rng::SimRng;
+    use crate::round::{self, DrawMode, RoundPlan};
     use crate::walk::WalkConfig;
     use rand::SeedableRng;
 
@@ -559,32 +598,37 @@ mod parallel {
             }
             let base_round = self.round;
             let graph = self.graph;
+            let draw_mode = self.draw_mode;
+            let plan = RoundPlan::new(graph, laziness);
             let threads = std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1);
-            let chunks: Vec<(usize, &mut [NodeId])> = self
+            let chunks: Vec<(usize, &mut [u32])> = self
                 .positions
                 .chunks_mut(CHUNK_WALKERS)
                 .enumerate()
                 .collect();
             let threads = threads.min(chunks.len()).max(1);
-            let mut per_thread: Vec<Vec<(usize, &mut [NodeId])>> =
+            let mut per_thread: Vec<Vec<(usize, &mut [u32])>> =
                 (0..threads).map(|_| Vec::new()).collect();
             for (index, chunk) in chunks {
                 per_thread[index % threads].push((index, chunk));
             }
             std::thread::scope(|scope| {
                 for assignment in per_thread {
+                    let plan = &plan;
                     scope.spawn(move || {
+                        let mut lane = Vec::new();
                         for (chunk_index, chunk) in assignment {
                             for round in base_round..base_round + rounds {
                                 let mut rng = chunk_rng(seed, round, chunk_index);
-                                for pos in chunk.iter_mut() {
-                                    if let Some(dest) =
-                                        super::sample_move(graph, *pos, laziness, &mut rng)
-                                    {
-                                        *pos = dest;
+                                match draw_mode {
+                                    DrawMode::Compat => {
+                                        round::sweep_walker_order(plan, chunk, &mut rng)
                                     }
+                                    DrawMode::Fast => round::sweep_walker_order_fast(
+                                        plan, chunk, &mut lane, &mut rng,
+                                    ),
                                 }
                             }
                         }
@@ -618,7 +662,7 @@ mod tests {
                 continue;
             }
             let nbrs = graph.neighbors(*pos);
-            *pos = nbrs[rng.gen_range(0..nbrs.len())];
+            *pos = nbrs[rng.gen_range(0..nbrs.len())] as usize;
         }
     }
 
@@ -634,7 +678,61 @@ mod tests {
                 engine.step(laziness, &mut engine_rng);
                 naive_step(&g, &mut naive, laziness, &mut naive_rng);
             }
-            assert_eq!(engine.positions(), naive.as_slice());
+            let widened: Vec<NodeId> = engine.positions().iter().map(|&p| p as NodeId).collect();
+            assert_eq!(widened, naive);
+        }
+    }
+
+    #[test]
+    fn fast_mode_is_statistically_sane_and_deterministic() {
+        // Fast rounds must be seed-deterministic, stay on the graph, and
+        // differ from compat rounds only in realization.
+        let g = generators::random_regular(300, 6, &mut seeded_rng(21)).unwrap();
+        let run = |mode: crate::round::DrawMode, seed: u64| {
+            let mut engine = MixingEngine::one_walker_per_node(&g).unwrap();
+            engine.set_draw_mode(mode);
+            let mut rng = seeded_rng(seed);
+            for round in 0..12 {
+                if round % 2 == 0 {
+                    engine.step(0.2, &mut rng);
+                } else {
+                    engine.step_holder(0.2, &mut rng, &mut ());
+                }
+            }
+            engine.positions().to_vec()
+        };
+        let fast_a = run(crate::round::DrawMode::Fast, 5);
+        let fast_b = run(crate::round::DrawMode::Fast, 5);
+        assert_eq!(fast_a, fast_b, "fast mode must be seed-deterministic");
+        assert_ne!(
+            fast_a,
+            run(crate::round::DrawMode::Fast, 6),
+            "fast mode must depend on the seed"
+        );
+        assert!(fast_a.iter().all(|&p| (p as usize) < 300));
+    }
+
+    #[test]
+    fn fast_holder_rounds_conserve_walkers_and_track_positions() {
+        let g = generators::random_regular(150, 4, &mut seeded_rng(22)).unwrap();
+        let mask: Vec<bool> = (0..150).map(|u| u % 5 != 0).collect();
+        let mut engine = MixingEngine::one_walker_per_node(&g).unwrap();
+        engine.set_draw_mode(crate::round::DrawMode::Fast);
+        let mut rng = seeded_rng(23);
+        for round in 0..20 {
+            if round % 2 == 0 {
+                engine.step_holder(0.2, &mut rng, &mut ());
+            } else {
+                engine.step_holder_masked(0.2, &mask, &mut rng, &mut ());
+            }
+        }
+        let load = engine.load_vector();
+        assert_eq!(load.iter().sum::<usize>(), 150);
+        for u in g.nodes() {
+            assert_eq!(engine.held_by(u).len(), load[u]);
+            for &w in engine.held_by(u) {
+                assert_eq!(engine.position(w as usize), u);
+            }
         }
     }
 
@@ -747,7 +845,7 @@ mod tests {
         engine.step_masked(0.0, &mask, &mut rng);
         for (walker, (&now, &was)) in engine.positions().iter().zip(&before).enumerate() {
             assert!(
-                mask[now] || now == was,
+                mask[now as usize] || now == was,
                 "walker {walker} was delivered to unavailable node {now}"
             );
         }

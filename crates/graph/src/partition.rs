@@ -229,6 +229,7 @@ impl Partition {
             let mut frontier = Vec::new();
             for (lu, &u) in nodes.iter().enumerate() {
                 for &v in graph.neighbors(u) {
+                    let v = v as usize;
                     let t = shard_of[v] as usize;
                     if t == s {
                         // Add each intra-shard edge once (from its lower
@@ -413,6 +414,7 @@ fn grow_shards(graph: &Graph, shard_count: usize) -> Vec<u32> {
             unassigned -= 1;
             load += (graph.degree(u as usize) + 1) as f64;
             for &v in graph.neighbors(u as usize) {
+                let v = v as usize;
                 if shard_of[v] == UNASSIGNED {
                     gain[v] += 1;
                     frontier.push((gain[v], Reverse(v as u32)));
@@ -462,7 +464,7 @@ fn refine(graph: &Graph, shard_count: usize, shard_of: &mut [u32]) {
             }
             touched.clear();
             for &v in graph.neighbors(u) {
-                let t = shard_of[v] as usize;
+                let t = shard_of[v as usize] as usize;
                 if adjacency[t] == 0 {
                     touched.push(t);
                 }
@@ -549,7 +551,7 @@ impl IntraShardTransition {
         let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
         offsets.push(0usize);
         for u in graph.nodes() {
-            neighbors.extend_from_slice(graph.neighbors(u));
+            neighbors.extend(graph.neighbors(u).iter().map(|&v| v as NodeId));
             offsets.push(neighbors.len());
         }
         let inv_degree = graph

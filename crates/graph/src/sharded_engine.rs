@@ -47,7 +47,7 @@ use crate::graph::{Graph, NodeId};
 use crate::mixing_engine::{RoundObserver, RoundStats};
 use crate::partition::Partition;
 use crate::rng::{mix64, SimRng};
-use crate::round::{self, RoundArena, RoundPlan};
+use crate::round::{self, DrawMode, RoundArena, RoundPlan};
 use crate::walk::WalkConfig;
 use rand_chacha::rand_core::SeedableRng;
 
@@ -88,8 +88,11 @@ struct ShardState {
 pub struct ShardedMixingEngine<'g> {
     graph: &'g Graph,
     partition: &'g Partition,
-    /// `positions[w]` is the global node currently holding walker `w`.
-    positions: Vec<NodeId>,
+    /// `positions[w]` is the global node currently holding walker `w`,
+    /// u32-compressed like the graph's CSR.
+    positions: Vec<u32>,
+    /// How rounds draw randomness (see [`DrawMode`]); `Compat` by default.
+    draw_mode: DrawMode,
     round: usize,
     shards: Vec<ShardState>,
     /// `outboxes[s][d]` holds shard `s`'s cross-(and intra-)shard sends to
@@ -201,13 +204,27 @@ impl<'g> ShardedMixingEngine<'g> {
         Ok(ShardedMixingEngine {
             graph,
             partition,
-            positions: starts,
+            positions: starts.iter().map(|&s| s as u32).collect(),
+            draw_mode: DrawMode::Compat,
             round: 0,
             shards,
             outboxes: vec![vec![Vec::new(); k]; k],
             sent: vec![0; n],
             load: vec![0; n],
         })
+    }
+
+    /// The engine's current draw mode.
+    pub fn draw_mode(&self) -> DrawMode {
+        self.draw_mode
+    }
+
+    /// Selects how subsequent rounds draw randomness.  Switching modes
+    /// changes the realization of the walk but not its distribution; all
+    /// determinism contracts (seed-only, shard-order-free, thread-count
+    /// invariance) hold in both modes.
+    pub fn set_draw_mode(&mut self, mode: DrawMode) {
+        self.draw_mode = mode;
     }
 
     /// The graph the walkers move on.
@@ -237,11 +254,12 @@ impl<'g> ShardedMixingEngine<'g> {
 
     /// Current position (global node) of walker `w`.
     pub fn position(&self, walker: usize) -> NodeId {
-        self.positions[walker]
+        self.positions[walker] as NodeId
     }
 
-    /// Current positions of all walkers (`positions[w] = holder of w`).
-    pub fn positions(&self) -> &[NodeId] {
+    /// Current positions of all walkers (`positions[w] = holder of w`),
+    /// u32-compressed; widen with `as usize` where a [`NodeId`] is needed.
+    pub fn positions(&self) -> &[u32] {
         &self.positions
     }
 
@@ -249,7 +267,7 @@ impl<'g> ShardedMixingEngine<'g> {
     pub fn load_vector(&self) -> Vec<usize> {
         let mut load = vec![0usize; self.graph.node_count()];
         for &node in &self.positions {
-            load[node] += 1;
+            load[node as usize] += 1;
         }
         load
     }
@@ -357,13 +375,16 @@ impl<'g> ShardedMixingEngine<'g> {
     ) {
         let graph = self.graph;
         let partition = self.partition;
+        let mode = self.draw_mode;
         for (s, (state, outbox)) in self
             .shards
             .iter_mut()
             .zip(self.outboxes.iter_mut())
             .enumerate()
         {
-            sample_shard_round(graph, partition, s, state, outbox, laziness, available);
+            sample_shard_round(
+                graph, partition, s, state, outbox, laziness, available, mode,
+            );
         }
         self.merge_round(observer);
     }
@@ -424,6 +445,7 @@ impl<'g> ShardedMixingEngine<'g> {
         }
         let graph = self.graph;
         let partition = self.partition;
+        let mode = self.draw_mode;
         for &s in order {
             sample_shard_round(
                 graph,
@@ -433,6 +455,7 @@ impl<'g> ShardedMixingEngine<'g> {
                 &mut self.outboxes[s],
                 laziness,
                 available,
+                mode,
             );
         }
         self.merge_round(observer);
@@ -494,10 +517,16 @@ impl<'g> ShardedMixingEngine<'g> {
             let local_n = nodes.len();
             // Record delivered walkers' new positions (send order within a
             // source row; final values are order-independent — each walker
-            // appears in exactly one outbox entry).
+            // appears in exactly one outbox entry).  The walker ids index
+            // the position array essentially at random, so prefetch a few
+            // entries ahead.
             for source in self.outboxes.iter() {
-                for &(dest, w) in &source[d] {
-                    self.positions[w as usize] = dest as usize;
+                let row = &source[d];
+                for (i, &(dest, w)) in row.iter().enumerate() {
+                    if let Some(&(_, wf)) = row.get(i + 8) {
+                        round::prefetch_read(&self.positions, wf as usize);
+                    }
+                    self.positions[w as usize] = dest;
                 }
             }
             // The kernel's counting-sort merge: survivors first (grouped by
@@ -542,10 +571,12 @@ impl<'g> ShardedMixingEngine<'g> {
 
 /// Phase 1 for one shard: the kernel's decide sweep over the shard's nodes
 /// in ascending local (= global) order, drawing every move from the shard's
-/// own stream through the engine-wide sampling rule.  Survivors — lazy
-/// stays *and* masked bounces — stay in the shard's arena; every delivery,
-/// intra- or cross-shard, is appended to the outbox row of its destination
-/// shard in send order.
+/// own stream through the engine-wide sampling rule (compat or fast).
+/// Survivors — lazy stays *and* masked bounces — stay in the shard's arena;
+/// every delivery, intra- or cross-shard, is then routed from the arena's
+/// delivery buffers to the outbox row of its destination shard, preserving
+/// send order.
+#[allow(clippy::too_many_arguments)]
 fn sample_shard_round(
     graph: &Graph,
     partition: &Partition,
@@ -554,6 +585,7 @@ fn sample_shard_round(
     outbox: &mut [Vec<(u32, u32)>],
     laziness: f64,
     available: Option<&[bool]>,
+    mode: DrawMode,
 ) {
     for row in outbox.iter_mut() {
         row.clear();
@@ -572,20 +604,23 @@ fn sample_shard_round(
         sent_local,
         ..
     } = state;
-    round::decide_holder_moves(
-        &plan,
-        nodes.iter().copied().enumerate(),
-        round::HolderBuckets {
-            starts: bucket_starts,
-            walkers: bucket_walkers,
-        },
-        sent_local,
-        arena,
-        rng,
-        |dest, w| {
-            outbox[partition.shard_of(dest)].push((dest as u32, w));
-        },
-    );
+    let holders = nodes.iter().copied().enumerate();
+    let buckets = round::HolderBuckets {
+        starts: bucket_starts,
+        walkers: bucket_walkers,
+    };
+    match mode {
+        DrawMode::Compat => {
+            round::decide_holder_moves(&plan, holders, buckets, sent_local, arena, rng)
+        }
+        DrawMode::Fast => {
+            round::decide_holder_moves_fast(&plan, holders, buckets, sent_local, arena, rng)
+        }
+    }
+    let (dests, walkers) = arena.deliveries();
+    for (&dest, &w) in dests.iter().zip(walkers) {
+        outbox[partition.shard_of(dest as usize)].push((dest, w));
+    }
 }
 
 /// Data-parallel shard sampling (enabled by the `parallel` feature).
@@ -599,9 +634,41 @@ fn sample_shard_round(
 mod parallel {
     use super::{sample_shard_round, ShardState, ShardedMixingEngine};
     use crate::mixing_engine::RoundObserver;
+    use crate::round;
 
     /// One shard's sampling-phase work item: shard id, state and outbox row.
     type ShardWork<'a> = (usize, (&'a mut ShardState, &'a mut Vec<Vec<(u32, u32)>>));
+
+    /// A raw pointer that may cross thread boundaries.  Every use in the
+    /// pipelined round loop touches a provably disjoint region per worker
+    /// (own shard state, own outbox source row, walkers delivered to the
+    /// own shard, the own shard's slice of the global statistics), with a
+    /// barrier per round ordering the cross-worker hand-offs.
+    struct SendPtr<T>(*mut T);
+
+    impl<T> SendPtr<T> {
+        /// The wrapped pointer.  Going through a method (rather than field
+        /// access) makes closures capture the whole `SendPtr` — and with it
+        /// the `Send`/`Sync` impls — instead of the bare `*mut T` field
+        /// under edition-2021 precise capture.
+        fn get(self) -> *mut T {
+            self.0
+        }
+    }
+
+    impl<T> Clone for SendPtr<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for SendPtr<T> {}
+
+    #[allow(unsafe_code)]
+    // Safety: see the struct docs — all dereferences are disjoint by
+    // construction and ordered by the per-round barrier.
+    unsafe impl<T> Send for SendPtr<T> {}
+    #[allow(unsafe_code)]
+    unsafe impl<T> Sync for SendPtr<T> {}
 
     impl ShardedMixingEngine<'_> {
         /// Multi-threaded [`ShardedMixingEngine::step`]; bitwise identical
@@ -638,6 +705,7 @@ mod parallel {
         ) {
             let graph = self.graph;
             let partition = self.partition;
+            let mode = self.draw_mode;
             let work: Vec<ShardWork<'_>> = self
                 .shards
                 .iter_mut()
@@ -658,13 +726,150 @@ mod parallel {
                     scope.spawn(move || {
                         for (s, (state, outbox)) in assignment {
                             sample_shard_round(
-                                graph, partition, s, state, outbox, laziness, available,
+                                graph, partition, s, state, outbox, laziness, available, mode,
                             );
                         }
                     });
                 }
             });
             self.merge_round(observer);
+        }
+
+        /// Runs `rounds` holder-order rounds with the cross-shard exchange
+        /// pipelined against the next round's compute: one worker per
+        /// shard, double-buffered outboxes and exactly one barrier per
+        /// round.  Worker `s` samples round `r` into buffer `r % 2`, waits
+        /// at the barrier (all outboxes of round `r` complete), merges its
+        /// *own* shard's arrivals — and immediately samples round `r + 1`
+        /// into the other buffer while slower workers are still merging
+        /// round `r`.  Double buffering is what makes that overlap safe:
+        /// round `r + 1` sampling writes never touch the buffer round `r`
+        /// merges read.
+        ///
+        /// Bitwise identical to `rounds` sequential
+        /// [`ShardedMixingEngine::step`] calls: the per-shard streams,
+        /// sweep orders and canonical merge order are unchanged — only the
+        /// schedule differs.  Per-round statistics are not observable
+        /// mid-run (merges of different rounds overlap); the engine's
+        /// sent/load vectors hold the final round's values afterwards.
+        pub fn run_pipelined(&mut self, laziness: f64, rounds: usize) {
+            self.run_pipelined_masked_opt(laziness, None, rounds);
+        }
+
+        /// [`ShardedMixingEngine::run_pipelined`] under a fixed
+        /// availability mask.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `available.len()` differs from the node count.
+        pub fn run_pipelined_masked(&mut self, laziness: f64, available: &[bool], rounds: usize) {
+            assert_eq!(
+                available.len(),
+                self.graph().node_count(),
+                "availability mask has the wrong length"
+            );
+            self.run_pipelined_masked_opt(laziness, Some(available), rounds);
+        }
+
+        #[allow(unsafe_code)]
+        fn run_pipelined_masked_opt(
+            &mut self,
+            laziness: f64,
+            available: Option<&[bool]>,
+            rounds: usize,
+        ) {
+            if rounds == 0 {
+                return;
+            }
+            let k = self.shards.len();
+            let graph = self.graph;
+            let partition = self.partition;
+            let mode = self.draw_mode;
+            // Buffer 0 is the engine's resident outboxes, buffer 1 an
+            // identically shaped alternate; both live for the whole run, so
+            // per-call allocation is independent of the round count.
+            let mut alt: Vec<Vec<Vec<(u32, u32)>>> = vec![vec![Vec::new(); k]; k];
+            let barrier = std::sync::Barrier::new(k);
+            let shards_ptr = SendPtr(self.shards.as_mut_ptr());
+            let bufs = [
+                SendPtr(self.outboxes.as_mut_ptr()),
+                SendPtr(alt.as_mut_ptr()),
+            ];
+            let positions_ptr = SendPtr(self.positions.as_mut_ptr());
+            let sent_ptr = SendPtr(self.sent.as_mut_ptr());
+            let load_ptr = SendPtr(self.load.as_mut_ptr());
+            std::thread::scope(|scope| {
+                for s in 0..k {
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        for r in 0..rounds {
+                            let cur = bufs[r % 2];
+                            // Safety: worker `s` is the only one touching
+                            // `shards[s]` and outbox source row `cur[s]`;
+                            // the previous reads of this buffer (round
+                            // `r - 2`'s merges) finished before the last
+                            // barrier.
+                            let state = unsafe { &mut *shards_ptr.get().add(s) };
+                            let outbox = unsafe { &mut *cur.get().add(s) };
+                            sample_shard_round(
+                                graph, partition, s, state, outbox, laziness, available, mode,
+                            );
+                            barrier.wait();
+                            // Merge destination shard `s`: every source
+                            // row `cur[src][s]` is complete (barrier) and
+                            // read-only from here on; walkers arriving at
+                            // shard `s` and shard `s`'s statistics slots
+                            // are written by this worker alone.
+                            let nodes = partition.shard(s).nodes();
+                            let local_n = nodes.len();
+                            for src in 0..k {
+                                let source = unsafe { &*cur.get().add(src).cast_const() };
+                                for &(dest, w) in &source[s] {
+                                    unsafe {
+                                        *positions_ptr.get().add(w as usize) = dest;
+                                    }
+                                }
+                            }
+                            let state = unsafe { &mut *shards_ptr.get().add(s) };
+                            let ShardState {
+                                bucket_starts,
+                                bucket_walkers,
+                                arena,
+                                load_local,
+                                ..
+                            } = state;
+                            round::merge_round_buckets(
+                                local_n,
+                                arena,
+                                load_local,
+                                bucket_starts,
+                                bucket_walkers,
+                                |sink| {
+                                    for src in 0..k {
+                                        let source = unsafe { &*cur.get().add(src).cast_const() };
+                                        for &(dest, w) in &source[s] {
+                                            sink(partition.local_of(dest as usize), w);
+                                        }
+                                    }
+                                },
+                            );
+                            for (lu, &u) in nodes.iter().enumerate() {
+                                unsafe {
+                                    *sent_ptr.get().add(u) = state.sent_local[lu];
+                                    *load_ptr.get().add(u) = state.load_local[lu];
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            drop(alt);
+            self.round += rounds;
+            debug_assert_eq!(
+                self.load.iter().map(|&l| l as usize).sum::<usize>(),
+                self.positions.len(),
+                "round conservation violated: survivors + arrivals + bounces must equal the walkers"
+            );
         }
     }
 }
@@ -854,7 +1059,7 @@ mod tests {
         engine.step_masked(0.0, &mask, &mut ());
         for (walker, (&now, &was)) in engine.positions().iter().zip(&before).enumerate() {
             assert!(
-                mask[now] || now == was,
+                mask[now as usize] || now == was,
                 "walker {walker} was delivered to dark node {now}"
             );
         }

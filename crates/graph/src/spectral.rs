@@ -171,7 +171,7 @@ impl NormalizedAdjacency {
         let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
         offsets.push(0);
         for u in graph.nodes() {
-            neighbors.extend_from_slice(graph.neighbors(u));
+            neighbors.extend(graph.neighbors(u).iter().map(|&v| v as usize));
             offsets.push(neighbors.len());
         }
         let inv_sqrt_degree: Vec<f64> = graph

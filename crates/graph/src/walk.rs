@@ -137,8 +137,10 @@ impl<'g> WalkEngine<'g> {
         self.inner.position(walker)
     }
 
-    /// Current positions of all walkers (`positions[w] = holder of w`).
-    pub fn positions(&self) -> &[NodeId] {
+    /// Current positions of all walkers (`positions[w] = holder of w`),
+    /// in the engine's u32-compressed storage (graphs are capped at
+    /// `2^32 - 1` nodes, so the cast to [`NodeId`] is lossless).
+    pub fn positions(&self) -> &[u32] {
         self.inner.positions()
     }
 
@@ -203,7 +205,7 @@ impl LazyWalk {
     ) -> Result<Vec<NodeId>> {
         let mut engine = WalkEngine::one_walker_per_node(graph)?;
         engine.run(WalkConfig::lazy(rounds, self.laziness), rng)?;
-        Ok(engine.positions().to_vec())
+        Ok(engine.positions().iter().map(|&p| p as NodeId).collect())
     }
 }
 
@@ -233,7 +235,7 @@ mod tests {
         engine.step(0.0, &mut rng);
         for (w, (&b, &a)) in before.iter().zip(engine.positions().iter()).enumerate() {
             assert!(
-                g.neighbors(b).contains(&a),
+                g.neighbors(b as usize).contains(&a),
                 "walker {w} moved from {b} to non-neighbor {a}"
             );
         }
@@ -250,7 +252,7 @@ mod tests {
             .positions()
             .iter()
             .enumerate()
-            .filter(|(w, &p)| p == *w)
+            .filter(|(w, &p)| p as usize == *w)
             .count();
         assert!(
             stayed >= 4,

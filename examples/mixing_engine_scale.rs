@@ -6,6 +6,8 @@
 //! cargo run --release --features parallel --example mixing_engine_scale
 //! # CI smoke run at a small population:
 //! NS_SCALE_N=20000 cargo run --release --example mixing_engine_scale
+//! # lane-buffered draw mode (one u64 per walker; statistically equivalent):
+//! NS_SCALE_MODE=fast cargo run --release --example mixing_engine_scale
 //! ```
 //!
 //! Where the quickstart example runs the full protocol (crypto envelopes,
@@ -20,6 +22,7 @@ use ns_graph::mixing_engine::MixingEngine;
 #[cfg(not(feature = "parallel"))]
 use ns_graph::mixing_engine::{RoundObserver, RoundStats};
 use ns_graph::rng::seeded_rng;
+use ns_graph::round::DrawMode;
 use ns_graph::walk::WalkConfig;
 use std::time::Instant;
 
@@ -52,12 +55,20 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000);
+    // `NS_SCALE_MODE=fast` switches the engine to the lane-buffered draw
+    // mode (see `ns_graph::round::DrawMode`); the default `compat` consumes
+    // the RNG draw-for-draw like the historical loop.
+    let mode = match std::env::var("NS_SCALE_MODE").as_deref() {
+        Ok("fast") => DrawMode::Fast,
+        _ => DrawMode::Compat,
+    };
     let rounds = 30;
     println!("generating a {n}-node 8-regular communication graph ...");
     let mut rng = seeded_rng(7);
     let graph = random_regular(n, 8, &mut rng)?;
 
     let mut engine = MixingEngine::one_walker_per_node(&graph)?;
+    engine.set_draw_mode(mode);
     let start = Instant::now();
 
     #[cfg(feature = "parallel")]

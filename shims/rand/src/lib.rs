@@ -22,6 +22,19 @@ pub trait RngCore {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
+
+    /// Fills `out` with the next `out.len()` draws of the stream, exactly as
+    /// if [`RngCore::next_u64`] had been called once per slot.
+    ///
+    /// Generators with a cheaper bulk path (the ChaCha8 shim emits whole
+    /// 16-word blocks) override this; the default is the word-at-a-time
+    /// loop, so overriding is purely a performance choice — the emitted
+    /// stream must be identical.
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        for slot in out.iter_mut() {
+            *slot = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
@@ -31,6 +44,10 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
 
     fn next_u32(&mut self) -> u32 {
         (**self).next_u32()
+    }
+
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        (**self).fill_u64(out)
     }
 }
 

@@ -54,7 +54,13 @@ impl ChaCha8Rng {
         }
     }
 
-    fn refill(&mut self) {
+    /// Runs the ChaCha8 permutation for the block at `counter`, advancing
+    /// the counter.  This is the whole-block primitive shared by the
+    /// word-at-a-time [`RngCore`] path and the bulk
+    /// [`ChaCha8Rng::fill_u64`] path, so both consume the identical
+    /// keystream.
+    #[inline]
+    fn generate_block(&mut self) -> [u32; 16] {
         // "expand 32-byte k" constants.
         let mut state: [u32; 16] = [
             0x6170_7865,
@@ -89,9 +95,13 @@ impl ChaCha8Rng {
         for (out, inp) in state.iter_mut().zip(input.iter()) {
             *out = out.wrapping_add(*inp);
         }
-        self.block = state;
-        self.cursor = 0;
         self.counter = self.counter.wrapping_add(1);
+        state
+    }
+
+    fn refill(&mut self) {
+        self.block = self.generate_block();
+        self.cursor = 0;
     }
 
     #[inline]
@@ -102,6 +112,42 @@ impl ChaCha8Rng {
         let w = self.block[self.cursor];
         self.cursor += 1;
         w
+    }
+
+    /// Fills `out` with the next `out.len()` u64 draws of the stream,
+    /// generating whole ChaCha8 blocks (8 u64s) straight into the caller's
+    /// buffer instead of a word at a time through the cursor.
+    ///
+    /// The stream position afterwards is **exactly** as if
+    /// [`RngCore::next_u64`] had been called `out.len()` times: the buffered
+    /// block is drained first, whole blocks are emitted in the middle, and
+    /// the tail goes back through the word path.  This is the lane-buffer
+    /// primitive of the round kernel's `fast` draw mode — the amortized
+    /// whole-block path skips the per-word cursor bookkeeping and lets the
+    /// compiler keep the quarter-round permutation and the output stores in
+    /// one scheduled loop.
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        let n = out.len();
+        let mut i = 0;
+        // Drain the partially consumed block (may straddle one refill when
+        // the cursor is odd — a caller previously drew a lone u32).
+        while i < n && self.cursor < 16 {
+            out[i] = self.next_u64();
+            i += 1;
+        }
+        // Whole blocks straight into the output: 16 words = 8 u64s each.
+        while n - i >= 8 && self.cursor >= 16 {
+            let block = self.generate_block();
+            for (slot, pair) in out[i..i + 8].iter_mut().zip(block.chunks_exact(2)) {
+                *slot = pair[0] as u64 | (pair[1] as u64) << 32;
+            }
+            i += 8;
+        }
+        // Tail: back through the word-at-a-time path.
+        while i < n {
+            out[i] = self.next_u64();
+            i += 1;
+        }
     }
 }
 
@@ -114,6 +160,10 @@ impl RngCore for ChaCha8Rng {
         let lo = self.next_word() as u64;
         let hi = self.next_word() as u64;
         lo | (hi << 32)
+    }
+
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        ChaCha8Rng::fill_u64(self, out)
     }
 }
 
@@ -166,6 +216,36 @@ mod tests {
         let first = rng.next_u32();
         let expected = u32::from_le_bytes([0x3e, 0x00, 0xef, 0x2f]);
         assert_eq!(first, expected);
+    }
+
+    #[test]
+    fn fill_u64_is_stream_position_identical_to_next_u64() {
+        // Every split point, including mid-block and odd-cursor starts.
+        for lead_u32 in [0usize, 1, 3] {
+            for lead_u64 in [0usize, 1, 5, 7, 8, 11] {
+                for len in [0usize, 1, 7, 8, 9, 16, 37] {
+                    let mut bulk = ChaCha8Rng::seed_from_u64(9);
+                    let mut word = ChaCha8Rng::seed_from_u64(9);
+                    for _ in 0..lead_u32 {
+                        assert_eq!(bulk.next_u32(), word.next_u32());
+                    }
+                    for _ in 0..lead_u64 {
+                        assert_eq!(bulk.next_u64(), word.next_u64());
+                    }
+                    let mut out = vec![0u64; len];
+                    bulk.fill_u64(&mut out);
+                    for (i, &v) in out.iter().enumerate() {
+                        assert_eq!(
+                            v,
+                            word.next_u64(),
+                            "diverged at draw {i} (lead_u32={lead_u32} lead_u64={lead_u64} len={len})"
+                        );
+                    }
+                    // And the streams stay aligned afterwards.
+                    assert_eq!(bulk.next_u64(), word.next_u64());
+                }
+            }
+        }
     }
 
     #[test]

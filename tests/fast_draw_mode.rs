@@ -1,0 +1,224 @@
+//! Contracts of the `fast` draw mode and the pipelined sharded exchange.
+//!
+//! Fast mode replaces compat's rejection-sampled two-draw rule (one `f64`
+//! laziness coin, one `gen_range` neighbour index) with exactly one `u64`
+//! per walker, split into a 32-bit threshold coin and a 32-bit Lemire
+//! neighbour draw.  The streams necessarily differ, so the contract is not
+//! bitwise parity with compat but:
+//!
+//! * **same distribution** — Monte-Carlo return-rate and empty-fraction
+//!   statistics on the shared graph zoo must agree between modes within
+//!   sampling error;
+//! * **same composition laws** — the 1-shard sharded engine is bitwise the
+//!   monolithic holder path *in fast mode too*, threaded sampling is
+//!   bitwise sequential sampling, and the pipelined round loop is bitwise
+//!   the sequential `step` loop;
+//! * **seed determinism** — same seed, same trajectories; different seed,
+//!   different trajectories.
+//!
+//! Bitwise stream pinning for fast mode itself lives in
+//! `tests/golden_round_traces.rs` (`round_traces_fast.txt`).
+
+mod common;
+
+use common::strategies;
+use ns_graph::mixing_engine::MixingEngine;
+use ns_graph::partition::Partition;
+use ns_graph::rng::seeded_rng;
+use ns_graph::round::DrawMode;
+use ns_graph::sharded_engine::{shard_stream, ShardedMixingEngine};
+use ns_graph::Graph;
+use proptest::prelude::*;
+
+/// Mean return-rate (walkers back at their origin) and empty-fraction
+/// (nodes holding no walker) over `trials` independent runs of `rounds`
+/// holder-order rounds in the given draw mode.
+fn monte_carlo_stats(
+    graph: &Graph,
+    mode: DrawMode,
+    laziness: f64,
+    rounds: usize,
+    trials: u64,
+) -> (f64, f64) {
+    let n = graph.node_count();
+    let (mut returned, mut empty) = (0usize, 0usize);
+    for trial in 0..trials {
+        let mut engine = MixingEngine::one_walker_per_node(graph).unwrap();
+        engine.set_draw_mode(mode);
+        let mut rng = seeded_rng(0x5EED_0000 + trial);
+        for _ in 0..rounds {
+            engine.step_holder(laziness, &mut rng, &mut ());
+        }
+        returned += engine
+            .positions()
+            .iter()
+            .enumerate()
+            .filter(|&(w, &p)| w == p as usize)
+            .count();
+        empty += graph
+            .nodes()
+            .filter(|&u| engine.held_by(u).is_empty())
+            .count();
+    }
+    let scale = (trials as f64) * n as f64;
+    (returned as f64 / scale, empty as f64 / scale)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Fast and compat draws realize the same walk distribution: on any zoo
+    /// graph, the Monte-Carlo return-rate and empty-fraction agree within
+    /// sampling error (40 trials of 6 rounds; the tolerance is ~5 standard
+    /// errors of the trial means at these sizes).
+    #[test]
+    fn fast_mode_matches_compat_statistics_on_the_zoo(
+        graph in strategies::graph_zoo(60..140),
+        laziness_pct in 0usize..50,
+    ) {
+        prop_assume!(graph.node_count() >= 40);
+        let laziness = laziness_pct as f64 / 100.0;
+        let (ret_compat, empty_compat) =
+            monte_carlo_stats(&graph, DrawMode::Compat, laziness, 6, 40);
+        let (ret_fast, empty_fast) =
+            monte_carlo_stats(&graph, DrawMode::Fast, laziness, 6, 40);
+        prop_assert!(
+            (ret_compat - ret_fast).abs() < 0.05,
+            "return-rate diverged: compat={ret_compat} fast={ret_fast}"
+        );
+        prop_assert!(
+            (empty_compat - empty_fast).abs() < 0.05,
+            "empty-fraction diverged: compat={empty_compat} fast={empty_fast}"
+        );
+    }
+
+    /// The 1-shard degeneracy holds in fast mode: the sharded engine under
+    /// a single-shard partition is bitwise the monolithic holder-order path
+    /// drawing from `shard_stream(seed, 0)`.
+    #[test]
+    fn fast_one_shard_is_bitwise_the_monolithic_fast_engine(
+        graph in strategies::graph_zoo(30..120),
+        laziness_pct in 0usize..50,
+        rounds in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(graph.node_count() >= 10);
+        let laziness = laziness_pct as f64 / 100.0;
+        let partition = Partition::single_shard(&graph).unwrap();
+        let mut sharded =
+            ShardedMixingEngine::one_walker_per_node(&graph, &partition, seed).unwrap();
+        sharded.set_draw_mode(DrawMode::Fast);
+        let mut single = MixingEngine::one_walker_per_node(&graph).unwrap();
+        single.set_draw_mode(DrawMode::Fast);
+        let mut rng = shard_stream(seed, 0);
+        for _ in 0..rounds {
+            sharded.step(laziness, &mut ());
+            single.step_holder(laziness, &mut rng, &mut ());
+        }
+        prop_assert_eq!(sharded.positions(), single.positions());
+        prop_assert_eq!(sharded.walkers_by_holder(), single.walkers_by_holder());
+    }
+
+    /// The pipelined round loop is a *schedule*, not a semantic: for any
+    /// shard count, draw mode and mask, `run_pipelined` over `rounds`
+    /// rounds lands bitwise where `rounds` sequential `step` calls land —
+    /// positions, bucket orders and every shard's RNG stream position.
+    #[test]
+    fn pipelined_rounds_are_bitwise_the_sequential_schedule(
+        graph in strategies::graph_zoo(40..160),
+        shards in 1usize..5,
+        laziness_pct in 0usize..50,
+        rounds in 1usize..7,
+        mode_sel in 0usize..2,
+        masked_sel in 0usize..2,
+    ) {
+        let n = graph.node_count();
+        prop_assume!(n >= 20);
+        let laziness = laziness_pct as f64 / 100.0;
+        let mode = if mode_sel == 0 { DrawMode::Compat } else { DrawMode::Fast };
+        let partition = if shards == 1 {
+            Partition::single_shard(&graph).unwrap()
+        } else {
+            Partition::new(&graph, shards).unwrap()
+        };
+        let mask: Vec<bool> = (0..n).map(|u| !(u * 3 + 1).is_multiple_of(5)).collect();
+        let masked = masked_sel == 1;
+
+        let mut sequential =
+            ShardedMixingEngine::one_walker_per_node(&graph, &partition, 77).unwrap();
+        sequential.set_draw_mode(mode);
+        for _ in 0..rounds {
+            if masked {
+                sequential.step_masked(laziness, &mask, &mut ());
+            } else {
+                sequential.step(laziness, &mut ());
+            }
+        }
+
+        let mut pipelined =
+            ShardedMixingEngine::one_walker_per_node(&graph, &partition, 77).unwrap();
+        pipelined.set_draw_mode(mode);
+        if masked {
+            pipelined.run_pipelined_masked(laziness, &mask, rounds);
+        } else {
+            pipelined.run_pipelined(laziness, rounds);
+        }
+
+        prop_assert_eq!(sequential.positions(), pipelined.positions());
+        prop_assert_eq!(sequential.walkers_by_holder(), pipelined.walkers_by_holder());
+        prop_assert_eq!(sequential.round(), pipelined.round());
+        prop_assert_eq!(sequential.load_vector(), pipelined.load_vector());
+        use rand::Rng;
+        for s in 0..partition.shard_count() {
+            let a: u64 = sequential.shard_rng_mut(s).gen();
+            let b: u64 = pipelined.shard_rng_mut(s).gen();
+            prop_assert_eq!(a, b, "shard {} stream position diverged", s);
+        }
+    }
+
+    /// Threaded sampling in fast mode is bitwise the sequential fast round,
+    /// for any shard count (thread-count invariance is inherited: workers
+    /// only ever touch their own shard's stream and outbox row).
+    #[test]
+    fn fast_threaded_rounds_match_sequential(
+        graph in strategies::graph_zoo(40..140),
+        shards in 1usize..5,
+        rounds in 1usize..6,
+    ) {
+        prop_assume!(graph.node_count() >= 20);
+        let partition = if shards == 1 {
+            Partition::single_shard(&graph).unwrap()
+        } else {
+            Partition::new(&graph, shards).unwrap()
+        };
+        let mut sequential =
+            ShardedMixingEngine::one_walker_per_node(&graph, &partition, 9).unwrap();
+        sequential.set_draw_mode(DrawMode::Fast);
+        let mut threaded =
+            ShardedMixingEngine::one_walker_per_node(&graph, &partition, 9).unwrap();
+        threaded.set_draw_mode(DrawMode::Fast);
+        for _ in 0..rounds {
+            sequential.step(0.2, &mut ());
+            threaded.step_threaded(0.2, &mut ());
+        }
+        prop_assert_eq!(sequential.positions(), threaded.positions());
+        prop_assert_eq!(sequential.walkers_by_holder(), threaded.walkers_by_holder());
+    }
+}
+
+/// Seed determinism of fast mode outside proptest (fixed sizes, cheap).
+#[test]
+fn fast_mode_is_deterministic_in_the_seed() {
+    let graph = ns_graph::generators::random_regular(200, 6, &mut seeded_rng(5)).unwrap();
+    let run = |seed: u64| {
+        let mut engine = MixingEngine::one_walker_per_node(&graph).unwrap();
+        engine.set_draw_mode(DrawMode::Fast);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..12 {
+            engine.step_holder(0.1, &mut rng, &mut ());
+        }
+        engine.positions().to_vec()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}

@@ -127,7 +127,7 @@ proptest! {
         let mut engine = ns_graph::walk::WalkEngine::one_walker_per_node(&graph).unwrap();
         let mut rng = ns_graph::rng::seeded_rng(seed);
         engine.run(ns_graph::walk::WalkConfig::lazy(rounds, laziness), &mut rng).unwrap();
-        prop_assert!(engine.positions().iter().all(|&p| p < n));
+        prop_assert!(engine.positions().iter().all(|&p| (p as usize) < n));
         prop_assert_eq!(engine.load_vector().iter().sum::<usize>(), n);
         prop_assert_eq!(engine.round(), rounds);
     }

@@ -165,7 +165,7 @@ fn multi_shard_runs_are_statistically_equivalent_to_single_engine_runs() {
     let stats = |sharded: bool| -> (f64, f64) {
         let (mut returned, mut empty) = (0usize, 0usize);
         for trial in 0..trials {
-            let positions: Vec<usize> = if sharded {
+            let positions: Vec<u32> = if sharded {
                 let mut engine =
                     ShardedMixingEngine::one_walker_per_node(&graph, &partition, 1000 + trial)
                         .unwrap();
@@ -184,11 +184,11 @@ fn multi_shard_runs_are_statistically_equivalent_to_single_engine_runs() {
             returned += positions
                 .iter()
                 .enumerate()
-                .filter(|&(w, &p)| w == p)
+                .filter(|&(w, &p)| w == p as usize)
                 .count();
             let mut load = vec![0usize; 400];
             for &p in &positions {
-                load[p] += 1;
+                load[p as usize] += 1;
             }
             empty += load.iter().filter(|&&l| l == 0).count();
         }

@@ -65,7 +65,7 @@ impl ReferenceLoop {
                     continue;
                 }
                 let nbrs = graph.neighbors(u);
-                let dest = nbrs[rng.gen_range(0..nbrs.len())];
+                let dest = nbrs[rng.gen_range(0..nbrs.len())] as NodeId;
                 match available {
                     Some(mask) if !mask[dest] => kept[u].push(w),
                     _ => moved.push((dest, w)),
