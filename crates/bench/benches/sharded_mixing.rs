@@ -144,8 +144,93 @@ fn audit_steady_state_allocations() {
         black_box(sharded.position(0));
     }
 
+    audit_migration_allocations(&graph, &partition);
+    audit_delta_allocations(&graph);
+
     #[cfg(feature = "parallel")]
     audit_pipelined_allocations(&graph, &partition);
+}
+
+/// The online-repartitioning exchange is arena scratch too: once the
+/// per-shard buffers have hit their high-water marks for every partition
+/// shape in rotation, a `migrate_borrowed_into` + round cycle allocates
+/// nothing.  (The owned entry points box the incoming partition by design —
+/// that box is the caller's hand-off, not per-migration engine scratch.)
+fn audit_migration_allocations(graph: &ns_graph::Graph, partition: &Partition) {
+    let n = graph.node_count();
+    // A second shape: rotate a band of nodes one shard over.
+    let shifted: Vec<u32> = (0..n)
+        .map(|u| {
+            let s = partition.shard_of(u);
+            if u % 7 == 0 {
+                ((s + 1) % partition.shard_count()) as u32
+            } else {
+                s as u32
+            }
+        })
+        .collect();
+    let other =
+        Partition::from_assignment(graph, partition.shard_count(), shifted).expect("partition");
+    let mut engine = ShardedMixingEngine::one_walker_per_node(graph, partition, 8).expect("engine");
+    let mut movers = Vec::new();
+    let mut flip = false;
+    // Pre-warm past the high-water ratchet: per-shard bucket sizes keep
+    // setting records while the walk redistributes, so a lucky early
+    // zero-allocation block does not yet mean the buffers are settled.
+    for _ in 0..100 {
+        flip = !flip;
+        let next = if flip { &other } else { partition };
+        engine
+            .migrate_borrowed_into(next, &mut movers)
+            .expect("migrate");
+        engine.step(0.2, &mut ());
+    }
+    let audited = settle_then_audit("migrate + round k=4", || {
+        flip = !flip;
+        let next = if flip { &other } else { partition };
+        engine
+            .migrate_borrowed_into(next, &mut movers)
+            .expect("migrate");
+        engine.step(0.2, &mut ());
+    });
+    assert_eq!(
+        audited, 0,
+        "steady-state migrations must not allocate once buffers are warm"
+    );
+    black_box(engine.position(0));
+}
+
+/// The delta runtime's critical path — affected-column derivation plus the
+/// per-column ensemble correction — is allocation-free once its buffers are
+/// warm.  (The speculative advance runs off the critical path and uses the
+/// dense kernel's per-call scratch, so it is not part of this audit.)
+fn audit_delta_allocations(graph: &ns_graph::Graph) {
+    use ns_graph::delta::affected_columns_into;
+    use ns_graph::dynamic::DynamicGraph;
+    use ns_graph::ensemble::DistributionEnsemble;
+
+    let n = graph.node_count();
+    let mut dg = DynamicGraph::from_graph(graph).expect("dynamic");
+    let operator = dg.masked_operator(0.2).expect("operator");
+    let origins: Vec<usize> = (0..32).map(|r| r * (n / 32)).collect();
+    let mut ensemble = DistributionEnsemble::point_masses(n, &origins).expect("ensemble");
+    let mut prev = Vec::new();
+    let mut prev_il = Vec::new();
+    ensemble.speculate_interleaved(&operator, &mut prev, &mut prev_il);
+    let touched: Vec<usize> = (0..n).step_by(97).collect();
+    let mut stamp = vec![false; n];
+    let mut columns = Vec::new();
+    let snapshot = dg.snapshot().clone();
+    let audited = settle_then_audit("delta correction 32 rows", || {
+        affected_columns_into(&snapshot, &touched, &mut stamp, &mut columns);
+        ensemble.correct_columns_interleaved(&operator, &columns, &prev_il);
+        ensemble.correct_columns(&operator, &columns, &prev);
+    });
+    assert_eq!(
+        audited, 0,
+        "the delta critical path must not allocate once buffers are warm"
+    );
+    black_box(ensemble.row(0)[0]);
 }
 
 /// The pipelined exchange allocates per *call* (the alternate outbox buffer

@@ -72,12 +72,12 @@ use crate::report::Report;
 use crate::server::Curator;
 use crate::simulation::SimulationOutcome;
 use ns_dp::types::PrivacyGuarantee;
-use ns_graph::dynamic::TimeVaryingModel;
+use ns_graph::dynamic::{DynTransition, TimeVaryingModel};
 use ns_graph::ensemble::{DistributionEnsemble, RowStats};
 use ns_graph::partition::Partition;
 use ns_graph::rng::SimRng;
 use ns_graph::sharded_engine::ShardedMixingEngine;
-use ns_graph::transition::TransitionMatrix;
+use ns_graph::transition::{TransitionMatrix, TransitionModel};
 use ns_graph::walk::validate_laziness;
 use ns_graph::{Graph, NodeId};
 
@@ -137,12 +137,22 @@ struct TrackedShard {
     origins: Vec<NodeId>,
     /// Row `r` is the exact position distribution of `origins[r]`'s report.
     ensemble: DistributionEnsemble,
+    /// Pre-speculation state of the ensemble, captured by
+    /// [`StreamingAccountant::speculate_round`] so the commit can correct
+    /// (or, past the dense threshold, recompute) against it.  Empty until
+    /// the delta path is first used.
+    prev: Vec<f64>,
+    /// The same pre-speculation state in interleaved layout
+    /// ([`ns_graph::ensemble::interleave_rows`]), produced during
+    /// speculation so the critical-path correction gathers each source's
+    /// tracked-row masses from contiguous cache lines.
+    prev_il: Vec<f64>,
 }
 
 /// The per-round operator the streaming accountant evolves through: the
-/// static lazy walk, or the realized per-round schedule of a churning
-/// deployment.
-#[derive(Debug, Clone)]
+/// static lazy walk, the realized per-round schedule of a churning
+/// deployment, or the live operator the delta path committed last round.
+#[derive(Clone)]
 enum StreamingOperator {
     /// The static lazy-walk matrix — every round applies the same operator.
     Static(TransitionMatrix),
@@ -151,6 +161,24 @@ enum StreamingOperator {
     /// the offline [`crate::accountant::NetworkShuffleAccountant::with_schedule`]
     /// route.
     Scheduled(TimeVaryingModel),
+    /// The operator realized by the last committed delta round
+    /// ([`StreamingAccountant::commit_round`]); until the next commit it is
+    /// the best forecast of the coming round, so speculation advances under
+    /// it.
+    Live(DynTransition),
+}
+
+impl std::fmt::Debug for StreamingOperator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamingOperator::Static(m) => f.debug_tuple("Static").field(m).finish(),
+            StreamingOperator::Scheduled(s) => f.debug_tuple("Scheduled").field(s).finish(),
+            StreamingOperator::Live(d) => f
+                .debug_struct("Live")
+                .field("node_count", &d.node_count())
+                .finish(),
+        }
+    }
 }
 
 /// Streaming exact accounting over per-shard tracked origins.
@@ -170,7 +198,21 @@ pub struct StreamingAccountant {
     operator: StreamingOperator,
     shards: Vec<TrackedShard>,
     round: usize,
+    /// Whether the tracked ensembles currently hold a *speculated* round
+    /// ([`StreamingAccountant::speculate_round`]) awaiting its commit.
+    speculated: bool,
+    /// Affected-column fraction beyond which
+    /// [`StreamingAccountant::commit_round`] falls back to a dense
+    /// recompute instead of the sparse column correction.
+    delta_dense_fraction: f64,
 }
+
+/// Default affected-column fraction beyond which the delta commit recomputes
+/// densely ([`StreamingAccountant::set_delta_dense_fraction`]).  Past about
+/// a quarter of the columns the per-column pull pass stops beating the
+/// contiguous dense kernel, mirroring
+/// [`ns_graph::dynamic::REBUILD_DIRTY_FRACTION`] on the snapshot side.
+pub const DELTA_DENSE_FRACTION: f64 = 0.25;
 
 impl StreamingAccountant {
     /// Builds the accountant for `graph` under `partition`, tracking up to
@@ -210,7 +252,6 @@ impl StreamingAccountant {
         schedule: TimeVaryingModel,
         tracked_per_shard: usize,
     ) -> Result<Self> {
-        use ns_graph::transition::TransitionModel as _;
         if schedule.node_count() != graph.node_count() {
             return Err(Error::InvalidConfiguration(format!(
                 "operator schedule covers {} users but the graph has {}",
@@ -251,12 +292,19 @@ impl StreamingAccountant {
             origins.sort_by_key(|&u| (graph.degree(u), u));
             origins.truncate(tracked_per_shard.min(origins.len()));
             let ensemble = DistributionEnsemble::point_masses(n, &origins)?;
-            shards.push(TrackedShard { origins, ensemble });
+            shards.push(TrackedShard {
+                origins,
+                ensemble,
+                prev: Vec::new(),
+                prev_il: Vec::new(),
+            });
         }
         Ok(StreamingAccountant {
             operator,
             shards,
             round: 0,
+            speculated: false,
+            delta_dense_fraction: DELTA_DENSE_FRACTION,
         })
     }
 
@@ -271,7 +319,6 @@ impl StreamingAccountant {
     /// [`Error::InvalidConfiguration`] if any round has already been
     /// advanced or the schedule's node count differs from the ensembles'.
     fn reschedule(&mut self, schedule: TimeVaryingModel) -> Result<()> {
-        use ns_graph::transition::TransitionModel as _;
         if self.round != 0 {
             return Err(Error::InvalidConfiguration(
                 "cannot attach an operator schedule after rounds have advanced".into(),
@@ -306,20 +353,156 @@ impl StreamingAccountant {
         self.shards.iter().map(|s| s.origins.len()).sum()
     }
 
+    /// The operator the accountant currently holds — what the next round is
+    /// expected to apply (and what speculation advances under).
+    fn held(operator: &StreamingOperator) -> &(dyn TransitionModel + Sync) {
+        match operator {
+            StreamingOperator::Static(matrix) => matrix,
+            StreamingOperator::Scheduled(schedule) => schedule,
+            StreamingOperator::Live(operator) => operator.as_ref(),
+        }
+    }
+
     /// Advances every tracked distribution by one round through the
     /// deployment's realized operator (the ensembles carry the absolute
     /// round clock, so a scheduled accountant applies `operator(t)` at
     /// round `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a speculated round is pending
+    /// ([`StreamingAccountant::speculate_round`]) — commit or discard it
+    /// first.
     pub fn advance_round(&mut self) {
+        assert!(
+            !self.speculated,
+            "cannot advance past a pending speculated round; commit it first"
+        );
+        let operator = Self::held(&self.operator);
         for shard in self.shards.iter_mut() {
-            match &self.operator {
-                StreamingOperator::Static(matrix) => shard.ensemble.advance_auto(matrix, 1),
-                StreamingOperator::Scheduled(schedule) => {
-                    shard.ensemble.advance_auto(schedule, 1);
-                }
-            }
+            shard.ensemble.advance_auto(operator, 1);
         }
         self.round += 1;
+    }
+
+    /// Sets the affected-column fraction beyond which
+    /// [`StreamingAccountant::commit_round`] abandons the sparse correction
+    /// and recomputes the round densely.  `0.0` forces every commit dense
+    /// (the non-incremental baseline), `1.0` always corrects sparsely.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if `fraction` is not a finite value
+    /// in `[0, 1]`.
+    pub fn set_delta_dense_fraction(&mut self, fraction: f64) -> Result<()> {
+        if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+            return Err(Error::InvalidConfiguration(format!(
+                "delta dense fraction must be in [0, 1], got {fraction}"
+            )));
+        }
+        self.delta_dense_fraction = fraction;
+        Ok(())
+    }
+
+    /// The current dense-fallback threshold of the delta commit.
+    pub fn delta_dense_fraction(&self) -> f64 {
+        self.delta_dense_fraction
+    }
+
+    /// Whether a speculated round is pending its commit.
+    pub fn is_speculated(&self) -> bool {
+        self.speculated
+    }
+
+    /// Speculatively advances every tracked distribution one round under
+    /// the operator the accountant already **holds** — off the critical
+    /// path, before the round's churn delta is known.  The pre-round state
+    /// is retained, so [`StreamingAccountant::commit_round`] can later
+    /// repair exactly the columns the realized operator changed (or, above
+    /// the dense threshold, recompute from it).  The round counter does not
+    /// move until the commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a speculated round is already pending.
+    pub fn speculate_round(&mut self) {
+        assert!(
+            !self.speculated,
+            "round already speculated; commit it first"
+        );
+        let operator = Self::held(&self.operator);
+        for shard in self.shards.iter_mut() {
+            shard
+                .ensemble
+                .speculate_interleaved(operator, &mut shard.prev, &mut shard.prev_il);
+        }
+        self.speculated = true;
+    }
+
+    /// Commits one round under the **realized** operator, given the sorted
+    /// `affected` column set of the round's churn delta
+    /// ([`ns_graph::delta::affected_columns`] over the nodes the delta
+    /// touched).  The critical-path cost depends on what is pending:
+    ///
+    /// * a speculated round with `|affected|` at or below the dense
+    ///   threshold — the sparse per-column correction, `O(Σ_{j ∈ affected}
+    ///   deg(j))` per tracked row and **bitwise equal** to the dense
+    ///   advance (the per-column contract of
+    ///   [`ns_graph::transition::TransitionModel::propagate_round_columns`]);
+    /// * a speculated round above the threshold — a dense recompute from
+    ///   the retained pre-round state;
+    /// * no speculation — the ordinary dense advance (the non-incremental
+    ///   baseline; this is [`StreamingAccountant::advance_round`] under the
+    ///   realized operator).
+    ///
+    /// Afterwards the accountant holds `realized` as its live operator —
+    /// the forecast the next speculation advances under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `realized`'s node count differs from the tracked
+    /// ensembles'.
+    pub fn commit_round(&mut self, realized: DynTransition, affected: &[NodeId]) {
+        let model = realized.as_ref();
+        if let Some(shard) = self.shards.first() {
+            assert_eq!(
+                model.node_count(),
+                shard.ensemble.node_count(),
+                "realized operator covers the wrong number of users"
+            );
+        }
+        let n = model.node_count().max(1);
+        let dense = affected.len() as f64 > self.delta_dense_fraction * n as f64;
+        for shard in self.shards.iter_mut() {
+            match (self.speculated, dense) {
+                (true, false) => {
+                    shard
+                        .ensemble
+                        .correct_columns_interleaved(model, affected, &shard.prev_il)
+                }
+                (true, true) => shard.ensemble.recompute_from(model, &shard.prev),
+                (false, _) => shard.ensemble.advance_auto(model, 1),
+            }
+        }
+        self.operator = StreamingOperator::Live(realized);
+        self.round += 1;
+        self.speculated = false;
+    }
+
+    /// [`StreamingAccountant::speculate_round`] +
+    /// [`StreamingAccountant::commit_round`] in one call — the delta
+    /// pipeline without the off-critical-path overlap (speculation under
+    /// the held operator, then the sparse repair).  If a speculation is
+    /// already pending, only the commit runs.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`StreamingAccountant::commit_round`].
+    pub fn advance_round_delta(&mut self, realized: DynTransition, affected: &[NodeId]) {
+        if !self.speculated {
+            self.speculate_round();
+        }
+        self.commit_round(realized, affected);
     }
 
     /// The component-wise worst accounting moments over all tracked origins.

@@ -1,0 +1,119 @@
+//! Affected-column derivation for the delta-incremental ensemble advance.
+//!
+//! The incremental runtime advances tracked distributions **speculatively**
+//! under the operator it already holds, then repairs the columns the realized
+//! operator could have changed (see
+//! [`crate::ensemble::DistributionEnsemble::correct_columns`]).  The repair
+//! set comes from here: given the nodes *touched* by a churn delta — every
+//! endpoint of an inserted/removed edge (both are recorded by
+//! [`crate::dynamic::DynamicGraph::dirty_list`]) plus every node whose
+//! availability flag flipped — the columns whose incoming mass can differ
+//! between the two operators are exactly the touched nodes and their
+//! neighbours **in the realized topology**:
+//!
+//! * a touched node `u` changed its degree (so `1/deg(u)` rescales every
+//!   share it sends and its own bounce-back stay term) or its availability
+//!   (so shares aimed at it reroute) — its own column and each realized
+//!   neighbour's column can change;
+//! * an edge removed at `u` stops `u`'s shares reaching the old neighbour —
+//!   but both endpoints of a removed edge are touched, so the old
+//!   neighbour's column is already in the set;
+//! * every untouched column `j` with untouched neighbours receives exactly
+//!   the same shares, in the same order, under both operators — the
+//!   speculative value is already bitwise correct.
+//!
+//! Capture [`crate::dynamic::DynamicGraph::dirty_list`] *before* calling
+//! [`crate::dynamic::DynamicGraph::snapshot`] (which clears it), and derive
+//! the columns against the **new** snapshot.
+
+use crate::graph::{Graph, NodeId};
+
+/// The sorted, deduplicated set of columns a delta can affect: `touched`
+/// plus every neighbour of a touched node in `snapshot` (the realized,
+/// post-delta topology).
+///
+/// Allocates its result; use [`affected_columns_into`] to reuse buffers in
+/// steady-state loops.
+///
+/// # Panics
+///
+/// Panics if a touched node is out of range for `snapshot`.
+pub fn affected_columns(snapshot: &Graph, touched: &[NodeId]) -> Vec<NodeId> {
+    let mut stamp = vec![false; snapshot.node_count()];
+    let mut out = Vec::new();
+    affected_columns_into(snapshot, touched, &mut stamp, &mut out);
+    out
+}
+
+/// Buffer-reusing form of [`affected_columns`].
+///
+/// `stamp` must be an all-`false` slice of length `snapshot.node_count()`;
+/// it is restored to all-`false` before returning (by iterating the result,
+/// not the whole slice, so steady-state cost is `O(|touched| + Σ deg)`).
+/// `out` is cleared and then filled with the sorted affected set.
+///
+/// # Panics
+///
+/// Panics if `stamp` is shorter than the node count or a touched node is out
+/// of range.
+pub fn affected_columns_into(
+    snapshot: &Graph,
+    touched: &[NodeId],
+    stamp: &mut [bool],
+    out: &mut Vec<NodeId>,
+) {
+    let n = snapshot.node_count();
+    assert!(stamp.len() >= n, "stamp buffer shorter than the node count");
+    out.clear();
+    for &u in touched {
+        assert!(u < n, "touched node {u} out of range for {n} nodes");
+        if !stamp[u] {
+            stamp[u] = true;
+            out.push(u);
+        }
+        for &v in snapshot.neighbors(u) {
+            let v = v as NodeId;
+            if !stamp[v] {
+                stamp[v] = true;
+                out.push(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    // Restore the all-false invariant by visiting only what was set.
+    for &u in out.iter() {
+        stamp[u] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn affected_set_is_sorted_closed_neighbourhood() {
+        let g = generators::random_regular(50, 4, &mut seeded_rng(3)).unwrap();
+        let touched = [7usize, 31, 7];
+        let cols = affected_columns(&g, &touched);
+        let mut expected: Vec<usize> = vec![7, 31];
+        expected.extend(g.neighbors(7).iter().map(|&v| v as usize));
+        expected.extend(g.neighbors(31).iter().map(|&v| v as usize));
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(cols, expected);
+    }
+
+    #[test]
+    fn buffer_form_restores_the_stamp_and_matches() {
+        let g = generators::barabasi_albert(80, 3, &mut seeded_rng(4)).unwrap();
+        let mut stamp = vec![false; 80];
+        let mut out = Vec::new();
+        for touched in [&[0usize, 1, 2][..], &[79][..], &[][..]] {
+            affected_columns_into(&g, touched, &mut stamp, &mut out);
+            assert_eq!(out, affected_columns(&g, touched));
+            assert!(stamp.iter().all(|&s| !s), "stamp not restored");
+        }
+    }
+}

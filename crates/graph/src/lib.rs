@@ -30,7 +30,10 @@
 //! * time-varying topologies: a dynamic-graph delta layer with incremental
 //!   CSR snapshots, availability-masked transition operators and per-round
 //!   operator schedules that drive the ensemble kernel through products of
-//!   distinct per-round transitions ([`dynamic`]),
+//!   distinct per-round transitions ([`dynamic`]), plus the delta-incremental
+//!   ensemble advance — speculative rounds under the held operator repaired
+//!   by a bitwise-exact sparse column correction over the churn-affected
+//!   neighbourhoods ([`delta`], [`ensemble`]),
 //! * a sharded runtime: a deterministic degree-balanced graph partitioner
 //!   with shard-local CSRs, frontier tables and quality metrics
 //!   ([`partition`]), and a multi-shard round executor with per-shard
@@ -67,6 +70,7 @@
 pub mod builder;
 pub mod connectivity;
 pub mod degree;
+pub mod delta;
 pub mod distribution;
 pub mod dynamic;
 pub mod ensemble;

@@ -81,13 +81,49 @@ struct ShardState {
     load_local: Vec<u32>,
 }
 
+/// The engine's topology slot: borrowed for the classic static-lifetime
+/// setup, owned for the incremental churn runtime where each round's
+/// snapshot is produced on the fly and has no home to outlive the engine
+/// ([`ShardedMixingEngine::retarget_owned`]).
+#[derive(Debug, Clone)]
+enum GraphRef<'g> {
+    Borrowed(&'g Graph),
+    Owned(Box<Graph>),
+}
+
+impl GraphRef<'_> {
+    fn get(&self) -> &Graph {
+        match self {
+            GraphRef::Borrowed(g) => g,
+            GraphRef::Owned(g) => g,
+        }
+    }
+}
+
+/// The engine's partition slot, mirroring [`GraphRef`] for online
+/// repartitioning ([`ShardedMixingEngine::migrate_owned`]).
+#[derive(Debug, Clone)]
+enum PartitionRef<'g> {
+    Borrowed(&'g Partition),
+    Owned(Box<Partition>),
+}
+
+impl PartitionRef<'_> {
+    fn get(&self) -> &Partition {
+        match self {
+            PartitionRef::Borrowed(p) => p,
+            PartitionRef::Owned(p) => p,
+        }
+    }
+}
+
 /// Multi-shard executor of holder-order exchange rounds.
 ///
 /// See the [module docs](self) for the determinism and degeneracy contracts.
 #[derive(Debug, Clone)]
 pub struct ShardedMixingEngine<'g> {
-    graph: &'g Graph,
-    partition: &'g Partition,
+    graph: GraphRef<'g>,
+    partition: PartitionRef<'g>,
     /// `positions[w]` is the global node currently holding walker `w`,
     /// u32-compressed like the graph's CSR.
     positions: Vec<u32>,
@@ -202,8 +238,8 @@ impl<'g> ShardedMixingEngine<'g> {
             );
         }
         Ok(ShardedMixingEngine {
-            graph,
-            partition,
+            graph: GraphRef::Borrowed(graph),
+            partition: PartitionRef::Borrowed(partition),
             positions: starts.iter().map(|&s| s as u32).collect(),
             draw_mode: DrawMode::Compat,
             round: 0,
@@ -228,13 +264,13 @@ impl<'g> ShardedMixingEngine<'g> {
     }
 
     /// The graph the walkers move on.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        self.graph.get()
     }
 
     /// The partition the engine shards by.
-    pub fn partition(&self) -> &'g Partition {
-        self.partition
+    pub fn partition(&self) -> &Partition {
+        self.partition.get()
     }
 
     /// Number of shards.
@@ -265,7 +301,7 @@ impl<'g> ShardedMixingEngine<'g> {
 
     /// Histogram of walkers per global node.
     pub fn load_vector(&self) -> Vec<usize> {
-        let mut load = vec![0usize; self.graph.node_count()];
+        let mut load = vec![0usize; self.graph.get().node_count()];
         for &node in &self.positions {
             load[node as usize] += 1;
         }
@@ -275,14 +311,16 @@ impl<'g> ShardedMixingEngine<'g> {
     /// The walkers currently held by global node `u`, in bucket order
     /// (survivors first, then arrivals grouped by source shard).
     pub fn held_by(&self, u: NodeId) -> &[u32] {
-        let state = &self.shards[self.partition.shard_of(u)];
-        let lu = self.partition.local_of(u);
+        let partition = self.partition.get();
+        let state = &self.shards[partition.shard_of(u)];
+        let lu = partition.local_of(u);
         &state.bucket_walkers[state.bucket_starts[lu]..state.bucket_starts[lu + 1]]
     }
 
     /// Groups walkers by their current holder, in bucket order.
     pub fn walkers_by_holder(&self) -> Vec<Vec<usize>> {
         self.graph
+            .get()
             .nodes()
             .map(|u| self.held_by(u).iter().map(|&w| w as usize).collect())
             .collect()
@@ -316,17 +354,175 @@ impl<'g> ShardedMixingEngine<'g> {
     /// [`GraphError::InvalidParameters`] on a node-count mismatch,
     /// [`GraphError::IsolatedNode`] if the new topology has one.
     pub fn retarget(&mut self, graph: &'g Graph) -> Result<()> {
-        if graph.node_count() != self.graph.node_count() {
+        self.validate_retarget(graph)?;
+        self.graph = GraphRef::Borrowed(graph);
+        Ok(())
+    }
+
+    /// [`ShardedMixingEngine::retarget`] taking ownership of the new
+    /// topology — the hook for per-round churn snapshots that have no
+    /// stable home to borrow from (each round's
+    /// [`crate::dynamic::DynamicGraph::snapshot`] clone can be handed
+    /// straight to the engine).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedMixingEngine::retarget`].
+    pub fn retarget_owned(&mut self, graph: Graph) -> Result<()> {
+        self.validate_retarget(&graph)?;
+        self.graph = GraphRef::Owned(Box::new(graph));
+        Ok(())
+    }
+
+    fn validate_retarget(&self, graph: &Graph) -> Result<()> {
+        if graph.node_count() != self.graph.get().node_count() {
             return Err(GraphError::InvalidParameters(format!(
                 "cannot retarget an engine on {} nodes to a graph with {}",
-                self.graph.node_count(),
+                self.graph.get().node_count(),
                 graph.node_count()
             )));
         }
         if let Some(u) = graph.find_isolated_node() {
             return Err(GraphError::IsolatedNode(u));
         }
-        self.graph = graph;
+        Ok(())
+    }
+
+    /// Migrates the engine to a new shard assignment mid-run — the online
+    /// repartitioning exchange.  Walker positions, per-shard RNG streams,
+    /// the draw mode and the round counter carry over unchanged; every
+    /// shard's buckets are rebuilt deterministically under the new
+    /// partition by one counting-sort pass fed with the shard's walkers in
+    /// walker-id order (the [`ShardedMixingEngine::with_starts`]
+    /// initial-bucket rule), so the result is a fixed function of
+    /// `(positions, partition)` — independent of the old bucket orders and
+    /// of how many rounds ran before.
+    ///
+    /// Returns the **movers**: the ascending list of global nodes whose
+    /// shard assignment changed.  In a distributed deployment these are the
+    /// users whose report queues are in flight between shards for one
+    /// round; mask them for the round after migrating
+    /// ([`ShardedMixingEngine::step_masked`]) and the accountant prices the
+    /// migration through the ordinary masked-operator path.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameters`] if the new partition's node count
+    /// or shard count differs from the engine's (shard RNG streams are
+    /// per-shard state; changing the shard count mid-run would forfeit
+    /// seed-only determinism).
+    pub fn migrate(&mut self, partition: &'g Partition) -> Result<Vec<NodeId>> {
+        let mut movers = Vec::new();
+        self.migrate_ref(PartitionRef::Borrowed(partition), &mut movers)?;
+        Ok(movers)
+    }
+
+    /// [`ShardedMixingEngine::migrate`] taking ownership of the new
+    /// partition — the hook for partitions refined online from a live
+    /// [`crate::dynamic::DynamicGraph`]
+    /// ([`crate::partition::Partition::refined_assignment`]), which have no
+    /// stable home to borrow from.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedMixingEngine::migrate`].
+    pub fn migrate_owned(&mut self, partition: Partition) -> Result<Vec<NodeId>> {
+        let mut movers = Vec::new();
+        self.migrate_ref(PartitionRef::Owned(Box::new(partition)), &mut movers)?;
+        Ok(movers)
+    }
+
+    /// Buffer-reusing [`ShardedMixingEngine::migrate_owned`]: `movers` is
+    /// cleared and refilled, so a steady-state migration loop alternating
+    /// between warmed shapes performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedMixingEngine::migrate`].
+    pub fn migrate_into(&mut self, partition: Partition, movers: &mut Vec<NodeId>) -> Result<()> {
+        self.migrate_ref(PartitionRef::Owned(Box::new(partition)), movers)
+    }
+
+    /// Buffer-reusing [`ShardedMixingEngine::migrate`] borrowing the new
+    /// partition: no box for the partition, `movers` cleared and refilled.
+    /// Once the per-shard buffers have reached their high-water marks for
+    /// every partition shape in rotation, a migration through this entry
+    /// point performs **zero** heap allocations — the property the
+    /// `sharded_mixing` steady-state audit pins.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedMixingEngine::migrate`].
+    pub fn migrate_borrowed_into(
+        &mut self,
+        partition: &'g Partition,
+        movers: &mut Vec<NodeId>,
+    ) -> Result<()> {
+        self.migrate_ref(PartitionRef::Borrowed(partition), movers)
+    }
+
+    fn migrate_ref(&mut self, new: PartitionRef<'g>, movers: &mut Vec<NodeId>) -> Result<()> {
+        let next = new.get();
+        let n = self.partition.get().node_count();
+        if next.node_count() != n {
+            return Err(GraphError::InvalidParameters(format!(
+                "cannot migrate an engine over {n} nodes to a partition over {}",
+                next.node_count()
+            )));
+        }
+        if next.shard_count() != self.shards.len() {
+            return Err(GraphError::InvalidParameters(format!(
+                "cannot migrate {} shard streams to a {}-shard partition",
+                self.shards.len(),
+                next.shard_count()
+            )));
+        }
+        movers.clear();
+        {
+            let old = self.partition.get();
+            for u in 0..n {
+                if old.shard_of(u) != next.shard_of(u) {
+                    movers.push(u);
+                }
+            }
+        }
+        // Route every walker to its new shard in walker-id order, reusing
+        // shard 0's outbox rows as the per-destination scratch (cleared at
+        // the start of every sampling phase anyway).
+        let routes = &mut self.outboxes[0];
+        for row in routes.iter_mut() {
+            row.clear();
+        }
+        for (w, &pos) in self.positions.iter().enumerate() {
+            routes[next.shard_of(pos as usize)].push((pos, w as u32));
+        }
+        // Rebuild each shard's buckets with the kernel's counting sort: no
+        // survivors, the routed walkers as the canonical arrival stream.
+        for (d, state) in self.shards.iter_mut().enumerate() {
+            let local_n = next.shard(d).len();
+            state.bucket_starts.resize(local_n + 1, 0);
+            state.sent_local.resize(local_n, 0);
+            state.sent_local.fill(0);
+            state.load_local.resize(local_n, 0);
+            state.arena.kept_nodes.clear();
+            state.arena.kept_walkers.clear();
+            let row = &self.outboxes[0][d];
+            round::merge_round_buckets(
+                local_n,
+                &mut state.arena,
+                &mut state.load_local,
+                &mut state.bucket_starts,
+                &mut state.bucket_walkers,
+                |sink| {
+                    for &(dest, w) in row {
+                        sink(next.local_of(dest as usize), w);
+                    }
+                },
+            );
+        }
+        // Positions are untouched, so the global per-node sent/load
+        // statistics still describe the last executed round.
+        self.partition = new;
         Ok(())
     }
 
@@ -361,7 +557,7 @@ impl<'g> ShardedMixingEngine<'g> {
     ) {
         assert_eq!(
             available.len(),
-            self.graph.node_count(),
+            self.graph.get().node_count(),
             "availability mask has the wrong length"
         );
         self.step_masked_opt(laziness, Some(available), observer);
@@ -373,8 +569,8 @@ impl<'g> ShardedMixingEngine<'g> {
         available: Option<&[bool]>,
         observer: &mut O,
     ) {
-        let graph = self.graph;
-        let partition = self.partition;
+        let graph = self.graph.get();
+        let partition = self.partition.get();
         let mode = self.draw_mode;
         for (s, (state, outbox)) in self
             .shards
@@ -423,7 +619,7 @@ impl<'g> ShardedMixingEngine<'g> {
     ) {
         assert_eq!(
             available.len(),
-            self.graph.node_count(),
+            self.graph.get().node_count(),
             "availability mask has the wrong length"
         );
         self.step_in_order_masked_opt(laziness, Some(available), order, observer);
@@ -443,8 +639,8 @@ impl<'g> ShardedMixingEngine<'g> {
             assert!(s < k && !seen[s], "order must be a permutation of 0..{k}");
             seen[s] = true;
         }
-        let graph = self.graph;
-        let partition = self.partition;
+        let graph = self.graph.get();
+        let partition = self.partition.get();
         let mode = self.draw_mode;
         for &s in order {
             sample_shard_round(
@@ -510,7 +706,7 @@ impl<'g> ShardedMixingEngine<'g> {
     /// positions, folds the per-shard statistics into the global vectors
     /// and reports the round.
     fn merge_round<O: RoundObserver>(&mut self, observer: &mut O) {
-        let partition = self.partition;
+        let partition = self.partition.get();
         let k = self.shards.len();
         for d in 0..k {
             let nodes = partition.shard(d).nodes();
@@ -703,8 +899,8 @@ mod parallel {
             available: Option<&[bool]>,
             observer: &mut O,
         ) {
-            let graph = self.graph;
-            let partition = self.partition;
+            let graph = self.graph.get();
+            let partition = self.partition.get();
             let mode = self.draw_mode;
             let work: Vec<ShardWork<'_>> = self
                 .shards
@@ -782,8 +978,8 @@ mod parallel {
                 return;
             }
             let k = self.shards.len();
-            let graph = self.graph;
-            let partition = self.partition;
+            let graph = self.graph.get();
+            let partition = self.partition.get();
             let mode = self.draw_mode;
             // Buffer 0 is the engine's resident outboxes, buffer 1 an
             // identically shaped alternate; both live for the whole run, so
