@@ -146,6 +146,7 @@ fn audit_steady_state_allocations() {
 
     audit_migration_allocations(&graph, &partition);
     audit_delta_allocations(&graph);
+    audit_durable_allocations(&graph, &partition);
 
     #[cfg(feature = "parallel")]
     audit_pipelined_allocations(&graph, &partition);
@@ -231,6 +232,74 @@ fn audit_delta_allocations(graph: &ns_graph::Graph) {
         "the delta critical path must not allocate once buffers are warm"
     );
     black_box(ensemble.row(0)[0]);
+}
+
+/// The durable wrapper's append path honors the arena contract too: with
+/// snapshots disabled, a settled [`DurableCoordinator`] adds **zero**
+/// steady-state allocations per round over the plain coordinator it wraps —
+/// the round record encodes into a reused scratch buffer, the RNG clocks
+/// stage into a reused vector, and the WAL writes through a fixed tail
+/// page.  The coordinator itself pays a small per-round cost (the
+/// accountant's dense advance uses per-call scratch, deliberately off this
+/// contract), so the audit is *marginal*: identical twin runs, one plain
+/// and one durable, must allocate exactly the same.  (Snapshot boundaries
+/// allocate by design — a full checkpoint is materialized and written
+/// atomically — so the audit excludes them with `snapshot_every: 0`,
+/// exactly the boundary the contract carves out.)
+fn audit_durable_allocations(graph: &ns_graph::Graph, partition: &Partition) {
+    use network_shuffle::prelude::{CoordinatorConfig, ShuffleCoordinator};
+    use ns_store::prelude::{DurableConfig, DurableCoordinator};
+
+    const BLOCK: usize = 10;
+    const WARMUP: usize = 30;
+    let dir = std::env::temp_dir().join("ns_sharded_mixing_durable_audit");
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = graph.node_count();
+    let config = CoordinatorConfig::all(17, 8);
+    let payloads = || (0..n).map(|i| vec![i as u8, (i >> 8) as u8]).collect();
+
+    let mut plain: ShuffleCoordinator<'_, Vec<u8>> =
+        ShuffleCoordinator::new(graph, partition, config).expect("coordinator");
+    plain.admit_population(payloads()).expect("admit");
+    plain.begin_exchange().expect("begin");
+
+    let durable = DurableConfig {
+        group_commit: 4,
+        snapshot_every: 0,
+    };
+    let mut store =
+        DurableCoordinator::create(graph, partition, config, durable, &dir).expect("store");
+    store.admit_population(payloads()).expect("admit");
+    store.begin_exchange().expect("begin");
+
+    // Both twins run the identical deterministic trajectory; settle their
+    // arenas and the WAL tail page to the high-water marks.
+    for _ in 0..WARMUP {
+        plain.run_rounds(1).expect("round");
+        store.run_rounds(1).expect("round");
+    }
+    let plain_cost = allocations_during(|| {
+        for _ in 0..BLOCK {
+            plain.run_rounds(1).expect("round");
+        }
+    });
+    let durable_cost = allocations_during(|| {
+        for _ in 0..BLOCK {
+            store.run_rounds(1).expect("round");
+        }
+    });
+    println!(
+        "steady-state allocations over {BLOCK} rounds [plain k=4]: {plain_cost}, \
+         [durable k=4]: {durable_cost}"
+    );
+    assert_eq!(
+        durable_cost, plain_cost,
+        "the durable wrapper must add zero steady-state allocations per round \
+         outside snapshot boundaries"
+    );
+    black_box((plain.round(), store.round()));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The pipelined exchange allocates per *call* (the alternate outbox buffer

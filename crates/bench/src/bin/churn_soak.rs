@@ -412,7 +412,7 @@ fn main() {
     let rounds = env_usize("NS_SOAK_ROUNDS", 1000);
     let churn_permille = env_usize("NS_SOAK_CHURN", 2);
     let epoch = env_usize("NS_SOAK_EPOCH", 25).max(1);
-    let out_path = std::env::var("NS_SOAK_OUT").unwrap_or_else(|_| "BENCH_churn_soak.json".into());
+    let out_path = ns_bench::bench_output_path("NS_SOAK_OUT", "BENCH_churn_soak.json");
     let movers_per_round = (n * churn_permille / 1000).max(1);
 
     let mut build_rng = seeded_rng(0x50A4);
@@ -485,5 +485,5 @@ fn main() {
     let json = format!("[\n{}\n]\n", entries.join(",\n"));
     let mut file = std::fs::File::create(&out_path).expect("open output");
     file.write_all(json.as_bytes()).expect("write output");
-    eprintln!("wrote {out_path}");
+    eprintln!("wrote {}", out_path.display());
 }

@@ -145,8 +145,7 @@ fn main() {
     let n = env_usize("NS_ROUNDLOOP_N", 10_000_000);
     let rounds = env_usize("NS_ROUNDLOOP_ROUNDS", 10);
     let mode_sel = std::env::var("NS_ROUNDLOOP_MODE").unwrap_or_else(|_| "both".into());
-    let out_path =
-        std::env::var("NS_ROUNDLOOP_OUT").unwrap_or_else(|_| "BENCH_roundloop.json".into());
+    let out_path = ns_bench::bench_output_path("NS_ROUNDLOOP_OUT", "BENCH_roundloop.json");
     let laziness = 0.2;
 
     // Degree-8 strided circulant: stride 1 keeps it connected, the three
@@ -216,5 +215,5 @@ fn main() {
     json.push_str("]\n");
     let mut file = std::fs::File::create(&out_path).expect("open output");
     file.write_all(json.as_bytes()).expect("write output");
-    eprintln!("wrote {out_path}");
+    eprintln!("wrote {}", out_path.display());
 }

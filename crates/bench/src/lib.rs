@@ -388,6 +388,16 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> Option<P
     Some(path)
 }
 
+/// Resolves a bench binary's output path: the `env_key` override when set
+/// to a non-empty value, otherwise `default`.  Every `NS_*_OUT` knob goes
+/// through here so the override semantics stay uniform across binaries.
+pub fn bench_output_path(env_key: &str, default: &str) -> PathBuf {
+    match std::env::var(env_key) {
+        Ok(value) if !value.trim().is_empty() => PathBuf::from(value),
+        _ => PathBuf::from(default),
+    }
+}
+
 /// Formats a float with 4 significant-ish decimals for table cells.
 pub fn fmt(x: f64) -> String {
     if x == 0.0 {
@@ -428,6 +438,29 @@ mod tests {
         assert!(fmt(0.1234567).starts_with("0.1235"));
         assert!(fmt(12345.0).contains('e'));
         assert!(fmt(1e-7).contains('e'));
+    }
+
+    #[test]
+    fn bench_output_path_honors_the_env_override() {
+        // A key no other test (or the environment) touches.
+        let key = "NS_BENCH_OUTPUT_PATH_TEST_OUT";
+        std::env::remove_var(key);
+        assert_eq!(
+            bench_output_path(key, "BENCH_default.json"),
+            PathBuf::from("BENCH_default.json")
+        );
+        std::env::set_var(key, "custom/dir/out.json");
+        assert_eq!(
+            bench_output_path(key, "BENCH_default.json"),
+            PathBuf::from("custom/dir/out.json")
+        );
+        // Blank overrides fall back instead of producing an empty path.
+        std::env::set_var(key, "  ");
+        assert_eq!(
+            bench_output_path(key, "BENCH_default.json"),
+            PathBuf::from("BENCH_default.json")
+        );
+        std::env::remove_var(key);
     }
 
     #[test]

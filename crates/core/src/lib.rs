@@ -110,7 +110,10 @@ pub mod prelude {
     pub use crate::protocol::ProtocolKind;
     pub use crate::report::{Report, Submission};
     pub use crate::server::{CollectedReports, Curator};
-    pub use crate::service::{CoordinatorConfig, ShuffleCoordinator, StreamingAccountant};
+    pub use crate::service::{
+        AccountantCheckpoint, AccountantShardCheckpoint, CoordinatorCheckpoint, CoordinatorConfig,
+        ShuffleCoordinator, StreamingAccountant,
+    };
     pub use crate::simulation::{
         expected_empty_holders, run_protocol, run_protocol_under_outages,
         run_protocol_with_randomizer, SimulationConfig, SimulationOutcome,

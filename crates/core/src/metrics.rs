@@ -106,6 +106,47 @@ impl TrafficRecorder {
         }
     }
 
+    /// Reassembles a recorder from captured parts — the durable runtime's
+    /// snapshot-restore hook.  The parts are exactly what
+    /// [`TrafficRecorder::rounds`] / [`TrafficRecorder::messages_per_user`] /
+    /// [`TrafficRecorder::peak_reports_per_user`] expose, so a capture →
+    /// restore round trip continues the recording bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two per-user vectors have different lengths.
+    pub fn from_parts(
+        rounds: usize,
+        messages_per_user: Vec<usize>,
+        peak_reports_per_user: Vec<usize>,
+    ) -> Self {
+        assert_eq!(
+            messages_per_user.len(),
+            peak_reports_per_user.len(),
+            "per-user vectors must cover the same users"
+        );
+        TrafficRecorder {
+            rounds,
+            messages_per_user,
+            peak_reports_per_user,
+        }
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Relay messages per user accumulated so far.
+    pub fn messages_per_user(&self) -> &[usize] {
+        &self.messages_per_user
+    }
+
+    /// Per-user peak held-report counts so far.
+    pub fn peak_reports_per_user(&self) -> &[usize] {
+        &self.peak_reports_per_user
+    }
+
     /// Finishes the recording, attaching the curator-side report count.
     pub fn into_metrics(self, server_reports: usize) -> TrafficMetrics {
         TrafficMetrics {

@@ -76,7 +76,8 @@ use ns_graph::dynamic::{DynTransition, TimeVaryingModel};
 use ns_graph::ensemble::{DistributionEnsemble, RowStats};
 use ns_graph::partition::Partition;
 use ns_graph::rng::SimRng;
-use ns_graph::sharded_engine::ShardedMixingEngine;
+use ns_graph::round::DrawMode;
+use ns_graph::sharded_engine::{EngineCheckpoint, ShardedMixingEngine};
 use ns_graph::transition::{TransitionMatrix, TransitionModel};
 use ns_graph::walk::validate_laziness;
 use ns_graph::{Graph, NodeId};
@@ -96,6 +97,11 @@ pub struct CoordinatorConfig {
     /// (`usize::MAX` tracks every origin).  Tracked origins are each shard's
     /// lowest-degree users — the slowest mixers.
     pub tracked_per_shard: usize,
+    /// How the exchange engine draws randomness
+    /// ([`ns_graph::round::DrawMode`]); applied when the exchange phase
+    /// starts.  `Compat` is bitwise the classic single-engine realization;
+    /// `Fast` is a different, equally distributed realization.
+    pub draw_mode: DrawMode,
 }
 
 impl CoordinatorConfig {
@@ -106,6 +112,7 @@ impl CoordinatorConfig {
             laziness: 0.0,
             protocol: ProtocolKind::All,
             tracked_per_shard,
+            draw_mode: DrawMode::Compat,
         }
     }
 
@@ -116,6 +123,7 @@ impl CoordinatorConfig {
             laziness: 0.0,
             protocol: ProtocolKind::Single,
             tracked_per_shard,
+            draw_mode: DrawMode::Compat,
         }
     }
 
@@ -562,6 +570,118 @@ impl StreamingAccountant {
             .collect()
     }
 
+    /// Captures the accountant's round-boundary state for the durable
+    /// runtime: per shard, the tracked origin ids and the exact ensemble
+    /// rows.  The absolute round clock rides along so a scheduled
+    /// accountant restores against the right per-round operators.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if a speculated round is pending or
+    /// the accountant holds a live delta operator — both belong to the
+    /// delta-incremental pipeline, whose mid-flight state is not a round
+    /// boundary (commit first).
+    pub fn checkpoint(&self) -> Result<AccountantCheckpoint> {
+        if self.speculated {
+            return Err(Error::InvalidConfiguration(
+                "cannot checkpoint a speculated round; commit it first".into(),
+            ));
+        }
+        if matches!(self.operator, StreamingOperator::Live(_)) {
+            return Err(Error::InvalidConfiguration(
+                "cannot checkpoint an accountant holding a live delta operator".into(),
+            ));
+        }
+        Ok(AccountantCheckpoint {
+            round: self.round,
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| AccountantShardCheckpoint {
+                    origins: shard.origins.clone(),
+                    rows: shard.ensemble.clone().into_flat(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Reconstructs an accountant from an [`AccountantCheckpoint`] against
+    /// the same deployment: `schedule` must be the realized operator
+    /// schedule when one was attached (`None` restores the static lazy
+    /// walk).  Every ensemble row is re-validated as a probability
+    /// distribution and restored at the checkpoint's absolute round clock,
+    /// so subsequent [`StreamingAccountant::advance_round`] calls continue
+    /// **bit for bit**.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] on shard-count or row-shape
+    /// mismatches; row validation errors from the ensemble constructors;
+    /// operator construction errors.
+    pub fn restore(
+        graph: &Graph,
+        partition: &Partition,
+        laziness: f64,
+        schedule: Option<TimeVaryingModel>,
+        checkpoint: &AccountantCheckpoint,
+    ) -> Result<Self> {
+        if checkpoint.shards.len() != partition.shard_count() {
+            return Err(Error::InvalidConfiguration(format!(
+                "checkpoint tracks {} shards but the partition has {}",
+                checkpoint.shards.len(),
+                partition.shard_count()
+            )));
+        }
+        let n = graph.node_count();
+        let operator = match schedule {
+            Some(model) => {
+                if model.node_count() != n {
+                    return Err(Error::InvalidConfiguration(format!(
+                        "operator schedule covers {} users but the graph has {n}",
+                        model.node_count()
+                    )));
+                }
+                StreamingOperator::Scheduled(model)
+            }
+            None => StreamingOperator::Static(TransitionMatrix::with_laziness(graph, laziness)?),
+        };
+        let mut shards = Vec::with_capacity(checkpoint.shards.len());
+        for (s, shard_cp) in checkpoint.shards.iter().enumerate() {
+            if shard_cp.origins.is_empty() || shard_cp.rows.len() != shard_cp.origins.len() * n {
+                return Err(Error::InvalidConfiguration(format!(
+                    "shard {s} checkpoint has {} rows entries for {} origins over {n} users",
+                    shard_cp.rows.len(),
+                    shard_cp.origins.len()
+                )));
+            }
+            if let Some(&bad) = shard_cp.origins.iter().find(|&&o| o >= n) {
+                return Err(ns_graph::GraphError::NodeOutOfRange {
+                    node: bad,
+                    node_count: n,
+                }
+                .into());
+            }
+            let ensemble = DistributionEnsemble::from_rows_at(
+                shard_cp.origins.len(),
+                shard_cp.rows.clone(),
+                checkpoint.round,
+            )?;
+            shards.push(TrackedShard {
+                origins: shard_cp.origins.clone(),
+                ensemble,
+                prev: Vec::new(),
+                prev_il: Vec::new(),
+            });
+        }
+        Ok(StreamingAccountant {
+            operator,
+            shards,
+            round: checkpoint.round,
+            speculated: false,
+            delta_dense_fraction: DELTA_DENSE_FRACTION,
+        })
+    }
+
     /// The single per-origin fold both quote forms share: evaluate every
     /// tracked origin of one shard and keep the strictly-largest ε (ties
     /// keep the earliest tracked origin).
@@ -583,6 +703,53 @@ impl StreamingAccountant {
         }
         worst.ok_or_else(|| Error::InvalidConfiguration("a shard tracks no origins".into()))
     }
+}
+
+/// One shard's captured accountant state inside an
+/// [`AccountantCheckpoint`]: tracked origin ids plus the flat row-major
+/// ensemble rows (`origins.len() × n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccountantShardCheckpoint {
+    /// Global ids of the tracked origins, in tracking order.
+    pub origins: Vec<NodeId>,
+    /// Row-major exact position distributions, one row per origin.
+    pub rows: Vec<f64>,
+}
+
+/// A round-boundary capture of a [`StreamingAccountant`]
+/// ([`StreamingAccountant::checkpoint`] /
+/// [`StreamingAccountant::restore`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccountantCheckpoint {
+    /// Rounds the tracked distributions have been advanced by — the
+    /// absolute clock scheduled operators index by.
+    pub round: usize,
+    /// Per-shard tracked state, in shard-id order.
+    pub shards: Vec<AccountantShardCheckpoint>,
+}
+
+/// A round-boundary capture of a full [`ShuffleCoordinator`] exchange
+/// phase: engine, accountant and traffic recorder
+/// ([`ShuffleCoordinator::checkpoint`] /
+/// [`ShuffleCoordinator::install_checkpoint`]).
+///
+/// Deliberately *not* captured: the admitted arena and origins (the durable
+/// runtime reconstructs them by replaying logged admission batches, which
+/// also re-seals envelopes under the recovering process's curator key — the
+/// simulated PKI is process-local) and the attached outage schedule (logged
+/// once at attach time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatorCheckpoint {
+    /// The exchange engine's complete round-boundary state.
+    pub engine: EngineCheckpoint,
+    /// The streaming accountant's tracked rows and clock.
+    pub accountant: AccountantCheckpoint,
+    /// Rounds the traffic recorder has observed.
+    pub recorder_rounds: usize,
+    /// Per-user relay-message totals so far.
+    pub recorder_messages: Vec<usize>,
+    /// Per-user peak held-report counts so far.
+    pub recorder_peaks: Vec<usize>,
 }
 
 /// Evaluates the closed form for one origin's moments (the same rule the
@@ -808,12 +975,103 @@ impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
             initial_load[origin] += 1;
         }
         self.recorder = TrafficRecorder::with_initial_load(&initial_load);
-        self.engine = Some(ShardedMixingEngine::with_starts(
+        let mut engine = ShardedMixingEngine::with_starts(
             self.graph,
             self.partition,
             self.origins.clone(),
             self.config.seed,
-        )?);
+        )?;
+        engine.set_draw_mode(self.config.draw_mode);
+        self.engine = Some(engine);
+        Ok(())
+    }
+
+    /// The exchange engine, once [`ShuffleCoordinator::begin_exchange`] has
+    /// run — the durable runtime's read-only window onto positions, bucket
+    /// orders and per-shard RNG clocks.
+    pub fn engine(&self) -> Option<&ShardedMixingEngine<'g>> {
+        self.engine.as_ref()
+    }
+
+    /// Captures the coordinator's complete round-boundary state: engine
+    /// (positions, bucket orders, RNG streams, draw mode), streaming
+    /// accountant (tracked rows + clock) and traffic recorder.  Restoring
+    /// it via [`ShuffleCoordinator::install_checkpoint`] continues the run
+    /// **bit for bit**.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if the exchange phase has not
+    /// started; accountant checkpoint errors (pending speculation).
+    pub fn checkpoint(&self) -> Result<CoordinatorCheckpoint> {
+        let engine = self.engine.as_ref().ok_or_else(|| {
+            Error::InvalidConfiguration("call begin_exchange() before checkpointing".into())
+        })?;
+        Ok(CoordinatorCheckpoint {
+            engine: engine.checkpoint(),
+            accountant: self.accountant.checkpoint()?,
+            recorder_rounds: self.recorder.rounds(),
+            recorder_messages: self.recorder.messages_per_user().to_vec(),
+            recorder_peaks: self.recorder.peak_reports_per_user().to_vec(),
+        })
+    }
+
+    /// Replaces the coordinator's exchange-phase state with a captured
+    /// [`CoordinatorCheckpoint`] — the recovery hook.  The coordinator must
+    /// have been brought through the normal lifecycle first (admit the same
+    /// batches, attach the same outage schedule, `begin_exchange`), so the
+    /// arena, origins and schedule are live; this call then fast-forwards
+    /// engine, accountant and recorder to the checkpointed round.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] if the exchange phase has not
+    /// started, or the checkpoint's walker/user counts do not match the
+    /// admitted population; engine/accountant restore validation errors.
+    pub fn install_checkpoint(&mut self, checkpoint: &CoordinatorCheckpoint) -> Result<()> {
+        if self.engine.is_none() {
+            return Err(Error::InvalidConfiguration(
+                "call begin_exchange() before installing a checkpoint".into(),
+            ));
+        }
+        if checkpoint.engine.positions.len() != self.origins.len() {
+            return Err(Error::InvalidConfiguration(format!(
+                "checkpoint tracks {} walkers but {} reports were admitted",
+                checkpoint.engine.positions.len(),
+                self.origins.len()
+            )));
+        }
+        let n = self.graph.node_count();
+        if checkpoint.recorder_messages.len() != n || checkpoint.recorder_peaks.len() != n {
+            return Err(Error::InvalidConfiguration(format!(
+                "checkpoint records {} users but the graph has {n}",
+                checkpoint.recorder_messages.len()
+            )));
+        }
+        let engine = ShardedMixingEngine::restore_checkpoint(
+            self.graph,
+            self.partition,
+            &checkpoint.engine,
+        )?;
+        let schedule = self
+            .outages
+            .as_ref()
+            .map(|s| s.time_varying_model(self.graph, self.config.laziness))
+            .transpose()?;
+        let accountant = StreamingAccountant::restore(
+            self.graph,
+            self.partition,
+            self.config.laziness,
+            schedule,
+            &checkpoint.accountant,
+        )?;
+        self.recorder = TrafficRecorder::from_parts(
+            checkpoint.recorder_rounds,
+            checkpoint.recorder_messages.clone(),
+            checkpoint.recorder_peaks.clone(),
+        );
+        self.engine = Some(engine);
+        self.accountant = accountant;
         Ok(())
     }
 
@@ -1206,6 +1464,96 @@ mod tests {
             dark_eps > clear_eps,
             "blackout must degrade the live quote: {clear_eps} -> {dark_eps}"
         );
+    }
+
+    #[test]
+    fn checkpoint_install_continues_bitwise_with_and_without_outages() {
+        let g = graph(70, 4, 31);
+        let p = Partition::new(&g, 3).unwrap();
+        let params = AccountantParams::with_defaults(70, 1.0).unwrap();
+        for (outages, mode) in [
+            (false, DrawMode::Compat),
+            (true, DrawMode::Compat),
+            (false, DrawMode::Fast),
+        ] {
+            let mut config = CoordinatorConfig::single(37, 5);
+            config.draw_mode = mode;
+            let build = || {
+                let mut c: ShuffleCoordinator<'_, u32> =
+                    ShuffleCoordinator::new(&g, &p, config).unwrap();
+                if outages {
+                    c.sample_outages(
+                        &OutageModel::MarkovOnOff {
+                            fail: 0.1,
+                            recover: 0.4,
+                        },
+                        16,
+                        3,
+                    )
+                    .unwrap();
+                }
+                c.admit_population((0..70).collect()).unwrap();
+                c.begin_exchange().unwrap();
+                c
+            };
+            let mut reference = build();
+            reference.run_rounds(6).unwrap();
+            let cp = reference.checkpoint().unwrap();
+            assert_eq!(cp.engine.round, 6);
+            assert_eq!(cp.accountant.round, 6);
+            // A freshly begun twin fast-forwards to the checkpoint, then
+            // both continue in lockstep.
+            let mut recovered = build();
+            recovered.install_checkpoint(&cp).unwrap();
+            assert_eq!(recovered.round(), 6);
+            reference.run_rounds(7).unwrap();
+            recovered.run_rounds(7).unwrap();
+            let (ro, rq) = reference.live_quote(&params).unwrap();
+            let (co, cq) = recovered.live_quote(&params).unwrap();
+            assert_eq!(ro, co);
+            assert_eq!(rq.epsilon.to_bits(), cq.epsilon.to_bits());
+            assert_eq!(
+                reference.engine().unwrap().positions(),
+                recovered.engine().unwrap().positions()
+            );
+            let a = reference.finalize(|_| 7).unwrap();
+            let b = recovered.finalize(|_| 7).unwrap();
+            let view = |o: &SimulationOutcome<u32>| -> Vec<_> {
+                o.collected
+                    .reports_with_submitter()
+                    .map(|(s, r)| (s, r.origin, r.is_dummy, r.payload))
+                    .collect()
+            };
+            assert_eq!(view(&a), view(&b));
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn checkpoint_requires_exchange_and_validates_shapes() {
+        let g = graph(40, 4, 32);
+        let p = Partition::new(&g, 2).unwrap();
+        let config = CoordinatorConfig::all(5, 4);
+        let mut c: ShuffleCoordinator<'_, u32> = ShuffleCoordinator::new(&g, &p, config).unwrap();
+        assert!(c.checkpoint().is_err());
+        c.admit_population((0..40).collect()).unwrap();
+        assert!(c.checkpoint().is_err());
+        c.begin_exchange().unwrap();
+        c.run_rounds(2).unwrap();
+        let cp = c.checkpoint().unwrap();
+        // A coordinator with a different admitted population rejects it.
+        let mut other: ShuffleCoordinator<'_, u32> =
+            ShuffleCoordinator::new(&g, &p, config).unwrap();
+        other
+            .admit((0..20).map(|u| (u, u as u32)).collect())
+            .unwrap();
+        other.begin_exchange().unwrap();
+        assert!(other.install_checkpoint(&cp).is_err());
+        // Corrupted accountant rows (not a distribution) are rejected.
+        let mut bad = cp.clone();
+        bad.accountant.shards[0].rows[0] += 0.5;
+        assert!(c.install_checkpoint(&bad).is_err());
+        assert!(c.install_checkpoint(&cp).is_ok());
     }
 
     #[test]

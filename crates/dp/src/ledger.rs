@@ -1,0 +1,236 @@
+//! Per-user `(ε, δ)` budget ledgers for multi-epoch deployments.
+//!
+//! The LWeb framing: a user's remaining privacy budget is a *label* checked
+//! at the admission tier, not a property threaded through the engine.  A
+//! deployment that collects daily charges each participating user the
+//! epoch's realized central guarantee against her ledger; once a ledger is
+//! exhausted, admission — not the round loop — rejects the user.  The
+//! durable runtime (`ns-store`) persists ledgers across processes so two
+//! consecutive recovered epochs draw a user down exactly like one
+//! double-length deployment.
+//!
+//! Charges compose by plain sequential composition (ε and δ add), matching
+//! [`crate::composition::basic_composition`] — deliberately the
+//! conservative rule: a ledger is an *admission gate*, so it must never be
+//! more optimistic than the accounting a curator could audit offline.
+
+use crate::types::{validate_positive_epsilon, DpError, PrivacyGuarantee, Result};
+
+/// Per-user remaining `(ε, δ)` budgets.
+///
+/// Budgets are stored as *remaining* headroom, not spent totals: the
+/// admission-tier check is a comparison against zero, and persistence
+/// round-trips raw f64 bits, so the check is reproducible bit for bit
+/// across processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetLedger {
+    /// `remaining_epsilon[u]` — ε headroom user `u` still has.
+    remaining_epsilon: Vec<f64>,
+    /// `remaining_delta[u]` — δ headroom user `u` still has.
+    remaining_delta: Vec<f64>,
+}
+
+impl BudgetLedger {
+    /// A fresh ledger for `n` users, each granted the same `(ε, δ)` budget.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidEpsilon`] / [`DpError::InvalidDelta`] for invalid
+    /// budgets, [`DpError::InvalidParameters`] for an empty population.
+    pub fn uniform(n: usize, budget: PrivacyGuarantee) -> Result<Self> {
+        if n == 0 {
+            return Err(DpError::InvalidParameters(
+                "a budget ledger needs at least one user".into(),
+            ));
+        }
+        Ok(BudgetLedger {
+            remaining_epsilon: vec![budget.epsilon; n],
+            remaining_delta: vec![budget.delta; n],
+        })
+    }
+
+    /// Reassembles a ledger from captured per-user remainders — the durable
+    /// runtime's restore hook.  Negative remainders are allowed (a user can
+    /// be *over*drawn by her final epoch charge); non-finite values are not.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidParameters`] if the vectors are empty, differ in
+    /// length, or contain non-finite entries.
+    pub fn from_remaining(remaining_epsilon: Vec<f64>, remaining_delta: Vec<f64>) -> Result<Self> {
+        if remaining_epsilon.is_empty() || remaining_epsilon.len() != remaining_delta.len() {
+            return Err(DpError::InvalidParameters(format!(
+                "ledger vectors must be non-empty and equal length, got {} and {}",
+                remaining_epsilon.len(),
+                remaining_delta.len()
+            )));
+        }
+        if remaining_epsilon
+            .iter()
+            .chain(remaining_delta.iter())
+            .any(|x| !x.is_finite())
+        {
+            return Err(DpError::InvalidParameters(
+                "ledger remainders must be finite".into(),
+            ));
+        }
+        Ok(BudgetLedger {
+            remaining_epsilon,
+            remaining_delta,
+        })
+    }
+
+    /// Number of users the ledger covers.
+    pub fn user_count(&self) -> usize {
+        self.remaining_epsilon.len()
+    }
+
+    /// User `u`'s remaining `(ε, δ)` headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn remaining(&self, user: usize) -> (f64, f64) {
+        (self.remaining_epsilon[user], self.remaining_delta[user])
+    }
+
+    /// The raw remaining-ε vector (persistence hook).
+    pub fn remaining_epsilon(&self) -> &[f64] {
+        &self.remaining_epsilon
+    }
+
+    /// The raw remaining-δ vector (persistence hook).
+    pub fn remaining_delta(&self) -> &[f64] {
+        &self.remaining_delta
+    }
+
+    /// Whether user `u` still has strictly positive ε *and* δ-compatible
+    /// headroom to admit another report.  A user with `ε ≤ 0` remaining is
+    /// exhausted; δ headroom may be exactly 0 for pure-DP charges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn can_admit(&self, user: usize) -> bool {
+        self.remaining_epsilon[user] > 0.0 && self.remaining_delta[user] >= 0.0
+    }
+
+    /// Charges `cost` against user `u`'s budget by sequential composition
+    /// (ε and δ subtract).  The charge is applied even if it overdraws —
+    /// the run already happened; the *next* admission is what the gate
+    /// refuses — mirroring how an audit ledger must record reality.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidEpsilon`] if `cost.epsilon` is not strictly
+    /// positive (a zero-ε "charge" is a bookkeeping bug; δ = 0 pure-DP
+    /// charges are fine), [`DpError::InvalidParameters`] if `user` is out
+    /// of range.
+    pub fn charge(&mut self, user: usize, cost: &PrivacyGuarantee) -> Result<()> {
+        validate_positive_epsilon(cost.epsilon)?;
+        if user >= self.user_count() {
+            return Err(DpError::InvalidParameters(format!(
+                "user {user} out of range for a {}-user ledger",
+                self.user_count()
+            )));
+        }
+        self.remaining_epsilon[user] -= cost.epsilon;
+        self.remaining_delta[user] -= cost.delta;
+        Ok(())
+    }
+
+    /// Ascending ids of users whose ledgers are exhausted
+    /// ([`BudgetLedger::can_admit`] is false).
+    pub fn exhausted_users(&self) -> Vec<usize> {
+        (0..self.user_count())
+            .filter(|&u| !self.can_admit(u))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ledger_admits_until_exhausted() {
+        let budget = PrivacyGuarantee::new(1.0, 1e-6).unwrap();
+        let mut ledger = BudgetLedger::uniform(3, budget).unwrap();
+        assert_eq!(ledger.user_count(), 3);
+        assert!(ledger.can_admit(0));
+        let epoch = PrivacyGuarantee::new(0.4, 1e-7).unwrap();
+        ledger.charge(0, &epoch).unwrap();
+        ledger.charge(0, &epoch).unwrap();
+        assert!(ledger.can_admit(0));
+        // Third charge overdraws ε: applied, then admission refuses.
+        ledger.charge(0, &epoch).unwrap();
+        assert!(!ledger.can_admit(0));
+        assert!(ledger.can_admit(1));
+        assert_eq!(ledger.exhausted_users(), vec![0]);
+        let (eps, delta) = ledger.remaining(0);
+        assert!((eps - (1.0 - 1.2)).abs() < 1e-12);
+        assert!((delta - (1e-6 - 3e-7)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn persist_restore_boundary_between_charges_changes_nothing() {
+        // The multi-epoch invariant: a ledger persisted after epoch 1 and
+        // restored before epoch 2 ends bitwise where an uninterrupted
+        // two-epoch ledger ends — remainders round-trip as raw f64s and
+        // each charge is one deterministic subtraction.
+        let budget = PrivacyGuarantee::new(2.0, 1e-5).unwrap();
+        let a = PrivacyGuarantee::new(0.7, 3e-6).unwrap();
+        let b = PrivacyGuarantee::new(0.9, 4e-6).unwrap();
+        let mut continuous = BudgetLedger::uniform(2, budget).unwrap();
+        continuous.charge(1, &a).unwrap();
+        continuous.charge(1, &b).unwrap();
+        let mut interrupted = BudgetLedger::uniform(2, budget).unwrap();
+        interrupted.charge(1, &a).unwrap();
+        let mut restored = BudgetLedger::from_remaining(
+            interrupted.remaining_epsilon().to_vec(),
+            interrupted.remaining_delta().to_vec(),
+        )
+        .unwrap();
+        restored.charge(1, &b).unwrap();
+        assert_eq!(
+            continuous.remaining(1).0.to_bits(),
+            restored.remaining(1).0.to_bits()
+        );
+        assert_eq!(
+            continuous.remaining(1).1.to_bits(),
+            restored.remaining(1).1.to_bits()
+        );
+        assert_eq!(continuous, restored);
+    }
+
+    #[test]
+    fn restore_roundtrip_and_validation() {
+        let budget = PrivacyGuarantee::new(1.5, 0.0).unwrap();
+        let mut ledger = BudgetLedger::uniform(4, budget).unwrap();
+        ledger
+            .charge(2, &PrivacyGuarantee::pure(2.0).unwrap())
+            .unwrap();
+        let restored = BudgetLedger::from_remaining(
+            ledger.remaining_epsilon().to_vec(),
+            ledger.remaining_delta().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(ledger, restored);
+        assert!(!restored.can_admit(2));
+        assert!(BudgetLedger::from_remaining(vec![], vec![]).is_err());
+        assert!(BudgetLedger::from_remaining(vec![1.0], vec![0.0, 0.0]).is_err());
+        assert!(BudgetLedger::from_remaining(vec![f64::NAN], vec![0.0]).is_err());
+        assert!(BudgetLedger::uniform(0, budget).is_err());
+    }
+
+    #[test]
+    fn invalid_charges_are_rejected_without_side_effects() {
+        let budget = PrivacyGuarantee::new(1.0, 1e-6).unwrap();
+        let mut ledger = BudgetLedger::uniform(2, budget).unwrap();
+        let before = ledger.clone();
+        assert!(ledger
+            .charge(5, &PrivacyGuarantee::pure(0.1).unwrap())
+            .is_err());
+        assert_eq!(ledger, before);
+    }
+}

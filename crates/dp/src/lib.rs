@@ -41,6 +41,7 @@ pub mod amplification;
 pub mod composition;
 pub mod conversion;
 pub mod estimators;
+pub mod ledger;
 pub mod mechanisms;
 pub mod randomizer;
 pub mod rng;
@@ -58,6 +59,7 @@ pub mod prelude {
         advanced_composition, basic_composition, heterogeneous_advanced_composition,
     };
     pub use crate::conversion::{approximate_to_pure, delta0_threshold};
+    pub use crate::ledger::BudgetLedger;
     pub use crate::mechanisms::{Gaussian, Laplace, PrivUnit, RandomizedResponse};
     pub use crate::randomizer::LocalRandomizer;
     pub use crate::types::{DpError, PrivacyGuarantee, Result};

@@ -149,7 +149,10 @@ impl EnsembleTrajectory {
 /// Rows are stored contiguously (`sources × n`, row-major); row `r` is the
 /// distribution of source `r`'s report.  See the [module docs](self) for the
 /// kernel design.  Deliberately not (de)serializable: deserialization would
-/// bypass the shape/probability invariants the constructors enforce.
+/// bypass the shape/probability invariants the constructors enforce.  The
+/// durable runtime instead round-trips ensembles through
+/// [`DistributionEnsemble::row`] / [`DistributionEnsemble::from_rows_at`],
+/// which re-validates every row and restores the round clock on load.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistributionEnsemble {
     sources: usize,
@@ -240,6 +243,22 @@ impl DistributionEnsemble {
             data: flat,
             time: 0,
         })
+    }
+
+    /// [`DistributionEnsemble::from_rows`] restored at an explicit round
+    /// clock — the durable runtime's snapshot-restore constructor.  A
+    /// mid-run ensemble is not at round 0: scheduled operators
+    /// ([`crate::dynamic::TimeVaryingModel`]) index their schedule by this
+    /// clock, so restoring rows without the clock would silently replay the
+    /// wrong operators.  Validation is identical to `from_rows`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DistributionEnsemble::from_rows`].
+    pub fn from_rows_at(sources: usize, flat: Vec<f64>, time: usize) -> Result<Self> {
+        let mut ensemble = Self::from_rows(sources, flat)?;
+        ensemble.time = time;
+        Ok(ensemble)
     }
 
     /// Wraps distributions whose invariants the caller already guarantees

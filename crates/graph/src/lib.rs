@@ -108,7 +108,9 @@ pub mod prelude {
     pub use crate::mixing::{mixing_time, sum_p_squared_bound, tv_bound};
     pub use crate::mixing_engine::{MixingEngine, RoundObserver, RoundStats};
     pub use crate::partition::{FrontierEdge, IntraShardTransition, Partition, Shard};
-    pub use crate::sharded_engine::{shard_stream, ShardedMixingEngine};
+    pub use crate::sharded_engine::{
+        shard_stream, EngineCheckpoint, ShardCheckpoint, ShardedMixingEngine,
+    };
     pub use crate::spectral::{SpectralAnalysis, SpectralOptions};
     pub use crate::stationary::stationary_distribution;
     pub use crate::transition::{BlackBoxModel, TransitionMatrix, TransitionModel};

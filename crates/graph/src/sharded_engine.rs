@@ -81,6 +81,52 @@ struct ShardState {
     load_local: Vec<u32>,
 }
 
+/// One shard's captured state inside an [`EngineCheckpoint`]: the exact
+/// ChaCha8 stream position plus the shard's walker buckets.
+///
+/// Bucket CSRs must be captured, not rebuilt: a running engine's bucket
+/// order is history-dependent (survivors first, then arrivals grouped by
+/// source shard), whereas [`ShardedMixingEngine::migrate`]'s deterministic
+/// rebuild produces walker-id order.  Restoring via a rebuild would be a
+/// *distribution-identical but not bitwise* continuation — exactly what the
+/// durable runtime's recovery proof forbids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCheckpoint {
+    /// ChaCha8 key words of the shard stream.
+    pub rng_key: [u32; 8],
+    /// Next block index of the shard stream.
+    pub rng_counter: u64,
+    /// Next unread word of the current block (16 = exhausted).
+    pub rng_cursor: u32,
+    /// CSR starts over the shard's local nodes (`local_n + 1` entries).
+    pub bucket_starts: Vec<usize>,
+    /// Walkers in bucket order.
+    pub bucket_walkers: Vec<u32>,
+}
+
+/// A complete, self-contained capture of a [`ShardedMixingEngine`]'s
+/// round-boundary state: restoring it against the same `(graph, partition)`
+/// continues the run **bit for bit** — positions, bucket orders, RNG
+/// streams and per-round statistics of every subsequent round coincide
+/// with the uninterrupted engine
+/// ([`ShardedMixingEngine::restore_checkpoint`]).
+///
+/// Not captured (and provably not needed at a round boundary): the round
+/// arenas and outboxes (cleared at the start of every sampling phase), the
+/// global/local sent and load vectors (fully overwritten every round), and
+/// the fast-mode RNG lane buffer (refilled fresh inside every decide call).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineCheckpoint {
+    /// `positions[w]` = global node holding walker `w`.
+    pub positions: Vec<u32>,
+    /// Rounds executed so far.
+    pub round: usize,
+    /// The draw mode subsequent rounds will use.
+    pub draw_mode: DrawMode,
+    /// Per-shard stream and bucket state, indexed by shard id.
+    pub shards: Vec<ShardCheckpoint>,
+}
+
 /// The engine's topology slot: borrowed for the classic static-lifetime
 /// setup, owned for the incremental churn runtime where each round's
 /// snapshot is produced on the fly and has no home to outlive the engine
@@ -338,6 +384,159 @@ impl<'g> ShardedMixingEngine<'g> {
     /// Panics if `shard` is out of range.
     pub fn shard_rng_mut(&mut self, shard: usize) -> &mut SimRng {
         &mut self.shards[shard].rng
+    }
+
+    /// The `(next block, next word)` clock of shard `shard`'s RNG stream —
+    /// a cheap consistency fingerprint the durable runtime logs with every
+    /// round record: on replay, a clock mismatch means the recovered engine
+    /// is *not* re-living the logged history and recovery must abort rather
+    /// than silently diverge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn rng_clock(&self, shard: usize) -> (u64, u32) {
+        let (_, counter, cursor) = self.shards[shard].rng.state();
+        (counter, cursor)
+    }
+
+    /// Captures the engine's complete round-boundary state.  See
+    /// [`EngineCheckpoint`] for what is (and deliberately isn't) included.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            positions: self.positions.clone(),
+            round: self.round,
+            draw_mode: self.draw_mode,
+            shards: self
+                .shards
+                .iter()
+                .map(|state| {
+                    let (rng_key, rng_counter, rng_cursor) = state.rng.state();
+                    ShardCheckpoint {
+                        rng_key,
+                        rng_counter,
+                        rng_cursor,
+                        bucket_starts: state.bucket_starts.clone(),
+                        bucket_walkers: state.bucket_walkers.clone(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs an engine from an [`EngineCheckpoint`] against the same
+    /// `(graph, partition)` the checkpointed engine ran on.  The restored
+    /// engine continues **bit for bit**: every subsequent round's
+    /// positions, bucket orders, statistics and RNG draws equal the
+    /// uninterrupted engine's.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameters`] if the checkpoint's shape is
+    /// inconsistent with `(graph, partition)` — wrong shard count, bucket
+    /// CSRs that don't cover the shard's local nodes, walkers missing or
+    /// duplicated, or a walker bucketed at a node other than its recorded
+    /// position.  Also the usual topology errors from
+    /// [`ShardedMixingEngine::with_starts`] validation.
+    pub fn restore_checkpoint(
+        graph: &'g Graph,
+        partition: &'g Partition,
+        checkpoint: &EngineCheckpoint,
+    ) -> Result<Self> {
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if partition.node_count() != n {
+            return Err(GraphError::InvalidParameters(format!(
+                "partition covers {} nodes but the graph has {n}",
+                partition.node_count()
+            )));
+        }
+        if let Some(u) = graph.find_isolated_node() {
+            return Err(GraphError::IsolatedNode(u));
+        }
+        let k = partition.shard_count();
+        if checkpoint.shards.len() != k {
+            return Err(GraphError::InvalidParameters(format!(
+                "checkpoint has {} shards but the partition has {k}",
+                checkpoint.shards.len()
+            )));
+        }
+        if let Some(&bad) = checkpoint.positions.iter().find(|&&p| p as usize >= n) {
+            return Err(GraphError::NodeOutOfRange {
+                node: bad as NodeId,
+                node_count: n,
+            });
+        }
+        // Cross-check buckets against positions: every walker must appear in
+        // exactly one bucket, at the local node its position maps to.
+        let mut seen = vec![false; checkpoint.positions.len()];
+        for (s, shard_cp) in checkpoint.shards.iter().enumerate() {
+            let local_n = partition.shard(s).len();
+            if shard_cp.bucket_starts.len() != local_n + 1
+                || shard_cp.bucket_starts[0] != 0
+                || shard_cp.bucket_starts.windows(2).any(|w| w[0] > w[1])
+                || shard_cp.bucket_starts[local_n] != shard_cp.bucket_walkers.len()
+            {
+                return Err(GraphError::InvalidParameters(format!(
+                    "shard {s} checkpoint buckets do not form a CSR over {local_n} local nodes"
+                )));
+            }
+            for lu in 0..local_n {
+                let global = partition.shard(s).global_of(lu);
+                let bucket = &shard_cp.bucket_walkers
+                    [shard_cp.bucket_starts[lu]..shard_cp.bucket_starts[lu + 1]];
+                for &w in bucket {
+                    let valid = (w as usize) < seen.len()
+                        && !seen[w as usize]
+                        && checkpoint.positions[w as usize] as usize == global;
+                    if !valid {
+                        return Err(GraphError::InvalidParameters(format!(
+                            "shard {s} checkpoint bucket at node {global} holds walker {w}, \
+                             which is out of range, duplicated, or positioned elsewhere"
+                        )));
+                    }
+                    seen[w as usize] = true;
+                }
+            }
+        }
+        if let Some(w) = seen.iter().position(|&s| !s) {
+            return Err(GraphError::InvalidParameters(format!(
+                "walker {w} has a position but no bucket slot in the checkpoint"
+            )));
+        }
+        let shards: Vec<ShardState> = checkpoint
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard_cp)| {
+                let local_n = partition.shard(s).len();
+                ShardState {
+                    rng: SimRng::from_state(
+                        shard_cp.rng_key,
+                        shard_cp.rng_counter,
+                        shard_cp.rng_cursor,
+                    ),
+                    bucket_starts: shard_cp.bucket_starts.clone(),
+                    bucket_walkers: shard_cp.bucket_walkers.clone(),
+                    arena: RoundArena::new(),
+                    sent_local: vec![0; local_n],
+                    load_local: vec![0; local_n],
+                }
+            })
+            .collect();
+        Ok(ShardedMixingEngine {
+            graph: GraphRef::Borrowed(graph),
+            partition: PartitionRef::Borrowed(partition),
+            positions: checkpoint.positions.clone(),
+            draw_mode: checkpoint.draw_mode,
+            round: checkpoint.round,
+            shards,
+            outboxes: vec![vec![Vec::new(); k]; k],
+            sent: vec![0; n],
+            load: vec![0; n],
+        })
     }
 
     /// Swaps in a new topology for subsequent rounds — the churn runtime's
@@ -1286,6 +1485,84 @@ mod tests {
         }
         assert_eq!(forward.positions(), backward.positions());
         assert_eq!(forward.walkers_by_holder(), backward.walkers_by_holder());
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_bitwise_in_both_draw_modes() {
+        let g = graph(130, 6, 17);
+        for k in [1usize, 4] {
+            let p = if k == 1 {
+                Partition::single_shard(&g).unwrap()
+            } else {
+                Partition::new(&g, k).unwrap()
+            };
+            let mask: Vec<bool> = (0..130).map(|u| u % 7 != 3).collect();
+            for mode in [DrawMode::Compat, DrawMode::Fast] {
+                let mut reference = ShardedMixingEngine::one_walker_per_node(&g, &p, 404).unwrap();
+                reference.set_draw_mode(mode);
+                for _ in 0..9 {
+                    reference.step(0.2, &mut ());
+                }
+                let cp = reference.checkpoint();
+                assert_eq!(cp.round, 9);
+                assert_eq!(cp.draw_mode, mode);
+                let mut restored = ShardedMixingEngine::restore_checkpoint(&g, &p, &cp).unwrap();
+                assert_eq!(restored.round(), 9);
+                // Mix plain and masked rounds after the restore point.
+                for r in 0..10 {
+                    if r % 3 == 0 {
+                        reference.step_masked(0.2, &mask, &mut ());
+                        restored.step_masked(0.2, &mask, &mut ());
+                    } else {
+                        reference.step(0.2, &mut ());
+                        restored.step(0.2, &mut ());
+                    }
+                    assert_eq!(reference.positions(), restored.positions());
+                }
+                assert_eq!(reference.walkers_by_holder(), restored.walkers_by_holder());
+                for s in 0..k {
+                    assert_eq!(reference.rng_clock(s), restored.rng_clock(s));
+                    use rand::Rng;
+                    let a: u64 = reference.shard_rng_mut(s).gen();
+                    let b: u64 = restored.shard_rng_mut(s).gen();
+                    assert_eq!(a, b, "shard {s} RNG stream diverged after restore");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_checkpoint_rejects_inconsistent_state() {
+        let g = graph(60, 4, 18);
+        let p = Partition::new(&g, 3).unwrap();
+        let mut engine = ShardedMixingEngine::one_walker_per_node(&g, &p, 5).unwrap();
+        engine.step(0.1, &mut ());
+        let cp = engine.checkpoint();
+        // Wrong shard count.
+        let p1 = Partition::single_shard(&g).unwrap();
+        assert!(ShardedMixingEngine::restore_checkpoint(&g, &p1, &cp).is_err());
+        // Position out of range.
+        let mut bad = cp.clone();
+        bad.positions[0] = 60;
+        assert!(ShardedMixingEngine::restore_checkpoint(&g, &p, &bad).is_err());
+        // A walker moved without its bucket slot moving: position/bucket
+        // cross-check must catch it.
+        let mut bad = cp.clone();
+        let w = bad.shards[0].bucket_walkers[0] as usize;
+        let old = bad.positions[w];
+        bad.positions[w] = if old == 0 { 1 } else { 0 };
+        assert!(ShardedMixingEngine::restore_checkpoint(&g, &p, &bad).is_err());
+        // Duplicated walker.
+        let mut bad = cp.clone();
+        let first = bad.shards[0].bucket_walkers[0];
+        *bad.shards[0].bucket_walkers.last_mut().unwrap() = first;
+        assert!(ShardedMixingEngine::restore_checkpoint(&g, &p, &bad).is_err());
+        // Broken CSR.
+        let mut bad = cp.clone();
+        bad.shards[1].bucket_starts[0] = 1;
+        assert!(ShardedMixingEngine::restore_checkpoint(&g, &p, &bad).is_err());
+        // The untouched checkpoint still restores.
+        assert!(ShardedMixingEngine::restore_checkpoint(&g, &p, &cp).is_ok());
     }
 
     #[test]

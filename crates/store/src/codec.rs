@@ -1,0 +1,235 @@
+//! The fixed little-endian binary codec of every on-disk structure.
+//!
+//! All serialization in this crate is hand-rolled through these helpers:
+//! the workspace's `serde` is an offline marker-trait shim, and a durable
+//! format wants an explicit, stable byte layout anyway.  Widths are fixed —
+//! `usize` quantities are always written as `u64`, `f64`s as raw IEEE bits
+//! (`to_bits`/`from_bits`, which is what makes numeric state round-trip
+//! **bit for bit**) — so files written on any host read back identically.
+
+use crate::error::{Result, StoreError};
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `usize` as a `u64` (the only width `usize` is ever stored at).
+pub fn put_len(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Appends an `f64` as its raw IEEE-754 bits.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_len(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a bool mask bit-packed into `⌈len/8⌉` bytes, length prefix
+/// included.
+pub fn put_mask(out: &mut Vec<u8>, mask: &[bool]) {
+    put_len(out, mask.len());
+    let mut byte = 0u8;
+    for (i, &up) in mask.iter().enumerate() {
+        if up {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !mask.len().is_multiple_of(8) {
+        out.push(byte);
+    }
+}
+
+/// A bounds-checked reader over an encoded buffer.  Overruns surface as
+/// [`StoreError::Corrupt`], never as panics — decode inputs are untrusted
+/// disk bytes.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::Corrupt(format!(
+                "decode overrun: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on overrun.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on overrun.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a stored `u64` back as a `usize`, rejecting values that do not
+    /// fit (corrupt on 32-bit hosts rather than silently wrapping).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on overrun or overflow.
+    // Not a container length: this *reads a length field* from the stream,
+    // so clippy's len/is_empty pairing does not apply.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| StoreError::Corrupt(format!("stored length {v} overflows usize")))
+    }
+
+    /// Reads an `f64` from its raw bits.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on overrun.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on overrun.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.len()?;
+        self.take(n)
+    }
+
+    /// Reads a bit-packed bool mask written by [`put_mask`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on overrun.
+    pub fn mask(&mut self) -> Result<Vec<bool>> {
+        let n = self.len()?;
+        let packed = self.take(n.div_ceil(8))?;
+        Ok((0..n)
+            .map(|i| packed[i / 8] & (1 << (i % 8)) != 0)
+            .collect())
+    }
+
+    /// Fails unless the whole buffer was consumed — trailing garbage in a
+    /// checksummed record means the encoder and decoder disagree.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if bytes remain.
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "{} undecoded bytes at the end of a record",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_len(&mut buf, 12345);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::from_bits(0x7FF8_0000_0000_0001)); // a NaN payload
+        put_bytes(&mut buf, b"hello");
+        let mask: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        put_mask(&mut buf, &mask);
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.len().unwrap(), 12345);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.f64().unwrap().to_bits(), 0x7FF8_0000_0000_0001);
+        assert_eq!(d.bytes().unwrap(), b"hello");
+        assert_eq!(d.mask().unwrap(), mask);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn overruns_and_trailing_bytes_are_corrupt_not_panics() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        let mut d = Decoder::new(&buf);
+        assert!(d.u64().is_err());
+        let mut d = Decoder::new(&buf);
+        d.u32().unwrap();
+        assert!(matches!(d.take(1), Err(StoreError::Corrupt(_))));
+        let d = Decoder::new(&buf);
+        assert!(d.finish().is_err());
+        // A length prefix larger than the buffer is an overrun, not an OOM.
+        let mut buf = Vec::new();
+        put_len(&mut buf, usize::MAX / 2);
+        let mut d = Decoder::new(&buf);
+        assert!(d.bytes().is_err());
+    }
+
+    #[test]
+    fn empty_and_byte_aligned_masks() {
+        for n in [0usize, 1, 7, 8, 9, 64] {
+            let mask: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
+            let mut buf = Vec::new();
+            put_mask(&mut buf, &mask);
+            let mut d = Decoder::new(&buf);
+            assert_eq!(d.mask().unwrap(), mask);
+            d.finish().unwrap();
+        }
+    }
+}

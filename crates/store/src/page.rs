@@ -1,0 +1,148 @@
+//! Page-granular segment files — the storage primitive under the WAL and
+//! snapshot layers, in the SimpleDB/bustub idiom: a segment is an array of
+//! fixed-size pages addressed by page number, and *all* disk I/O in this
+//! crate moves whole pages (the tail page of an append-only log being the
+//! one partially-filled exception).
+
+use crate::error::Result;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Fixed page size of every segment file.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A file of fixed-size pages.
+#[derive(Debug)]
+pub struct SegmentFile {
+    file: File,
+}
+
+impl SegmentFile {
+    /// Opens (creating if absent) the segment at `path` for reading and
+    /// writing.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from open/create.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(SegmentFile { file })
+    }
+
+    /// Current byte length of the segment.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from metadata.
+    pub fn len(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// Whether the segment holds no bytes.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from metadata.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Reads page `page_no` into `buf` (which must be `PAGE_SIZE` long),
+    /// returning how many bytes were actually present — the tail page of an
+    /// append-only segment may be partial; the rest of `buf` is zeroed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from seek/read.
+    pub fn read_page(&mut self, page_no: u64, buf: &mut [u8]) -> Result<usize> {
+        assert_eq!(buf.len(), PAGE_SIZE, "page buffers are PAGE_SIZE bytes");
+        self.file
+            .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        let mut filled = 0;
+        while filled < PAGE_SIZE {
+            let n = self.file.read(&mut buf[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        buf[filled..].fill(0);
+        Ok(filled)
+    }
+
+    /// Writes the first `len` bytes of `buf` as page `page_no` (the
+    /// append-only tail-page case writes `len < PAGE_SIZE`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from seek/write.
+    pub fn write_page(&mut self, page_no: u64, buf: &[u8], len: usize) -> Result<()> {
+        assert!(len <= buf.len() && buf.len() == PAGE_SIZE);
+        self.file
+            .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        self.file.write_all(&buf[..len])?;
+        Ok(())
+    }
+
+    /// Truncates the segment to `len` bytes — recovery's discard of a torn
+    /// tail.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from set_len.
+    pub fn truncate(&mut self, len: u64) -> Result<()> {
+        self.file.set_len(len)?;
+        Ok(())
+    }
+
+    /// Forces written pages to stable storage (`fdatasync`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sync.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_roundtrip_and_tail_pages_are_partial() {
+        let dir = std::env::temp_dir().join("ns_store_page_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.bin");
+        let _ = std::fs::remove_file(&path);
+        let mut seg = SegmentFile::open(&path).unwrap();
+        assert!(seg.is_empty().unwrap());
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = 0xAB;
+        page[PAGE_SIZE - 1] = 0xCD;
+        seg.write_page(0, &page, PAGE_SIZE).unwrap();
+        let mut tail = vec![0u8; PAGE_SIZE];
+        tail[0] = 0xEE;
+        tail[9] = 0xFF;
+        seg.write_page(1, &tail, 10).unwrap();
+        assert_eq!(seg.len().unwrap(), PAGE_SIZE as u64 + 10);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert_eq!(seg.read_page(0, &mut buf).unwrap(), PAGE_SIZE);
+        assert_eq!(buf, page);
+        assert_eq!(seg.read_page(1, &mut buf).unwrap(), 10);
+        assert_eq!(buf[0], 0xEE);
+        assert_eq!(buf[9], 0xFF);
+        assert!(buf[10..].iter().all(|&b| b == 0));
+        seg.truncate(PAGE_SIZE as u64).unwrap();
+        assert_eq!(seg.read_page(1, &mut buf).unwrap(), 0);
+        seg.sync().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -32,6 +32,7 @@
 
 use network_shuffle::prelude::*;
 use ns_graph::partition::Partition;
+use ns_graph::round::DrawMode;
 use ns_graph::sharded_engine::ShardedMixingEngine;
 use std::time::Instant;
 
@@ -109,6 +110,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         laziness: 0.0,
         protocol: ProtocolKind::Single,
         tracked_per_shard: 2,
+        draw_mode: DrawMode::Compat,
     };
     let params = AccountantParams::with_defaults(n, epsilon_0)?;
     // The asymptotic quote: at stationarity every report's Σ P² is the
@@ -220,6 +222,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             laziness: 0.0,
             protocol: ProtocolKind::Single,
             tracked_per_shard: usize::MAX,
+            draw_mode: DrawMode::Compat,
         },
     )?;
     let schedule = dark.sample_outages(&model, blackout_rounds, seed)?.clone();

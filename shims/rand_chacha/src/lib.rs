@@ -114,6 +114,42 @@ impl ChaCha8Rng {
         w
     }
 
+    /// The generator's full stream position as `(key, counter, cursor)`.
+    ///
+    /// `counter` is the index of the **next** block the permutation would
+    /// produce and `cursor` the next unread word of the current block
+    /// (`16` = exhausted).  Together with the key this pins the keystream
+    /// position exactly, so [`ChaCha8Rng::from_state`] resumes the stream
+    /// bit for bit — the primitive the durable runtime's round records and
+    /// snapshots are built on.
+    pub fn state(&self) -> ([u32; 8], u64, u32) {
+        (self.key, self.counter, self.cursor as u32)
+    }
+
+    /// Reconstructs a generator at an exact stream position captured by
+    /// [`ChaCha8Rng::state`].  Mid-block positions (`cursor < 16`) rewind
+    /// the counter one block and regenerate it, so the first draw after
+    /// restore is the draw the captured generator would have produced.
+    ///
+    /// `cursor` values above 16 are clamped to 16 (block exhausted).
+    pub fn from_state(key: [u32; 8], counter: u64, cursor: u32) -> Self {
+        let cursor = (cursor as usize).min(16);
+        let mut rng = ChaCha8Rng {
+            key,
+            counter,
+            block: [0; 16],
+            cursor: 16,
+        };
+        if cursor < 16 {
+            // The captured generator had already produced block
+            // `counter - 1` and was partway through reading it.
+            rng.counter = counter.wrapping_sub(1);
+            rng.refill();
+            rng.cursor = cursor;
+        }
+        rng
+    }
+
     /// Fills `out` with the next `out.len()` u64 draws of the stream,
     /// generating whole ChaCha8 blocks (8 u64s) straight into the caller's
     /// buffer instead of a word at a time through the cursor.
@@ -246,6 +282,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bitwise_at_every_cursor_position() {
+        // Lead draws land the cursor at every block offset, including odd
+        // (lone u32) positions, exhausted blocks and the fresh generator.
+        for lead in 0..40usize {
+            let mut original = ChaCha8Rng::seed_from_u64(1234);
+            for _ in 0..lead {
+                original.next_u32();
+            }
+            let (key, counter, cursor) = original.state();
+            let mut restored = ChaCha8Rng::from_state(key, counter, cursor);
+            for draw in 0..64 {
+                assert_eq!(
+                    original.next_u64(),
+                    restored.next_u64(),
+                    "diverged at draw {draw} after {lead} lead u32s"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_bulk_fill_path() {
+        let mut original = ChaCha8Rng::seed_from_u64(77);
+        let mut lead = [0u64; 13];
+        original.fill_u64(&mut lead);
+        let (key, counter, cursor) = original.state();
+        let mut restored = ChaCha8Rng::from_state(key, counter, cursor);
+        let mut a = [0u64; 29];
+        let mut b = [0u64; 29];
+        original.fill_u64(&mut a);
+        restored.fill_u64(&mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

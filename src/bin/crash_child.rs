@@ -1,0 +1,18 @@
+//! The crash-injection child process.
+//!
+//! Reads a [`ns_suite::crash_harness::CrashScenario`] from the environment,
+//! creates or recovers the durable store at `NS_CRASH_DIR`, and drives it to
+//! `NS_CRASH_TOTAL_ROUNDS` — aborting without cleanup at `NS_CRASH_AT_ROUND`
+//! (optionally after a torn mid-frame append) when told to crash.  On a
+//! completed run it finalizes the epoch and writes the canonical state
+//! summary to `NS_CRASH_OUT` for the parent test to compare.
+
+use ns_suite::crash_harness::{run_child, CrashScenario};
+
+fn main() {
+    let scenario = CrashScenario::from_env();
+    if let Err(message) = run_child(&scenario) {
+        eprintln!("crash_child: {message}");
+        std::process::exit(1);
+    }
+}

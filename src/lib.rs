@@ -10,3 +10,6 @@ pub use network_shuffle;
 pub use ns_datasets;
 pub use ns_dp;
 pub use ns_graph;
+pub use ns_store;
+
+pub mod crash_harness;

@@ -1,0 +1,230 @@
+//! Crash-injection recovery tests: the durable store survives real process
+//! death.
+//!
+//! Each scenario runs the `crash_child` binary against a store directory:
+//! the child aborts without cleanup at injected rounds (optionally after
+//! writing a *torn* WAL frame mid-append), is relaunched to recover and
+//! continue, and on its final clean run writes a canonical state summary —
+//! engine round, every walker position, per-shard RNG clocks, live-quote
+//! bits, traffic metrics and a CRC-32 digest of the collected reports.
+//! That summary must be **byte-identical** to an uninterrupted in-process
+//! reference run, across draw modes, shard counts, outage schedules and
+//! crash points.  One smoke test kills the child with a real SIGKILL at an
+//! arbitrary wall-clock moment.
+
+mod common;
+
+use common::strategies;
+use ns_graph::generators::random_regular;
+use ns_graph::prelude::Graph;
+use ns_graph::rng::seeded_rng;
+use ns_suite::crash_harness::{build_partition, reference_summary, CrashScenario};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const CHILD: &str = env!("CARGO_BIN_EXE_crash_child");
+
+/// A crash to inject: `(round, torn-frame bytes to keep before aborting)`.
+type CrashPoint = (usize, Option<usize>);
+
+fn scenario_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ns_crash_recovery").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scenario dir");
+    dir
+}
+
+fn child_command(scenario: &CrashScenario, group_commit: usize, snapshot_every: usize) -> Command {
+    let mut cmd = Command::new(CHILD);
+    cmd.envs(scenario.to_env());
+    cmd.env("NS_WAL_GROUP_COMMIT", group_commit.to_string());
+    cmd.env("NS_SNAPSHOT_EVERY", snapshot_every.to_string());
+    cmd
+}
+
+/// Runs `scenario` through the child binary: one aborting run per crash
+/// point, then a clean run to completion, returning the child's summary.
+fn run_with_crashes(
+    dir: &Path,
+    base: &CrashScenario,
+    crashes: &[CrashPoint],
+    group_commit: usize,
+    snapshot_every: usize,
+) -> String {
+    for &(round, keep) in crashes {
+        let mut scenario = base.clone();
+        scenario.crash_at_round = Some(round);
+        scenario.midwrite_keep = keep;
+        scenario.out_path = None;
+        let status = child_command(&scenario, group_commit, snapshot_every)
+            .status()
+            .expect("spawn crash_child");
+        assert!(
+            !status.success(),
+            "child asked to crash at round {round} exited cleanly ({status})"
+        );
+    }
+    let out_path = dir.join("summary.txt");
+    let mut scenario = base.clone();
+    scenario.out_path = Some(out_path.clone());
+    let output = child_command(&scenario, group_commit, snapshot_every)
+        .output()
+        .expect("spawn crash_child");
+    assert!(
+        output.status.success(),
+        "final child run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    std::fs::read_to_string(&out_path).expect("child summary")
+}
+
+fn base_scenario(dir: &Path, shards: usize, seed: u64, total_rounds: usize) -> CrashScenario {
+    CrashScenario {
+        store_dir: dir.join("store"),
+        graph_path: dir.join("graph.edges"),
+        shards,
+        seed,
+        laziness: 0.0,
+        single: false,
+        fast: false,
+        outage_rounds: 0,
+        total_rounds,
+        crash_at_round: None,
+        midwrite_keep: None,
+        sleep_ms: 0,
+        out_path: None,
+    }
+}
+
+fn assert_recovery_is_bitwise(
+    name: &str,
+    graph: &Graph,
+    mut scenario: CrashScenario,
+    crashes: &[CrashPoint],
+    group_commit: usize,
+    snapshot_every: usize,
+) {
+    let dir = scenario_dir(name);
+    scenario.store_dir = dir.join("store");
+    scenario.graph_path = dir.join("graph.edges");
+    // The child reads the graph back from the edge-list file, which is not
+    // adjacency-order-preserving — round-trip it here too so the reference
+    // runs on the byte-identical graph the child sees.
+    ns_graph::io::write_edge_list_file(graph, &scenario.graph_path).expect("write graph");
+    let (graph, _) = ns_graph::io::read_edge_list_file(&scenario.graph_path).expect("reload graph");
+    let partition = build_partition(&graph, scenario.shards).expect("partition");
+    let reference = reference_summary(&graph, &partition, &scenario);
+    let recovered = run_with_crashes(&dir, &scenario, crashes, group_commit, snapshot_every);
+    assert_eq!(
+        recovered, reference,
+        "{name}: recovered run diverged from the uninterrupted reference"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The deterministic matrix: {compat, fast} × k ∈ {1, 4}, with outages and a
+/// three-crash gauntlet — a pre-exchange-tail crash, a torn mid-frame crash
+/// and a torn single-byte crash — against group commit 3 and snapshots
+/// every 4 rounds.
+#[test]
+fn kill_matrix_recovers_bitwise_across_modes_and_shards() {
+    let graph = random_regular(40, 4, &mut seeded_rng(0xC0FFEE)).unwrap();
+    for (fast, shards) in [(false, 1), (false, 4), (true, 1), (true, 4)] {
+        let name = format!("matrix_fast{}_k{}", u8::from(fast), shards);
+        let mut scenario = base_scenario(Path::new("."), shards, 23, 13);
+        scenario.fast = fast;
+        scenario.outage_rounds = 9;
+        assert_recovery_is_bitwise(
+            &name,
+            &graph,
+            scenario,
+            &[(2, None), (5, Some(7)), (9, Some(1))],
+            3,
+            4,
+        );
+    }
+}
+
+/// Crashing at round 0 — before any round executed, right after admission
+/// and `begin_exchange` hit the log — recovers and completes bitwise.
+#[test]
+fn kill_before_first_round_recovers_bitwise() {
+    let graph = random_regular(24, 4, &mut seeded_rng(7)).unwrap();
+    let mut scenario = base_scenario(Path::new("."), 4, 41, 8);
+    scenario.single = true;
+    assert_recovery_is_bitwise("round_zero", &graph, scenario, &[(0, Some(3))], 1, 0);
+}
+
+/// A real SIGKILL at an arbitrary wall-clock moment: the child paces itself
+/// with a per-round sleep, the parent kills it mid-flight, and the relaunch
+/// still completes bitwise against the reference.
+#[test]
+fn sigkill_mid_flight_recovers_bitwise() {
+    let graph = random_regular(30, 4, &mut seeded_rng(99)).unwrap();
+    let dir = scenario_dir("sigkill");
+    let mut scenario = base_scenario(&dir, 4, 77, 40);
+    scenario.outage_rounds = 12;
+    ns_graph::io::write_edge_list_file(&graph, &scenario.graph_path).expect("write graph");
+    let (graph, _) = ns_graph::io::read_edge_list_file(&scenario.graph_path).expect("reload graph");
+    let mut paced = scenario.clone();
+    paced.sleep_ms = 20;
+    let mut child = child_command(&paced, 2, 8)
+        .spawn()
+        .expect("spawn crash_child");
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    child.kill().expect("SIGKILL");
+    let status = child.wait().expect("reap child");
+    assert!(!status.success(), "killed child exited cleanly ({status})");
+    let out_path = dir.join("summary.txt");
+    scenario.out_path = Some(out_path.clone());
+    let output = child_command(&scenario, 2, 8).output().expect("final run");
+    assert!(
+        output.status.success(),
+        "final child run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let partition = build_partition(&graph, scenario.shards).expect("partition");
+    let reference = reference_summary(&graph, &partition, &scenario);
+    let recovered = std::fs::read_to_string(&out_path).expect("child summary");
+    assert_eq!(recovered, reference, "SIGKILL recovery diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized crash gauntlet over the graph zoo: random topology, draw
+    /// mode, shard count (1 or 4), outage coverage, crash rounds, torn-frame
+    /// prefixes and durability knobs — recovery is always bitwise.
+    #[test]
+    fn randomized_crashes_recover_bitwise(
+        graph in strategies::degree_bounded(12..60, 3..6),
+        fast in 0u8..2,
+        wide in 0u8..2,
+        outages in 0u8..2,
+        seed in 0u64..1_000,
+        crash_a in 0usize..6,
+        crash_b in 6usize..11,
+        keep_sel in 0usize..41,
+        group_commit in 1usize..5,
+        snapshots in 0u8..2,
+        case in 0u64..u64::MAX,
+    ) {
+        let shards = if wide == 1 { 4 } else { 1 };
+        // 40 is the "no torn frame" sentinel; anything else is a torn-frame
+        // byte prefix to keep before aborting.
+        let keep = (keep_sel < 40).then_some(keep_sel);
+        let mut scenario = base_scenario(Path::new("."), shards, seed, 11);
+        scenario.fast = fast == 1;
+        scenario.outage_rounds = if outages == 1 { 7 } else { 0 };
+        assert_recovery_is_bitwise(
+            &format!("prop_{case:016x}"),
+            &graph,
+            scenario,
+            &[(crash_a, keep), (crash_b, None)],
+            group_commit,
+            if snapshots == 1 { 4 } else { 0 },
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Multi-epoch budget-ledger tests: the persisted (ε, δ) ledger composes
+//! across epochs and survives crashes.
+//!
+//! The accountant's quote is a nonlinear function of the round count, so
+//! the invariant worth proving is not additivity — it is that *recovery
+//! changes nothing*: a pair of epochs that each crash and recover midway
+//! draws the shared ledger down bit for bit exactly like the same pair run
+//! uninterrupted in one process, and once a user's ε is spent, admission
+//! refuses her.
+
+use network_shuffle::prelude::CoordinatorConfig;
+use ns_dp::prelude::PrivacyGuarantee;
+use ns_graph::generators::random_regular;
+use ns_graph::prelude::{Graph, Partition};
+use ns_graph::rng::seeded_rng;
+use ns_store::prelude::{load_ledger, DurableConfig, DurableCoordinator, StoreError};
+use ns_suite::crash_harness::{accountant_params, payloads};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ns_durable_ledger").join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fixture() -> (Graph, usize) {
+    (random_regular(12, 4, &mut seeded_rng(5)).unwrap(), 12)
+}
+
+const DURABLE: DurableConfig = DurableConfig {
+    group_commit: 2,
+    snapshot_every: 3,
+};
+
+/// Runs one full epoch against `ledger_path`, optionally crashing (drop
+/// without finalize) after `crash_after` rounds and recovering before
+/// finishing.  Returns the finalize-time quote.
+#[allow(clippy::too_many_arguments)] // a test fixture, not an API surface
+fn run_epoch(
+    graph: &Graph,
+    partition: &Partition,
+    seed: u64,
+    dir: &Path,
+    ledger_path: &Path,
+    budget: PrivacyGuarantee,
+    crash_after: Option<usize>,
+    total_rounds: usize,
+) -> Result<PrivacyGuarantee, StoreError> {
+    let n = graph.node_count();
+    let config = CoordinatorConfig::all(seed, usize::MAX);
+    let mut store = DurableCoordinator::create(graph, partition, config, DURABLE, dir)?;
+    store.attach_ledger(ledger_path, budget)?;
+    store.admit_population(payloads(n))?;
+    store.begin_exchange()?;
+    if let Some(crash_after) = crash_after {
+        store.run_rounds(crash_after)?;
+        drop(store); // The crash: no finalize, no ledger write.
+        store = DurableCoordinator::recover(graph, partition, DURABLE, dir)?;
+        store.attach_ledger(ledger_path, budget)?;
+    }
+    store.run_rounds(total_rounds - store.round())?;
+    let (_, quote) = store.finalize(&accountant_params(n), |_| vec![0xD0])?;
+    Ok(quote)
+}
+
+#[test]
+fn crashed_epochs_draw_down_the_ledger_exactly_like_uninterrupted_ones() {
+    let (graph, n) = fixture();
+    let partition = Partition::new(&graph, 2).unwrap();
+    let budget = PrivacyGuarantee::new(1024.0, 1e-3).unwrap();
+    let base = temp_dir("drawdown");
+    fs::create_dir_all(&base).unwrap();
+    let crashed_ledger = base.join("crashed-ledger.bin");
+    let straight_ledger = base.join("straight-ledger.bin");
+
+    // Two epochs, each crashing and recovering midway, on one ledger...
+    let quote_a = run_epoch(
+        &graph,
+        &partition,
+        11,
+        &base.join("a1"),
+        &crashed_ledger,
+        budget,
+        Some(5),
+        8,
+    )
+    .unwrap();
+    let quote_b = run_epoch(
+        &graph,
+        &partition,
+        22,
+        &base.join("a2"),
+        &crashed_ledger,
+        budget,
+        Some(3),
+        8,
+    )
+    .unwrap();
+
+    // ...versus the same two epochs run uninterrupted on another.
+    let ref_a = run_epoch(
+        &graph,
+        &partition,
+        11,
+        &base.join("b1"),
+        &straight_ledger,
+        budget,
+        None,
+        8,
+    )
+    .unwrap();
+    let ref_b = run_epoch(
+        &graph,
+        &partition,
+        22,
+        &base.join("b2"),
+        &straight_ledger,
+        budget,
+        None,
+        8,
+    )
+    .unwrap();
+
+    assert_eq!(quote_a.epsilon.to_bits(), ref_a.epsilon.to_bits());
+    assert_eq!(quote_a.delta.to_bits(), ref_a.delta.to_bits());
+    assert_eq!(quote_b.epsilon.to_bits(), ref_b.epsilon.to_bits());
+    assert_eq!(quote_b.delta.to_bits(), ref_b.delta.to_bits());
+
+    let crashed = load_ledger(&crashed_ledger).unwrap();
+    let straight = load_ledger(&straight_ledger).unwrap();
+    for user in 0..n {
+        let (ce, cd) = crashed.remaining(user);
+        let (se, sd) = straight.remaining(user);
+        assert_eq!(ce.to_bits(), se.to_bits(), "user {user} ε diverged");
+        assert_eq!(cd.to_bits(), sd.to_bits(), "user {user} δ diverged");
+        // Both epochs actually charged: two sequential draws landed.
+        assert!(ce < budget.epsilon, "user {user} was never charged");
+    }
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn admission_refuses_users_with_an_exhausted_ledger() {
+    let (graph, n) = fixture();
+    let partition = Partition::new(&graph, 2).unwrap();
+    let base = temp_dir("exhaust");
+    fs::create_dir_all(&base).unwrap();
+
+    // Price one epoch with a roomy budget first.
+    let probe_ledger = base.join("probe-ledger.bin");
+    let roomy = PrivacyGuarantee::new(1024.0, 1e-3).unwrap();
+    let price = run_epoch(
+        &graph,
+        &partition,
+        11,
+        &base.join("probe"),
+        &probe_ledger,
+        roomy,
+        None,
+        8,
+    )
+    .unwrap();
+
+    // A budget worth half an epoch: the first epoch overdraws it (the run
+    // already happened; the ledger records reality), the second is refused
+    // at admission.
+    let tight = PrivacyGuarantee::new(price.epsilon * 0.5, 1e-3).unwrap();
+    let tight_ledger = base.join("tight-ledger.bin");
+    run_epoch(
+        &graph,
+        &partition,
+        11,
+        &base.join("e1"),
+        &tight_ledger,
+        tight,
+        Some(4),
+        8,
+    )
+    .unwrap();
+    let spent = load_ledger(&tight_ledger).unwrap();
+    assert_eq!(spent.exhausted_users().len(), n, "every user is overdrawn");
+
+    let err = match run_epoch(
+        &graph,
+        &partition,
+        22,
+        &base.join("e2"),
+        &tight_ledger,
+        tight,
+        None,
+        8,
+    ) {
+        Ok(_) => panic!("admission accepted exhausted users"),
+        Err(err) => err,
+    };
+    match err {
+        StoreError::InvalidState(message) => {
+            assert!(
+                message.contains("exhausted"),
+                "unexpected message: {message}"
+            );
+        }
+        other => panic!("expected InvalidState, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&base);
+}

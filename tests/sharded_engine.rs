@@ -22,6 +22,7 @@ use network_shuffle::simulation::{run_protocol, SimulationConfig, SimulationOutc
 use ns_graph::mixing_engine::MixingEngine;
 use ns_graph::partition::Partition;
 use ns_graph::rng::seeded_rng;
+use ns_graph::round::DrawMode;
 use ns_graph::sharded_engine::{shard_stream, ShardedMixingEngine};
 use proptest::prelude::*;
 use rand::Rng;
@@ -104,6 +105,7 @@ fn one_shard_coordinator_is_bitwise_run_protocol() {
             laziness,
             protocol,
             tracked_per_shard: 4,
+            draw_mode: DrawMode::Compat,
         };
         let mut coordinator: ShuffleCoordinator<'_, u32> =
             ShuffleCoordinator::new(&graph, &partition, coordinator_config).unwrap();

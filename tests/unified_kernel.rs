@@ -27,6 +27,7 @@ use network_shuffle::simulation::{
 use ns_graph::mixing_engine::MixingEngine;
 use ns_graph::partition::Partition;
 use ns_graph::rng::seeded_rng;
+use ns_graph::round::DrawMode;
 use ns_graph::sharded_engine::{shard_stream, ShardedMixingEngine};
 use ns_graph::{Graph, NodeId};
 use proptest::prelude::*;
@@ -249,6 +250,7 @@ fn one_shard_coordinator_under_outages_is_bitwise_run_protocol_under_outages() {
                     laziness,
                     protocol,
                     tracked_per_shard: 3,
+                    draw_mode: DrawMode::Compat,
                 },
             )
             .unwrap();
