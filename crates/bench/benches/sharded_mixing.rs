@@ -23,6 +23,8 @@ use ns_graph::partition::Partition;
 use ns_graph::rng::seeded_rng;
 use ns_graph::round::DrawMode;
 use ns_graph::sharded_engine::ShardedMixingEngine;
+use ns_graph::telemetry::EngineTelemetry;
+use ns_obs::MetricsRegistry;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -125,6 +127,24 @@ fn audit_steady_state_allocations() {
             sharded.step_masked(0.2, &mask, &mut ());
         });
 
+        // The telemetry layer rides the same contract: span timers,
+        // counters and histograms record into preregistered slots, so
+        // re-auditing the settled engines with a live registry attached
+        // must stay at zero too.
+        let registry = MetricsRegistry::new();
+        engine.set_telemetry(Some(EngineTelemetry::register(&registry)));
+        let single_obs = settle_then_audit(&format!("monolithic {tag} + telemetry"), || {
+            engine.step_holder(0.2, &mut rng, &mut ());
+        });
+        sharded.set_telemetry(Some(EngineTelemetry::register(&registry)));
+        let multi_obs = settle_then_audit(&format!("sharded k=4 {tag} + telemetry"), || {
+            sharded.step(0.2, &mut ());
+        });
+        let masked_obs =
+            settle_then_audit(&format!("sharded k=4 + mask {tag} + telemetry"), || {
+                sharded.step_masked(0.2, &mask, &mut ());
+            });
+
         // The arena contract of ns_graph::round: settled rounds allocate
         // nothing.  (Threaded rounds spawn scoped threads per step; thread
         // stacks are runtime plumbing, not per-round engine allocations, so
@@ -141,6 +161,20 @@ fn audit_steady_state_allocations() {
             masked, 0,
             "masked sharded {tag} steady-state rounds must not allocate"
         );
+        assert_eq!(
+            single_obs, 0,
+            "instrumented monolithic {tag} steady-state rounds must not allocate"
+        );
+        assert_eq!(
+            multi_obs, 0,
+            "instrumented sharded {tag} steady-state rounds must not allocate"
+        );
+        assert_eq!(
+            masked_obs, 0,
+            "instrumented masked sharded {tag} steady-state rounds must not allocate"
+        );
+        // The registry really saw the audited rounds (render is off-audit).
+        assert!(registry.render().contains("counter ns_rounds_total"));
         black_box(sharded.position(0));
     }
 
@@ -246,8 +280,14 @@ fn audit_delta_allocations(graph: &ns_graph::Graph) {
 /// allocate by design — a full checkpoint is materialized and written
 /// atomically — so the audit excludes them with `snapshot_every: 0`,
 /// exactly the boundary the contract carves out.)
+///
+/// The durable twin runs **fully instrumented** — WAL latency spans, phase
+/// counters, per-round trace events into the preallocated ring, the live
+/// (ε, δ) quote per round — so this is also the telemetry-on audit of the
+/// durable path: the whole observability layer must stay inside the
+/// zero-marginal-allocation envelope.
 fn audit_durable_allocations(graph: &ns_graph::Graph, partition: &Partition) {
-    use network_shuffle::prelude::{CoordinatorConfig, ShuffleCoordinator};
+    use network_shuffle::prelude::{AccountantParams, CoordinatorConfig, ShuffleCoordinator};
     use ns_store::prelude::{DurableConfig, DurableCoordinator};
 
     const BLOCK: usize = 10;
@@ -269,6 +309,9 @@ fn audit_durable_allocations(graph: &ns_graph::Graph, partition: &Partition) {
     };
     let mut store =
         DurableCoordinator::create(graph, partition, config, durable, &dir).expect("store");
+    let registry = MetricsRegistry::new();
+    let params = AccountantParams::new(n, 1.0, 1e-6, 1e-6).expect("params");
+    store.attach_telemetry(&registry, Some(params));
     store.admit_population(payloads()).expect("admit");
     store.begin_exchange().expect("begin");
 
@@ -290,12 +333,12 @@ fn audit_durable_allocations(graph: &ns_graph::Graph, partition: &Partition) {
     });
     println!(
         "steady-state allocations over {BLOCK} rounds [plain k=4]: {plain_cost}, \
-         [durable k=4]: {durable_cost}"
+         [durable k=4 + telemetry]: {durable_cost}"
     );
     assert_eq!(
         durable_cost, plain_cost,
-        "the durable wrapper must add zero steady-state allocations per round \
-         outside snapshot boundaries"
+        "the instrumented durable wrapper must add zero steady-state allocations \
+         per round outside snapshot boundaries"
     );
     black_box((plain.round(), store.round()));
     drop(store);

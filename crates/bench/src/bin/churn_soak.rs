@@ -50,7 +50,6 @@ use ns_graph::round::DrawMode;
 use ns_graph::sharded_engine::ShardedMixingEngine;
 use ns_graph::{Graph, NodeId};
 use rand::Rng;
-use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -249,6 +248,7 @@ fn soak_arm(
     movers_per_round: usize,
     epoch: usize,
     seed: u64,
+    registry: &ns_obs::MetricsRegistry,
 ) -> ArmResult {
     use network_shuffle::service::StreamingAccountant;
 
@@ -280,6 +280,15 @@ fn soak_arm(
     let mut accountant =
         StreamingAccountant::with_schedule(graph, &partition, schedule, TRACKED_PER_SHARD)
             .expect("accountant");
+    // Both arms run instrumented: the engine's phase timers and the delta
+    // accountant's speculate/commit counters land in the registry whose
+    // snapshot closes BENCH_churn_soak.json.
+    engine.set_telemetry(Some(ns_graph::telemetry::EngineTelemetry::register(
+        registry,
+    )));
+    accountant.set_telemetry(Some(
+        network_shuffle::telemetry::AccountantTelemetry::register(registry),
+    ));
 
     let mut samples = Vec::new();
     let mut critical_s = 0.0f64;
@@ -425,6 +434,7 @@ fn main() {
         graph.edge_count()
     );
 
+    let registry = ns_obs::MetricsRegistry::new();
     let mut entries: Vec<String> = Vec::new();
     let speedup_5 = delta_microbench(&graph, &mut entries);
 
@@ -439,6 +449,7 @@ fn main() {
             movers_per_round,
             epoch,
             0xC4A2,
+            &registry,
         );
         let first = &r.samples[0];
         let last = r.samples.last().expect("samples");
@@ -482,8 +493,6 @@ fn main() {
     }
 
     println!("delta speedup at 5% affected: {speedup_5:.1}x");
-    let json = format!("[\n{}\n]\n", entries.join(",\n"));
-    let mut file = std::fs::File::create(&out_path).expect("open output");
-    file.write_all(json.as_bytes()).expect("write output");
+    ns_bench::write_bench_json(&out_path, &entries, &registry).expect("write output");
     eprintln!("wrote {}", out_path.display());
 }

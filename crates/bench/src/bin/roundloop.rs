@@ -36,9 +36,10 @@ use ns_graph::generators::strided_circulant;
 use ns_graph::mixing_engine::MixingEngine;
 use ns_graph::rng::seeded_rng;
 use ns_graph::round::DrawMode;
+use ns_graph::telemetry::EngineTelemetry;
 use ns_graph::Graph;
+use ns_obs::MetricsRegistry;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -101,10 +102,15 @@ fn measure(
     order: &'static str,
     rounds: usize,
     laziness: f64,
+    registry: &MetricsRegistry,
 ) -> Measurement {
     let n = graph.node_count();
     let mut engine = MixingEngine::one_walker_per_node(graph).expect("engine");
     engine.set_draw_mode(mode);
+    // Telemetry stays attached through the timed block: the allocs/round
+    // audit below therefore covers the instrumented hot path, which must
+    // record into its preregistered slots without allocating.
+    engine.set_telemetry(Some(EngineTelemetry::register(registry)));
     let mut rng = seeded_rng(0xB0B);
     let round = |engine: &mut MixingEngine, rng: &mut _| match order {
         "walker" => engine.step(laziness, rng),
@@ -181,10 +187,11 @@ fn main() {
         _ => vec!["walker", "holder"],
     };
 
+    let registry = MetricsRegistry::new();
     let mut results = Vec::new();
     for &order in &orders {
         for &mode in &modes {
-            let m = measure(&graph, mode, order, rounds, laziness);
+            let m = measure(&graph, mode, order, rounds, laziness, &registry);
             println!(
                 "n={n} rounds={} order={} mode={} report-moves/s={:.3}M allocs/round={:.1}",
                 m.rounds,
@@ -198,22 +205,23 @@ fn main() {
     }
 
     // Hand-written JSON (the workspace's serde shim is a no-op, so emit the
-    // bytes directly); one flat entry per mode keeps the file diffable.
-    let mut json = String::from("[\n");
-    for (i, m) in results.iter().enumerate() {
-        json.push_str(&format!(
-            "  {{\"bench\": \"roundloop\", \"n\": {n}, \"rounds\": {}, \"order\": \"{}\", \
-             \"mode\": \"{}\", \"report_moves_per_s\": {:.0}, \"allocs_per_round\": {:.2}}}{}\n",
-            m.rounds,
-            m.order,
-            mode_name(m.mode),
-            m.moves_per_s,
-            m.allocs_per_round,
-            if i + 1 < results.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("]\n");
-    let mut file = std::fs::File::create(&out_path).expect("open output");
-    file.write_all(json.as_bytes()).expect("write output");
+    // bytes directly); one flat entry per mode keeps the file diffable, and
+    // the shared writer closes the array with the telemetry snapshot the
+    // measured engines recorded into.
+    let entries: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"bench\": \"roundloop\", \"n\": {n}, \"rounds\": {}, \"order\": \"{}\", \
+                 \"mode\": \"{}\", \"report_moves_per_s\": {:.0}, \"allocs_per_round\": {:.2}}}",
+                m.rounds,
+                m.order,
+                mode_name(m.mode),
+                m.moves_per_s,
+                m.allocs_per_round,
+            )
+        })
+        .collect();
+    ns_bench::write_bench_json(&out_path, &entries, &registry).expect("write output");
     eprintln!("wrote {}", out_path.display());
 }

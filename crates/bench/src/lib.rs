@@ -398,6 +398,32 @@ pub fn bench_output_path(env_key: &str, default: &str) -> PathBuf {
     }
 }
 
+/// Writes a `BENCH_*.json` artifact: the pre-rendered flat `entries` as a
+/// JSON array, closed with one `{"bench": "telemetry", ...}` entry
+/// embedding the metric snapshot of the registry the run was instrumented
+/// with.  Both bench binaries (`roundloop`, `churn_soak`) route their
+/// output through here, so every artifact carries the phase-time and
+/// counter telemetry it was produced under alongside the measurements.
+///
+/// `entries` are raw JSON objects (the workspace serde shim is a no-op, so
+/// callers hand-write their bytes); leading whitespace is normalised to a
+/// two-space indent.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    entries: &[String],
+    telemetry: &ns_obs::MetricsRegistry,
+) -> std::io::Result<()> {
+    let mut all: Vec<String> = entries
+        .iter()
+        .map(|e| format!("  {}", e.trim_start()))
+        .collect();
+    all.push(format!(
+        "  {{\"bench\": \"telemetry\", \"metrics\": {}}}",
+        telemetry.render_json()
+    ));
+    std::fs::write(path, format!("[\n{}\n]\n", all.join(",\n")))
+}
+
 /// Formats a float with 4 significant-ish decimals for table cells.
 pub fn fmt(x: f64) -> String {
     if x == 0.0 {
@@ -422,6 +448,29 @@ pub fn linspace(lo: f64, hi: f64, points: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn write_bench_json_appends_the_telemetry_entry() {
+        let registry = ns_obs::MetricsRegistry::new();
+        registry.counter("ns_test_counter").add(7);
+        let dir = std::env::temp_dir().join(format!("ns_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let entries = vec!["{\"bench\": \"x\", \"v\": 1}".to_string()];
+        write_bench_json(&path, &entries, &registry).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(text.starts_with("[\n"), "array open: {text}");
+        assert!(text.ends_with("]\n"), "array close: {text}");
+        assert!(
+            text.contains("  {\"bench\": \"x\", \"v\": 1},\n"),
+            "entry kept: {text}"
+        );
+        assert!(
+            text.contains("{\"bench\": \"telemetry\", \"metrics\": {\"ns_test_counter\": 7}}"),
+            "telemetry embedded: {text}"
+        );
+    }
 
     #[test]
     fn linspace_endpoints() {

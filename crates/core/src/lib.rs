@@ -92,6 +92,7 @@ pub mod report;
 pub mod server;
 pub mod service;
 pub mod simulation;
+pub mod telemetry;
 
 pub use error::{Error, Result};
 
@@ -118,4 +119,5 @@ pub mod prelude {
         expected_empty_holders, run_protocol, run_protocol_under_outages,
         run_protocol_with_randomizer, SimulationConfig, SimulationOutcome,
     };
+    pub use crate::telemetry::{AuditSink, CoordinatorTelemetry};
 }

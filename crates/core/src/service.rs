@@ -71,6 +71,7 @@ use crate::protocol::ProtocolKind;
 use crate::report::Report;
 use crate::server::Curator;
 use crate::simulation::SimulationOutcome;
+use crate::telemetry::{AccountantTelemetry, CoordinatorTelemetry, ObservedRounds};
 use ns_dp::types::PrivacyGuarantee;
 use ns_graph::dynamic::{DynTransition, TimeVaryingModel};
 use ns_graph::ensemble::{DistributionEnsemble, RowStats};
@@ -213,6 +214,9 @@ pub struct StreamingAccountant {
     /// [`StreamingAccountant::commit_round`] falls back to a dense
     /// recompute instead of the sparse column correction.
     delta_dense_fraction: f64,
+    /// Phase timers and delta counters; `None` (the default) is the
+    /// inert no-op path.
+    telemetry: Option<AccountantTelemetry>,
 }
 
 /// Default affected-column fraction beyond which the delta commit recomputes
@@ -313,7 +317,15 @@ impl StreamingAccountant {
             round: 0,
             speculated: false,
             delta_dense_fraction: DELTA_DENSE_FRACTION,
+            telemetry: None,
         })
+    }
+
+    /// Attaches (or detaches, with `None`) the accountant's phase timers
+    /// and delta counters.  Recording never touches the tracked
+    /// distributions, so quotes are unchanged bit for bit.
+    pub fn set_telemetry(&mut self, telemetry: Option<AccountantTelemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// Swaps the accountant onto a realized operator schedule **without
@@ -386,6 +398,7 @@ impl StreamingAccountant {
             !self.speculated,
             "cannot advance past a pending speculated round; commit it first"
         );
+        let _span = self.telemetry.as_ref().map(|t| t.advance_ns.span(&t.clock));
         let operator = Self::held(&self.operator);
         for shard in self.shards.iter_mut() {
             shard.ensemble.advance_auto(operator, 1);
@@ -438,6 +451,10 @@ impl StreamingAccountant {
             !self.speculated,
             "round already speculated; commit it first"
         );
+        let _span = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.speculate_ns.span(&t.clock));
         let operator = Self::held(&self.operator);
         for shard in self.shards.iter_mut() {
             shard
@@ -445,6 +462,9 @@ impl StreamingAccountant {
                 .speculate_interleaved(operator, &mut shard.prev, &mut shard.prev_il);
         }
         self.speculated = true;
+        if let Some(t) = &self.telemetry {
+            t.speculated.inc();
+        }
     }
 
     /// Commits one round under the **realized** operator, given the sorted
@@ -481,6 +501,18 @@ impl StreamingAccountant {
         }
         let n = model.node_count().max(1);
         let dense = affected.len() as f64 > self.delta_dense_fraction * n as f64;
+        let _span = self.telemetry.as_ref().map(|t| t.commit_ns.span(&t.clock));
+        if let Some(t) = &self.telemetry {
+            t.affected_permille
+                .record((affected.len() as u64).saturating_mul(1000) / n as u64);
+            if self.speculated {
+                if dense {
+                    t.commits_dense.inc();
+                } else {
+                    t.commits_sparse.inc();
+                }
+            }
+        }
         for shard in self.shards.iter_mut() {
             match (self.speculated, dense) {
                 (true, false) => {
@@ -513,7 +545,9 @@ impl StreamingAccountant {
         self.commit_round(realized, affected);
     }
 
-    /// The component-wise worst accounting moments over all tracked origins.
+    /// The component-wise worst accounting moments over all tracked
+    /// origins.  With telemetry attached, the result is also published to
+    /// the `ns_acct_worst_*` gauges.
     pub fn worst_stats(&self) -> RowStats {
         let mut worst = RowStats::default();
         for shard in &self.shards {
@@ -522,6 +556,9 @@ impl StreamingAccountant {
                 worst.sum_of_squares = worst.sum_of_squares.max(stats.sum_of_squares);
                 worst.support_ratio = worst.support_ratio.max(stats.support_ratio);
             }
+        }
+        if let Some(t) = &self.telemetry {
+            t.record_worst_stats(&worst);
         }
         worst
     }
@@ -679,6 +716,7 @@ impl StreamingAccountant {
             round: checkpoint.round,
             speculated: false,
             delta_dense_fraction: DELTA_DENSE_FRACTION,
+            telemetry: None,
         })
     }
 
@@ -786,6 +824,10 @@ pub struct ShuffleCoordinator<'g, P> {
     /// Realized availability schedule; round `t` of the exchange runs with
     /// `outages.mask(t)` when present.
     outages: Option<OutageSchedule>,
+    /// Service-layer telemetry bundle; `None` (the default) is the inert
+    /// no-op path.  The engine and accountant shares are re-attached
+    /// whenever those components are (re)built.
+    telemetry: Option<CoordinatorTelemetry>,
 }
 
 impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
@@ -818,7 +860,60 @@ impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
             recorder: TrafficRecorder::new(0),
             accountant,
             outages: None,
+            telemetry: None,
         })
+    }
+
+    /// Attaches (or detaches, with `None`) the service-layer telemetry
+    /// bundle, wiring the engine and accountant shares into whatever is
+    /// already built.  Observability is inert by construction: an
+    /// instrumented run is bitwise identical to a bare one.
+    pub fn set_telemetry(&mut self, telemetry: Option<CoordinatorTelemetry>) {
+        self.accountant
+            .set_telemetry(telemetry.as_ref().map(|t| t.accountant.clone()));
+        if let Some(engine) = &mut self.engine {
+            engine.set_telemetry(telemetry.as_ref().map(|t| t.engine.clone()));
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn telemetry(&self) -> Option<&CoordinatorTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Records one admission decision: counters always, plus an `admit`
+    /// audit event (quoting the live worst-user `(ε, δ)` when quote
+    /// parameters were attached) when the bundle carries an audit sink.
+    fn audit_admission(&self, reports: usize, accepted: bool, reason: &'static str) {
+        let Some(t) = &self.telemetry else { return };
+        t.admit_batches.inc();
+        if accepted {
+            t.admit_reports.add(reports as u64);
+        } else {
+            t.admit_refusals.inc();
+        }
+        if let Some(audit) = &t.audit {
+            let (epsilon, delta) = t
+                .quote_params
+                .as_ref()
+                .and_then(|params| {
+                    self.accountant
+                        .worst_quote(self.config.protocol, params)
+                        .ok()
+                })
+                .map_or((f64::NAN, f64::NAN), |(_, quote)| {
+                    (quote.epsilon, quote.delta)
+                });
+            audit.record(ns_obs::TraceEvent::Admit {
+                batch: t.admit_batches.get(),
+                reports: reports as u64,
+                accepted,
+                reason,
+                epsilon,
+                delta,
+            });
+        }
     }
 
     /// Attaches a realized outage schedule: every subsequent exchange round
@@ -908,6 +1003,7 @@ impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
     /// started or an origin is out of range.
     pub fn admit(&mut self, batch: Vec<(NodeId, P)>) -> Result<()> {
         if self.engine.is_some() {
+            self.audit_admission(batch.len(), false, "exchange-started");
             return Err(Error::InvalidConfiguration(
                 "cannot admit reports after the exchange phase started".into(),
             ));
@@ -917,12 +1013,15 @@ impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
         // all-or-nothing, so a failed batch can be fixed and re-admitted
         // without duplicating its valid prefix.
         if let Some(entry) = batch.iter().find(|entry| entry.0 >= n) {
+            let node = entry.0;
+            self.audit_admission(batch.len(), false, "origin-out-of-range");
             return Err(ns_graph::GraphError::NodeOutOfRange {
-                node: entry.0,
+                node,
                 node_count: n,
             }
             .into());
         }
+        let reports = batch.len();
         for (origin, payload) in batch {
             self.arena.push(Some(Envelope::seal(
                 self.curator.public_key(),
@@ -930,6 +1029,7 @@ impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
             )));
             self.origins.push(origin);
         }
+        self.audit_admission(reports, true, "ok");
         Ok(())
     }
 
@@ -982,6 +1082,7 @@ impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
             self.config.seed,
         )?;
         engine.set_draw_mode(self.config.draw_mode);
+        engine.set_telemetry(self.telemetry.as_ref().map(|t| t.engine.clone()));
         self.engine = Some(engine);
         Ok(())
     }
@@ -1048,23 +1149,25 @@ impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
                 checkpoint.recorder_messages.len()
             )));
         }
-        let engine = ShardedMixingEngine::restore_checkpoint(
+        let mut engine = ShardedMixingEngine::restore_checkpoint(
             self.graph,
             self.partition,
             &checkpoint.engine,
         )?;
+        engine.set_telemetry(self.telemetry.as_ref().map(|t| t.engine.clone()));
         let schedule = self
             .outages
             .as_ref()
             .map(|s| s.time_varying_model(self.graph, self.config.laziness))
             .transpose()?;
-        let accountant = StreamingAccountant::restore(
+        let mut accountant = StreamingAccountant::restore(
             self.graph,
             self.partition,
             self.config.laziness,
             schedule,
             &checkpoint.accountant,
         )?;
+        accountant.set_telemetry(self.telemetry.as_ref().map(|t| t.accountant.clone()));
         self.recorder = TrafficRecorder::from_parts(
             checkpoint.recorder_rounds,
             checkpoint.recorder_messages.clone(),
@@ -1086,15 +1189,17 @@ impl<'g, P: Clone> ShuffleCoordinator<'g, P> {
         let engine = self.engine.as_mut().ok_or_else(|| {
             Error::InvalidConfiguration("call begin_exchange() before running rounds".into())
         })?;
+        let traffic = self.telemetry.as_ref().map(|t| &t.traffic);
+        let mut observer = ObservedRounds::new(&mut self.recorder, traffic);
         for _ in 0..rounds {
             match &self.outages {
-                None => engine.step_auto(self.config.laziness, &mut self.recorder),
+                None => engine.step_auto(self.config.laziness, &mut observer),
                 Some(schedule) => {
                     // Round t (0-based) runs under mask(t); the accountant's
                     // scheduled operator applies the same mask at the same
                     // clock, so quotes track the realized walk exactly.
                     let mask = schedule.mask(engine.round());
-                    engine.step_masked_auto(self.config.laziness, mask, &mut self.recorder);
+                    engine.step_masked_auto(self.config.laziness, mask, &mut observer);
                 }
             }
             self.accountant.advance_round();

@@ -86,6 +86,7 @@ pub mod round;
 pub mod sharded_engine;
 pub mod spectral;
 pub mod stationary;
+pub mod telemetry;
 pub mod transition;
 pub mod walk;
 

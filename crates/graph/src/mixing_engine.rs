@@ -41,6 +41,7 @@
 use crate::error::{GraphError, Result};
 use crate::graph::{Graph, NodeId};
 use crate::round::{self, DrawMode, RoundArena, RoundPlan};
+use crate::telemetry::EngineTelemetry;
 use crate::walk::WalkConfig;
 use rand::Rng;
 
@@ -108,6 +109,10 @@ pub struct MixingEngine<'g> {
     /// phase's delivery buffers — the engine's single "outbox" — and the
     /// fast draw mode's RNG lane buffer.
     arena: RoundArena,
+    /// Attached telemetry (`None` = the no-op path).  Inert by
+    /// construction: recording never draws randomness or touches round
+    /// state, so instrumented rounds are bitwise the bare rounds.
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl<'g> MixingEngine<'g> {
@@ -164,7 +169,18 @@ impl<'g> MixingEngine<'g> {
             sent: vec![0; n],
             load: vec![0; n],
             arena: RoundArena::new(),
+            telemetry: None,
         })
+    }
+
+    /// Attaches (or with `None` detaches) the phase-timing telemetry
+    /// bundle.  Registration happened when the bundle was built; from
+    /// here on every recording is a preregistered atomic slot write, so
+    /// steady-state rounds stay allocation-free and — because telemetry
+    /// never draws randomness or touches state — bitwise identical to
+    /// uninstrumented rounds.
+    pub fn set_telemetry(&mut self, telemetry: Option<EngineTelemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// The engine's current draw mode.
@@ -343,17 +359,25 @@ impl<'g> MixingEngine<'g> {
             laziness,
             available,
         };
-        match self.draw_mode {
-            DrawMode::Compat => round::sweep_walker_order(&plan, &mut self.positions, rng),
-            DrawMode::Fast => round::sweep_walker_order_fast(
-                &plan,
-                &mut self.positions,
-                &mut self.arena.lane,
-                rng,
-            ),
+        {
+            // Walker-order rounds fuse decide and position update into
+            // one sweep; the whole sweep is the decide phase.
+            let _span = self.telemetry.as_ref().map(|t| t.decide_ns.span(&t.clock));
+            match self.draw_mode {
+                DrawMode::Compat => round::sweep_walker_order(&plan, &mut self.positions, rng),
+                DrawMode::Fast => round::sweep_walker_order_fast(
+                    &plan,
+                    &mut self.positions,
+                    &mut self.arena.lane,
+                    rng,
+                ),
+            }
         }
         self.round += 1;
         self.buckets_valid = false;
+        if let Some(t) = &self.telemetry {
+            t.rounds.inc();
+        }
     }
 
     /// Executes one walker-order round and streams statistics to `observer`.
@@ -447,8 +471,10 @@ impl<'g> MixingEngine<'g> {
             sent,
             load,
             arena,
+            telemetry,
             ..
         } = self;
+        let telemetry = telemetry.as_ref();
         let plan = RoundPlan {
             graph,
             laziness,
@@ -456,23 +482,27 @@ impl<'g> MixingEngine<'g> {
         };
         // Decide: survivors into the arena, deliveries into its delivery
         // buffers in send order.
-        let holders = (0..n).map(|u| (u, u));
-        let buckets = round::HolderBuckets {
-            starts: bucket_starts,
-            walkers: bucket_walkers,
-        };
-        match draw_mode {
-            DrawMode::Compat => {
-                round::decide_holder_moves(&plan, holders, buckets, sent, arena, rng)
-            }
-            DrawMode::Fast => {
-                round::decide_holder_moves_fast(&plan, holders, buckets, sent, arena, rng)
+        {
+            let _span = telemetry.map(|t| t.decide_ns.span(&t.clock));
+            let holders = (0..n).map(|u| (u, u));
+            let buckets = round::HolderBuckets {
+                starts: bucket_starts,
+                walkers: bucket_walkers,
+            };
+            match draw_mode {
+                DrawMode::Compat => {
+                    round::decide_holder_moves(&plan, holders, buckets, sent, arena, rng)
+                }
+                DrawMode::Fast => {
+                    round::decide_holder_moves_fast(&plan, holders, buckets, sent, arena, rng)
+                }
             }
         }
         // Replay the deliveries into the position array (each delivered
         // walker appears exactly once), prefetching the randomly-indexed
         // position slots a few entries ahead.
         {
+            let _span = telemetry.map(|t| t.exchange_ns.span(&t.clock));
             let (dests, walkers) = arena.deliveries();
             for (i, (&d, &w)) in dests.iter().zip(walkers).enumerate() {
                 if let Some(&wf) = walkers.get(i + 8) {
@@ -485,15 +515,23 @@ impl<'g> MixingEngine<'g> {
         // delivery buffers are taken out of the arena for the duration of
         // the merge (a move, not an allocation) because the merge borrows
         // the arena's counting-sort scratch mutably.
-        let deliver_dests = std::mem::take(&mut arena.deliver_dests);
-        let deliver_walkers = std::mem::take(&mut arena.deliver_walkers);
-        round::merge_round_buckets(n, arena, load, bucket_starts, bucket_walkers, |sink| {
-            for (&d, &w) in deliver_dests.iter().zip(deliver_walkers.iter()) {
-                sink(d as usize, w);
-            }
-        });
-        arena.deliver_dests = deliver_dests;
-        arena.deliver_walkers = deliver_walkers;
+        {
+            let _span = telemetry.map(|t| t.merge_ns.span(&t.clock));
+            let deliver_dests = std::mem::take(&mut arena.deliver_dests);
+            let deliver_walkers = std::mem::take(&mut arena.deliver_walkers);
+            round::merge_round_buckets(n, arena, load, bucket_starts, bucket_walkers, |sink| {
+                for (&d, &w) in deliver_dests.iter().zip(deliver_walkers.iter()) {
+                    sink(d as usize, w);
+                }
+            });
+            arena.deliver_dests = deliver_dests;
+            arena.deliver_walkers = deliver_walkers;
+        }
+        if let Some(t) = telemetry {
+            // `bounced` is 0 on unmasked rounds by the arena contract.
+            t.mask_bounces.add(arena.bounced());
+            t.rounds.inc();
+        }
         debug_assert_eq!(
             self.bucket_starts[n],
             self.positions.len(),

@@ -241,6 +241,11 @@ pub struct RoundArena {
     /// Lane buffer of bulk RNG draws ([`DrawMode::Fast`]), refilled in
     /// `LANE_CHUNK`-sized blocks.
     pub(crate) lane: Vec<u64>,
+    /// Mask bounces of the last decide phase: walkers whose drawn move
+    /// chose an unavailable recipient and therefore stayed.  A lazy stay
+    /// is not a bounce (no delivery was attempted); under `None` or an
+    /// all-available mask this is always 0.
+    pub(crate) bounced: u64,
 }
 
 impl RoundArena {
@@ -253,6 +258,13 @@ impl RoundArena {
     /// `(destinations, walkers)` slices — valid until the next decide.
     pub fn deliveries(&self) -> (&[u32], &[u32]) {
         (&self.deliver_dests, &self.deliver_walkers)
+    }
+
+    /// Mask bounces of the last decide phase (0 when unmasked) — the
+    /// telemetry layer's mask-bounce count, derived from accounting the
+    /// kernel already performs, never from extra draws.
+    pub fn bounced(&self) -> u64 {
+        self.bounced
     }
 }
 
@@ -292,19 +304,24 @@ pub fn decide_holder_moves<R: Rng + ?Sized>(
     arena.kept_walkers.clear();
     arena.deliver_dests.clear();
     arena.deliver_walkers.clear();
+    arena.bounced = 0;
     sent_local.fill(0);
     for (lu, u) in holders {
         let held = &buckets.walkers[buckets.starts[lu]..buckets.starts[lu + 1]];
         for &w in held {
-            match sample_move_masked(plan.graph, u, plan.laziness, plan.available, rng) {
-                None => {
-                    arena.kept_nodes.push(lu as u32);
-                    arena.kept_walkers.push(w);
-                }
-                Some(dest) => {
+            // Same draw sequence as `sample_move_masked`; unrolled so a
+            // bounce (move drawn, recipient dark) is distinguishable from
+            // a lazy stay (no move drawn) for the arena's bounce count.
+            match sample_move(plan.graph, u, plan.laziness, rng) {
+                Some(dest) if plan.available.is_none_or(|mask| mask[dest]) => {
                     sent_local[lu] += 1;
                     arena.deliver_dests.push(dest as u32);
                     arena.deliver_walkers.push(w);
+                }
+                stay => {
+                    arena.bounced += stay.is_some() as u64;
+                    arena.kept_nodes.push(lu as u32);
+                    arena.kept_walkers.push(w);
                 }
             }
         }
@@ -350,6 +367,7 @@ pub fn decide_holder_moves_fast<R: Rng + ?Sized>(
     let mut drawn = 0usize;
     let mut lane_pos = 0usize;
     let mut lane_len = 0usize;
+    let mut bounced = 0u64;
     for (lu, u) in holders {
         let row = &neighbors[offsets[u]..offsets[u + 1]];
         let deg = row.len() as u64;
@@ -366,8 +384,10 @@ pub fn decide_holder_moves_fast<R: Rng + ?Sized>(
             let r = arena.lane[lane_pos];
             lane_pos += 1;
             let dest = row[(((r >> 32) * deg) >> 32) as usize];
-            let stay = ((r as u32 as u64) < threshold)
-                | plan.available.is_some_and(|mask| !mask[dest as usize]);
+            let lazy = (r as u32 as u64) < threshold;
+            let dark = plan.available.is_some_and(|mask| !mask[dest as usize]);
+            let stay = lazy | dark;
+            bounced += (!lazy & dark) as u64;
             arena.kept_nodes[kept_len] = lu as u32;
             arena.kept_walkers[kept_len] = w;
             kept_len += stay as usize;
@@ -387,6 +407,7 @@ pub fn decide_holder_moves_fast<R: Rng + ?Sized>(
     arena.kept_walkers.truncate(kept_len);
     arena.deliver_dests.truncate(sent_len);
     arena.deliver_walkers.truncate(sent_len);
+    arena.bounced = bounced;
 }
 
 /// The merge phase of one holder-order round over one holder range: a

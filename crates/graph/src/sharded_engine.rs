@@ -48,6 +48,7 @@ use crate::mixing_engine::{RoundObserver, RoundStats};
 use crate::partition::Partition;
 use crate::rng::{mix64, SimRng};
 use crate::round::{self, DrawMode, RoundArena, RoundPlan};
+use crate::telemetry::EngineTelemetry;
 use crate::walk::WalkConfig;
 use rand_chacha::rand_core::SeedableRng;
 
@@ -184,6 +185,10 @@ pub struct ShardedMixingEngine<'g> {
     /// Whole-population per-round statistics (global node order).
     sent: Vec<u32>,
     load: Vec<u32>,
+    /// Attached telemetry (`None` = the no-op path).  Inert by
+    /// construction — recording never draws randomness or touches round
+    /// state — and shared across the pipelined workers (`Sync` handles).
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl<'g> ShardedMixingEngine<'g> {
@@ -293,7 +298,17 @@ impl<'g> ShardedMixingEngine<'g> {
             outboxes: vec![vec![Vec::new(); k]; k],
             sent: vec![0; n],
             load: vec![0; n],
+            telemetry: None,
         })
+    }
+
+    /// Attaches (or with `None` detaches) the phase-timing telemetry
+    /// bundle.  All recording from here on writes preregistered atomic
+    /// slots — steady-state rounds stay allocation-free, and because
+    /// telemetry never draws randomness or touches state, instrumented
+    /// rounds are bitwise identical to bare ones.
+    pub fn set_telemetry(&mut self, telemetry: Option<EngineTelemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// The engine's current draw mode.
@@ -343,6 +358,12 @@ impl<'g> ShardedMixingEngine<'g> {
     /// u32-compressed; widen with `as usize` where a [`NodeId`] is needed.
     pub fn positions(&self) -> &[u32] {
         &self.positions
+    }
+
+    /// Per-node relay messages sent in the latest completed round
+    /// (`sent[u]` for global node `u`; all zeros before the first round).
+    pub fn sent_counts(&self) -> &[u32] {
+        &self.sent
     }
 
     /// Histogram of walkers per global node.
@@ -536,6 +557,7 @@ impl<'g> ShardedMixingEngine<'g> {
             outboxes: vec![vec![Vec::new(); k]; k],
             sent: vec![0; n],
             load: vec![0; n],
+            telemetry: None,
         })
     }
 
@@ -771,17 +793,36 @@ impl<'g> ShardedMixingEngine<'g> {
         let graph = self.graph.get();
         let partition = self.partition.get();
         let mode = self.draw_mode;
+        let telemetry = self.telemetry.as_ref();
         for (s, (state, outbox)) in self
             .shards
             .iter_mut()
             .zip(self.outboxes.iter_mut())
             .enumerate()
         {
+            let _span = telemetry.map(|t| t.decide_ns.span(&t.clock));
             sample_shard_round(
                 graph, partition, s, state, outbox, laziness, available, mode,
             );
         }
+        self.record_sampling_telemetry();
         self.merge_round(observer);
+    }
+
+    /// Folds the finished sampling phase's per-shard accounting — mask
+    /// bounces and outbox row depths — into the attached telemetry.
+    /// Reads only; called once per round between sampling and merge.
+    fn record_sampling_telemetry(&self) {
+        if let Some(t) = &self.telemetry {
+            for state in &self.shards {
+                t.mask_bounces.add(state.arena.bounced());
+            }
+            for source in &self.outboxes {
+                for row in source {
+                    t.outbox_depth.record(row.len() as u64);
+                }
+            }
+        }
     }
 
     /// [`ShardedMixingEngine::step`] with the per-shard sampling phase run
@@ -841,7 +882,9 @@ impl<'g> ShardedMixingEngine<'g> {
         let graph = self.graph.get();
         let partition = self.partition.get();
         let mode = self.draw_mode;
+        let telemetry = self.telemetry.clone();
         for &s in order {
+            let _span = telemetry.as_ref().map(|t| t.decide_ns.span(&t.clock));
             sample_shard_round(
                 graph,
                 partition,
@@ -853,6 +896,7 @@ impl<'g> ShardedMixingEngine<'g> {
                 mode,
             );
         }
+        self.record_sampling_telemetry();
         self.merge_round(observer);
     }
 
@@ -907,6 +951,7 @@ impl<'g> ShardedMixingEngine<'g> {
     fn merge_round<O: RoundObserver>(&mut self, observer: &mut O) {
         let partition = self.partition.get();
         let k = self.shards.len();
+        let telemetry = self.telemetry.clone();
         for d in 0..k {
             let nodes = partition.shard(d).nodes();
             let local_n = nodes.len();
@@ -915,13 +960,16 @@ impl<'g> ShardedMixingEngine<'g> {
             // appears in exactly one outbox entry).  The walker ids index
             // the position array essentially at random, so prefetch a few
             // entries ahead.
-            for source in self.outboxes.iter() {
-                let row = &source[d];
-                for (i, &(dest, w)) in row.iter().enumerate() {
-                    if let Some(&(_, wf)) = row.get(i + 8) {
-                        round::prefetch_read(&self.positions, wf as usize);
+            {
+                let _span = telemetry.as_ref().map(|t| t.exchange_ns.span(&t.clock));
+                for source in self.outboxes.iter() {
+                    let row = &source[d];
+                    for (i, &(dest, w)) in row.iter().enumerate() {
+                        if let Some(&(_, wf)) = row.get(i + 8) {
+                            round::prefetch_read(&self.positions, wf as usize);
+                        }
+                        self.positions[w as usize] = dest;
                     }
-                    self.positions[w as usize] = dest;
                 }
             }
             // The kernel's counting-sort merge: survivors first (grouped by
@@ -930,20 +978,23 @@ impl<'g> ShardedMixingEngine<'g> {
             // canonical order that makes the exchange execution-order-free.
             let state = &mut self.shards[d];
             let outboxes = &self.outboxes;
-            round::merge_round_buckets(
-                local_n,
-                &mut state.arena,
-                &mut state.load_local,
-                &mut state.bucket_starts,
-                &mut state.bucket_walkers,
-                |sink| {
-                    for source in outboxes.iter() {
-                        for &(dest, w) in &source[d] {
-                            sink(partition.local_of(dest as usize), w);
+            {
+                let _span = telemetry.as_ref().map(|t| t.merge_ns.span(&t.clock));
+                round::merge_round_buckets(
+                    local_n,
+                    &mut state.arena,
+                    &mut state.load_local,
+                    &mut state.bucket_starts,
+                    &mut state.bucket_walkers,
+                    |sink| {
+                        for source in outboxes.iter() {
+                            for &(dest, w) in &source[d] {
+                                sink(partition.local_of(dest as usize), w);
+                            }
                         }
-                    }
-                },
-            );
+                    },
+                );
+            }
             // Fold this shard's statistics into the global vectors.
             for (lu, &u) in nodes.iter().enumerate() {
                 self.sent[u] = state.sent_local[lu];
@@ -956,6 +1007,9 @@ impl<'g> ShardedMixingEngine<'g> {
             "round conservation violated: survivors + arrivals + bounces must equal the walkers"
         );
         self.round += 1;
+        if let Some(t) = &self.telemetry {
+            t.rounds.inc();
+        }
         observer.on_round(&RoundStats {
             round: self.round,
             sent: &self.sent,
@@ -1116,10 +1170,13 @@ mod parallel {
             for (index, item) in work.into_iter().enumerate() {
                 per_thread[index % threads].push(item);
             }
+            let telemetry = self.telemetry.clone();
             std::thread::scope(|scope| {
                 for assignment in per_thread {
+                    let telemetry = telemetry.clone();
                     scope.spawn(move || {
                         for (s, (state, outbox)) in assignment {
+                            let _span = telemetry.as_ref().map(|t| t.decide_ns.span(&t.clock));
                             sample_shard_round(
                                 graph, partition, s, state, outbox, laziness, available, mode,
                             );
@@ -1127,6 +1184,7 @@ mod parallel {
                     });
                 }
             });
+            self.record_sampling_telemetry();
             self.merge_round(observer);
         }
 
@@ -1193,9 +1251,11 @@ mod parallel {
             let positions_ptr = SendPtr(self.positions.as_mut_ptr());
             let sent_ptr = SendPtr(self.sent.as_mut_ptr());
             let load_ptr = SendPtr(self.load.as_mut_ptr());
+            let telemetry = self.telemetry.clone();
             std::thread::scope(|scope| {
                 for s in 0..k {
                     let barrier = &barrier;
+                    let telemetry = telemetry.clone();
                     scope.spawn(move || {
                         for r in 0..rounds {
                             let cur = bufs[r % 2];
@@ -1206,10 +1266,23 @@ mod parallel {
                             // barrier.
                             let state = unsafe { &mut *shards_ptr.get().add(s) };
                             let outbox = unsafe { &mut *cur.get().add(s) };
-                            sample_shard_round(
-                                graph, partition, s, state, outbox, laziness, available, mode,
-                            );
-                            barrier.wait();
+                            {
+                                let _span = telemetry.as_ref().map(|t| t.decide_ns.span(&t.clock));
+                                sample_shard_round(
+                                    graph, partition, s, state, outbox, laziness, available, mode,
+                                );
+                            }
+                            if let Some(t) = &telemetry {
+                                t.mask_bounces.add(state.arena.bounced());
+                                for row in outbox.iter() {
+                                    t.outbox_depth.record(row.len() as u64);
+                                }
+                            }
+                            {
+                                let _span =
+                                    telemetry.as_ref().map(|t| t.barrier_wait_ns.span(&t.clock));
+                                barrier.wait();
+                            }
                             // Merge destination shard `s`: every source
                             // row `cur[src][s]` is complete (barrier) and
                             // read-only from here on; walkers arriving at
@@ -1217,11 +1290,15 @@ mod parallel {
                             // are written by this worker alone.
                             let nodes = partition.shard(s).nodes();
                             let local_n = nodes.len();
-                            for src in 0..k {
-                                let source = unsafe { &*cur.get().add(src).cast_const() };
-                                for &(dest, w) in &source[s] {
-                                    unsafe {
-                                        *positions_ptr.get().add(w as usize) = dest;
+                            {
+                                let _span =
+                                    telemetry.as_ref().map(|t| t.exchange_ns.span(&t.clock));
+                                for src in 0..k {
+                                    let source = unsafe { &*cur.get().add(src).cast_const() };
+                                    for &(dest, w) in &source[s] {
+                                        unsafe {
+                                            *positions_ptr.get().add(w as usize) = dest;
+                                        }
                                     }
                                 }
                             }
@@ -1233,6 +1310,7 @@ mod parallel {
                                 load_local,
                                 ..
                             } = state;
+                            let _span = telemetry.as_ref().map(|t| t.merge_ns.span(&t.clock));
                             round::merge_round_buckets(
                                 local_n,
                                 arena,
@@ -1260,6 +1338,9 @@ mod parallel {
             });
             drop(alt);
             self.round += rounds;
+            if let Some(t) = &self.telemetry {
+                t.rounds.add(rounds as u64);
+            }
             debug_assert_eq!(
                 self.load.iter().map(|&l| l as usize).sum::<usize>(),
                 self.positions.len(),

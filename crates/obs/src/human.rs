@@ -1,0 +1,43 @@
+//! The grep-stable human log renderer.
+//!
+//! Examples (and any other human-facing progress output) print through
+//! [`say!`](crate::say) instead of bare `println!`, so every line has
+//! the fixed `[ns:<topic>]` prefix CI assertions can grep for:
+//!
+//! ```text
+//! [ns:quickstart] mixing 400 reports for 26 rounds
+//! ```
+
+use std::fmt;
+
+/// Emits one `[ns:<topic>]` line to stdout.  Prefer the [`say!`]
+/// macro, which formats arguments in place.
+///
+/// [`say!`]: crate::say
+pub fn emit(topic: &str, args: fmt::Arguments<'_>) {
+    println!("[ns:{topic}] {args}");
+}
+
+/// Formats one `[ns:<topic>]` line as a `String` (the testable core of
+/// [`emit`]).
+pub fn render(topic: &str, args: fmt::Arguments<'_>) -> String {
+    format!("[ns:{topic}] {args}")
+}
+
+/// Prints one grep-stable progress line: `say!("topic", "fmt", args...)`
+/// renders as `[ns:topic] ...` on stdout.
+#[macro_export]
+macro_rules! say {
+    ($topic:expr, $($arg:tt)*) => {
+        $crate::human::emit($topic, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lines_carry_the_stable_prefix() {
+        let line = super::render("quickstart", format_args!("n={} rounds={}", 400, 26));
+        assert_eq!(line, "[ns:quickstart] n=400 rounds=26");
+    }
+}

@@ -1,0 +1,252 @@
+//! In-repo validation of the JSONL trace schema.
+//!
+//! The trace format is this workspace's own (see the README's
+//! Observability section), so CI checks emitted files with this small
+//! validator instead of an external tool.  Lines are flat JSON objects;
+//! the scanner below parses exactly that shape (string / number / bool /
+//! null values, no nesting) and the checker enforces the per-event
+//! required fields and types.
+
+/// The value kinds a flat trace line can carry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Num,
+    Bool,
+    Null,
+}
+
+/// Parses one flat JSON object into `(key, value)` pairs.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "line is not a JSON object".to_string())?;
+    let bytes: Vec<char> = inner.chars().collect();
+    let mut i = 0usize;
+    let mut pairs = Vec::new();
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |i: &mut usize| -> Result<String, String> {
+        if bytes.get(*i) != Some(&'"') {
+            return Err(format!("expected string at offset {i:?}"));
+        }
+        *i += 1;
+        let mut out = String::new();
+        while let Some(&c) = bytes.get(*i) {
+            *i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = bytes.get(*i).ok_or("dangling escape")?;
+                    *i += 1;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            if *i + 4 > bytes.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            *i += 4;
+                            out.push('?');
+                        }
+                        other => return Err(format!("unsupported escape \\{other}")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    };
+    loop {
+        skip_ws(&mut i);
+        if i >= bytes.len() {
+            break;
+        }
+        let key = parse_string(&mut i)?;
+        skip_ws(&mut i);
+        if bytes.get(i) != Some(&':') {
+            return Err(format!("missing ':' after key {key:?}"));
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = match bytes.get(i) {
+            Some('"') => Value::Str(parse_string(&mut i)?),
+            Some('t') if inner_matches(&bytes, i, "true") => {
+                i += 4;
+                Value::Bool
+            }
+            Some('f') if inner_matches(&bytes, i, "false") => {
+                i += 5;
+                Value::Bool
+            }
+            Some('n') if inner_matches(&bytes, i, "null") => {
+                i += 4;
+                Value::Null
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || matches!(bytes[i], '.' | '-' | '+' | 'e' | 'E'))
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                text.parse::<f64>()
+                    .map_err(|_| format!("bad number {text:?}"))?;
+                Value::Num
+            }
+            other => return Err(format!("unsupported value start {other:?} for key {key:?}")),
+        };
+        pairs.push((key, value));
+        skip_ws(&mut i);
+        match bytes.get(i) {
+            Some(',') => i += 1,
+            None => break,
+            other => return Err(format!("expected ',' between pairs, found {other:?}")),
+        }
+    }
+    Ok(pairs)
+}
+
+fn inner_matches(bytes: &[char], at: usize, word: &str) -> bool {
+    bytes[at..].iter().take(word.len()).collect::<String>() == word
+}
+
+/// Field requirement: name plus whether it must be numeric (`true`) or a
+/// string (`false`); booleans and null-able floats are special-cased
+/// below.
+const ROUND_FIELDS: &[&str] = &["round", "sent", "wal_len", "epsilon", "delta"];
+const ADMIT_NUM_FIELDS: &[&str] = &["batch", "reports", "epsilon", "delta"];
+const SNAPSHOT_FIELDS: &[&str] = &["round", "bytes", "elapsed_ns"];
+const RECOVER_FIELDS: &[&str] = &["rounds_replayed", "elapsed_ns"];
+
+fn require_num(pairs: &[(String, Value)], ev: &str, fields: &[&str]) -> Result<(), String> {
+    for field in fields {
+        match pairs.iter().find(|(k, _)| k == field) {
+            // Floats may degrade to null (non-finite) by design.
+            Some((_, Value::Num)) | Some((_, Value::Null)) => {}
+            Some((_, other)) => {
+                return Err(format!(
+                    "{ev}: field {field:?} is {other:?}, expected number"
+                ))
+            }
+            None => return Err(format!("{ev}: missing field {field:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn require_str(pairs: &[(String, Value)], ev: &str, field: &str) -> Result<(), String> {
+    match pairs.iter().find(|(k, _)| k == field) {
+        Some((_, Value::Str(_))) => Ok(()),
+        Some((_, other)) => Err(format!(
+            "{ev}: field {field:?} is {other:?}, expected string"
+        )),
+        None => Err(format!("{ev}: missing field {field:?}")),
+    }
+}
+
+/// Validates one trace line against the documented schema.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let pairs = parse_flat_object(line)?;
+    match pairs.first() {
+        Some((k, Value::Num)) if k == "ts" => {}
+        _ => return Err("first field must be numeric \"ts\"".to_string()),
+    }
+    let ev = match pairs.get(1) {
+        Some((k, Value::Str(ev))) if k == "ev" => ev.clone(),
+        _ => return Err("second field must be string \"ev\"".to_string()),
+    };
+    match ev.as_str() {
+        "round" => require_num(&pairs, "round", ROUND_FIELDS),
+        "admit" => {
+            require_num(&pairs, "admit", ADMIT_NUM_FIELDS)?;
+            require_str(&pairs, "admit", "reason")?;
+            match pairs.iter().find(|(k, _)| k == "accepted") {
+                Some((_, Value::Bool)) => Ok(()),
+                Some((_, other)) => Err(format!(
+                    "admit: field \"accepted\" is {other:?}, expected bool"
+                )),
+                None => Err("admit: missing field \"accepted\"".to_string()),
+            }
+        }
+        "snapshot" => require_num(&pairs, "snapshot", SNAPSHOT_FIELDS),
+        "recover" => require_num(&pairs, "recover", RECOVER_FIELDS),
+        "phase" => {
+            require_str(&pairs, "phase", "name")?;
+            require_num(&pairs, "phase", &["round"])
+        }
+        "note" => {
+            require_str(&pairs, "note", "topic")?;
+            require_num(&pairs, "note", &["value"])
+        }
+        other => Err(format!("unknown event kind {other:?}")),
+    }
+}
+
+/// Validates a whole JSONL document (one event per non-empty line).
+///
+/// # Errors
+///
+/// The first offending line number and its violation.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut events = 0;
+    for (line_no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| format!("line {}: {e}", line_no + 1))?;
+        events += 1;
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_documented_lines() {
+        let ok = [
+            r#"{"ts": 1, "ev": "round", "round": 1, "sent": 9, "wal_len": 0, "epsilon": 0.5, "delta": 0.00001}"#,
+            r#"{"ts": 2, "ev": "admit", "batch": 1, "reports": 4, "accepted": true, "reason": "ok", "epsilon": 1.0, "delta": 0.00001}"#,
+            r#"{"ts": 3, "ev": "snapshot", "round": 4, "bytes": 100, "elapsed_ns": 12}"#,
+            r#"{"ts": 4, "ev": "recover", "rounds_replayed": 2, "elapsed_ns": 99}"#,
+            r#"{"ts": 5, "ev": "phase", "name": "finalize", "round": 6}"#,
+            r#"{"ts": 6, "ev": "note", "topic": "cut", "value": 0.25}"#,
+            r#"{"ts": 7, "ev": "note", "topic": "nan", "value": null}"#,
+        ];
+        for line in ok {
+            validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert_eq!(validate_jsonl(&ok.join("\n")).unwrap(), ok.len());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let bad = [
+            "not json",
+            r#"{"ev": "round", "ts": 1}"#,             // ts must lead
+            r#"{"ts": 1, "ev": "bogus"}"#,             // unknown kind
+            r#"{"ts": 1, "ev": "round", "round": 1}"#, // missing fields
+            r#"{"ts": 1, "ev": "admit", "batch": 1, "reports": 1, "accepted": "yes", "reason": "ok", "epsilon": 1, "delta": 1}"#,
+            r#"{"ts": 1, "ev": "phase", "name": 7, "round": 1}"#, // name not a string
+        ];
+        for line in bad {
+            assert!(validate_line(line).is_err(), "accepted: {line}");
+        }
+        assert!(validate_jsonl("{\"ts\": 1, \"ev\": \"bogus\"}\n").is_err());
+    }
+}

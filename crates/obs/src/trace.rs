@@ -1,0 +1,399 @@
+//! The bounded structured-event trace.
+//!
+//! A [`TraceWriter`] owns a preallocated ring of fixed-size
+//! [`TraceEvent`]s.  Recording copies the event into the next slot
+//! (overwriting the oldest when full and counting the drop) — no
+//! allocation, no I/O, no locks.  Serialization happens only on explicit
+//! [`TraceWriter::flush_to`], which drains the ring as JSONL into a
+//! caller-supplied writer through a reusable line buffer.
+//!
+//! The line schema (one JSON object per line, `ts` in clock nanoseconds)
+//! is documented in the README's Observability section and validated by
+//! [`crate::schema::validate_line`].
+
+use crate::clock::Clock;
+use std::fmt::Write as _;
+use std::io;
+
+/// Default ring capacity (events) when `NS_OBS_RING` is unset.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// One structured event.  Fixed-size and `Copy`: reasons and names are
+/// `&'static str` so recording never allocates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// One protocol round completed.
+    Round {
+        /// Round number (1-based, after execution).
+        round: u64,
+        /// Reports exchanged this round (sum of the sent vector).
+        sent: u64,
+        /// WAL length in bytes after logging the round (0 when no WAL).
+        wal_len: u64,
+        /// Live worst-user epsilon after the round.
+        epsilon: f64,
+        /// The delta the quote is stated at.
+        delta: f64,
+    },
+    /// An admission decision, with the ledger state that justified it.
+    Admit {
+        /// Admission batch number (1-based).
+        batch: u64,
+        /// Reports in the batch.
+        reports: u64,
+        /// Whether the batch was admitted.
+        accepted: bool,
+        /// Decision reason (`"ok"`, `"budget-exhausted"`, ...).
+        reason: &'static str,
+        /// Per-user epsilon cost the ledger would charge (or refused).
+        epsilon: f64,
+        /// The delta the charge is stated at.
+        delta: f64,
+    },
+    /// A snapshot was written.
+    Snapshot {
+        /// Round the snapshot captures.
+        round: u64,
+        /// Snapshot file size in bytes.
+        bytes: u64,
+        /// Wall/fake-clock time the write took.
+        elapsed_ns: u64,
+    },
+    /// A recovery replay completed.
+    Recover {
+        /// Rounds re-executed from the log tail.
+        rounds_replayed: u64,
+        /// Wall/fake-clock time the replay took.
+        elapsed_ns: u64,
+    },
+    /// A lifecycle phase change (`"begin-exchange"`, `"finalize"`, ...).
+    Phase {
+        /// Phase name.
+        name: &'static str,
+        /// Round counter at the transition.
+        round: u64,
+    },
+    /// A free-form scalar observation.
+    Note {
+        /// What the value measures.
+        topic: &'static str,
+        /// The observation.
+        value: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The `ev` tag this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Round { .. } => "round",
+            TraceEvent::Admit { .. } => "admit",
+            TraceEvent::Snapshot { .. } => "snapshot",
+            TraceEvent::Recover { .. } => "recover",
+            TraceEvent::Phase { .. } => "phase",
+            TraceEvent::Note { .. } => "note",
+        }
+    }
+}
+
+/// Writes a JSON-safe float: finite values as-is, non-finite as `null`
+/// (JSON has no NaN/Infinity).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        write!(out, "{v}").unwrap();
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Writes a JSON string literal.  Event strings are `&'static str`
+/// chosen in this workspace, but escape the JSON specials anyway so the
+/// output is always valid.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes one `(ts, event)` pair as a JSONL line (no trailing
+/// newline) into `out`.
+// Hand-written JSON: the workspace's serde shim is a no-op, so emit the
+// bytes directly (same convention as the bench bins).
+fn render_line(out: &mut String, ts: u64, ev: &TraceEvent) {
+    write!(out, "{{\"ts\": {ts}, \"ev\": \"{}\"", ev.kind()).unwrap();
+    match *ev {
+        TraceEvent::Round {
+            round,
+            sent,
+            wal_len,
+            epsilon,
+            delta,
+        } => {
+            write!(
+                out,
+                ", \"round\": {round}, \"sent\": {sent}, \"wal_len\": {wal_len}"
+            )
+            .unwrap();
+            out.push_str(", \"epsilon\": ");
+            push_json_f64(out, epsilon);
+            out.push_str(", \"delta\": ");
+            push_json_f64(out, delta);
+        }
+        TraceEvent::Admit {
+            batch,
+            reports,
+            accepted,
+            reason,
+            epsilon,
+            delta,
+        } => {
+            write!(
+                out,
+                ", \"batch\": {batch}, \"reports\": {reports}, \"accepted\": {accepted}, \"reason\": "
+            )
+            .unwrap();
+            push_json_str(out, reason);
+            out.push_str(", \"epsilon\": ");
+            push_json_f64(out, epsilon);
+            out.push_str(", \"delta\": ");
+            push_json_f64(out, delta);
+        }
+        TraceEvent::Snapshot {
+            round,
+            bytes,
+            elapsed_ns,
+        } => {
+            write!(
+                out,
+                ", \"round\": {round}, \"bytes\": {bytes}, \"elapsed_ns\": {elapsed_ns}"
+            )
+            .unwrap();
+        }
+        TraceEvent::Recover {
+            rounds_replayed,
+            elapsed_ns,
+        } => {
+            write!(
+                out,
+                ", \"rounds_replayed\": {rounds_replayed}, \"elapsed_ns\": {elapsed_ns}"
+            )
+            .unwrap();
+        }
+        TraceEvent::Phase { name, round } => {
+            out.push_str(", \"name\": ");
+            push_json_str(out, name);
+            write!(out, ", \"round\": {round}").unwrap();
+        }
+        TraceEvent::Note { topic, value } => {
+            out.push_str(", \"topic\": ");
+            push_json_str(out, topic);
+            out.push_str(", \"value\": ");
+            push_json_f64(out, value);
+        }
+    }
+    out.push('}');
+}
+
+/// The bounded event ring.
+pub struct TraceWriter {
+    clock: Clock,
+    ring: Vec<(u64, TraceEvent)>,
+    capacity: usize,
+    head: usize,
+    len: usize,
+    dropped: u64,
+    line: String,
+}
+
+impl TraceWriter {
+    /// A ring of `capacity` events over `clock`.  All storage — the ring
+    /// and the flush line buffer — is allocated here, once.
+    pub fn new(clock: Clock, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceWriter {
+            clock,
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            len: 0,
+            dropped: 0,
+            line: String::with_capacity(256),
+        }
+    }
+
+    /// Records an event, stamped with the clock.  Never allocates: a
+    /// full ring overwrites its oldest event and counts the drop.
+    pub fn record(&mut self, ev: TraceEvent) {
+        let ts = self.clock.now_ns();
+        // Write at the logical tail: slots drained by a flush are reused in
+        // place, so the backing `Vec` only grows until it first reaches
+        // capacity (while `head == 0`, the tail is at most `ring.len()`).
+        let at = (self.head + self.len) % self.capacity;
+        if at == self.ring.len() {
+            self.ring.push((ts, ev));
+        } else {
+            self.ring[at] = (ts, ev);
+        }
+        if self.len == self.capacity {
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        } else {
+            self.len += 1;
+        }
+    }
+
+    /// Buffered events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events overwritten before they could be flushed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the ring (oldest first) as JSONL into `out`; returns the
+    /// number of events written.  This is the explicit serialization
+    /// point — keep it off steady-state paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`; drained events are not
+    /// restored.
+    pub fn flush_to(&mut self, out: &mut dyn io::Write) -> io::Result<usize> {
+        let flushed = self.len;
+        for i in 0..self.len {
+            let (ts, ev) = self.ring[(self.head + i) % self.capacity];
+            self.line.clear();
+            render_line(&mut self.line, ts, &ev);
+            self.line.push('\n');
+            out.write_all(self.line.as_bytes())?;
+        }
+        self.head = 0;
+        self.len = 0;
+        Ok(flushed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn writer(capacity: usize) -> (TraceWriter, crate::clock::FakeClock) {
+        let (clock, driver) = Clock::fake();
+        (TraceWriter::new(clock, capacity), driver)
+    }
+
+    #[test]
+    fn events_serialize_as_documented_jsonl() {
+        let (mut tw, driver) = writer(8);
+        driver.set_ns(42);
+        tw.record(TraceEvent::Round {
+            round: 3,
+            sent: 100,
+            wal_len: 4096,
+            epsilon: 0.5,
+            delta: 1e-5,
+        });
+        tw.record(TraceEvent::Admit {
+            batch: 1,
+            reports: 7,
+            accepted: false,
+            reason: "budget-exhausted",
+            epsilon: 0.25,
+            delta: 1e-5,
+        });
+        let mut out = Vec::new();
+        assert_eq!(tw.flush_to(&mut out).unwrap(), 2);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"ts\": 42, \"ev\": \"round\", \"round\": 3, \"sent\": 100, \
+             \"wal_len\": 4096, \"epsilon\": 0.5, \"delta\": 0.00001}"
+        );
+        assert!(lines[1].contains("\"reason\": \"budget-exhausted\""));
+        assert!(lines[1].contains("\"accepted\": false"));
+        for line in &lines {
+            crate::schema::validate_line(line).expect("schema");
+        }
+        assert!(tw.is_empty());
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts() {
+        let (mut tw, _driver) = writer(3);
+        for round in 1..=5 {
+            tw.record(TraceEvent::Phase {
+                name: "tick",
+                round,
+            });
+        }
+        assert_eq!(tw.len(), 3);
+        assert_eq!(tw.dropped(), 2);
+        let mut out = Vec::new();
+        tw.flush_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // The three newest survive, oldest first.
+        let rounds: Vec<&str> = text.lines().collect();
+        assert!(rounds[0].contains("\"round\": 3"));
+        assert!(rounds[2].contains("\"round\": 5"));
+    }
+
+    #[test]
+    fn flush_then_record_drains_the_new_events_not_stale_ones() {
+        let (mut tw, _driver) = writer(8);
+        for round in 1..=5 {
+            tw.record(TraceEvent::Phase {
+                name: "first",
+                round,
+            });
+        }
+        let mut out = Vec::new();
+        assert_eq!(tw.flush_to(&mut out).unwrap(), 5);
+        // Re-fill after the drain: the second flush must yield exactly the
+        // post-flush events, not replay the drained prefix in place.
+        for round in 6..=8 {
+            tw.record(TraceEvent::Phase {
+                name: "second",
+                round,
+            });
+        }
+        out.clear();
+        assert_eq!(tw.flush_to(&mut out).unwrap(), 3);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.contains("\"name\": \"second\""), "stale event: {line}");
+            assert!(line.contains(&format!("\"round\": {}", 6 + i)));
+        }
+        assert_eq!(tw.dropped(), 0);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let (mut tw, _driver) = writer(2);
+        tw.record(TraceEvent::Note {
+            topic: "nan",
+            value: f64::NAN,
+        });
+        let mut out = Vec::new();
+        tw.flush_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"value\": null"));
+        crate::schema::validate_line(text.trim()).expect("schema");
+    }
+}

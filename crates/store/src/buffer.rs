@@ -32,6 +32,7 @@ pub struct BufferPool {
     hand: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl BufferPool {
@@ -43,6 +44,7 @@ impl BufferPool {
             hand: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -55,6 +57,12 @@ impl BufferPool {
     /// actually caches.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Frames the clock sweep has evicted to make room (invalidations not
+    /// included) — the telemetry layer's `ns_pool_evictions` source.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Returns `(bytes, valid_len)` of page `page_no`, reading through the
@@ -92,6 +100,7 @@ impl BufferPool {
                     self.frames[candidate].referenced = false;
                 } else {
                     self.frames[candidate] = frame;
+                    self.evictions += 1;
                     break candidate;
                 }
             }

@@ -42,20 +42,31 @@
 use crate::error::{Result, StoreError};
 use crate::records::{encode_round, WalRecord};
 use crate::snapshot::{
-    load_ledger, load_meta, load_snapshot, save_ledger, save_meta, save_snapshot, StoreMeta,
+    load_ledger, load_meta, load_snapshot, save_ledger, save_meta, save_snapshot, snapshot_path,
+    StoreMeta,
 };
+use crate::telemetry::StoreTelemetry;
 use crate::wal::{scan_wal, TailStatus, WalWriter};
 use network_shuffle::prelude::{
-    AccountantParams, CoordinatorConfig, OutageSchedule, ShuffleCoordinator, SimulationOutcome,
+    AccountantParams, AuditSink, CoordinatorConfig, CoordinatorTelemetry, OutageSchedule,
+    ShuffleCoordinator, SimulationOutcome,
 };
 use ns_dp::prelude::BudgetLedger;
 use ns_dp::prelude::PrivacyGuarantee;
 use ns_graph::prelude::{Graph, NodeId, Partition};
 use ns_graph::rng::SimRng;
+use ns_obs::{MetricsRegistry, TraceEvent, TraceWriter};
 use std::path::{Path, PathBuf};
 
 /// Name of the log segment inside a store directory.
 pub const WAL_FILE: &str = "wal.bin";
+
+/// Structured-trace JSONL the telemetry layer appends to inside a store
+/// directory ([`DurableCoordinator::flush_observability`]).
+pub const TRACE_FILE: &str = "trace.jsonl";
+
+/// Rendered metrics exposition rewritten alongside [`TRACE_FILE`].
+pub const METRICS_FILE: &str = "metrics.txt";
 
 /// Durability knobs of a [`DurableCoordinator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +132,34 @@ pub struct DurableCoordinator<'g> {
     ledger: Option<(PathBuf, BudgetLedger)>,
     /// How the recovered WAL's tail ended (`None` for a fresh store).
     recovered_tail: Option<TailStatus>,
+    /// Attached observability bundle, if any
+    /// ([`DurableCoordinator::attach_telemetry`]).
+    telemetry: Option<DurableTelemetry>,
+    /// Replay cost measured by [`DurableCoordinator::recover`], published
+    /// when telemetry attaches afterwards.
+    recovery_stats: Option<RecoveryStats>,
+}
+
+/// The store-level observability bundle: durable-runtime metric handles,
+/// the shared structured-trace/audit ring and the registry the flush
+/// renders.  The service-layer share lives inside the wrapped coordinator
+/// (attached by [`DurableCoordinator::attach_telemetry`]).
+struct DurableTelemetry {
+    registry: MetricsRegistry,
+    store: StoreTelemetry,
+    audit: AuditSink,
+    /// With parameters attached, every `round` trace event carries the live
+    /// worst-user quote — an explicitly opted-into per-round cost.
+    quote_params: Option<AccountantParams>,
+}
+
+/// What a recovery cost, kept until telemetry attaches.
+#[derive(Clone, Copy, Debug)]
+struct RecoveryStats {
+    rounds_replayed: u64,
+    elapsed_ns: u64,
+    /// `(hits, misses, evictions)` of the WAL scan's page cache.
+    pool_stats: (u64, u64, u64),
 }
 
 impl<'g> DurableCoordinator<'g> {
@@ -168,6 +207,8 @@ impl<'g> DurableCoordinator<'g> {
             seen_origins: vec![false; graph.node_count()],
             ledger: None,
             recovered_tail: None,
+            telemetry: None,
+            recovery_stats: None,
         })
     }
 
@@ -190,6 +231,7 @@ impl<'g> DurableCoordinator<'g> {
         durable: DurableConfig,
         dir: &Path,
     ) -> Result<Self> {
+        let recovery_started = std::time::Instant::now();
         let meta = load_meta(dir)?;
         if meta.node_count != graph.node_count() || meta.shard_count != partition.shard_count() {
             return Err(StoreError::InvalidState(format!(
@@ -325,12 +367,21 @@ impl<'g> DurableCoordinator<'g> {
             seen_origins,
             ledger: None,
             recovered_tail: Some(scan.tail),
+            telemetry: None,
+            recovery_stats: None,
         };
         let start = recovered.coordinator.round();
         for (round, (clocks, mask)) in rounds.iter().enumerate().skip(start) {
             recovered.verify_round_record(round, clocks, mask.as_deref())?;
             recovered.coordinator.run_rounds(1)?;
         }
+        // Wall-clock here is measurement only — it never shapes the replayed
+        // state, so the bitwise recovery invariant is untouched.
+        recovered.recovery_stats = Some(RecoveryStats {
+            rounds_replayed: rounds.len().saturating_sub(start) as u64,
+            elapsed_ns: recovery_started.elapsed().as_nanos() as u64,
+            pool_stats: scan.pool_stats,
+        });
         Ok(recovered)
     }
 
@@ -413,6 +464,142 @@ impl<'g> DurableCoordinator<'g> {
         self.ledger.as_ref().map(|(_, ledger)| ledger)
     }
 
+    /// Attaches the full observability stack: registers the durable-runtime
+    /// metrics in `registry`, wires the service/engine telemetry bundle into
+    /// the wrapped coordinator, and routes the admission audit plus the
+    /// structured `round` / `snapshot` / `recover` / `phase` events into one
+    /// shared trace ring, drained to [`TRACE_FILE`] in the store directory
+    /// at snapshot and finalize boundaries (or explicitly via
+    /// [`DurableCoordinator::flush_observability`]).
+    ///
+    /// With `quote_params`, every `round` event and admission audit record
+    /// carries the live worst-user `(ε, δ)` — a per-round quote computation
+    /// the caller opts into; with `None` both fields render as `null`.
+    ///
+    /// Telemetry is inert by construction: no durable byte, RNG draw or
+    /// replayed state changes whether it is attached or not.
+    pub fn attach_telemetry(
+        &mut self,
+        registry: &MetricsRegistry,
+        quote_params: Option<AccountantParams>,
+    ) {
+        let store = StoreTelemetry::register(registry);
+        let audit = AuditSink::new(TraceWriter::new(
+            registry.clock().clone(),
+            ns_obs::env_ring_capacity(),
+        ));
+        let mut service = CoordinatorTelemetry::register(registry).with_audit(audit.clone());
+        if let Some(params) = quote_params {
+            service = service.with_quote_params(params);
+        }
+        self.coordinator.set_telemetry(Some(service));
+        if let Some(stats) = self.recovery_stats {
+            store.replay_ns.record(stats.elapsed_ns);
+            store.record_pool_stats(stats.pool_stats);
+            audit.record(TraceEvent::Recover {
+                rounds_replayed: stats.rounds_replayed,
+                elapsed_ns: stats.elapsed_ns,
+            });
+        }
+        store.wal_len.set(self.wal.len());
+        self.telemetry = Some(DurableTelemetry {
+            registry: registry.clone(),
+            store,
+            audit,
+            quote_params,
+        });
+    }
+
+    /// Detaches observability from the store and the wrapped coordinator.
+    pub fn detach_telemetry(&mut self) {
+        self.coordinator.set_telemetry(None);
+        self.telemetry = None;
+    }
+
+    /// Drains the structured trace ring into [`TRACE_FILE`] (append) and
+    /// rewrites [`METRICS_FILE`] in the store directory.  Runs
+    /// automatically at snapshot and finalize boundaries — both already off
+    /// the steady-state round path — and is a no-op without telemetry.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing either file.
+    pub fn flush_observability(&self) -> Result<()> {
+        let Some(obs) = &self.telemetry else {
+            return Ok(());
+        };
+        let mut trace = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(TRACE_FILE))?;
+        obs.audit.flush_to(&mut trace)?;
+        std::fs::write(self.dir.join(METRICS_FILE), obs.registry.render())?;
+        Ok(())
+    }
+
+    /// Records one completed round into the trace ring: messages sent, WAL
+    /// length and (with quote parameters attached) the live worst quote.
+    fn record_round_event(&self, completed: usize) {
+        let Some(obs) = &self.telemetry else {
+            return;
+        };
+        let wal_len = self.wal.len();
+        obs.store.wal_len.set(wal_len);
+        let sent = self
+            .coordinator
+            .engine()
+            .map(|e| e.sent_counts().iter().map(|&s| u64::from(s)).sum())
+            .unwrap_or(0);
+        let (epsilon, delta) = match &obs.quote_params {
+            Some(params) => self
+                .coordinator
+                .live_quote(params)
+                .map(|(_, quote)| (quote.epsilon, quote.delta))
+                .unwrap_or((f64::NAN, f64::NAN)),
+            None => (f64::NAN, f64::NAN),
+        };
+        obs.audit.record(TraceEvent::Round {
+            round: completed as u64,
+            sent,
+            wal_len,
+            epsilon,
+            delta,
+        });
+    }
+
+    /// Audits a batch the durable layer refused before the service's own
+    /// admission path ran.  `remaining` carries the refused origin's ledger
+    /// headroom for budget refusals; `None` renders as `null`.
+    fn audit_refusal(&self, reports: usize, reason: &'static str, remaining: Option<(f64, f64)>) {
+        let Some(obs) = &self.telemetry else {
+            return;
+        };
+        let batch = self
+            .coordinator
+            .telemetry()
+            .map(|t| t.record_external_refusal())
+            .unwrap_or(0);
+        let (epsilon, delta) = remaining.unwrap_or((f64::NAN, f64::NAN));
+        obs.audit.record(TraceEvent::Admit {
+            batch,
+            reports: reports as u64,
+            accepted: false,
+            reason,
+            epsilon,
+            delta,
+        });
+    }
+
+    /// Records a lifecycle phase change into the trace ring.
+    fn record_phase(&self, name: &'static str) {
+        if let Some(obs) = &self.telemetry {
+            obs.audit.record(TraceEvent::Phase {
+                name,
+                round: self.coordinator.round() as u64,
+            });
+        }
+    }
+
     /// Attaches (loading, or creating with a uniform `default_budget`) the
     /// persistent per-user budget ledger at `path`.  Once attached,
     /// admission refuses users whose budget is exhausted, and
@@ -454,11 +641,13 @@ impl<'g> DurableCoordinator<'g> {
         // Validate before logging: a WAL record whose apply step fails would
         // fail identically on every recovery and wedge the store.
         if self.coordinator.engine().is_some() {
+            self.audit_refusal(batch.len(), "exchange-started", None);
             return Err(StoreError::InvalidState(
                 "cannot admit reports after the exchange phase started".into(),
             ));
         }
         if let Some(&(origin, _)) = batch.iter().find(|&&(origin, _)| origin >= self.node_count) {
+            self.audit_refusal(batch.len(), "origin-out-of-range", None);
             return Err(StoreError::InvalidState(format!(
                 "origin {origin} is out of range for {} users",
                 self.node_count
@@ -469,6 +658,13 @@ impl<'g> DurableCoordinator<'g> {
                 .iter()
                 .find(|&&(origin, _)| origin < ledger.user_count() && !ledger.can_admit(origin))
             {
+                // The audited (ε, δ) is the refused origin's remaining
+                // headroom — the ledger state that forced the refusal.
+                self.audit_refusal(
+                    batch.len(),
+                    "budget-exhausted",
+                    Some(ledger.remaining(origin)),
+                );
                 return Err(StoreError::InvalidState(format!(
                     "user {origin} has exhausted her privacy budget; batch refused"
                 )));
@@ -551,7 +747,9 @@ impl<'g> DurableCoordinator<'g> {
         WalRecord::BeginExchange.encode(&mut self.scratch);
         self.wal.append(&self.scratch)?;
         self.wal.sync()?;
-        Ok(self.coordinator.begin_exchange()?)
+        self.coordinator.begin_exchange()?;
+        self.record_phase("begin-exchange");
+        Ok(())
     }
 
     /// Executes `rounds` exchange rounds, each preceded by its WAL record
@@ -583,14 +781,31 @@ impl<'g> DurableCoordinator<'g> {
                     mask,
                 );
             }
-            self.wal.append(&self.scratch)?;
+            {
+                let _span = self
+                    .telemetry
+                    .as_ref()
+                    .map(|o| o.store.wal_append_ns.span(&o.store.clock));
+                self.wal.append(&self.scratch)?;
+            }
             self.unsynced_rounds += 1;
             if self.unsynced_rounds >= self.durable.group_commit.max(1) {
+                // Two spans over one sync: the fsync histogram sees every
+                // sync, the group-commit one only these boundary syncs.
+                let _group = self
+                    .telemetry
+                    .as_ref()
+                    .map(|o| o.store.group_commit_ns.span(&o.store.clock));
+                let _fsync = self
+                    .telemetry
+                    .as_ref()
+                    .map(|o| o.store.wal_fsync_ns.span(&o.store.clock));
                 self.wal.sync()?;
                 self.unsynced_rounds = 0;
             }
             self.coordinator.run_rounds(1)?;
             let completed = self.coordinator.round();
+            self.record_round_event(completed);
             if self.durable.snapshot_every > 0
                 && completed.is_multiple_of(self.durable.snapshot_every)
             {
@@ -636,8 +851,15 @@ impl<'g> DurableCoordinator<'g> {
     ///
     /// Checkpoint capture and I/O errors.
     pub fn snapshot(&mut self) -> Result<()> {
+        let started = self.telemetry.as_ref().map(|o| o.store.clock.now_ns());
         // The snapshot must not land before the log records it summarizes.
-        self.wal.sync()?;
+        {
+            let _fsync = self
+                .telemetry
+                .as_ref()
+                .map(|o| o.store.wal_fsync_ns.span(&o.store.clock));
+            self.wal.sync()?;
+        }
         self.unsynced_rounds = 0;
         let checkpoint = self.coordinator.checkpoint()?;
         save_snapshot(&self.dir, &checkpoint)?;
@@ -647,8 +869,30 @@ impl<'g> DurableCoordinator<'g> {
         }
         .encode(&mut self.scratch);
         self.wal.append(&self.scratch)?;
-        self.wal.sync()?;
-        Ok(())
+        {
+            let _fsync = self
+                .telemetry
+                .as_ref()
+                .map(|o| o.store.wal_fsync_ns.span(&o.store.clock));
+            self.wal.sync()?;
+        }
+        if let Some(obs) = &self.telemetry {
+            let elapsed_ns = obs
+                .store
+                .clock
+                .now_ns()
+                .saturating_sub(started.unwrap_or(0));
+            obs.store.snapshot_write_ns.record(elapsed_ns);
+            let bytes = std::fs::metadata(snapshot_path(&self.dir, round))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            obs.audit.record(TraceEvent::Snapshot {
+                round: round as u64,
+                bytes,
+                elapsed_ns,
+            });
+        }
+        self.flush_observability()
     }
 
     /// The worst tracked user's current guarantee — read-only passthrough.
@@ -710,6 +954,10 @@ impl<'g> DurableCoordinator<'g> {
             }
             save_ledger(path, ledger)?;
         }
+        self.record_phase("finalize");
+        // The coordinator is consumed below; drain the trace ring first so
+        // the finalize phase event reaches the on-disk trace.
+        self.flush_observability()?;
         let outcome = self.coordinator.finalize(make_dummy)?;
         Ok((outcome, quote))
     }

@@ -44,6 +44,7 @@ pub mod error;
 pub mod page;
 pub mod records;
 pub mod snapshot;
+pub mod telemetry;
 pub mod wal;
 
 pub use durable::{DurableConfig, DurableCoordinator};
@@ -51,11 +52,14 @@ pub use error::{Result, StoreError};
 
 /// Convenient re-exports of the crate's public surface.
 pub mod prelude {
-    pub use crate::durable::{DurableConfig, DurableCoordinator, WAL_FILE};
+    pub use crate::durable::{
+        DurableConfig, DurableCoordinator, METRICS_FILE, TRACE_FILE, WAL_FILE,
+    };
     pub use crate::error::{Result, StoreError};
     pub use crate::records::WalRecord;
     pub use crate::snapshot::{
         load_ledger, load_meta, load_snapshot, save_ledger, snapshot_path, StoreMeta,
     };
+    pub use crate::telemetry::StoreTelemetry;
     pub use crate::wal::{scan_wal, TailStatus, WalScan, WalWriter};
 }

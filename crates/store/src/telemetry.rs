@@ -1,0 +1,101 @@
+//! Durable-runtime telemetry: WAL latency histograms, buffer-pool and
+//! snapshot/replay accounting over the `ns-obs` registry.
+//!
+//! Same contract as the engine and service bundles: preregistered slots,
+//! relaxed atomic recording, no effect on any durable byte — a run with
+//! telemetry attached writes the identical WAL, snapshots and ledger.
+//! The trace side (round events, snapshot/recover events, the admission
+//! audit) funnels through the service layer's shared
+//! [`network_shuffle::telemetry::AuditSink`] so one `trace.jsonl` carries
+//! the whole story in record order.
+
+use ns_obs::{Clock, Gauge, Histogram, MetricsRegistry};
+
+/// Metric names the durable runtime registers (the README's catalogue).
+pub mod names {
+    /// WAL record append latency (buffered write + tail-page update), ns.
+    pub const WAL_APPEND_NS: &str = "ns_wal_append_ns";
+    /// WAL fsync latency — every sync, eager or group boundary, ns.
+    pub const WAL_FSYNC_NS: &str = "ns_wal_fsync_ns";
+    /// Latency of the syncs closing a round group commit, ns.
+    pub const WAL_GROUP_COMMIT_NS: &str = "ns_wal_group_commit_ns";
+    /// WAL length in bytes after the latest append.
+    pub const WAL_LEN_BYTES: &str = "ns_wal_len_bytes";
+    /// Snapshot capture-and-write latency, ns.
+    pub const SNAPSHOT_WRITE_NS: &str = "ns_snapshot_write_ns";
+    /// Recovery replay latency (scan + snapshot load + round re-execution),
+    /// ns.
+    pub const REPLAY_NS: &str = "ns_replay_ns";
+    /// Buffer-pool page hits (cumulative, latest folded pool).
+    pub const POOL_HITS: &str = "ns_pool_hits";
+    /// Buffer-pool page misses.
+    pub const POOL_MISSES: &str = "ns_pool_misses";
+    /// Buffer-pool clock evictions.
+    pub const POOL_EVICTIONS: &str = "ns_pool_evictions";
+}
+
+/// Preregistered handles for the durable runtime.  Clone-cheap (`Arc`
+/// bumps).
+#[derive(Clone, Debug)]
+pub struct StoreTelemetry {
+    pub(crate) clock: Clock,
+    pub(crate) wal_append_ns: Histogram,
+    pub(crate) wal_fsync_ns: Histogram,
+    pub(crate) group_commit_ns: Histogram,
+    pub(crate) wal_len: Gauge,
+    pub(crate) snapshot_write_ns: Histogram,
+    pub(crate) replay_ns: Histogram,
+    pool_hits: Gauge,
+    pool_misses: Gauge,
+    pool_evictions: Gauge,
+}
+
+impl StoreTelemetry {
+    /// Registers (or re-binds) the durable-runtime metrics in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        StoreTelemetry {
+            clock: registry.clock().clone(),
+            wal_append_ns: registry.histogram(names::WAL_APPEND_NS),
+            wal_fsync_ns: registry.histogram(names::WAL_FSYNC_NS),
+            group_commit_ns: registry.histogram(names::WAL_GROUP_COMMIT_NS),
+            wal_len: registry.gauge(names::WAL_LEN_BYTES),
+            snapshot_write_ns: registry.histogram(names::SNAPSHOT_WRITE_NS),
+            replay_ns: registry.histogram(names::REPLAY_NS),
+            pool_hits: registry.gauge(names::POOL_HITS),
+            pool_misses: registry.gauge(names::POOL_MISSES),
+            pool_evictions: registry.gauge(names::POOL_EVICTIONS),
+        }
+    }
+
+    /// Publishes a [`crate::buffer::BufferPool`]'s cumulative counters —
+    /// pools are short-lived (one per scan/load), so the gauges hold the
+    /// latest folded pool's totals.
+    pub fn record_pool(&self, pool: &crate::buffer::BufferPool) {
+        let (hits, misses) = pool.stats();
+        self.record_pool_stats((hits, misses, pool.evictions()));
+    }
+
+    /// Publishes already-extracted `(hits, misses, evictions)` counters —
+    /// the [`crate::wal::WalScan::pool_stats`] form.
+    pub fn record_pool_stats(&self, (hits, misses, evictions): (u64, u64, u64)) {
+        self.pool_hits.set(hits);
+        self.pool_misses.set(misses);
+        self.pool_evictions.set(evictions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_catalogue_round_trips() {
+        let registry = MetricsRegistry::new();
+        let t = StoreTelemetry::register(&registry);
+        t.wal_append_ns.record(1000);
+        t.wal_len.set(4096);
+        let rendered = registry.render();
+        assert!(rendered.contains("histogram ns_wal_append_ns count=1"));
+        assert!(rendered.contains("gauge ns_wal_len_bytes 4096"));
+    }
+}

@@ -47,6 +47,9 @@ pub struct WalScan {
     /// Byte length of the valid prefix; the writer reopens (and truncates)
     /// at this offset.
     pub valid_len: u64,
+    /// `(hits, misses, evictions)` of the page cache the scan read through —
+    /// the telemetry layer's buffer-pool source.
+    pub pool_stats: (u64, u64, u64),
     /// Why the scan stopped.
     pub tail: TailStatus,
 }
@@ -207,22 +210,16 @@ pub fn scan_wal<P: AsRef<Path>>(path: P) -> Result<WalScan> {
         }
         page_no += 1;
     }
+    let (hits, misses) = pool.stats();
+    let pool_stats = (hits, misses, pool.evictions());
     let mut records = Vec::new();
     let mut offset = 0usize;
-    loop {
+    let tail = loop {
         if offset == bytes.len() {
-            return Ok(WalScan {
-                records,
-                valid_len: offset as u64,
-                tail: TailStatus::Clean,
-            });
+            break TailStatus::Clean;
         }
         if bytes.len() - offset < 8 {
-            return Ok(WalScan {
-                records,
-                valid_len: offset as u64,
-                tail: TailStatus::Truncated,
-            });
+            break TailStatus::Truncated;
         }
         let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
         let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
@@ -230,40 +227,32 @@ pub fn scan_wal<P: AsRef<Path>>(path: P) -> Result<WalScan> {
             // Zero padding: a clean end if the checksum word is also zero,
             // damage otherwise (no real record is empty — payloads always
             // carry a tag byte).
-            let tail = if crc == 0 {
+            break if crc == 0 {
                 TailStatus::Clean
             } else {
                 TailStatus::Corrupt
             };
-            return Ok(WalScan {
-                records,
-                valid_len: offset as u64,
-                tail,
-            });
         }
         if len > MAX_RECORD_LEN || (len as usize) > bytes.len() - offset - 8 {
-            let tail = if len > MAX_RECORD_LEN {
+            break if len > MAX_RECORD_LEN {
                 TailStatus::Corrupt
             } else {
                 TailStatus::Truncated
             };
-            return Ok(WalScan {
-                records,
-                valid_len: offset as u64,
-                tail,
-            });
         }
         let payload = &bytes[offset + 8..offset + 8 + len as usize];
         if crc32(payload) != crc {
-            return Ok(WalScan {
-                records,
-                valid_len: offset as u64,
-                tail: TailStatus::Corrupt,
-            });
+            break TailStatus::Corrupt;
         }
         records.push(payload.to_vec());
         offset += 8 + len as usize;
-    }
+    };
+    Ok(WalScan {
+        records,
+        valid_len: offset as u64,
+        pool_stats,
+        tail,
+    })
 }
 
 #[cfg(test)]

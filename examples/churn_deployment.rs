@@ -29,7 +29,10 @@ use network_shuffle::prelude::*;
 use ns_graph::dynamic::DynamicGraph;
 use ns_graph::generators::barabasi_albert;
 use ns_graph::mixing_engine::MixingEngine;
+use ns_obs::say;
 use rand::Rng;
+
+const TOPIC: &str = "churn_deployment";
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::var("NS_CHURN_N")
@@ -52,15 +55,20 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let exact_static = accountant
         .central_guarantee(ProtocolKind::Single, Scenario::Exact, &params, rounds)?
         .epsilon;
-    println!(
+    say!(
+        TOPIC,
         "deployment: n = {n}, m = {} edges, t = {rounds} rounds (static mixing time)",
         graph.edge_count()
     );
-    println!(
+    say!(
+        TOPIC,
         "planned quote (lazy bound, q = {mean_down}):   eps = {:.3}",
         planned.epsilon
     );
-    println!("exact static worst user (no churn):    eps = {exact_static:.3}");
+    say!(
+        TOPIC,
+        "exact static worst user (no churn):    eps = {exact_static:.3}"
+    );
 
     // 2. Three realized outage processes with the same 25% average.
     let scenarios = [
@@ -91,8 +99,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             },
         ),
     ];
-    println!(
-        "\nrealized churn, same {mean_down} average unavailability, worst user after t = {rounds}:"
+    println!();
+    say!(
+        TOPIC,
+        "realized churn, same {mean_down} average unavailability, worst user after t = {rounds}:"
     );
     for (name, model) in &scenarios {
         let schedule = model.sample_schedule(n, rounds, seed)?;
@@ -102,7 +112,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let (worst_user, guarantee) =
             churned.worst_user_guarantee(ProtocolKind::Single, &params, rounds)?;
         let vs_plan = guarantee.epsilon / planned.epsilon;
-        println!(
+        say!(TOPIC,
             "  {name:<16} exact worst user {worst_user:>3}: eps = {:>8.3}  ({}{:.2}x the planned quote)",
             guarantee.epsilon,
             if vs_plan >= 1.0 { "" } else { "1/" },
@@ -116,8 +126,9 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let config = SimulationConfig::single(rounds, seed);
     let clear = run_protocol(&graph, vec![0u8; n], config, |_| 0)?;
     let dark = run_protocol_under_outages(&graph, vec![0u8; n], config, &blackout, |_| 0)?;
-    println!(
-        "\nprotocol replay (A_single, {rounds} rounds): {} relay messages clear-sky, {} under the blackout",
+    println!();
+    say!(TOPIC,
+        "protocol replay (A_single, {rounds} rounds): {} relay messages clear-sky, {} under the blackout",
         clear.metrics.total_messages(),
         dark.metrics.total_messages()
     );
@@ -168,13 +179,16 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     }
     assert_eq!(engine.round(), rounds);
     let empty = engine.load_vector().iter().filter(|&&x| x == 0).count();
-    println!(
+    say!(
+        TOPIC,
         "live rewiring: {rewired} edges swapped across {rounds} rounds ({} edges now), \
          {empty} of {n} users hold no report after the walk",
         dynamic.edge_count()
     );
-    println!(
-        "\ntakeaway: the i.i.d. quote transfers, correlated/scheduled churn does not — account on\n\
+    println!();
+    say!(
+        TOPIC,
+        "takeaway: the i.i.d. quote transfers, correlated/scheduled churn does not — account on\n\
          the realized schedule (NetworkShuffleAccountant::with_schedule) before quoting eps."
     );
     Ok(())

@@ -19,6 +19,9 @@
 use network_shuffle::accountant::planning::epsilon_0_for_central_target_on_graph;
 use network_shuffle::prelude::*;
 use ns_datasets::Dataset;
+use ns_obs::say;
+
+const TOPIC: &str = "deployment_planning";
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let target_central_epsilon = 1.0;
@@ -28,13 +31,16 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let generated = Dataset::Facebook.generate_scaled(4, seed)?;
     let graph = &generated.graph;
     let n = graph.node_count();
-    println!(
+    say!(
+        TOPIC,
         "{} stand-in: n = {n}, Gamma_G = {:.2}",
-        generated.spec.name, generated.achieved.irregularity
+        generated.spec.name,
+        generated.achieved.irregularity
     );
 
     let accountant = NetworkShuffleAccountant::new(graph)?;
-    println!(
+    say!(
+        TOPIC,
         "spectral gap {:.4}  =>  paper stopping rule t = {} rounds",
         accountant.mixing_profile().spectral_gap,
         accountant.mixing_time()
@@ -50,7 +56,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         0.01,
         4 * accountant.mixing_time(),
     )?;
-    println!(
+    say!(
+        TOPIC,
         "rounds needed before extra communication stops helping: {rounds} (eps there = {:.4})",
         eps_at_rounds
     );
@@ -65,7 +72,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     )?;
     match calibrated {
         Some(eps0) => {
-            println!(
+            say!(TOPIC,
                 "largest local eps0 meeting a central epsilon of {target_central_epsilon}: {eps0:.4}"
             );
             let params = AccountantParams::with_defaults(n, eps0)?;
@@ -74,19 +81,25 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
                 Scenario::Stationary,
                 &params,
             )?;
-            println!("check: running at that eps0 yields {achieved}");
+            say!(TOPIC, "check: running at that eps0 yields {achieved}");
         }
-        None => println!("the central target is unreachable on this graph"),
+        None => say!(TOPIC, "the central target is unreachable on this graph"),
     }
 
     // Cross-check the accountant's graph input with a Monte-Carlo estimate.
     let empirical = estimate_mixing(graph, rounds, 0.0, 32, seed)?;
     let (bound, _) = accountant.sum_p_squared(Scenario::Stationary, rounds)?;
-    println!(
+    say!(
+        TOPIC,
         "sum of squared position probabilities after {rounds} rounds: spectral bound {:.3e}, \
          Monte-Carlo estimate {:.3e} ({} trials)",
-        bound, empirical.sum_p_squared, empirical.trials
+        bound,
+        empirical.sum_p_squared,
+        empirical.trials
     );
-    println!("(the estimate sitting below the bound is expected: the bound is worst-case)");
+    say!(
+        TOPIC,
+        "(the estimate sitting below the bound is expected: the bound is worst-case)"
+    );
     Ok(())
 }

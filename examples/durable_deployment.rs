@@ -28,7 +28,10 @@ use ns_dp::prelude::PrivacyGuarantee;
 use ns_graph::generators::random_regular;
 use ns_graph::prelude::Partition;
 use ns_graph::rng::seeded_rng;
-use ns_store::prelude::{DurableConfig, DurableCoordinator};
+use ns_obs::{say, MetricsRegistry};
+use ns_store::prelude::{DurableConfig, DurableCoordinator, TRACE_FILE};
+
+const TOPIC: &str = "durable_deployment";
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::var("NS_DURABLE_N")
@@ -51,22 +54,33 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let store_dir = base.join("store");
     let ledger_path = base.join("ledger.bin");
 
-    println!("== durable epoch: n={n}, k=4, {rounds} rounds ==");
-    println!(
+    say!(TOPIC, "== durable epoch: n={n}, k=4, {rounds} rounds ==");
+    say!(
+        TOPIC,
         "group commit every {} round records, snapshot every {} rounds",
-        durable.group_commit, durable.snapshot_every
+        durable.group_commit,
+        durable.snapshot_every
     );
+
+    // NS_OBS=1 runs the whole epoch fully instrumented (provably inert —
+    // the bitwise twin comparison below holds either way) and exports the
+    // structured trace at the end.
+    let observe = ns_obs::env_enabled();
+    let registry = MetricsRegistry::new();
 
     // Phase 1: run half the epoch, then lose the process.
     {
         let mut store =
             DurableCoordinator::create(&graph, &partition, config, durable, &store_dir)?;
+        if observe {
+            store.attach_telemetry(&registry, Some(params));
+        }
         store.attach_ledger(&ledger_path, PrivacyGuarantee::new(2048.0, 1e-3)?)?;
         store.admit_population(payloads.clone())?;
         store.begin_exchange()?;
         store.run_rounds(crash_at)?;
         let (worst, quote) = store.live_quote(&params)?;
-        println!(
+        say!(TOPIC,
             "round {crash_at:>2}: live quote ε = {:.3} (worst user {worst}) — and now the process dies",
             quote.epsilon
         );
@@ -75,8 +89,12 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
 
     // Phase 2: recover and prove the state is bitwise the uninterrupted one.
     let mut store = DurableCoordinator::recover(&graph, &partition, durable, &store_dir)?;
+    if observe {
+        store.attach_telemetry(&registry, Some(params));
+    }
     store.attach_ledger(&ledger_path, PrivacyGuarantee::new(2048.0, 1e-3)?)?;
-    println!(
+    say!(
+        TOPIC,
         "recovered at round {} (WAL tail: {:?})",
         store.round(),
         store.recovered_tail().expect("recovered store")
@@ -108,23 +126,40 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         twin_quote.epsilon.to_bits(),
         "recovered quote must match to the last bit"
     );
-    println!("positions, RNG clocks and quote bits all match the uninterrupted twin");
+    say!(
+        TOPIC,
+        "positions, RNG clocks and quote bits all match the uninterrupted twin"
+    );
 
     // Phase 3: finish the epoch and settle the ledger.
     store.run_rounds(rounds - store.round())?;
     let (outcome, charged) = store.finalize(&params, |_| vec![0xD0])?;
-    println!(
+    say!(
+        TOPIC,
         "finalized after {rounds} rounds: {} reports collected, charged ε = {:.3} per user",
         outcome.collected.report_count(),
         charged.epsilon
     );
     let ledger = ns_store::prelude::load_ledger(&ledger_path)?;
     let (remaining_eps, _) = ledger.remaining(0);
-    println!(
+    say!(
+        TOPIC,
         "budget ledger: user 0 has ε = {remaining_eps:.3} of 2048 left; \
          {} users exhausted",
         ledger.exhausted_users().len()
     );
+
+    if observe {
+        // finalize() flushed the trace + metrics next to the WAL; validate
+        // and (optionally) export before the demo directory is cleaned up.
+        let trace = std::fs::read_to_string(store_dir.join(TRACE_FILE))?;
+        let events = ns_obs::schema::validate_jsonl(&trace)?;
+        say!(TOPIC, "telemetry: {events} trace events, schema ok");
+        if let Some(path) = ns_obs::env_trace_path() {
+            std::fs::write(&path, &trace)?;
+            say!(TOPIC, "trace exported to {}", path.display());
+        }
+    }
 
     let _ = std::fs::remove_dir_all(&base);
     Ok(())

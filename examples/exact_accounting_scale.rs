@@ -20,7 +20,10 @@
 
 use network_shuffle::prelude::*;
 use ns_graph::connectivity::largest_connected_component;
+use ns_obs::say;
 use std::time::Instant;
+
+const TOPIC: &str = "exact_accounting_scale";
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::var("NS_EXACT_N")
@@ -37,14 +40,19 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let graph = largest_connected_component(&ns_graph::generators::chung_lu(&weights, &mut rng)?).0;
     let n = graph.node_count();
     let stats = ns_graph::degree::DegreeStats::compute(&graph).expect("non-trivial graph");
-    println!(
+    say!(
+        TOPIC,
         "Chung-Lu stand-in: n = {n}, m = {}, degrees {}..{}, Gamma_G = {:.3}",
-        stats.edge_count, stats.min_degree, stats.max_degree, stats.irregularity
+        stats.edge_count,
+        stats.min_degree,
+        stats.max_degree,
+        stats.irregularity
     );
 
     let accountant = NetworkShuffleAccountant::new(&graph)?;
     let rounds = accountant.mixing_time();
-    println!(
+    say!(
+        TOPIC,
         "spectral gap = {:.4}, stopping rule t = {rounds} rounds",
         accountant.mixing_profile().spectral_gap
     );
@@ -78,25 +86,31 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let bound = accountant
             .central_guarantee(ProtocolKind::Single, Scenario::Stationary, &params, t)?
             .epsilon;
-        println!(
-            "\nt = {t}: exact ensemble pass over all origins in {elapsed:.1} s \
+        println!();
+        say!(
+            TOPIC,
+            "t = {t}: exact ensemble pass over all origins in {elapsed:.1} s \
              ({:.2} M origin-rounds/s)",
             n as f64 * t as f64 / elapsed / 1e6
         );
-        println!(
+        say!(
+            TOPIC,
             "  per-user epsilon (A_single, eps0 = {epsilon_0}): worst user {worst_origin} \
              (degree {}) at {:.4}, mean {mean:.4}, best {best:.4}",
             graph.degree(worst_origin),
             worst.epsilon
         );
-        println!(
+        say!(
+            TOPIC,
             "  stationary worst-case bound at t = {t}: {bound:.4} \
              (exact worst user / bound = {:.3})",
             worst.epsilon / bound
         );
     }
-    println!(
-        "\nthe exact route prices every user individually: low-degree users mix slower and\n\
+    println!();
+    say!(
+        TOPIC,
+        "the exact route prices every user individually: low-degree users mix slower and\n\
          carry a measurably larger epsilon, which the one-number spectral bound cannot see."
     );
     Ok(())

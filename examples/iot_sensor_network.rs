@@ -16,7 +16,10 @@ use network_shuffle::prelude::*;
 use ns_dp::mechanisms::Laplace;
 use ns_dp::LocalRandomizer;
 use ns_graph::generators::watts_strogatz;
+use ns_obs::say;
 use rand::Rng;
+
+const TOPIC: &str = "iot_sensor_network";
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let n = 1_500;
@@ -27,7 +30,11 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // rewired to long-range shortcuts.
     let mut rng = ns_graph::rng::seeded_rng(seed);
     let graph = watts_strogatz(n, 8, 0.2, &mut rng)?;
-    println!("sensor mesh: n = {n}, m = {} links", graph.edge_count());
+    say!(
+        TOPIC,
+        "sensor mesh: n = {n}, m = {} links",
+        graph.edge_count()
+    );
 
     // Ground truth: temperatures around 21 degrees with spatial drift.
     let truth: Vec<f64> = (0..n)
@@ -65,20 +72,33 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             .collect();
         let estimate = received.iter().sum::<f64>() / received.len() as f64;
 
-        println!("\ndropout probability {dropout}:");
-        println!(
+        println!();
+        say!(TOPIC, "dropout probability {dropout}:");
+        say!(
+            TOPIC,
             "  spectral gap {:.4}, mixing time {rounds} rounds",
             accountant.mixing_profile().spectral_gap
         );
-        println!("  central guarantee {central}");
-        println!("  mean temperature: true {true_mean:.3}, estimated {estimate:.3}");
-        println!(
+        say!(TOPIC, "  central guarantee {central}");
+        say!(
+            TOPIC,
+            "  mean temperature: true {true_mean:.3}, estimated {estimate:.3}"
+        );
+        say!(
+            TOPIC,
             "  traffic: {:.1} relay messages per device on average",
             outcome.metrics.mean_messages_per_user()
         );
     }
 
-    println!("\nnote: dropouts lengthen the mixing time (more rounds needed) but the");
-    println!("asymptotic central epsilon is unchanged, as predicted by the lazy-walk analysis.");
+    println!();
+    say!(
+        TOPIC,
+        "note: dropouts lengthen the mixing time (more rounds needed) but the"
+    );
+    say!(
+        TOPIC,
+        "asymptotic central epsilon is unchanged, as predicted by the lazy-walk analysis."
+    );
     Ok(())
 }

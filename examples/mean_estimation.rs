@@ -13,6 +13,9 @@
 
 use network_shuffle::prelude::*;
 use ns_datasets::{Dataset, MeanEstimationWorkload, WorkloadConfig};
+use ns_obs::say;
+
+const TOPIC: &str = "mean_estimation";
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let seed = 11;
@@ -27,14 +30,22 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         dimension: 32,
         ..WorkloadConfig::paper_defaults(n, seed)
     });
-    println!("population n = {n}, dimension d = {}", workload.dimension());
+    say!(
+        TOPIC,
+        "population n = {n}, dimension d = {}",
+        workload.dimension()
+    );
 
     let accountant = NetworkShuffleAccountant::new(graph)?;
     let rounds = accountant.mixing_time();
-    println!("exchange rounds (mixing time): {rounds}\n");
-    println!(
+    say!(TOPIC, "exchange rounds (mixing time): {rounds}\n");
+    say!(
+        TOPIC,
         "{:<10} {:>10} {:>14} {:>18}",
-        "protocol", "eps_0", "central eps", "squared error"
+        "protocol",
+        "eps_0",
+        "central eps",
+        "squared error"
     );
 
     for &epsilon_0 in &[1.0, 2.0, 4.0] {
@@ -49,7 +60,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             let result = run_mean_estimation(graph, &workload.data, &workload.dummy_pool, config)?;
             let central =
                 accountant.central_guarantee(protocol, Scenario::Stationary, &params, rounds)?;
-            println!(
+            say!(
+                TOPIC,
                 "{:<10} {:>10.2} {:>14.4} {:>18.6}",
                 protocol.name(),
                 epsilon_0,
@@ -59,7 +71,14 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\nexpected shape (paper Figure 9): for a fixed central epsilon, A_all");
-    println!("achieves a lower squared error than A_single on this workload.");
+    println!();
+    say!(
+        TOPIC,
+        "expected shape (paper Figure 9): for a fixed central epsilon, A_all"
+    );
+    say!(
+        TOPIC,
+        "achieves a lower squared error than A_single on this workload."
+    );
     Ok(())
 }

@@ -24,7 +24,10 @@ use ns_graph::mixing_engine::{RoundObserver, RoundStats};
 use ns_graph::rng::seeded_rng;
 use ns_graph::round::DrawMode;
 use ns_graph::walk::WalkConfig;
+use ns_obs::say;
 use std::time::Instant;
+
+const TOPIC: &str = "mixing_engine_scale";
 
 /// Streams a per-round summary of the load vector.
 #[cfg(not(feature = "parallel"))]
@@ -39,7 +42,8 @@ impl RoundObserver for LoadWatcher {
         let n = stats.load.len() as f64;
         let empty = stats.load.iter().filter(|&&l| l == 0).count() as f64;
         let max = stats.load.iter().max().copied().unwrap_or(0);
-        println!(
+        say!(
+            TOPIC,
             "round {:>2}: {:>5.1}% empty holders (e^-1 = 36.8% at stationarity), max load {}",
             stats.round,
             100.0 * empty / n,
@@ -63,7 +67,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         _ => DrawMode::Compat,
     };
     let rounds = 30;
-    println!("generating a {n}-node 8-regular communication graph ...");
+    say!(
+        TOPIC,
+        "generating a {n}-node 8-regular communication graph ..."
+    );
     let mut rng = seeded_rng(7);
     let graph = random_regular(n, 8, &mut rng)?;
 
@@ -73,24 +80,32 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
 
     #[cfg(feature = "parallel")]
     {
-        println!("running {rounds} data-parallel walker-order rounds ...");
+        say!(
+            TOPIC,
+            "running {rounds} data-parallel walker-order rounds ..."
+        );
         engine.run_parallel(WalkConfig::simple(rounds), 42)?;
     }
     #[cfg(not(feature = "parallel"))]
     {
-        println!("running {rounds} holder-order rounds with streaming metrics ...");
+        say!(
+            TOPIC,
+            "running {rounds} holder-order rounds with streaming metrics ..."
+        );
         engine.run_holder_observed(WalkConfig::simple(rounds), &mut rng, &mut LoadWatcher)?;
     }
 
     let elapsed = start.elapsed();
     let load = engine.load_vector();
     let empty = load.iter().filter(|&&l| l == 0).count();
-    println!(
+    say!(
+        TOPIC,
         "moved {n} reports x {rounds} rounds in {elapsed:.2?} \
          ({:.1} M report-moves/s)",
         (n * rounds) as f64 / elapsed.as_secs_f64() / 1e6
     );
-    println!(
+    say!(
+        TOPIC,
         "final load: {:.1}% empty holders, max {} reports at one node",
         100.0 * empty as f64 / n as f64,
         load.iter().max().unwrap()

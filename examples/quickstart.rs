@@ -14,6 +14,9 @@ use network_shuffle::prelude::*;
 use ns_dp::estimators::estimate_frequencies;
 use ns_dp::mechanisms::RandomizedResponse;
 use ns_graph::generators::random_regular;
+use ns_obs::say;
+
+const TOPIC: &str = "quickstart";
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let n = 2_000;
@@ -23,7 +26,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // 1. The communication network: every user knows 10 peers.
     let mut rng = ns_graph::rng::seeded_rng(seed);
     let graph = random_regular(n, 10, &mut rng)?;
-    println!(
+    say!(
+        TOPIC,
         "communication network: n = {}, m = {} edges",
         graph.node_count(),
         graph.edge_count()
@@ -46,7 +50,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // 3. How long to shuffle: the paper's stopping rule t = alpha^-1 log n.
     let accountant = NetworkShuffleAccountant::new(&graph)?;
     let rounds = accountant.mixing_time();
-    println!(
+    say!(
+        TOPIC,
         "spectral gap = {:.4}, mixing time = {rounds} rounds",
         accountant.mixing_profile().spectral_gap
     );
@@ -59,12 +64,14 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         SimulationConfig::all(rounds, seed),
         &0usize,
     )?;
-    println!(
+    say!(
+        TOPIC,
         "curator received {} reports ({} null responses)",
         outcome.collected.report_count(),
         outcome.collected.null_response_count()
     );
-    println!(
+    say!(
+        TOPIC,
         "traffic: {:.1} relay messages per user, at most {} reports held at once",
         outcome.metrics.mean_messages_per_user(),
         outcome.metrics.max_peak_reports()
@@ -78,26 +85,31 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         .copied()
         .collect();
     let estimate = estimate_frequencies(&randomizer, &reports)?;
-    println!(
+    say!(
+        TOPIC,
         "estimated frequencies: {:?}",
         estimate
             .iter()
             .map(|x| (x * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>()
     );
-    println!("true frequencies:      [0.600, 0.300, 0.100, 0.000]");
+    say!(TOPIC, "true frequencies:      [0.600, 0.300, 0.100, 0.000]");
 
     // 6. Privacy: the amplified central guarantee.
     let params = AccountantParams::with_defaults(n, epsilon_0)?;
     let central =
         accountant.central_guarantee(ProtocolKind::All, Scenario::Stationary, &params, rounds)?;
-    println!("local guarantee:   {epsilon_0}-LDP per user");
-    println!("central guarantee: {central} after network shuffling");
+    say!(TOPIC, "local guarantee:   {epsilon_0}-LDP per user");
+    say!(
+        TOPIC,
+        "central guarantee: {central} after network shuffling"
+    );
 
     // 7. Empirical anonymity check: how many reports returned to their owner?
     let view = AdversaryView::from_submissions(outcome.collected.submissions());
     let stats = view.linkage_stats(&graph);
-    println!(
+    say!(
+        TOPIC,
         "adversary linkage: {:.2}% of reports were uploaded by their own producer (1/n = {:.2}%)",
         100.0 * stats.return_rate(),
         100.0 / n as f64

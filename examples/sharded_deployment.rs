@@ -34,7 +34,10 @@ use network_shuffle::prelude::*;
 use ns_graph::partition::Partition;
 use ns_graph::round::DrawMode;
 use ns_graph::sharded_engine::ShardedMixingEngine;
+use ns_obs::say;
 use std::time::Instant;
+
+const TOPIC: &str = "sharded_deployment";
 
 /// Estimated bytes a shard would have to hold in a distributed deployment:
 /// its local CSR, its frontier table and its slice of the walker state.
@@ -56,11 +59,15 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let rounds_per_config = 20;
     let seed = 20220408;
 
-    println!("generating a Twitch-calibrated stand-in at n = {n} (Gamma target 7.584) ...");
+    say!(
+        TOPIC,
+        "generating a Twitch-calibrated stand-in at n = {n} (Gamma target 7.584) ..."
+    );
     let start = Instant::now();
     let graph = ns_datasets::catalog::generate_with_targets(n, 7.584, 10.0, seed)?;
     let n = graph.node_count();
-    println!(
+    say!(
+        TOPIC,
         "  n = {n}, m = {} edges, degrees {}..{} ({:.1?})",
         graph.edge_count(),
         graph.min_degree().unwrap_or(0),
@@ -69,10 +76,20 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     );
 
     // 1. Shard-count scaling sweep.
-    println!("\nshard-count scaling ({rounds_per_config} exchange rounds per configuration):");
-    println!(
+    println!();
+    say!(
+        TOPIC,
+        "shard-count scaling ({rounds_per_config} exchange rounds per configuration):"
+    );
+    say!(
+        TOPIC,
         "{:>7}  {:>9}  {:>10}  {:>14}  {:>12}  {:>13}",
-        "shards", "edge cut", "imbalance", "partition time", "rounds/s", "max shard MB"
+        "shards",
+        "edge cut",
+        "imbalance",
+        "partition time",
+        "rounds/s",
+        "max shard MB"
     );
     for k in [1usize, 2, 4, 8] {
         if k > n {
@@ -91,7 +108,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             engine.step_auto(0.0, &mut ());
         }
         let elapsed = t1.elapsed().as_secs_f64();
-        println!(
+        say!(
+            TOPIC,
             "{k:>7}  {:>8.2}%  {:>10.3}  {:>13.0?}  {:>12.2}  {:>13.1}",
             100.0 * partition.edge_cut_fraction(),
             partition.max_shard_imbalance(),
@@ -125,8 +143,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let floor_epsilon =
         network_shuffle::accountant::single_protocol_epsilon(&params, stationary_sum_sq)?.epsilon;
     let target_epsilon = 1.05 * floor_epsilon;
-    println!(
-        "\ncoordinator on {shard_count} shards (A_single, eps0 = {epsilon_0}, \
+    println!();
+    say!(
+        TOPIC,
+        "coordinator on {shard_count} shards (A_single, eps0 = {epsilon_0}, \
          {} tracked origins): stationary floor eps = {floor_epsilon:.4}, \
          gate uploads at eps <= {target_epsilon:.4}",
         config.tracked_per_shard * shard_count
@@ -142,7 +162,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             .collect();
         coordinator.admit(batch)?;
     }
-    println!(
+    say!(
+        TOPIC,
         "  admitted {} reports in 4 batches",
         coordinator.report_count()
     );
@@ -154,7 +175,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     for checkpoint in [2usize, 4, 8] {
         coordinator.run_rounds(checkpoint - coordinator.round())?;
         let (origin, quote) = coordinator.live_quote(&params)?;
-        println!(
+        say!(
+            TOPIC,
             "  round {:>3}: live worst-user quote eps = {:.4} (user {origin}, degree {})",
             coordinator.round(),
             quote.epsilon,
@@ -164,14 +186,16 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // Gate the uploads on the target budget.
     let (rounds, quote) = coordinator.run_until_epsilon(&params, target_epsilon, 120)?;
     if quote.epsilon <= target_epsilon {
-        println!(
+        say!(
+            TOPIC,
             "  round {rounds:>3}: target met (eps = {:.4} <= {target_epsilon:.4}) — releasing \
              uploads [{:.1?} of exchange]",
             quote.epsilon,
             run_start.elapsed()
         );
     } else {
-        println!(
+        say!(
+            TOPIC,
             "  round {rounds:>3}: budget exhausted at eps = {:.4} — holding uploads",
             quote.epsilon
         );
@@ -180,14 +204,16 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         .accountant()
         .shard_quotes(ProtocolKind::Single, &params)?;
     for (s, (origin, guarantee)) in per_shard.iter().enumerate() {
-        println!(
+        say!(
+            TOPIC,
             "    shard {s}: worst tracked user {origin} at eps = {:.4}",
             guarantee.epsilon
         );
     }
 
     let outcome = coordinator.finalize(|_| 0)?;
-    println!(
+    say!(
+        TOPIC,
         "  finalized: {} reports at the curator ({} dummies), {:.1} mean messages/user",
         outcome.collected.report_count(),
         outcome.collected.dummy_count(),
@@ -209,8 +235,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         from_round: 0,
         until_round: blackout_rounds / 2,
     };
-    println!(
-        "\nsharded under a blackout (n = {bn}, {blackout_shards} shards, all {bn} origins \
+    println!();
+    say!(
+        TOPIC,
+        "sharded under a blackout (n = {bn}, {blackout_shards} shards, all {bn} origins \
          tracked): a quarter of the network dark for rounds 0..{}",
         blackout_rounds / 2
     );
@@ -242,7 +270,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             live.epsilon, exact.epsilon,
             "live quote must equal the offline schedule accountant exactly"
         );
-        println!(
+        say!(TOPIC,
             "  round {:>3}: live eps = {:.4} (user {origin}) == offline with_schedule eps = {:.4}  [{}]",
             dark.round(),
             live.epsilon,
@@ -255,7 +283,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         );
     }
     let dark_outcome = dark.finalize(|_| 0)?;
-    println!(
+    say!(
+        TOPIC,
         "  finalized under churn: {} reports ({} dummies), {} relay messages \
          (failed deliveries bounce and are never counted)",
         dark_outcome.collected.report_count(),
@@ -263,8 +292,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         dark_outcome.metrics.total_messages()
     );
 
-    println!(
-        "\nthe partition quality table prices shard-local deployments (edge cut = cross-shard\n\
+    println!();
+    say!(
+        TOPIC,
+        "the partition quality table prices shard-local deployments (edge cut = cross-shard\n\
          traffic) while the streaming accountant turns rounds into live per-user guarantees —\n\
          uploads release the moment the worst tracked user clears the budget, not at a\n\
          precomputed round count. And because every runtime executes the one round kernel,\n\

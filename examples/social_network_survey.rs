@@ -14,6 +14,9 @@ use network_shuffle::prelude::*;
 use ns_datasets::Dataset;
 use ns_dp::estimators::estimate_frequencies;
 use ns_dp::mechanisms::RandomizedResponse;
+use ns_obs::say;
+
+const TOPIC: &str = "social_network_survey";
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let epsilon_0 = 2.0;
@@ -24,9 +27,12 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let generated = Dataset::Twitch.generate_scaled(4, seed)?;
     let graph = &generated.graph;
     let n = graph.node_count();
-    println!(
+    say!(
+        TOPIC,
         "{} stand-in: n = {n}, Gamma_G = {:.2} (paper target {:.2})",
-        generated.spec.name, generated.achieved.irregularity, generated.spec.irregularity
+        generated.spec.name,
+        generated.achieved.irregularity,
+        generated.spec.irregularity
     );
 
     // Ground truth: answers follow a Zipf-ish distribution.
@@ -47,7 +53,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let accountant = NetworkShuffleAccountant::new(graph)?;
     let rounds = accountant.mixing_time();
     let params = AccountantParams::with_defaults(n, epsilon_0)?;
-    println!("running {rounds} exchange rounds (mixing time)\n");
+    say!(TOPIC, "running {rounds} exchange rounds (mixing time)\n");
 
     for protocol in [ProtocolKind::All, ProtocolKind::Single] {
         let config = SimulationConfig {
@@ -75,18 +81,28 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             accountant.central_guarantee(protocol, Scenario::Stationary, &params, rounds)?;
         let dummies = outcome.collected.dummy_count();
 
-        println!("protocol {protocol}:");
-        println!(
+        say!(TOPIC, "protocol {protocol}:");
+        say!(
+            TOPIC,
             "  reports at curator: {} ({} dummies)",
             outcome.collected.report_count(),
             dummies
         );
-        println!("  central guarantee:  {central}  (local was {epsilon_0}-LDP)");
-        println!("  survey L1 error:    {l1_error:.4}");
+        say!(
+            TOPIC,
+            "  central guarantee:  {central}  (local was {epsilon_0}-LDP)"
+        );
+        say!(TOPIC, "  survey L1 error:    {l1_error:.4}");
         println!();
     }
 
-    println!("note: A_single trades some utility (dummies, dropped reports) for a");
-    println!("tighter central epsilon at large epsilon_0 — compare the two blocks above.");
+    say!(
+        TOPIC,
+        "note: A_single trades some utility (dummies, dropped reports) for a"
+    );
+    say!(
+        TOPIC,
+        "tighter central epsilon at large epsilon_0 — compare the two blocks above."
+    );
     Ok(())
 }

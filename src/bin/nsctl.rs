@@ -1,0 +1,250 @@
+//! `nsctl` — attach to a durable run directory and report what the
+//! telemetry layer left behind.
+//!
+//! ```text
+//! nsctl stats <dir>   # round rate, quote trajectory, WAL lag, phase tables
+//! nsctl demo  <dir>   # build a tiny instrumented durable run to stat
+//! nsctl <dir>         # shorthand for stats
+//! ```
+//!
+//! `stats` reads the four store artifacts — `meta.bin`, `wal.bin`,
+//! `trace.jsonl`, `metrics.txt` — entirely offline; it never touches the
+//! coordinator, so it can run while (or after) the producing process does.
+//! The JSONL trace is validated against the in-repo schema first and a
+//! malformed trace exits with status 2, which is what CI leans on.
+
+use network_shuffle::prelude::AccountantParams;
+use ns_graph::generators::random_regular;
+use ns_graph::prelude::Partition;
+use ns_graph::rng::seeded_rng;
+use ns_obs::say;
+use ns_obs::MetricsRegistry;
+use ns_store::prelude::*;
+use std::path::Path;
+use std::process::ExitCode;
+
+const TOPIC: &str = "nsctl";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, dir) = match args.as_slice() {
+        [one] if one != "stats" && one != "demo" => ("stats", one.as_str()),
+        [mode, dir] if mode == "stats" || mode == "demo" => (mode.as_str(), dir.as_str()),
+        _ => {
+            say!(TOPIC, "usage: nsctl [stats|demo] <store-dir>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = Path::new(dir);
+    let run = match mode {
+        "demo" => demo(dir),
+        _ => stats(dir),
+    };
+    match run {
+        Ok(code) => code,
+        Err(e) => {
+            say!(TOPIC, "error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds a small fully-instrumented durable run in `dir` (wiped first), so
+/// there is something to `stats` — and so CI can smoke the whole surface.
+fn demo(dir: &Path) -> std::result::Result<ExitCode, Box<dyn std::error::Error>> {
+    let n = 60;
+    let rounds = 12;
+    let seed = 2022;
+    let _ = std::fs::remove_dir_all(dir);
+    let graph = random_regular(n, 4, &mut seeded_rng(seed))?;
+    let partition = Partition::new(&graph, 2)?;
+    let config = network_shuffle::prelude::CoordinatorConfig::all(seed, usize::MAX);
+    let durable = DurableConfig {
+        group_commit: 2,
+        snapshot_every: 4,
+    };
+    let params = AccountantParams::new(n, 1.0, 1e-6, 1e-6)?;
+
+    let mut store = DurableCoordinator::create(&graph, &partition, config, durable, dir)?;
+    let registry = MetricsRegistry::new();
+    store.attach_telemetry(&registry, Some(params));
+    store.admit_population((0..n).map(|i| vec![i as u8]).collect())?;
+    store.begin_exchange()?;
+    // One refused batch so the audit log has both decision kinds.
+    let _ = store.admit(vec![(0, vec![0xFF])]);
+    store.run_rounds(rounds)?;
+    store.flush_observability()?;
+    say!(
+        TOPIC,
+        "demo run written to {}: n={n}, {rounds} rounds, snapshot every {}",
+        dir.display(),
+        durable.snapshot_every
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn stats(dir: &Path) -> std::result::Result<ExitCode, Box<dyn std::error::Error>> {
+    // -- meta + WAL: what the durable runtime can prove from disk alone.
+    let meta = load_meta(dir)?;
+    say!(
+        TOPIC,
+        "store {}: {} users over {} shards",
+        dir.display(),
+        meta.node_count,
+        meta.shard_count
+    );
+    let scan = scan_wal(dir.join(WAL_FILE))?;
+    let mut admissions = 0usize;
+    let mut logged_rounds = 0u64;
+    let mut last_snapshot: Option<u64> = None;
+    let mut finalized: Option<u64> = None;
+    for payload in &scan.records {
+        match WalRecord::decode(payload)? {
+            WalRecord::AdmittedBatch { .. } => admissions += 1,
+            WalRecord::Round { round, .. } => logged_rounds = round + 1,
+            WalRecord::SnapshotMarker { round } => last_snapshot = Some(round),
+            WalRecord::Finalized { round } => finalized = Some(round),
+            WalRecord::BeginExchange | WalRecord::ScheduleAttached { .. } => {}
+        }
+    }
+    say!(
+        TOPIC,
+        "wal: {} records / {} bytes valid, tail {:?}",
+        scan.records.len(),
+        scan.valid_len,
+        scan.tail
+    );
+    let lag = logged_rounds.saturating_sub(last_snapshot.unwrap_or(0));
+    match last_snapshot {
+        Some(round) => say!(
+            TOPIC,
+            "wal lag: {lag} round record(s) past the last snapshot (round {round})"
+        ),
+        None => say!(
+            TOPIC,
+            "wal lag: no snapshot yet; full {logged_rounds}-round replay"
+        ),
+    }
+    say!(
+        TOPIC,
+        "lifecycle: {admissions} admitted batch(es), {logged_rounds} rounds logged{}",
+        match finalized {
+            Some(round) => format!(", finalized at round {round}"),
+            None => ", epoch still open".to_string(),
+        }
+    );
+
+    // -- trace.jsonl: schema-checked, then mined for the live trajectory.
+    let trace_path = dir.join(TRACE_FILE);
+    if trace_path.exists() {
+        let text = std::fs::read_to_string(&trace_path)?;
+        let events = match ns_obs::schema::validate_jsonl(&text) {
+            Ok(events) => events,
+            Err(e) => {
+                say!(TOPIC, "trace.jsonl FAILED schema validation: {e}");
+                return Ok(ExitCode::from(2));
+            }
+        };
+        say!(TOPIC, "trace: {events} event(s), schema ok");
+        report_trace(&text);
+    } else {
+        say!(
+            TOPIC,
+            "trace: no trace.jsonl (run without telemetry attached?)"
+        );
+    }
+
+    // -- metrics.txt: the rendered phase-time and counter tables.
+    let metrics_path = dir.join(METRICS_FILE);
+    if metrics_path.exists() {
+        say!(TOPIC, "metrics ({}):", metrics_path.display());
+        for line in std::fs::read_to_string(&metrics_path)?.lines() {
+            say!(TOPIC, "  {line}");
+        }
+    } else {
+        say!(TOPIC, "metrics: no metrics.txt");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Summarizes the structured trace: per-kind counts, observed round rate
+/// and the worst-user quote trajectory.
+fn report_trace(text: &str) {
+    let mut first_round: Option<(f64, f64)> = None; // (ts, round)
+    let mut last_round: Option<(f64, f64)> = None;
+    let mut first_eps: Option<f64> = None;
+    let mut last_eps: Option<f64> = None;
+    let mut last_wal_len: Option<f64> = None;
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(ev) = json_str(line, "ev") {
+            match counts.iter_mut().find(|(k, _)| k == ev) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((ev.to_string(), 1)),
+            }
+            if ev == "round" {
+                let ts = json_num(line, "ts");
+                let round = json_num(line, "round");
+                if let (Some(ts), Some(round)) = (ts, round) {
+                    if first_round.is_none() {
+                        first_round = Some((ts, round));
+                    }
+                    last_round = Some((ts, round));
+                }
+                if let Some(eps) = json_num(line, "epsilon") {
+                    if first_eps.is_none() {
+                        first_eps = Some(eps);
+                    }
+                    last_eps = Some(eps);
+                }
+                if let Some(len) = json_num(line, "wal_len") {
+                    last_wal_len = Some(len);
+                }
+            }
+        }
+    }
+    let kinds: Vec<String> = counts.iter().map(|(k, c)| format!("{k}×{c}")).collect();
+    say!(TOPIC, "trace kinds: {}", kinds.join(", "));
+    if let (Some((t0, r0)), Some((t1, r1))) = (first_round, last_round) {
+        if t1 > t0 && r1 > r0 {
+            let rate = (r1 - r0) / ((t1 - t0) / 1e9);
+            say!(
+                TOPIC,
+                "round rate: {rate:.1} rounds/s over rounds {r0:.0}..{r1:.0}"
+            );
+        } else {
+            say!(TOPIC, "round rate: n/a (single round event)");
+        }
+    }
+    if let (Some(first), Some(last)) = (first_eps, last_eps) {
+        say!(
+            TOPIC,
+            "quote trajectory: ε {first:.4} → {last:.4} (worst user, live)"
+        );
+    } else {
+        say!(
+            TOPIC,
+            "quote trajectory: not recorded (no quote params attached)"
+        );
+    }
+    if let Some(len) = last_wal_len {
+        say!(TOPIC, "wal length at last round event: {len:.0} bytes");
+    }
+}
+
+/// Extracts `"key": <number>` from one flat JSONL line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts `"key": "<string>"` from one flat JSONL line.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    rest.split('"').next()
+}
